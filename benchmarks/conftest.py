@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite regenerates every figure of the paper's evaluation.
+By default it runs at the ``quick`` scale so ``pytest benchmarks/
+--benchmark-only`` completes in minutes; set ``REPRO_SCALE=paper`` for
+the full-size campus the headline numbers are calibrated on.
+
+Each benchmark writes its rendered table to ``benchmarks/results/`` so
+the regenerated rows/series can be compared against the paper (and
+against EXPERIMENTS.md) after the run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import context_from_env
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """One experiment context shared by the whole benchmark session."""
+    return context_from_env()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_table(results_dir: Path, name: str, table: str) -> None:
+    """Persist a rendered experiment table."""
+    (results_dir / f"{name}.txt").write_text(table + "\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Figure regeneration is dominated by dataset synthesis and
+    clustering; repeating it for statistical timing would multiply the
+    suite's runtime for no insight, so every benchmark uses a single
+    round.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+from conftest import run_once, save_table
+from repro.experiments import (
+    run_ablation_binning,
+    run_ablation_composition,
+    run_ablation_distance,
+    run_ablation_thresholds,
+    run_baseline_comparison,
+)
+
+
+def test_ablation_distance(benchmark, ctx, results_dir):
+    """EMD vs. L1 histogram distance inside θ_hm."""
+    result = run_once(benchmark, run_ablation_distance, ctx)
+    save_table(results_dir, "ablation_distance", result.table)
+    assert set(result.rates) == {"emd", "l1"}
+
+
+def test_ablation_binning(benchmark, ctx, results_dir):
+    """Freedman–Diaconis/log-scale vs. fixed bins vs. raw seconds."""
+    result = run_once(benchmark, run_ablation_binning, ctx)
+    save_table(results_dir, "ablation_binning", result.table)
+    assert "fd-log (default)" in result.rates
+    assert "fd-raw (paper-literal)" in result.rates
+
+
+def test_ablation_thresholds(benchmark, ctx, results_dir):
+    """Dynamic percentile thresholds vs. frozen day-0 thresholds."""
+    result = run_once(benchmark, run_ablation_thresholds, ctx)
+    save_table(results_dir, "ablation_thresholds", result.table)
+    assert set(result.rates) == {"dynamic (paper)", "fixed-day0"}
+
+
+def test_ablation_composition(benchmark, ctx, results_dir):
+    """Single tests vs. the FindPlotters composition — the core claim."""
+    result = run_once(benchmark, run_ablation_composition, ctx)
+    save_table(results_dir, "ablation_composition", result.table)
+    _s, _n, fpr_vol = result.rates["volume alone"]
+    _s2, _n2, fpr_churn = result.rates["churn alone"]
+    _s3, _n3, fpr_full = result.rates["FindPlotters"]
+    # The composition's false positive rate is far below either single
+    # test's — the paper's central quantitative claim.
+    assert fpr_full < 0.5 * min(fpr_vol, fpr_churn)
+
+
+def test_baseline_comparison(benchmark, ctx, results_dir):
+    """FindPlotters vs. TDG / volume-only / failed-conn-only."""
+    result = run_once(benchmark, run_baseline_comparison, ctx)
+    save_table(results_dir, "baseline_comparison", result.table)
+    _s, _n, fpr_full = result.rates["FindPlotters"]
+    _s2, _n2, fpr_failed = result.rates["failed-conn-only"]
+    assert fpr_full < fpr_failed

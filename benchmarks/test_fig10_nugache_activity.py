@@ -1,0 +1,27 @@
+"""Figure 10 — flow counts of Nugache bots surviving each stage.
+
+Paper shape: every stage — θ_hm especially — preferentially loses the
+least-communicative bots, so the surviving bots' flow-count
+distribution shifts toward busier bots.
+"""
+
+import numpy as np
+
+from conftest import run_once, save_table
+from repro.experiments import run_fig10_nugache_activity
+
+
+def test_fig10_nugache_activity(benchmark, ctx, results_dir):
+    result = run_once(benchmark, run_fig10_nugache_activity, ctx)
+    save_table(results_dir, "fig10_nugache_activity", result.table)
+
+    input_counts = result.per_stage["input"]
+    final_counts = result.per_stage["hm"]
+    assert input_counts
+    if len(final_counts) >= 5:
+        # Survivors of the full pipeline are busier than the average
+        # bot (with enough survivors for the median to be meaningful).
+        assert np.median(final_counts) >= np.median(input_counts)
+    # The reduction stage alone already trims the quiet tail.
+    reduced = result.per_stage["reduction"]
+    assert len(reduced) <= len(input_counts)

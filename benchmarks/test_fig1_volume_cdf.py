@@ -1,0 +1,25 @@
+"""Figure 1 — CDF of average flow size per host, per dataset.
+
+Paper shape: Plotters contribute orders of magnitude fewer bytes per
+flow than Traders; the general campus population sits between them.
+"""
+
+import numpy as np
+
+from conftest import run_once, save_table
+from repro.experiments import run_fig1_volume_cdf
+
+
+def test_fig1_volume_cdf(benchmark, ctx, results_dir):
+    result = run_once(benchmark, run_fig1_volume_cdf, ctx)
+    save_table(results_dir, "fig1_volume_cdf", result.table)
+
+    trader_median = np.median(result.series["trader"])
+    storm_median = np.median(result.series["storm"])
+    nugache_median = np.median(result.series["nugache"])
+    campus_median = np.median(result.series["cmu-minus-trader"])
+    # Orders-of-magnitude separation between Traders and Plotters.
+    assert trader_median > 100 * storm_median
+    assert trader_median > 10 * nugache_median
+    # The general population sits between the extremes.
+    assert storm_median < campus_median < trader_median

@@ -1,0 +1,24 @@
+"""Figure 2 — hourly new-IP fraction: a Trader vs. a Storm bot.
+
+Paper shape: over 55% of the Trader's contacts stay new all day, while
+after its first hour the Storm bot mostly re-contacts known peers.
+"""
+
+import numpy as np
+
+from conftest import run_once, save_table
+from repro.experiments import run_fig2_new_ip_timeseries
+
+
+def test_fig2_new_ip_timeseries(benchmark, ctx, results_dir):
+    result = run_once(benchmark, run_fig2_new_ip_timeseries, ctx)
+    save_table(results_dir, "fig2_new_ip_timeseries", result.table)
+
+    # Skip hour zero (everything is trivially new) and compare the rest.
+    trader_tail = result.series["trader"][1:]
+    storm_tail = result.series["storm"][1:]
+    assert trader_tail and storm_tail
+    # The Storm bot's post-bootstrap contacts are mostly known peers.
+    assert np.mean(storm_tail) < 0.5
+    if ctx.is_paper_scale:
+        assert np.mean(trader_tail) > np.mean(storm_tail)

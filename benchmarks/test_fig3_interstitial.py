@@ -1,0 +1,40 @@
+"""Figure 3 — per-destination interstitial-time distributions.
+
+Paper shape: Storm and Nugache concentrate on a few timer values
+(Nugache near 10/25/50 s); Trader interstitials spread with no dominant
+timer mode.
+"""
+
+import numpy as np
+
+from conftest import run_once, save_table
+from repro.experiments import run_fig3_interstitial
+
+
+def _mass_near(samples, center, tolerance=0.15):
+    """Fraction of samples within ±tolerance decades of ``center`` (s)."""
+    logs = np.log10(np.maximum(np.asarray(samples, dtype=float), 1e-3))
+    return float(
+        np.mean(np.abs(logs - np.log10(center)) <= tolerance)
+    )
+
+
+def test_fig3_interstitial(benchmark, ctx, results_dir):
+    result = run_once(benchmark, run_fig3_interstitial, ctx)
+    save_table(results_dir, "fig3_interstitial", result.table)
+
+    nugache = result.series["nugache"]
+    timer_mass = sum(_mass_near(nugache, t) for t in (10.0, 25.0, 50.0))
+    assert timer_mass > 0.5  # the 10/25/50 s bank dominates
+
+    storm = result.series["storm"]
+    storm_keepalive = _mass_near(storm, 90.0)
+    assert storm_keepalive > 0.3  # the compiled-in keepalive dominates
+
+    for trader in ("bittorrent", "gnutella"):
+        samples = result.series[trader]
+        best_single_mode = max(
+            _mass_near(samples, t) for t in (10.0, 25.0, 50.0, 90.0)
+        )
+        # Human-driven traffic never concentrates like the bots do.
+        assert best_single_mode < storm_keepalive

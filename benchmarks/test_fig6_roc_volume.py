@@ -1,0 +1,33 @@
+"""Figure 6 — ROC of the volume test θ_vol.
+
+Paper shape: a coarse test — true positives come with many false
+positives; Storm dominates Nugache at every operating point.
+"""
+
+import numpy as np
+
+from conftest import run_once, save_table
+from repro.experiments import check_roc_shape
+from repro.experiments import run_fig6_roc_volume
+
+
+def test_fig6_roc_volume(benchmark, ctx, results_dir):
+    result = run_once(benchmark, run_fig6_roc_volume, ctx)
+    save_table(results_dir, "fig6_roc_volume", result.table)
+
+    shape = check_roc_shape(result.points)
+    failed = [str(c) for c in shape if not c.passed]
+    assert not failed, "\n".join(failed)
+
+    storm = result.points["storm"]
+    nugache = result.points["nugache"]
+    # Monotone sweep: larger percentile keeps more hosts.
+    storm_tprs = [tpr for _p, tpr, _f in storm]
+    assert storm_tprs == sorted(storm_tprs)
+    # Storm is easier than Nugache on volume (its flows are tiny).
+    mean_storm = np.mean(storm_tprs)
+    mean_nugache = np.mean([tpr for _p, tpr, _f in nugache])
+    assert mean_storm >= mean_nugache
+    # Coarseness: at the 90th percentile nearly everything passes.
+    _p, _t, fpr_90 = storm[-1]
+    assert fpr_90 > 0.5

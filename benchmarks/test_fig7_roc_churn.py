@@ -1,0 +1,29 @@
+"""Figure 7 — ROC of the peer-churn test θ_churn.
+
+Paper shape: coarse like volume; Storm reaches high TPR at moderate
+thresholds because its contact set is so stable.
+"""
+
+import numpy as np
+
+from conftest import run_once, save_table
+from repro.experiments import check_roc_shape
+from repro.experiments import run_fig7_roc_churn
+
+
+def test_fig7_roc_churn(benchmark, ctx, results_dir):
+    result = run_once(benchmark, run_fig7_roc_churn, ctx)
+    save_table(results_dir, "fig7_roc_churn", result.table)
+
+    shape = check_roc_shape(result.points)
+    failed = [str(c) for c in shape if not c.passed]
+    assert not failed, "\n".join(failed)
+
+    storm = result.points["storm"]
+    fprs = [fpr for _p, _t, fpr in storm]
+    assert fprs == sorted(fprs)
+    # At the 50th percentile and above, Storm's low churn keeps it in.
+    by_pct = {pct: tpr for pct, tpr, _f in storm}
+    assert by_pct[70.0] >= 0.5
+    # Even at high percentiles the test remains coarse on negatives.
+    assert fprs[-1] > 0.5

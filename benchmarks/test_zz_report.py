@@ -1,0 +1,20 @@
+"""Final benchmark step: assemble REPORT.md from every saved table.
+
+Named ``zz`` so pytest collects it after the figure benchmarks; it
+stitches whatever tables this session regenerated into
+``benchmarks/results/REPORT.md`` with the paper's expectations inline.
+"""
+
+from conftest import run_once
+from repro.experiments import build_report, write_report
+
+
+def test_zz_assemble_report(benchmark, ctx, results_dir):
+    out = run_once(
+        benchmark, write_report, results_dir, results_dir / "REPORT.md"
+    )
+    text = out.read_text()
+    assert text.startswith("# Regenerated evaluation report")
+    # The headline figure is present with its paper expectation.
+    assert "fig9_findplotters" in text
+    assert "87.50%" in text

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""FindPlotters versus prior-art baselines on the same traffic.
+
+The paper's pitch is that generic P2P detectors cannot tell bots from
+file-sharers.  This example makes that concrete: a traffic-dispersion-
+graph detector [29], a volume-only test, and a failed-connection test
+all find *P2P-ish* hosts — and flag the Traders right along with the
+Plotters — while the composed pipeline isolates the Plotters.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.baselines import FailedConnDetector, TdgDetector, VolumeOnlyDetector
+from repro.datasets import (
+    CampusConfig,
+    build_campus_day,
+    capture_nugache_trace,
+    capture_storm_trace,
+    identify_traders,
+    overlay_traces,
+)
+from repro.detection import find_plotters
+from repro.netsim.rng import substream
+
+SEED = 3
+
+
+def score(name, flagged, plotters, traders, population):
+    negatives = population - plotters
+    tpr = len(flagged & plotters) / len(plotters)
+    fpr = len(flagged & negatives) / len(negatives)
+    trader_hit = len(flagged & traders) / len(traders) if traders else 0.0
+    print(f"{name:>18}: plotter recall {tpr:6.1%}   "
+          f"FP rate {fpr:6.1%}   traders flagged {trader_hit:6.1%}")
+
+
+def main() -> None:
+    config = CampusConfig(seed=SEED).scaled(0.5)
+    print("Building one overlaid campus day...")
+    day = build_campus_day(config, 0)
+    storm = capture_storm_trace(seed=SEED, n_bots=13)
+    nugache = capture_nugache_trace(seed=SEED, n_bots=25)
+    overlaid = overlay_traces(day, [storm, nugache], substream(SEED, "ov"))
+
+    population = day.all_hosts
+    plotters = overlaid.plotter_hosts
+    traders = set(identify_traders(day.store, day.all_hosts))
+    print(f"{len(population)} hosts, {len(plotters)} Plotters, "
+          f"{len(traders)} Traders\n")
+
+    tdg_flagged, _scores = TdgDetector().detect(overlaid.store, population)
+    score("TDG", tdg_flagged, plotters, traders, population)
+
+    vol = VolumeOnlyDetector().detect(overlaid.store, population)
+    score("volume-only", vol.selected_set, plotters, traders, population)
+
+    failed = FailedConnDetector().detect(overlaid.store, population)
+    score("failed-conn-only", failed.selected_set, plotters, traders, population)
+
+    pipeline = find_plotters(overlaid.store, hosts=population)
+    score("FindPlotters", pipeline.suspects, plotters, traders, population)
+
+    print("\nThe baselines flag Traders nearly as often as Plotters — the "
+          "composition is what separates the two.")
+
+
+if __name__ == "__main__":
+    main()

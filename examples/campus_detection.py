@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Multi-day detection with trace persistence — the operator workflow.
+
+A network administrator's loop: capture each day's border flows to disk
+once, then run (and re-run) detection offline.  This example synthesizes
+three campus days, saves them in the Argus-like CSV format, reloads
+them, and runs the pipeline per day with per-day dynamic thresholds —
+demonstrating that thresholds genuinely adapt to each day's traffic.
+
+Run:  python examples/campus_detection.py [output_dir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.datasets import (
+    CampusConfig,
+    build_campus_day,
+    capture_nugache_trace,
+    capture_storm_trace,
+    identify_traders,
+    load_campus_day,
+    overlay_traces,
+    save_campus_day,
+)
+from repro.detection import evaluate_pipeline, find_plotters
+from repro.netsim.rng import substream
+
+SEED = 41
+N_DAYS = 3
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        tempfile.mkdtemp(prefix="repro-campus-")
+    )
+    # Full-size campus days: slower to synthesise, but the per-day
+    # detection numbers are representative (see EXPERIMENTS.md).
+    config = CampusConfig(seed=SEED)
+
+    print(f"Capturing {N_DAYS} campus days to {out_dir} ...")
+    for day_index in range(N_DAYS):
+        day = build_campus_day(config, day_index)
+        save_campus_day(out_dir, day)
+        print(f"  day {day_index}: {len(day.store):,} flows saved")
+
+    storm = capture_storm_trace(seed=SEED, n_bots=13)
+    nugache = capture_nugache_trace(seed=SEED, n_bots=25)
+
+    print("\nRe-loading each day from disk and running detection:")
+    print(f"{'day':>4} {'tau_vol':>9} {'tau_churn':>10} {'storm':>7} "
+          f"{'nugache':>8} {'FP rate':>8}")
+    for day_index in range(N_DAYS):
+        day = load_campus_day(out_dir, day_index)
+        overlaid = overlay_traces(
+            day, [storm, nugache], substream(SEED, "overlay", day_index)
+        )
+        result = find_plotters(overlaid.store, hosts=day.all_hosts)
+        report = evaluate_pipeline(
+            result,
+            {
+                "storm": overlaid.plotters_of("storm"),
+                "nugache": overlaid.plotters_of("nugache"),
+            },
+            set(identify_traders(day.store, day.all_hosts)),
+        )
+        # The thresholds differ day to day: they are percentiles of the
+        # day's own traffic, which is the paper's anti-evasion argument.
+        print(f"{day_index:>4} {result.volume.threshold:>9.0f} "
+              f"{result.churn.threshold:>10.3f} "
+              f"{report.tpr('storm'):>7.1%} "
+              f"{report.tpr('nugache'):>8.1%} "
+              f"{report.false_positive_rate:>8.2%}")
+
+    print(f"\nTraces left in {out_dir} for inspection.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Incident investigation: why did the detector flag this host?
+
+After FindPlotters raises an alarm, the operator's first questions are
+"what evidence?" and "who else?".  This example runs detection on a
+synthetic day and then uses the explanation API to print, for a flagged
+host and for a cleared one:
+
+* every metric against the threshold it was compared to,
+* the stage that cleared the host (if cleared),
+* the timing-cluster co-members (if flagged) — the likely rest of the
+  botnet — plus the cluster dendrogram neighbourhood.
+
+Run:  python examples/investigate_host.py
+"""
+
+from repro.datasets import (
+    CampusConfig,
+    build_campus_day,
+    capture_nugache_trace,
+    capture_storm_trace,
+    overlay_traces,
+)
+from repro.detection import explain_host, find_plotters, format_explanation
+from repro.netsim.rng import substream
+
+SEED = 2007
+
+
+def main() -> None:
+    config = CampusConfig(seed=SEED).scaled(0.5)
+    print("Synthesizing one overlaid campus day...")
+    day = build_campus_day(config, 0)
+    storm = capture_storm_trace(seed=SEED, n_bots=13)
+    nugache = capture_nugache_trace(seed=SEED, n_bots=20)
+    overlaid = overlay_traces(day, [storm, nugache], substream(SEED, "ov"))
+
+    result = find_plotters(overlaid.store, hosts=day.all_hosts)
+    plotters = overlaid.plotter_hosts
+    print(f"{len(result.suspects)} suspects "
+          f"({len(result.suspects & plotters)} actual bots)\n")
+
+    true_positives = sorted(result.suspects & plotters)
+    if true_positives:
+        print("=== a correctly flagged bot host ===")
+        explanation = explain_host(result, overlaid.store, true_positives[0])
+        print(format_explanation(explanation))
+        caught_peers = set(explanation.cluster_members) & plotters
+        if caught_peers:
+            print(f"  -> {len(caught_peers)} of its cluster co-members are "
+                  "also implanted bots: the cluster IS the botnet\n")
+        else:
+            print("  -> its co-members are not implanted bots — the "
+                  "cluster membership is what the analyst reviews\n")
+
+    false_positives = sorted(result.suspects - plotters)
+    if false_positives:
+        print("=== a false positive (what the analyst would review) ===")
+        print(format_explanation(
+            explain_host(result, overlaid.store, false_positives[0])
+        ))
+        print()
+
+    cleared = sorted(plotters - result.suspects)
+    if cleared:
+        print("=== a bot the pipeline missed (why?) ===")
+        explanation = explain_host(result, overlaid.store, cleared[0])
+        print(format_explanation(explanation))
+        print(f"  -> first stage that cleared it: {explanation.failed_stage}")
+
+
+if __name__ == "__main__":
+    main()

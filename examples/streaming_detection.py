@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Online detection at the border: one pass, bounded memory.
+
+The batch pipeline needs the whole window on disk; a live border wants
+verdicts as traffic streams past.  This example replays a synthetic
+overlaid day *flow by flow* through the online detector, polling for
+interim verdicts every simulated hour, and compares the final streamed
+verdict with the batch pipeline on the same traffic.
+
+Run:  python examples/streaming_detection.py
+"""
+
+from repro.datasets import (
+    CampusConfig,
+    build_campus_day,
+    capture_nugache_trace,
+    capture_storm_trace,
+    overlay_traces,
+)
+from repro.detection import OnlineDetector, find_plotters
+from repro.netsim.rng import substream
+
+SEED = 2007
+
+
+def main() -> None:
+    config = CampusConfig(seed=SEED).scaled(0.5)
+    print("Synthesizing one overlaid campus day...")
+    day = build_campus_day(config, 0)
+    storm = capture_storm_trace(seed=SEED, n_bots=13)
+    nugache = capture_nugache_trace(seed=SEED, n_bots=20)
+    overlaid = overlay_traces(day, [storm, nugache], substream(SEED, "ov"))
+    plotters = overlaid.plotter_hosts
+    print(f"  {len(overlaid.store):,} flows, {len(plotters)} bot hosts\n")
+
+    detector = OnlineDetector(
+        internal_hosts=day.all_hosts,
+        window=day.window + 1.0,
+    )
+
+    next_poll = 3600.0
+    print("Streaming flows through the online detector:")
+    print(f"{'hour':>5} {'flows seen':>11} {'suspects':>9} "
+          f"{'bots among them':>16}")
+    seen = 0
+    for flow in overlaid.store:  # time-ordered replay
+        while flow.start >= next_poll:
+            verdict = detector.evaluate(now=next_poll)
+            bots = len(verdict.suspects & plotters)
+            print(f"{next_poll / 3600:>5.0f} {seen:>11,} "
+                  f"{len(verdict.suspects):>9} {bots:>16}")
+            next_poll += 3600.0
+        detector.ingest(flow)
+        seen += 1
+
+    final = detector.evaluate(now=day.window)
+    batch = find_plotters(overlaid.store, hosts=day.all_hosts)
+    agreement = (
+        len(final.suspects & batch.suspects)
+        / max(1, len(final.suspects | batch.suspects))
+    )
+    print(f"\nFinal streamed verdict: {len(final.suspects)} suspects "
+          f"({len(final.suspects & plotters)} bots)")
+    print(f"Batch pipeline verdict: {len(batch.suspects)} suspects "
+          f"({len(batch.suspects & plotters)} bots)")
+    print(f"Suspect-set agreement (Jaccard): {agreement:.0%}")
+    print("\nPer-host state is bounded: destination maps plus a "
+          f"{detector.reservoir_size}-sample interstitial reservoir.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — reproduction of Yen & Reiter, "Are Your Hosts Trading or
+Plotting? Telling P2P File-Sharing and Bots Apart" (ICDCS 2010).
+
+The package separates P2P botnet hosts ("Plotters") from P2P file-sharing
+hosts ("Traders") using only bi-directional network flow records.  The
+top-level namespace re-exports the pieces a typical user needs: the flow
+model, the synthetic campus/honeynet dataset builders, and the
+FindPlotters detection pipeline.
+"""
+
+from .flows import FlowRecord, FlowState, FlowStore, Protocol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlowRecord",
+    "FlowState",
+    "FlowStore",
+    "Protocol",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Traffic agents: background hosts, Traders, and Plotters."""
+
+from .base import Agent
+from .background import BackgroundHostAgent, BackgroundWorld
+from .trader_bittorrent import BitTorrentTraderAgent
+from .trader_gnutella import GnutellaTraderAgent
+from .trader_emule import EmuleTraderAgent
+from .plotter_storm import StormPlotterAgent, StormTimers
+from .plotter_nugache import NugachePlotterAgent, NugacheWorld
+from .plotter_waledac import WaledacPlotterAgent, WaledacWorld
+
+__all__ = [
+    "Agent",
+    "BackgroundHostAgent",
+    "BackgroundWorld",
+    "BitTorrentTraderAgent",
+    "GnutellaTraderAgent",
+    "EmuleTraderAgent",
+    "StormPlotterAgent",
+    "StormTimers",
+    "NugachePlotterAgent",
+    "NugacheWorld",
+    "WaledacPlotterAgent",
+    "WaledacWorld",
+]

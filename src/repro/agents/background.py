@@ -1,0 +1,316 @@
+"""Background (non-P2P) campus traffic.
+
+These agents populate the CMU-like dataset with the ordinary traffic the
+detector must not flag: human-driven web browsing with DNS lookups, mail
+polling, SSH sessions, and the machine-driven but benign periodic
+services every OS runs (NTP, update checks).  Per-host diversity —
+intensity, favourite sites, failure proneness — is drawn from a shared
+:class:`BackgroundWorld` so destination sets overlap across hosts the
+way campus traffic does.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..flows.record import FlowState, Protocol
+from ..netsim.addressing import AddressSpace
+from . import payloads
+from .base import Agent
+
+__all__ = ["BackgroundWorld", "BackgroundHostAgent"]
+
+
+@dataclass
+class BackgroundWorld:
+    """Shared external infrastructure: web servers, resolvers, NTP, mail.
+
+    One instance is shared by all background agents of a simulated day so
+    popular destinations are genuinely popular.
+    """
+
+    web_servers: List[str]
+    dns_resolvers: List[str]
+    ntp_servers: List[str]
+    mail_servers: List[str]
+    ssh_servers: List[str]
+    dead_hosts: List[str]
+
+    @classmethod
+    def build(
+        cls,
+        rng: random.Random,
+        space: AddressSpace,
+        n_web: int = 400,
+        n_dead: int = 60,
+    ) -> "BackgroundWorld":
+        """Synthesise the external world once per simulation."""
+        return cls(
+            web_servers=space.random_externals(rng, n_web),
+            dns_resolvers=space.random_externals(rng, 3),
+            ntp_servers=space.random_externals(rng, 4),
+            mail_servers=space.random_externals(rng, 5),
+            ssh_servers=space.random_externals(rng, 12),
+            dead_hosts=space.random_externals(rng, n_dead),
+        )
+
+
+class BackgroundHostAgent(Agent):
+    """One ordinary campus host.
+
+    Parameters
+    ----------
+    address:
+        The host's internal IP.
+    world:
+        Shared external infrastructure.
+    intensity:
+        Multiplier on browsing activity (1.0 = typical office user).
+    failure_rate:
+        Base probability that any single connection attempt fails.  Most
+        hosts are low (a few percent); a configurable minority is
+        failure-prone (stale bookmarks, misconfigured services), which is
+        what pushes the campus-wide failed-connection median up to the
+        ~25% regime of Figure 5.
+    runs_ntp, checks_mail:
+        Whether the host runs the periodic background services.
+    noise_profile:
+        How a failure-prone host fails.  ``"explorer"`` hosts contact a
+        stream of *fresh* dead addresses (stale bookmark lists, P2P
+        leftovers, software phoning dead mirrors) — high failure *and*
+        high churn.  ``"stale"`` hosts keep retrying the same few dead
+        destinations — high failure, low churn, the harder case for the
+        detector.  Real campus populations are dominated by the former.
+    """
+
+    kind = "background"
+
+    def __init__(
+        self,
+        address: str,
+        world: BackgroundWorld,
+        intensity: float = 1.0,
+        failure_rate: float = 0.04,
+        runs_ntp: bool = True,
+        checks_mail: bool = True,
+        noise_profile: str = "explorer",
+    ) -> None:
+        super().__init__(address)
+        if intensity <= 0:
+            raise ValueError("intensity must be positive")
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValueError("failure_rate must lie in [0, 1)")
+        if noise_profile not in ("explorer", "stale"):
+            raise ValueError(f"unknown noise profile {noise_profile!r}")
+        self.world = world
+        self.intensity = intensity
+        self.failure_rate = failure_rate
+        self.runs_ntp = runs_ntp
+        self.checks_mail = checks_mail
+        self.noise_profile = noise_profile
+        self._favorites: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        rng = self.rng
+        n_fav = rng.randint(5, 25)
+        self._favorites = rng.sample(
+            self.world.web_servers, min(n_fav, len(self.world.web_servers))
+        )
+        # Per-host service cadences: clients and OSes are configured
+        # differently host to host, which keeps benign machine-driven
+        # traffic from clustering tightly across hosts in θ_hm.
+        self._ntp_period = rng.choice((64.0, 128.0, 256.0, 512.0, 1024.0))
+        self._mail_period = rng.uniform(120.0, 1200.0)
+        # Per-host tempo: how fast this user/machine cycles through
+        # requests and retries.  Log-uniform across an order of
+        # magnitude, so no two hosts share a timing fingerprint.
+        self._tempo = math.exp(rng.uniform(math.log(0.2), math.log(5.0)))
+        self._retry_mean = math.exp(rng.uniform(math.log(240.0), math.log(2400.0)))
+        self._retry_gap = rng.uniform(2.0, 45.0)
+        # Per-host mixture over gap components (pipelined sub-second
+        # fetches, human click pacing, slow revisits).  Squaring the
+        # raw draws spreads the weights, so hosts differ in the *shape*
+        # of their timing distribution, not just its scale — which is
+        # what keeps benign hosts from clustering together in θ_hm.
+        raw_mix = [rng.random() ** 2 for _ in range(3)]
+        total = sum(raw_mix)
+        self._mix = [w / total for w in raw_mix]
+        # Component *locations* are themselves per-host draws (burst,
+        # click, revisit scales), so two hosts almost never share a
+        # timing fingerprint even when their mixture weights align.
+        self._gap_scales = (
+            math.exp(rng.uniform(math.log(0.1), math.log(5.0))),
+            math.exp(rng.uniform(math.log(5.0), math.log(120.0))),
+            math.exp(rng.uniform(math.log(120.0), math.log(3600.0))),
+        )
+        self._gap_sigmas = tuple(rng.uniform(0.3, 1.0) for _ in range(3))
+        # First browsing session begins after a random idle period.
+        self.after(rng.expovariate(1.0 / (900.0 / self.intensity)), self._begin_session)
+        if self.runs_ntp:
+            self.after(rng.uniform(0, 1024), self._ntp_tick)
+        if self.checks_mail:
+            self.after(rng.uniform(0, 600), self._mail_tick)
+        if rng.random() < 0.15:
+            self.after(rng.uniform(60, 3600), self._ssh_session)
+        if self.failure_rate > 0.15:
+            # Failure-prone hosts keep retrying a dead destination.
+            self.after(rng.uniform(10, 300), self._retry_dead)
+
+    def _gap(self) -> float:
+        """One inter-request gap drawn from the host's timing mixture."""
+        rng = self.rng
+        point = rng.random()
+        component = 2 if point > self._mix[0] + self._mix[1] else (
+            1 if point > self._mix[0] else 0
+        )
+        return rng.lognormvariate(
+            math.log(self._gap_scales[component]), self._gap_sigmas[component]
+        )
+
+    # ------------------------------------------------------------------
+    # Web browsing (human-driven)
+    # ------------------------------------------------------------------
+    def _pick_site(self) -> str:
+        rng = self.rng
+        if rng.random() < 0.7 and self._favorites:
+            # Zipf-ish preference for the first favourites.
+            index = min(
+                int(rng.paretovariate(1.2)) - 1, len(self._favorites) - 1
+            )
+            return self._favorites[index]
+        return rng.choice(self.world.web_servers)
+
+    def _connection_state(self, extra_failure: float = 0.0) -> FlowState:
+        rng = self.rng
+        if rng.random() < self.failure_rate + extra_failure:
+            return FlowState.TIMEOUT if rng.random() < 0.7 else FlowState.REJECTED
+        return FlowState.ESTABLISHED
+
+    def _begin_session(self, now: float) -> None:
+        rng = self.rng
+        n_pages = max(1, int(rng.lognormvariate(1.6, 0.8)))
+        self._browse_page(now, remaining=n_pages)
+        # Next session after a long human pause.
+        self.after(
+            rng.expovariate(1.0 / (2400.0 / self.intensity)), self._begin_session
+        )
+
+    def _browse_page(self, now: float, remaining: int) -> None:
+        rng = self.rng
+        site = self._pick_site()
+        self._dns_lookup(site)
+        n_requests = rng.randint(1, 6)
+        offset = 0.0
+        for _ in range(n_requests):
+            state = self._connection_state()
+            down = int(rng.lognormvariate(9.5, 1.4))  # median ~13 kB
+            self.sim.emit_connection(
+                src=self.address,
+                dst=site,
+                dport=80 if rng.random() < 0.7 else 443,
+                proto=Protocol.TCP,
+                state=state,
+                duration=rng.uniform(0.2, 8.0),
+                src_bytes=rng.randint(250, 1400),
+                dst_bytes=down,
+                payload=payloads.http_get(rng),
+                start=now + offset,
+            )
+            offset += self._gap()
+        if remaining > 1:
+            think = self._gap() + rng.paretovariate(1.5) * 4.0
+            self.after(offset + min(think, 1800.0), lambda t: self._browse_page(t, remaining - 1))
+
+    def _dns_lookup(self, _site: str) -> None:
+        rng = self.rng
+        resolver = rng.choice(self.world.dns_resolvers)
+        self.sim.emit_connection(
+            src=self.address,
+            dst=resolver,
+            dport=53,
+            proto=Protocol.UDP,
+            state=FlowState.ESTABLISHED,
+            duration=rng.uniform(0.005, 0.3),
+            src_bytes=rng.randint(40, 80),
+            dst_bytes=rng.randint(80, 400),
+            payload=payloads.dns_query(rng),
+        )
+
+    # ------------------------------------------------------------------
+    # Machine-driven but benign services
+    # ------------------------------------------------------------------
+    def _ntp_tick(self, now: float) -> None:
+        rng = self.rng
+        server = rng.choice(self.world.ntp_servers)
+        self.sim.emit_connection(
+            src=self.address,
+            dst=server,
+            dport=123,
+            proto=Protocol.UDP,
+            state=self._connection_state(),
+            duration=rng.uniform(0.01, 0.2),
+            src_bytes=48,
+            dst_bytes=48,
+        )
+        self.after(self.jittered(self._ntp_period, 0.05), self._ntp_tick)
+
+    def _mail_tick(self, now: float) -> None:
+        rng = self.rng
+        server = rng.choice(self.world.mail_servers[:2])
+        self.sim.emit_connection(
+            src=self.address,
+            dst=server,
+            dport=993,
+            proto=Protocol.TCP,
+            state=self._connection_state(),
+            duration=rng.uniform(0.5, 5.0),
+            src_bytes=rng.randint(300, 900),
+            dst_bytes=rng.randint(500, 40_000),
+            payload=payloads.smtp_banner_reply(rng),
+        )
+        self.after(self.jittered(self._mail_period, 0.4), self._mail_tick)
+
+    def _ssh_session(self, now: float) -> None:
+        rng = self.rng
+        server = rng.choice(self.world.ssh_servers)
+        self.sim.emit_connection(
+            src=self.address,
+            dst=server,
+            dport=22,
+            proto=Protocol.TCP,
+            state=self._connection_state(),
+            duration=rng.uniform(30, 3000),
+            src_bytes=int(rng.lognormvariate(8.5, 1.0)),
+            dst_bytes=int(rng.lognormvariate(9.5, 1.0)),
+            payload=payloads.ssh_banner(rng),
+        )
+        if rng.random() < 0.4:
+            self.after(rng.uniform(600, 7200), self._ssh_session)
+
+    def _retry_dead(self, now: float) -> None:
+        rng = self.rng
+        if self.noise_profile == "explorer":
+            # A fresh dead address every time: stale distributed peer
+            # lists and dead mirrors produce failures at ever-new IPs.
+            target = self.sim.addresses.random_external(rng)
+        else:
+            target = rng.choice(self.world.dead_hosts)
+        for i in range(rng.randint(1, 3)):
+            self.sim.emit_connection(
+                src=self.address,
+                dst=target,
+                dport=rng.choice((80, 443, 8080, 445)),
+                proto=Protocol.TCP,
+                state=FlowState.TIMEOUT,
+                duration=3.0,
+                src_bytes=120,
+                dst_bytes=0,
+                start=self.sim.now + i * rng.uniform(0.5, 1.0) * self._retry_gap,
+            )
+        self.after(rng.expovariate(1.0 / self._retry_mean), self._retry_dead)

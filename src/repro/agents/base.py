@@ -1,0 +1,77 @@
+"""The traffic-agent base class.
+
+An agent animates one host: at :meth:`start` it schedules its first
+event on the simulation, and every event handler emits flows and
+reschedules itself.  Agents carry their own deterministic RNG substream,
+derived from the simulation seed and the host address, so adding an
+agent never perturbs another agent's randomness.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+from ..netsim.network import NetworkSimulation
+from ..netsim.rng import substream
+
+__all__ = ["Agent"]
+
+
+class Agent(abc.ABC):
+    """Base class for all traffic generators.
+
+    Subclasses implement :meth:`on_start` to schedule their initial
+    events; the framework wires up the RNG and records the simulation
+    handle.
+    """
+
+    #: Subclasses set this to a short stable label used in RNG derivation.
+    kind: str = "agent"
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self._sim: Optional[NetworkSimulation] = None
+        self._rng: Optional[random.Random] = None
+
+    # ------------------------------------------------------------------
+    # Framework plumbing
+    # ------------------------------------------------------------------
+    @property
+    def sim(self) -> NetworkSimulation:
+        """The simulation this agent runs in (set at start)."""
+        if self._sim is None:
+            raise RuntimeError(f"agent {self.address} has not been started")
+        return self._sim
+
+    @property
+    def rng(self) -> random.Random:
+        """This agent's private RNG substream."""
+        if self._rng is None:
+            raise RuntimeError(f"agent {self.address} has not been started")
+        return self._rng
+
+    def start(self, sim: NetworkSimulation) -> None:
+        """Attach to ``sim`` and schedule initial events."""
+        self._sim = sim
+        self._rng = substream(sim.seed, self.kind, self.address)
+        self.on_start()
+
+    @abc.abstractmethod
+    def on_start(self) -> None:
+        """Schedule this agent's first events (subclass hook)."""
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def after(self, delay: float, handler) -> None:
+        """Schedule ``handler(now)`` after ``delay`` seconds."""
+        self.sim.schedule_in(max(delay, 0.0), handler)
+
+    def jittered(self, base: float, spread: float = 0.1) -> float:
+        """``base`` multiplied by a uniform factor in ``1 ± spread``.
+
+        Models ordinary scheduling noise around a nominal timer value.
+        """
+        return base * self.rng.uniform(1.0 - spread, 1.0 + spread)

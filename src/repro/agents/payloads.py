@@ -1,0 +1,158 @@
+"""Synthesis of the 64-byte payload snippets carried in flow records.
+
+The paper's ground truth comes from the first 64 payload bytes of each
+flow (§III): Gnutella hosts are recognised by the keywords ``GNUTELLA``,
+``CONNECT BACK`` and ``LIME``; eMule by a leading ``0xe3``/``0xc5``
+framing byte; BitTorrent by the handshake string, tracker HTTP requests
+(``GET /scrape``, ``GET /announce``) and DHT bencoding markers
+(``d1:ad2:id20``, ``d1:rd2:id20``).  The agents here emit snippets with
+exactly those markers so the labeling rules in
+:mod:`repro.datasets.groundtruth` fire on the same evidence the paper
+used.  Plotter payloads are encrypted-looking random bytes — Storm and
+Nugache obfuscated their messages, and the detector never reads payloads
+anyway.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "gnutella_handshake",
+    "gnutella_connect_back",
+    "gnutella_query",
+    "lime_payload",
+    "emule_tcp",
+    "emule_udp",
+    "bittorrent_handshake",
+    "tracker_announce_request",
+    "tracker_scrape_request",
+    "dht_query",
+    "dht_response",
+    "http_get",
+    "smtp_banner_reply",
+    "dns_query",
+    "ssh_banner",
+    "opaque",
+]
+
+
+def _pad_random(rng: random.Random, prefix: bytes, length: int = 64) -> bytes:
+    """Pad ``prefix`` with random bytes up to ``length``."""
+    if len(prefix) >= length:
+        return prefix[:length]
+    return prefix + bytes(rng.getrandbits(8) for _ in range(length - len(prefix)))
+
+
+# ----------------------------------------------------------------------
+# Gnutella
+# ----------------------------------------------------------------------
+def gnutella_handshake(rng: random.Random) -> bytes:
+    """The Gnutella 0.6 connect preamble."""
+    return _pad_random(rng, b"GNUTELLA CONNECT/0.6\r\nUser-Agent: LimeWire/4.18\r\n")
+
+
+def gnutella_connect_back(rng: random.Random) -> bytes:
+    """A CONNECT BACK vendor message (firewall probe)."""
+    return _pad_random(rng, b"CONNECT BACK/0.1\r\n")
+
+
+def gnutella_query(rng: random.Random) -> bytes:
+    """A query descriptor (binary header; keyword appears in cleartext)."""
+    return _pad_random(rng, bytes([rng.getrandbits(8) for _ in range(16)]) + b"GNUTELLA")
+
+
+def lime_payload(rng: random.Random) -> bytes:
+    """A LimeWire vendor-tagged message."""
+    return _pad_random(rng, b"LIME" + bytes([0x41, 0x0B, 0x02]))
+
+
+# ----------------------------------------------------------------------
+# eMule / eD2k
+# ----------------------------------------------------------------------
+def emule_tcp(rng: random.Random) -> bytes:
+    """An eD2k TCP frame: 0xe3 marker, little-endian length, opcode."""
+    length = rng.randint(6, 40)
+    body = bytes(rng.getrandbits(8) for _ in range(length))
+    return _pad_random(rng, bytes([0xE3]) + length.to_bytes(4, "little") + body)
+
+
+def emule_udp(rng: random.Random) -> bytes:
+    """An eMule extended-protocol UDP frame (0xc5 marker)."""
+    return _pad_random(rng, bytes([0xC5, rng.choice((0x92, 0x94, 0x96))]))
+
+
+# ----------------------------------------------------------------------
+# BitTorrent
+# ----------------------------------------------------------------------
+def bittorrent_handshake(rng: random.Random, infohash: bytes) -> bytes:
+    """The 68-byte peer-wire handshake (truncated to the snippet)."""
+    return (bytes([19]) + b"BitTorrent protocol" + bytes(8) + infohash)[:64]
+
+
+def tracker_announce_request(rng: random.Random, infohash: bytes) -> bytes:
+    """The HTTP announce GET sent to a tracker."""
+    hex_hash = infohash.hex()[:20]
+    return _pad_random(rng, f"GET /announce?info_hash={hex_hash}".encode())
+
+
+def tracker_scrape_request(rng: random.Random, infohash: bytes) -> bytes:
+    """The HTTP scrape GET sent to a tracker."""
+    hex_hash = infohash.hex()[:20]
+    return _pad_random(rng, f"GET /scrape?info_hash={hex_hash}".encode())
+
+
+def dht_query(rng: random.Random) -> bytes:
+    """A mainline-DHT KRPC query (bencoded)."""
+    return _pad_random(rng, b"d1:ad2:id20:" + bytes(rng.getrandbits(8) for _ in range(20)))
+
+
+def dht_response(rng: random.Random) -> bytes:
+    """A mainline-DHT KRPC response (bencoded)."""
+    return _pad_random(rng, b"d1:rd2:id20:" + bytes(rng.getrandbits(8) for _ in range(20)))
+
+
+# ----------------------------------------------------------------------
+# Background application protocols
+# ----------------------------------------------------------------------
+def http_get(rng: random.Random) -> bytes:
+    """An ordinary web request."""
+    paths = (b"/", b"/index.html", b"/news", b"/search?q=", b"/img/logo.png")
+    return _pad_random(rng, b"GET " + rng.choice(paths) + b" HTTP/1.1\r\nHost: ")
+
+
+def smtp_banner_reply(rng: random.Random) -> bytes:
+    """The client side of an SMTP exchange."""
+    return _pad_random(rng, b"EHLO client.example.edu\r\nMAIL FROM:<")
+
+
+def dns_query(rng: random.Random) -> bytes:
+    """A DNS query (binary header plus a QNAME fragment).
+
+    The transaction identifier's first byte is kept clear of the eMule
+    framing markers so random DNS headers never collide with the
+    ground-truth signatures.
+    """
+    first = rng.getrandbits(7)
+    header = bytes([first]) + bytes(rng.getrandbits(8) for _ in range(11))
+    return _pad_random(rng, header + b"\x03www\x07example\x03com\x00")
+
+
+def ssh_banner(rng: random.Random) -> bytes:
+    """An SSH protocol banner."""
+    return _pad_random(rng, b"SSH-2.0-OpenSSH_4.7p1\r\n")
+
+
+# ----------------------------------------------------------------------
+# Plotters
+# ----------------------------------------------------------------------
+def opaque(rng: random.Random, length: int = 64) -> bytes:
+    """Encrypted/obfuscated bot payload: uniformly random bytes.
+
+    Guaranteed not to match any Trader signature: the first byte avoids
+    the eMule framing markers and the BitTorrent handshake length byte.
+    """
+    first = rng.getrandbits(8)
+    while first in (0xE3, 0xC5, 19, ord(b"G"), ord(b"d"), ord(b"L"), ord(b"C")):
+        first = rng.getrandbits(8)
+    return bytes([first]) + bytes(rng.getrandbits(8) for _ in range(length - 1))

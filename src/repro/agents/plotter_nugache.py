@@ -1,0 +1,213 @@
+"""A Nugache bot (Plotter) over its custom encrypted TCP P2P protocol.
+
+Nugache, per the Stover et al. analysis the paper cites [13], maintained
+an in-binary peer list, spoke an encrypted protocol over TCP, and ran on
+characteristic short timers — the paper observes communication at
+intervals around 10, 25 and 50 seconds (Figure 3(b)).  Two properties
+from the paper's trace drive the evaluation story and are modelled
+explicitly:
+
+* **very high failure rates** — most peer-discovery attempts found the
+  remote peer "not active or not responding", putting nearly all
+  Nugache bots above 65% failed connections (Figure 5);
+* **low and highly variable activity** — per-bot flow counts span
+  orders of magnitude (Figure 10), which is what lets quiet bots hide
+  under the traffic of the host they share.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..flows.record import FlowState, Protocol
+from ..p2p.churn import ChurnModel, OnlineSchedule
+from . import payloads
+from .base import Agent
+
+__all__ = ["NugacheWorld", "NugachePlotterAgent"]
+
+#: Nugache famously listened on TCP port 8.
+NUGACHE_PORT = 8
+
+#: The timer bank observed in the paper's Figure 3(b).
+NUGACHE_INTERVALS = (10.0, 25.0, 50.0)
+
+#: Churn among the Nugache peer population: mostly dead or dark
+#: addresses, which is what drives the >65% failure rates of Figure 5.
+NUGACHE_PEER_CHURN = ChurnModel(
+    median_session=2 * 3600.0,
+    session_sigma=1.0,
+    mean_offline=3 * 3600.0,
+    fraction_dead=0.60,
+    fraction_single_session=0.10,
+)
+
+
+@dataclass(frozen=True)
+class NugachePeer:
+    """One external Nugache peer known to some bot's peer list."""
+
+    address: str
+    port: int
+    schedule: OnlineSchedule
+
+    def is_online(self, t: float) -> bool:
+        return self.schedule.is_online(t)
+
+
+class NugacheWorld:
+    """The external Nugache botnet population."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        address_factory,
+        horizon: float,
+        size: int = 400,
+        churn: ChurnModel = NUGACHE_PEER_CHURN,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("the peer population must be non-empty")
+        self.peers: List[NugachePeer] = [
+            NugachePeer(
+                address=address_factory(rng),
+                port=NUGACHE_PORT if rng.random() < 0.7 else rng.randint(1024, 65000),
+                schedule=churn.sample_schedule(rng, horizon),
+            )
+            for _ in range(size)
+        ]
+
+    def sample_peer_list(self, rng: random.Random, count: int) -> List[NugachePeer]:
+        """The peer list seeded into one bot binary."""
+        return rng.sample(self.peers, min(count, len(self.peers)))
+
+
+class NugachePlotterAgent(Agent):
+    """One Nugache-infected host.
+
+    The bot alternates *active bursts* and *dormancy*.  During a burst
+    it pings a small, persistent neighbour set on the binary's 10/25/50 s
+    timer bank — so per-destination interstitial times concentrate on the
+    same timer values for every bot, which is the Figure 3(b) signature —
+    and occasionally probes peer-list entries for maintenance/discovery
+    (mostly failures, given the moribund peer population).
+
+    Parameters
+    ----------
+    activity:
+        The duty cycle: the fraction of the window the bot spends in
+        active bursts.  A bot with ``activity=0.01`` emits a handful of
+        flows per day while one with ``activity=1.0`` emits thousands —
+        reproducing the heavy per-bot spread of the paper's trace
+        (Figure 10) without changing the *shape* of the timing
+        distribution.
+    """
+
+    kind = "plotter-nugache"
+
+    #: Mean active-burst length in seconds.
+    BURST_MEAN = 600.0
+
+    def __init__(
+        self,
+        address: str,
+        world: NugacheWorld,
+        activity: float = 0.5,
+        peer_list_size: int = 40,
+        n_neighbors: int = 4,
+        discovery_rate: float = 0.10,
+    ) -> None:
+        super().__init__(address)
+        if not 0.0 < activity <= 1.0:
+            raise ValueError("activity must lie in (0, 1]")
+        self.world = world
+        self.activity = activity
+        self.peer_list_size = peer_list_size
+        self.n_neighbors = n_neighbors
+        self.discovery_rate = discovery_rate
+        self._peer_list: List[NugachePeer] = []
+        self._neighbors: List[NugachePeer] = []
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        rng = self.rng
+        self._peer_list = self.world.sample_peer_list(rng, self.peer_list_size)
+        self._neighbors = self._peer_list[: self.n_neighbors]
+        self.after(rng.uniform(0, 20), self._tick)
+        # Other bots holding our address on their peer lists call in,
+        # scaled by how visible (active) this bot is.
+        self.after(rng.expovariate(self.activity / 300.0), self._inbound_ping)
+
+    def _inbound_ping(self, now: float) -> None:
+        rng = self.rng
+        peer = rng.choice(self.world.peers)
+        self.sim.emit_connection(
+            src=peer.address,
+            dst=self.address,
+            dport=NUGACHE_PORT,
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED,
+            duration=rng.uniform(0.5, 10.0),
+            src_bytes=rng.randint(300, 900),
+            dst_bytes=rng.randint(300, 900),
+            payload=payloads.opaque(rng),
+        )
+        self.after(rng.expovariate(self.activity / 300.0), self._inbound_ping)
+
+    def _dormant_gap(self) -> float:
+        """Mean dormancy between bursts, set by the duty cycle."""
+        if self.activity >= 1.0:
+            return 0.0
+        return self.BURST_MEAN * (1.0 - self.activity) / self.activity
+
+    def _tick(self, now: float) -> None:
+        rng = self.rng
+        # Ping the persistent neighbour set (the Figure 3(b) timers).
+        for i, peer in enumerate(list(self._neighbors)):
+            online = peer.is_online(now)
+            self._emit(peer, now + i * rng.uniform(0.05, 0.4), online)
+            # Replacement is rare: the bot cannot tell a dead peer from a
+            # transiently offline one, so it keeps re-trying for a long
+            # time — the source of Nugache's >65% failure rates (Fig. 5).
+            if not online and rng.random() < 0.01:
+                # Replace a dead neighbour from the stored peer list,
+                # avoiding peers already in the neighbour set.
+                replacements = [
+                    p for p in self._peer_list if p not in self._neighbors
+                ]
+                if replacements:
+                    self._neighbors.remove(peer)
+                    self._neighbors.append(rng.choice(replacements))
+        # Occasional peer-list maintenance / discovery probe.
+        if rng.random() < self.discovery_rate:
+            if rng.random() < 0.3:
+                probe = rng.choice(self.world.peers)
+                if len(self._peer_list) < self.peer_list_size * 2:
+                    self._peer_list.append(probe)
+            else:
+                probe = rng.choice(self._peer_list)
+            self._emit(probe, now + rng.uniform(0.5, 3.0), probe.is_online(now))
+
+        # The binary's timer bank: pick one of the compiled-in intervals.
+        interval = self.jittered(rng.choice(NUGACHE_INTERVALS), 0.03)
+        # End the burst with probability interval/burst_mean, then sleep.
+        if rng.random() < interval / self.BURST_MEAN:
+            interval += rng.expovariate(1.0 / max(self._dormant_gap(), 1e-9)) if self.activity < 1.0 else 0.0
+        self.after(interval, self._tick)
+
+    def _emit(self, peer: NugachePeer, when: float, online: bool) -> None:
+        rng = self.rng
+        self.sim.emit_connection(
+            src=self.address,
+            dst=peer.address,
+            dport=peer.port,
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED if online else FlowState.TIMEOUT,
+            duration=rng.uniform(0.5, 20.0) if online else 3.0,
+            src_bytes=rng.randint(400, 1300) if online else 170,
+            dst_bytes=rng.randint(250, 1200) if online else 0,
+            payload=payloads.opaque(rng),
+            start=when,
+        )

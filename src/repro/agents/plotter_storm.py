@@ -1,0 +1,176 @@
+"""A Storm bot (Plotter) riding the Overnet DHT.
+
+Storm's observable behaviour, per the analyses the paper cites [1],
+[13], [14], [15]: bootstrap from a hard-coded peer file, relentless
+small UDP control messages, periodic searches for date-derived
+rendezvous keys, periodic self-publicising, and keepalives to a stable
+neighbour set.  The timers are compiled into the binary, so every bot in
+the botnet shares them — the commonality the θ_hm test exploits.
+
+All flows are tiny (tens to hundreds of bytes), persistent through the
+whole window, and aimed at a slowly-changing peer set: exactly the
+low-volume / low-churn / machine-periodic profile of §IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..flows.record import FlowState, Protocol
+from ..p2p.kademlia import KademliaNetwork, QueryOutcome
+from ..p2p.overnet import MSG_SIZES, OvernetNode
+from . import payloads
+from .base import Agent
+
+__all__ = ["StormTimers", "StormPlotterAgent", "STORM_NETWORK_CHURN"]
+
+#: UDP port the simulated Overnet overlay listens on.
+OVERNET_PORT = 7871
+
+#: Churn of the global Storm/Overnet peer population.  Stale peer-file
+#: entries and NATed bots put the steady-state online fraction near 60%,
+#: which yields the 20–60% failed-connection band of Figure 5.
+from ..p2p.churn import ChurnModel  # noqa: E402 - constant needs the type
+
+STORM_NETWORK_CHURN = ChurnModel(
+    median_session=100 * 60.0,
+    session_sigma=1.0,
+    mean_offline=100 * 60.0,
+    fraction_dead=0.20,
+    fraction_single_session=0.05,
+)
+
+
+@dataclass(frozen=True)
+class StormTimers:
+    """Timer constants compiled into the bot binary (seconds).
+
+    Every bot built from the same binary shares these; the per-bot
+    ``jitter`` models only OS scheduling noise, not behavioural
+    randomisation.
+    """
+
+    keepalive: float = 90.0
+    search: float = 300.0
+    publicize: float = 600.0
+    jitter: float = 0.02
+
+
+class StormPlotterAgent(Agent):
+    """One Storm-infected host."""
+
+    kind = "plotter-storm"
+
+    def __init__(
+        self,
+        address: str,
+        network: KademliaNetwork,
+        day: int = 0,
+        timers: StormTimers = StormTimers(),
+        keepalive_fanout: int = 8,
+    ) -> None:
+        super().__init__(address)
+        self.network = network
+        self.day = day
+        self.timers = timers
+        self.keepalive_fanout = keepalive_fanout
+        self._node = None
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        rng = self.rng
+        self._node = OvernetNode(self.network, rng)
+        # Bots come alive quickly — they do not wait for a human.
+        self.after(rng.uniform(0, 30), self._bootstrap)
+
+    def _bootstrap(self, now: float) -> None:
+        operation = self._node.connect(now)
+        self._emit_operation(operation, gap=0.25)
+        self.after(self.jittered(self.timers.keepalive, self.timers.jitter), self._keepalive)
+        self.after(self.jittered(self.timers.search, self.timers.jitter), self._search)
+        self.after(self.jittered(self.timers.publicize, self.timers.jitter), self._publicize)
+        # Once publicised, other Overnet peers query *us* as well.
+        self.after(self.rng.expovariate(1.0 / 120.0), self._inbound_query)
+
+    def _inbound_query(self, now: float) -> None:
+        rng = self.rng
+        peer = self.network.peers[rng.choice(list(self.network.peers))]
+        self.sim.emit_connection(
+            src=peer.address,
+            dst=self.address,
+            dport=OVERNET_PORT,
+            proto=Protocol.UDP,
+            state=FlowState.ESTABLISHED,
+            duration=rng.uniform(0.02, 0.5),
+            src_bytes=MSG_SIZES["search"] + rng.randint(0, 8),
+            dst_bytes=MSG_SIZES["search_next"],
+            payload=payloads.opaque(rng),
+        )
+        self.after(rng.expovariate(1.0 / 120.0), self._inbound_query)
+
+    # ------------------------------------------------------------------
+    # Periodic protocol activity
+    # ------------------------------------------------------------------
+    def _keepalive(self, now: float) -> None:
+        rng = self.rng
+        outcomes = self._node.keepalive_targets(now, count=self.keepalive_fanout)
+        for outcome in outcomes:
+            # A keepalive round bundles several datagrams (hello, ip
+            # query, publicize ack) into one Argus flow.
+            bundle = rng.randint(2, 5)
+            self._emit_rpc(
+                outcome,
+                request=MSG_SIZES["keepalive"] * bundle,
+                response=MSG_SIZES["connect_reply"],
+            )
+        self.after(self.jittered(self.timers.keepalive, self.timers.jitter), self._keepalive)
+
+    def _search(self, now: float) -> None:
+        keys = self._node.daily_keys(self.day)
+        key = keys[self.rng.randrange(len(keys))]
+        operation = self._node.search(key, now)
+        self._emit_operation(operation, gap=0.15)
+        self.after(self.jittered(self.timers.search, self.timers.jitter), self._search)
+
+    def _publicize(self, now: float) -> None:
+        keys = self._node.daily_keys(self.day)
+        key = keys[self.rng.randrange(len(keys))]
+        operation = self._node.publicize(key, now)
+        self._emit_operation(operation, gap=0.15)
+        self.after(self.jittered(self.timers.publicize, self.timers.jitter), self._publicize)
+
+    # ------------------------------------------------------------------
+    # Flow emission
+    # ------------------------------------------------------------------
+    def _emit_rpc(self, outcome: QueryOutcome, request: int, response: int) -> None:
+        rng = self.rng
+        self.sim.emit_connection(
+            src=self.address,
+            dst=outcome.peer.address,
+            dport=OVERNET_PORT,
+            proto=Protocol.UDP,
+            state=FlowState.ESTABLISHED if outcome.responded else FlowState.TIMEOUT,
+            duration=rng.uniform(0.02, 0.8) if outcome.responded else 2.0,
+            src_bytes=request + rng.randint(0, 8),
+            dst_bytes=response if outcome.responded else 0,
+            payload=payloads.opaque(rng),
+        )
+
+    def _emit_operation(self, operation, gap: float) -> None:
+        rng = self.rng
+        offset = 0.0
+        for outcome in operation.rpcs:
+            offset += rng.uniform(0.2, 1.8) * gap
+            when = self.sim.now + offset
+            self.sim.emit_connection(
+                src=self.address,
+                dst=outcome.peer.address,
+                dport=OVERNET_PORT,
+                proto=Protocol.UDP,
+                state=FlowState.ESTABLISHED if outcome.responded else FlowState.TIMEOUT,
+                duration=rng.uniform(0.02, 0.8) if outcome.responded else 2.0,
+                src_bytes=operation.request_size + rng.randint(0, 8),
+                dst_bytes=operation.response_size if outcome.responded else 0,
+                payload=payloads.opaque(rng),
+                start=when,
+            )

@@ -1,0 +1,142 @@
+"""A Waledac-style bot (Plotter) — the generalization challenge.
+
+Waledac (cited in the paper's related work [16]) is an HTTP-over-P2P
+relay botnet: bots keep a list of *relay* peers and poll them over TCP
+port 80 with XML-ish request/response exchanges, refreshing their relay
+list from the responses.  Behaviourally it stresses the detector in a
+way Storm and Nugache do not:
+
+* its flows are **web-sized** (kilobytes, not tens of bytes), so the
+  volume test's margin shrinks;
+* it talks to **port 80**, blending into the dominant campus protocol;
+* its timers are longer and softer (poll every few minutes with real
+  jitter), so the timing signature is weaker.
+
+The reproduction uses it as an *unseen-family* evaluation: FindPlotters
+was calibrated on Storm/Nugache shapes; the Waledac experiment measures
+how much of the detection power is family-specific.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..flows.record import FlowState, Protocol
+from ..p2p.churn import ChurnModel, OnlineSchedule
+from . import payloads
+from .base import Agent
+
+__all__ = ["WaledacWorld", "WaledacPlotterAgent", "WALEDAC_RELAY_CHURN"]
+
+#: Waledac speaks HTTP: everything rides destination port 80.
+WALEDAC_PORT = 80
+
+#: Relay-node churn: relays are stable infected hosts with good uptime,
+#: but a share of list entries is stale at any time.
+WALEDAC_RELAY_CHURN = ChurnModel(
+    median_session=4 * 3600.0,
+    session_sigma=0.8,
+    mean_offline=90 * 60.0,
+    fraction_dead=0.30,
+    fraction_single_session=0.05,
+)
+
+
+class WaledacRelay:
+    """One external relay node."""
+
+    __slots__ = ("address", "schedule")
+
+    def __init__(self, address: str, schedule: OnlineSchedule) -> None:
+        self.address = address
+        self.schedule = schedule
+
+    def is_online(self, t: float) -> bool:
+        return self.schedule.is_online(t)
+
+
+class WaledacWorld:
+    """The external relay population."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        address_factory,
+        horizon: float,
+        size: int = 300,
+        churn: ChurnModel = WALEDAC_RELAY_CHURN,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("the relay population must be non-empty")
+        self.relays: List[WaledacRelay] = [
+            WaledacRelay(
+                address=address_factory(rng),
+                schedule=churn.sample_schedule(rng, horizon),
+            )
+            for _ in range(size)
+        ]
+
+    def sample_relay_list(self, rng: random.Random, count: int) -> List[WaledacRelay]:
+        """The relay list seeded into one bot binary."""
+        return rng.sample(self.relays, min(count, len(self.relays)))
+
+
+class WaledacPlotterAgent(Agent):
+    """One Waledac-infected host.
+
+    The bot polls a relay from its list on a softly-jittered timer
+    (compiled default plus up to ±25% noise), occasionally refreshing
+    its relay list from poll responses (a few new addresses at a time —
+    modest churn, but more than Storm's).
+    """
+
+    kind = "plotter-waledac"
+
+    def __init__(
+        self,
+        address: str,
+        world: WaledacWorld,
+        poll_interval: float = 150.0,
+        relay_list_size: int = 25,
+        refresh_rate: float = 0.06,
+    ) -> None:
+        super().__init__(address)
+        if poll_interval <= 0:
+            raise ValueError("poll interval must be positive")
+        self.world = world
+        self.poll_interval = poll_interval
+        self.relay_list_size = relay_list_size
+        self.refresh_rate = refresh_rate
+        self._relays: List[WaledacRelay] = []
+
+    def on_start(self) -> None:
+        rng = self.rng
+        self._relays = self.world.sample_relay_list(rng, self.relay_list_size)
+        self.after(rng.uniform(0, 30), self._poll)
+
+    def _poll(self, now: float) -> None:
+        rng = self.rng
+        relay = rng.choice(self._relays)
+        online = relay.is_online(now)
+        # XML-encoded command poll: a kilobyte-scale POST both ways.
+        self.sim.emit_connection(
+            src=self.address,
+            dst=relay.address,
+            dport=WALEDAC_PORT,
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED if online else FlowState.TIMEOUT,
+            duration=rng.uniform(0.5, 5.0) if online else 3.0,
+            src_bytes=rng.randint(1500, 5000) if online else 160,
+            dst_bytes=rng.randint(2000, 9000) if online else 0,
+            payload=payloads.http_get(rng),
+        )
+        if online and rng.random() < self.refresh_rate:
+            # The response advertised fresh relays.
+            fresh = self.world.sample_relay_list(rng, 2)
+            for relay_new in fresh:
+                if relay_new not in self._relays:
+                    self._relays.append(relay_new)
+            while len(self._relays) > self.relay_list_size * 2:
+                self._relays.pop(0)
+        self.after(self.jittered(self.poll_interval, 0.25), self._poll)

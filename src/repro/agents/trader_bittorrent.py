@@ -1,0 +1,255 @@
+"""A BitTorrent file-sharing host (Trader).
+
+The agent models what the detector sees from a leecher/seeder at the
+border: tracker announces and scrapes over HTTP, mainline-DHT UDP
+chatter, and many peer-wire connections — some failing on stale swarm
+entries, the successful ones carrying multi-hundred-kilobyte piece
+exchanges in *both* directions (tit-for-tat reciprocation rides the same
+TCP connection the leecher initiated).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..flows.record import FlowState, Protocol
+from ..p2p.bittorrent import BitTorrentOverlay, Swarm, SwarmPeer
+from ..p2p.pieces import PieceMap, PieceScheduler
+from . import payloads
+from .base import Agent
+
+__all__ = ["BitTorrentTraderAgent"]
+
+
+class BitTorrentTraderAgent(Agent):
+    """One internal host running a BitTorrent client.
+
+    Parameters
+    ----------
+    address:
+        Internal IP of the host.
+    overlay:
+        The shared synthetic torrent/swarm world.
+    torrents_per_day:
+        Expected number of torrents the user starts in the window.
+    reciprocation:
+        Mean ratio of uploaded to downloaded bytes on piece-exchange
+        connections (tit-for-tat); values near 1 make the host a strong
+        uploader, the regime Figure 1 shows for Traders.
+    """
+
+    kind = "trader-bittorrent"
+
+    def __init__(
+        self,
+        address: str,
+        overlay: BitTorrentOverlay,
+        torrents_per_day: float = 2.0,
+        reciprocation: float = 0.6,
+        max_peers_per_torrent: int = 35,
+    ) -> None:
+        super().__init__(address)
+        if torrents_per_day <= 0:
+            raise ValueError("torrents_per_day must be positive")
+        self.overlay = overlay
+        self.torrents_per_day = torrents_per_day
+        self.reciprocation = reciprocation
+        self.max_peers_per_torrent = max_peers_per_torrent
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        rng = self.rng
+        # The user starts torrents at human-chosen times through the day.
+        n_torrents = max(1, int(rng.gauss(self.torrents_per_day, 0.8)))
+        horizon = min(self.sim.horizon, 6 * 3600.0)
+        for _ in range(n_torrents):
+            self.after(rng.uniform(0, horizon * 0.8), self._start_torrent)
+        if rng.random() < 0.6:
+            self.after(rng.uniform(0, 600), self._dht_tick)
+        # Remote leechers that learned our address from the tracker
+        # connect *in* — the border sees inbound peer-wire flows too.
+        self.after(rng.expovariate(1.0 / 400.0), self._inbound_peer)
+
+    def _inbound_peer(self, now: float) -> None:
+        rng = self.rng
+        swarm = self.overlay.pick_swarm(rng)
+        peer = swarm.announce(rng, count=1)[0]
+        down = int(rng.lognormvariate(16.0, 1.2))
+        self.sim.emit_connection(
+            src=peer.address,
+            dst=self.address,
+            dport=rng.randint(*(6881, 6889)),
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED,
+            duration=max(5.0, down / max(peer.upload_rate, 2048.0)),
+            src_bytes=68 + int(down * rng.uniform(0.1, 0.8)),
+            dst_bytes=68 + down,
+            payload=payloads.bittorrent_handshake(rng, swarm.torrent.infohash),
+        )
+        self.after(rng.expovariate(1.0 / 400.0), self._inbound_peer)
+
+    # ------------------------------------------------------------------
+    # Torrent lifecycle
+    # ------------------------------------------------------------------
+    def _start_torrent(self, now: float) -> None:
+        rng = self.rng
+        swarm = self.overlay.pick_swarm(rng)
+        self._scrape(swarm)
+        peers = self._announce(swarm)
+        budget = min(
+            swarm.torrent.total_bytes, int(rng.lognormvariate(18.6, 1.0))
+        )
+        # Piece bookkeeping for this download: what we hold, and what
+        # each contacted peer can therefore serve us.
+        scheduler = PieceScheduler(own=PieceMap(swarm.torrent.n_pieces))
+        self._connect_wave(swarm, peers, budget, scheduler=scheduler)
+        # Periodic re-announce while the torrent is active.
+        self.after(
+            self.jittered(1800.0, 0.2),
+            lambda t: self._reannounce(swarm, budget, scheduler),
+        )
+
+    def _scrape(self, swarm: Swarm) -> None:
+        rng = self.rng
+        req, resp = swarm.tracker.scrape_size()
+        self.sim.emit_connection(
+            src=self.address,
+            dst=swarm.tracker.address,
+            dport=swarm.tracker.port,
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED,
+            duration=rng.uniform(0.1, 1.5),
+            src_bytes=req,
+            dst_bytes=resp,
+            payload=payloads.tracker_scrape_request(rng, swarm.torrent.infohash),
+        )
+
+    def _announce(self, swarm: Swarm) -> List[SwarmPeer]:
+        rng = self.rng
+        peers = swarm.announce(rng, count=50)
+        req, resp = swarm.tracker.announce_size(len(peers))
+        self.sim.emit_connection(
+            src=self.address,
+            dst=swarm.tracker.address,
+            dport=swarm.tracker.port,
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED,
+            duration=rng.uniform(0.1, 2.0),
+            src_bytes=req,
+            dst_bytes=resp,
+            payload=payloads.tracker_announce_request(rng, swarm.torrent.infohash),
+        )
+        return peers
+
+    def _reannounce(self, swarm: Swarm, budget: int, scheduler: PieceScheduler) -> None:
+        rng = self.rng
+        if scheduler.own.is_complete:
+            return  # download finished; the client stops hunting peers
+        peers = self._announce(swarm)
+        self._connect_wave(swarm, peers, budget // 3, scheduler=scheduler)
+
+    def _peer_bitfield(self, swarm: Swarm, peer: SwarmPeer) -> PieceMap:
+        """The piece map a remote peer advertises in its handshake."""
+        if peer.is_seed:
+            return PieceMap.complete(swarm.torrent.n_pieces)
+        # A fellow leecher partway through; its progress is stable per
+        # (torrent, address) because the RNG below is derived from them
+        # (crc32, not hash(): str hashing is salted per process).
+        import random as _random
+        import zlib as _zlib
+
+        progress_seed = _zlib.crc32(
+            peer.address.encode() + swarm.torrent.infohash
+        )
+        progress_rng = _random.Random(progress_seed)
+        return PieceMap.random_fraction(
+            swarm.torrent.n_pieces,
+            progress_rng.uniform(0.1, 0.95),
+            progress_rng,
+        )
+
+    def _connect_wave(
+        self,
+        swarm: Swarm,
+        peers: List[SwarmPeer],
+        budget: int,
+        scheduler: PieceScheduler,
+    ) -> None:
+        """Open peer-wire connections to a batch of announced peers."""
+        rng = self.rng
+        rng.shuffle(peers)
+        batch = peers[: self.max_peers_per_torrent]
+        visible = [self._peer_bitfield(swarm, p) for p in batch]
+        remaining = budget
+        offset = 0.0
+        piece_length = swarm.torrent.piece_length
+        for peer, bitfield in zip(batch, visible):
+            offset += rng.uniform(0.2, 12.0)
+            when = self.sim.now + offset
+            if not peer.is_online(when):
+                self.sim.emit_connection(
+                    src=self.address,
+                    dst=peer.address,
+                    dport=peer.port,
+                    proto=Protocol.TCP,
+                    state=FlowState.TIMEOUT if rng.random() < 0.8 else FlowState.REJECTED,
+                    duration=3.0,
+                    src_bytes=130,
+                    dst_bytes=0,
+                    start=when,
+                )
+                continue
+            if remaining <= 0 or scheduler.own.is_complete:
+                break
+            # Rarest-first: request what this peer can serve, bounded by
+            # the session's byte budget.
+            max_pieces = max(1, int(rng.lognormvariate(17.2, 1.1)) // piece_length)
+            requests = scheduler.plan_requests(
+                bitfield, visible, batch=max_pieces, rng=rng
+            )
+            if not requests:
+                continue  # nothing useful on this peer
+            scheduler.record_received(requests)
+            down = min(remaining, len(requests) * piece_length)
+            remaining -= down
+            up = int(down * rng.uniform(0.2, 2.0) * self.reciprocation)
+            rate = max(peer.upload_rate, 1024.0)
+            duration = max(5.0, down / rate)
+            self.sim.emit_connection(
+                src=self.address,
+                dst=peer.address,
+                dport=peer.port,
+                proto=Protocol.TCP,
+                state=FlowState.ESTABLISHED,
+                duration=duration,
+                src_bytes=68 + up,
+                dst_bytes=68 + down,
+                payload=payloads.bittorrent_handshake(rng, swarm.torrent.infohash),
+                start=when,
+            )
+
+    # ------------------------------------------------------------------
+    # Mainline DHT
+    # ------------------------------------------------------------------
+    def _dht_tick(self, now: float) -> None:
+        rng = self.rng
+        swarm = self.overlay.pick_swarm(rng)
+        targets = swarm.announce(rng, count=rng.randint(3, 8))
+        offset = 0.0
+        for peer in targets:
+            offset += rng.uniform(0.05, 1.5)
+            when = now + offset
+            online = peer.is_online(when)
+            self.sim.emit_connection(
+                src=self.address,
+                dst=peer.address,
+                dport=peer.port,
+                proto=Protocol.UDP,
+                state=FlowState.ESTABLISHED if online else FlowState.TIMEOUT,
+                duration=rng.uniform(0.05, 1.0),
+                src_bytes=rng.randint(90, 300),
+                dst_bytes=rng.randint(200, 600) if online else 0,
+                payload=payloads.dht_query(rng),
+                start=when,
+            )
+        self.after(rng.expovariate(1.0 / 300.0), self._dht_tick)

@@ -1,0 +1,207 @@
+"""An eMule/eD2k file-sharing host (Trader).
+
+Flow-level behaviour of an eMule client: a long-lived login to one eD2k
+index server, UDP Kad maintenance, human-driven searches, and source
+connections dominated by the upload-queue dance — busy sources put the
+downloader in a queue and get re-asked every 20–30 minutes, while
+sources that have churned away simply time out.  Established transfers
+carry part-file data both ways (eMule swarms parts like BitTorrent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..flows.record import FlowState, Protocol
+from ..p2p.emule import EmuleOverlay, EmuleSource, KAD_PORT
+from . import payloads
+from .base import Agent
+
+__all__ = ["EmuleTraderAgent"]
+
+
+class EmuleTraderAgent(Agent):
+    """One internal host running an eMule client."""
+
+    kind = "trader-emule"
+
+    def __init__(
+        self,
+        address: str,
+        overlay: EmuleOverlay,
+        searches_per_hour: float = 3.0,
+        uses_kad: bool = True,
+    ) -> None:
+        super().__init__(address)
+        self.overlay = overlay
+        self.searches_per_hour = searches_per_hour
+        self.uses_kad = uses_kad
+        self._server = None
+        self._queued: Dict[str, EmuleSource] = {}
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        rng = self.rng
+        self._server = self.overlay.pick_server(rng)
+        self.after(rng.uniform(0, 60), self._login)
+        self.after(rng.expovariate(self.searches_per_hour / 3600.0), self._search)
+        if self.uses_kad:
+            self.after(rng.uniform(0, 300), self._kad_tick)
+
+    # ------------------------------------------------------------------
+    # Server interaction
+    # ------------------------------------------------------------------
+    def _login(self, now: float) -> None:
+        rng = self.rng
+        req, resp = self._server.login_size()
+        self.sim.emit_connection(
+            src=self.address,
+            dst=self._server.address,
+            dport=self._server.port,
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED,
+            duration=rng.uniform(1.0, 5.0),
+            src_bytes=req,
+            dst_bytes=resp,
+            payload=payloads.emule_tcp(rng),
+        )
+
+    def _search(self, now: float) -> None:
+        rng = self.rng
+        sources = self.overlay.search_sources(rng)
+        req, resp = self._server.search_size(len(sources))
+        self.sim.emit_connection(
+            src=self.address,
+            dst=self._server.address,
+            dport=self._server.port,
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED,
+            duration=rng.uniform(0.5, 4.0),
+            src_bytes=req,
+            dst_bytes=resp,
+            payload=payloads.emule_tcp(rng),
+        )
+        offset = rng.uniform(3.0, 25.0)  # the human reads the result list
+        for source in sources:
+            self.after(offset, lambda t, s=source: self._contact_source(t, s))
+            offset += rng.uniform(0.5, 8.0)
+        self.after(rng.expovariate(self.searches_per_hour / 3600.0), self._search)
+
+    # ------------------------------------------------------------------
+    # Source handling: timeouts, queues, transfers
+    # ------------------------------------------------------------------
+    def _contact_source(self, now: float, source: EmuleSource) -> None:
+        rng = self.rng
+        if not source.is_online(now):
+            self.sim.emit_connection(
+                src=self.address,
+                dst=source.address,
+                dport=source.port,
+                proto=Protocol.TCP,
+                state=FlowState.TIMEOUT,
+                duration=3.0,
+                src_bytes=140,
+                dst_bytes=0,
+                payload=b"",
+            )
+            return
+        if source.queue_length > 0 and source.address not in self._queued:
+            # Placed in the upload queue: small exchange now, re-ask later.
+            req, resp = self.overlay.queue_poll_size()
+            self.sim.emit_connection(
+                src=self.address,
+                dst=source.address,
+                dport=source.port,
+                proto=Protocol.TCP,
+                state=FlowState.ESTABLISHED,
+                duration=rng.uniform(0.5, 3.0),
+                src_bytes=req + rng.randint(0, 60),
+                dst_bytes=resp,
+                payload=payloads.emule_tcp(rng),
+            )
+            self._queued[source.address] = source
+            self.after(
+                self.jittered(1500.0, 0.3),
+                lambda t, s=source: self._queue_poll(t, s, remaining=s.queue_length),
+            )
+            return
+        self._transfer(now, source)
+
+    def _queue_poll(self, now: float, source: EmuleSource, remaining: int) -> None:
+        rng = self.rng
+        if not source.is_online(now):
+            self.sim.emit_connection(
+                src=self.address,
+                dst=source.address,
+                dport=source.port,
+                proto=Protocol.TCP,
+                state=FlowState.TIMEOUT,
+                duration=3.0,
+                src_bytes=140,
+                dst_bytes=0,
+            )
+            self._queued.pop(source.address, None)
+            return
+        req, resp = self.overlay.queue_poll_size()
+        self.sim.emit_connection(
+            src=self.address,
+            dst=source.address,
+            dport=source.port,
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED,
+            duration=rng.uniform(0.3, 2.0),
+            src_bytes=req,
+            dst_bytes=resp,
+            payload=payloads.emule_tcp(rng),
+        )
+        if remaining <= 1:
+            self._queued.pop(source.address, None)
+            self._transfer(now, source)
+        else:
+            self.after(
+                self.jittered(1500.0, 0.3),
+                lambda t, s=source: self._queue_poll(t, s, remaining - 1),
+            )
+
+    def _transfer(self, now: float, source: EmuleSource) -> None:
+        rng = self.rng
+        down = min(source.file_bytes, int(rng.lognormvariate(16.5, 1.0)))
+        up = int(down * rng.uniform(0.1, 1.2))  # part exchange both ways
+        duration = max(3.0, down / max(source.upload_rate, 1024.0))
+        self.sim.emit_connection(
+            src=self.address,
+            dst=source.address,
+            dport=source.port,
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED,
+            duration=duration,
+            src_bytes=up + 200,
+            dst_bytes=down + 200,
+            payload=payloads.emule_tcp(rng),
+        )
+
+    # ------------------------------------------------------------------
+    # Kad maintenance (UDP)
+    # ------------------------------------------------------------------
+    def _kad_tick(self, now: float) -> None:
+        rng = self.rng
+        contacts = rng.sample(self.overlay.sources, min(4, len(self.overlay.sources)))
+        req, resp = self.overlay.kad_message_size()
+        offset = 0.0
+        for contact in contacts:
+            offset += rng.uniform(0.05, 1.0)
+            when = now + offset
+            online = contact.is_online(when)
+            self.sim.emit_connection(
+                src=self.address,
+                dst=contact.address,
+                dport=KAD_PORT,
+                proto=Protocol.UDP,
+                state=FlowState.ESTABLISHED if online else FlowState.TIMEOUT,
+                duration=rng.uniform(0.02, 0.5),
+                src_bytes=req + rng.randint(0, 20),
+                dst_bytes=resp if online else 0,
+                payload=payloads.emule_udp(rng),
+                start=when,
+            )
+        self.after(rng.expovariate(1.0 / 240.0), self._kad_tick)

@@ -1,0 +1,209 @@
+"""A Gnutella file-sharing host (Trader).
+
+Flow-level behaviour of a LimeWire-style leaf: a handful of long-lived
+ultrapeer connections established with the 0.6 handshake (and re-made as
+ultrapeers churn away), irregular human-driven queries, HTTP downloads
+from query hits, and PUSH uploads — when a remote requester is
+firewalled the *serving* host initiates the connection, so a busy sharer
+shows large initiator-side byte counts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..flows.record import FlowState, Protocol
+from ..p2p.gnutella import FileSource, GnutellaOverlay, Ultrapeer
+from . import payloads
+from .base import Agent
+
+__all__ = ["GnutellaTraderAgent"]
+
+
+class GnutellaTraderAgent(Agent):
+    """One internal host running a Gnutella client."""
+
+    kind = "trader-gnutella"
+
+    def __init__(
+        self,
+        address: str,
+        overlay: GnutellaOverlay,
+        target_ultrapeers: int = 3,
+        queries_per_hour: float = 6.0,
+        shares_files: bool = True,
+    ) -> None:
+        super().__init__(address)
+        if target_ultrapeers <= 0:
+            raise ValueError("need at least one ultrapeer slot")
+        self.overlay = overlay
+        self.target_ultrapeers = target_ultrapeers
+        self.queries_per_hour = queries_per_hour
+        self.shares_files = shares_files
+        self._connected: List[Ultrapeer] = []
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        rng = self.rng
+        self.after(rng.uniform(0, 120), self._acquire_ultrapeers)
+        self.after(rng.expovariate(self.queries_per_hour / 3600.0), self._query)
+        self.after(self.jittered(90.0, 0.8), self._ping_tick)
+        if self.shares_files:
+            self.after(rng.expovariate(1.0 / 1800.0), self._push_upload)
+            self.after(rng.expovariate(1.0 / 1200.0), self._inbound_download)
+
+    def _inbound_download(self, now: float) -> None:
+        """A remote peer fetches one of our shared files directly."""
+        rng = self.rng
+        requester = rng.choice(self.overlay.sources)
+        size = max(int(rng.lognormvariate(14.5, 1.2)), 32 * 1024)
+        self.sim.emit_connection(
+            src=requester.address,
+            dst=self.address,
+            dport=6346,
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED,
+            duration=max(2.0, size / 45_000.0),
+            src_bytes=rng.randint(300, 800),
+            dst_bytes=size,
+            payload=payloads.http_get(rng),
+        )
+        self.after(rng.expovariate(1.0 / 1200.0), self._inbound_download)
+
+    # ------------------------------------------------------------------
+    # Overlay maintenance
+    # ------------------------------------------------------------------
+    def _acquire_ultrapeers(self, now: float) -> None:
+        rng = self.rng
+        candidates = self.overlay.bootstrap_candidates(rng, count=15)
+        offset = 0.0
+        for candidate in candidates:
+            if len(self._connected) >= self.target_ultrapeers:
+                break
+            offset += rng.uniform(0.3, 5.0)
+            when = now + offset
+            online = candidate.is_online(when)
+            req, resp = self.overlay.handshake_size()
+            self.sim.emit_connection(
+                src=self.address,
+                dst=candidate.address,
+                dport=candidate.port,
+                proto=Protocol.TCP,
+                state=FlowState.ESTABLISHED if online else FlowState.TIMEOUT,
+                duration=rng.uniform(1.0, 4.0) if online else 3.0,
+                src_bytes=req,
+                dst_bytes=resp if online else 0,
+                payload=payloads.gnutella_handshake(rng),
+                start=when,
+            )
+            if online:
+                self._connected.append(candidate)
+        # Re-check the neighbour set later: churn erodes it.
+        self.after(self.jittered(1200.0, 0.5), self._refresh_ultrapeers)
+
+    def _refresh_ultrapeers(self, now: float) -> None:
+        self._connected = [u for u in self._connected if u.is_online(now)]
+        if len(self._connected) < self.target_ultrapeers:
+            self._acquire_ultrapeers(now)
+        else:
+            self.after(self.jittered(1200.0, 0.5), self._refresh_ultrapeers)
+
+    def _ping_tick(self, now: float) -> None:
+        """Irregular keep-alive pings over the ultrapeer connections."""
+        rng = self.rng
+        for ultrapeer in self._connected:
+            if rng.random() < 0.3:
+                continue  # piggybacked on other traffic, no separate flow
+            ping, pong = self.overlay.ping_size()
+            online = ultrapeer.is_online(now)
+            self.sim.emit_connection(
+                src=self.address,
+                dst=ultrapeer.address,
+                dport=ultrapeer.port,
+                proto=Protocol.TCP,
+                state=FlowState.ESTABLISHED if online else FlowState.TIMEOUT,
+                duration=rng.uniform(0.05, 1.0),
+                src_bytes=ping + rng.randint(0, 40),
+                dst_bytes=pong if online else 0,
+                payload=payloads.lime_payload(rng),
+            )
+        # Human-perturbed schedule: lognormal-ish spread, not a hard timer.
+        self.after(90.0 * rng.lognormvariate(0.0, 0.7), self._ping_tick)
+
+    # ------------------------------------------------------------------
+    # Searching and downloading (human-driven)
+    # ------------------------------------------------------------------
+    def _query(self, now: float) -> None:
+        rng = self.rng
+        hits = self.overlay.query_hits(rng)
+        for ultrapeer in self._connected or []:
+            q, h = self.overlay.query_size(len(hits))
+            self.sim.emit_connection(
+                src=self.address,
+                dst=ultrapeer.address,
+                dport=ultrapeer.port,
+                proto=Protocol.TCP,
+                state=FlowState.ESTABLISHED if ultrapeer.is_online(now) else FlowState.TIMEOUT,
+                duration=rng.uniform(0.5, 6.0),
+                src_bytes=q,
+                dst_bytes=h,
+                payload=payloads.gnutella_query(rng),
+            )
+        if hits and rng.random() < 0.8:
+            chosen = rng.sample(hits, min(len(hits), rng.randint(1, 3)))
+            offset = rng.uniform(2.0, 30.0)  # user inspects results first
+            for source in chosen:
+                self.after(offset, lambda t, s=source: self._download(t, s))
+                offset += rng.uniform(1.0, 20.0)
+        self.after(rng.expovariate(self.queries_per_hour / 3600.0), self._query)
+
+    def _download(self, now: float, source: FileSource) -> None:
+        rng = self.rng
+        online = source.is_online(now)
+        if not online:
+            self.sim.emit_connection(
+                src=self.address,
+                dst=source.address,
+                dport=source.port,
+                proto=Protocol.TCP,
+                state=FlowState.TIMEOUT,
+                duration=3.0,
+                src_bytes=150,
+                dst_bytes=0,
+            )
+            if rng.random() < 0.5:  # try again later, the human is patient
+                self.after(rng.uniform(60, 900), lambda t: self._download(t, source))
+            return
+        duration = max(2.0, source.file_bytes / max(source.upload_rate, 1024.0))
+        self.sim.emit_connection(
+            src=self.address,
+            dst=source.address,
+            dport=source.port,
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED,
+            duration=duration,
+            src_bytes=rng.randint(350, 900),
+            dst_bytes=source.file_bytes,
+            payload=payloads.http_get(rng),
+        )
+
+    # ------------------------------------------------------------------
+    # Serving: PUSH uploads initiated by this host
+    # ------------------------------------------------------------------
+    def _push_upload(self, now: float) -> None:
+        rng = self.rng
+        requester = rng.choice(self.overlay.sources)
+        online = requester.is_online(now)
+        size = max(int(rng.lognormvariate(15.0, 1.2)), 64 * 1024)
+        self.sim.emit_connection(
+            src=self.address,
+            dst=requester.address,
+            dport=requester.port,
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED if online else FlowState.TIMEOUT,
+            duration=max(2.0, size / 45_000.0) if online else 3.0,
+            src_bytes=size if online else 160,
+            dst_bytes=rng.randint(200, 800) if online else 0,
+            payload=payloads.gnutella_connect_back(rng),
+        )
+        self.after(rng.expovariate(1.0 / 1800.0), self._push_upload)

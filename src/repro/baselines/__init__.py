@@ -1,0 +1,18 @@
+"""Baseline detectors the reproduction compares FindPlotters against."""
+
+from .tdg import TdgDetector, TdgScore, build_tdg, score_tdg
+from .volume_only import VolumeOnlyDetector
+from .failedconn import FailedConnDetector
+from .entropy import EntropyDetector, entropy_metric, timing_entropy
+
+__all__ = [
+    "TdgDetector",
+    "TdgScore",
+    "build_tdg",
+    "score_tdg",
+    "VolumeOnlyDetector",
+    "FailedConnDetector",
+    "EntropyDetector",
+    "entropy_metric",
+    "timing_entropy",
+]

@@ -1,0 +1,92 @@
+"""Timing-entropy detector — the Gianvecchio et al. [6] idea.
+
+The paper's related work (§II) cites the observation that human-driven
+traffic shows *higher entropy* than bot traffic (made for Internet chat
+in [6]).  This baseline transplants it to flow records: score each host
+by the normalised Shannon entropy of its per-destination interstitial-
+time distribution (over log-spaced bins) and flag the lowest-entropy
+hosts as machine-driven.
+
+It is a *per-host* test: unlike θ_hm it needs no similarity between
+bots, so it can flag a single bot — but for the same reason it cannot
+tell a bot from any other well-timed automation (NTP, pollers), which
+is what the benchmark comparison shows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Set
+
+import numpy as np
+
+from ..detection.testbase import TestResult
+from ..flows.metrics import interstitial_times
+from ..flows.store import FlowStore
+from ..stats.thresholds import percentile_threshold, select_below
+
+__all__ = ["timing_entropy", "entropy_metric", "EntropyDetector"]
+
+#: Bin edges: log-spaced from 1 ms to ~28 hours, a fixed grid so scores
+#: are comparable across hosts (unlike FD binning, which adapts).
+_LOG_EDGES = np.linspace(-3.0, 5.0, 41)
+
+#: Minimum samples for a meaningful entropy estimate.
+MIN_SAMPLES = 20
+
+
+def timing_entropy(samples: Sequence[float]) -> float:
+    """Normalised Shannon entropy of the interstitial distribution.
+
+    0 means perfectly regular (all mass in one log-time bin — a hard
+    timer); 1 means maximally spread over the grid.  Raises
+    ``ValueError`` on an empty sample set.
+    """
+    if len(samples) == 0:
+        raise ValueError("entropy of zero samples is undefined")
+    logs = np.log10(np.maximum(np.asarray(samples, dtype=float), 1e-3))
+    counts, _edges = np.histogram(logs, bins=_LOG_EDGES)
+    total = counts.sum()
+    if total == 0:  # everything out of range: treat as one spike
+        return 0.0
+    probabilities = counts[counts > 0] / total
+    entropy = float(-(probabilities * np.log2(probabilities)).sum())
+    max_entropy = math.log2(len(_LOG_EDGES) - 1)
+    return entropy / max_entropy
+
+
+def entropy_metric(
+    store: FlowStore, hosts: Iterable[str], min_samples: int = MIN_SAMPLES
+) -> Dict[str, float]:
+    """Timing entropy per host (hosts with too few samples omitted)."""
+    metric: Dict[str, float] = {}
+    for host in hosts:
+        samples = interstitial_times(store.flows_from(host))
+        if len(samples) >= min_samples:
+            metric[host] = timing_entropy(samples)
+    return metric
+
+
+class EntropyDetector:
+    """Flag the lowest-timing-entropy hosts as machine-driven."""
+
+    def __init__(self, percentile: float = 20.0) -> None:
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must lie in [0, 100]")
+        self.percentile = percentile
+
+    def detect(self, store: FlowStore, hosts: Set[str]) -> TestResult:
+        """Hosts whose entropy falls below the percentile threshold."""
+        metric = entropy_metric(store, hosts)
+        if not metric:
+            return TestResult(
+                name="timing-entropy", selected=frozenset(), threshold=0.0
+            )
+        threshold = percentile_threshold(list(metric.values()), self.percentile)
+        selected = select_below(metric, threshold)
+        return TestResult(
+            name="timing-entropy",
+            selected=frozenset(selected),
+            threshold=threshold,
+            metric=metric,
+        )

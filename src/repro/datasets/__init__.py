@@ -1,0 +1,41 @@
+"""Dataset assembly: campus synthesis, honeynet capture, overlay, labels."""
+
+from .campus import CampusConfig, CampusDay, build_campus_day, build_campus_dataset
+from .honeynet import (
+    NUGACHE_BOT_COUNT,
+    STORM_BOT_COUNT,
+    HoneynetTrace,
+    capture_nugache_trace,
+    capture_storm_trace,
+    capture_waledac_trace,
+)
+from .overlay import OverlaidDay, overlay_traces
+from .groundtruth import classify_payload, identify_traders, trader_protocol_of_host
+from .traces import (
+    load_campus_day,
+    load_honeynet_trace,
+    save_campus_day,
+    save_honeynet_trace,
+)
+
+__all__ = [
+    "CampusConfig",
+    "CampusDay",
+    "build_campus_day",
+    "build_campus_dataset",
+    "NUGACHE_BOT_COUNT",
+    "STORM_BOT_COUNT",
+    "HoneynetTrace",
+    "capture_nugache_trace",
+    "capture_storm_trace",
+    "capture_waledac_trace",
+    "OverlaidDay",
+    "overlay_traces",
+    "classify_payload",
+    "identify_traders",
+    "trader_protocol_of_host",
+    "load_campus_day",
+    "load_honeynet_trace",
+    "save_campus_day",
+    "save_honeynet_trace",
+]

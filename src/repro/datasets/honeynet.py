@@ -1,0 +1,169 @@
+"""Honeynet capture of Plotter traces.
+
+The paper's Plotter traffic came from honeynets run in the wild in late
+2007: a 24-hour Storm trace with 13 bots and a 24-hour Nugache trace
+with 82 bots, with spam/scan activity blocked so the remaining traffic
+is control traffic (§III).  This module reproduces that capture: the
+bot agents run alone in a dedicated simulation (no background traffic),
+and the per-bot flow records are the "trace" later overlaid onto campus
+hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..agents.plotter_nugache import NugachePlotterAgent, NugacheWorld
+from ..agents.plotter_waledac import WaledacPlotterAgent, WaledacWorld
+from ..agents.plotter_storm import (
+    STORM_NETWORK_CHURN,
+    StormPlotterAgent,
+    StormTimers,
+)
+from ..flows.store import FlowStore
+from ..netsim.addressing import AddressSpace
+from ..netsim.clock import COLLECTION_WINDOW
+from ..netsim.network import NetworkSimulation
+from ..netsim.rng import derive_seed, substream
+from ..p2p.kademlia import KademliaNetwork
+
+__all__ = [
+    "HoneynetTrace",
+    "capture_storm_trace",
+    "capture_nugache_trace",
+    "capture_waledac_trace",
+]
+
+#: Honeynet-internal prefix; overlay reassigns these addresses anyway.
+HONEYNET_PREFIX = "172.16."
+
+#: Bot counts from the paper's traces (§III).
+STORM_BOT_COUNT = 13
+NUGACHE_BOT_COUNT = 82
+
+
+@dataclass
+class HoneynetTrace:
+    """A captured Plotter trace: per-bot flows plus the combined store."""
+
+    botnet: str
+    bots: Tuple[str, ...]
+    store: FlowStore
+
+    def flows_of(self, bot: str) -> FlowStore:
+        """Flows initiated by one bot."""
+        if bot not in self.bots:
+            raise KeyError(f"unknown bot {bot!r} in {self.botnet} trace")
+        return FlowStore(self.store.flows_from(bot))
+
+    @property
+    def bot_count(self) -> int:
+        return len(self.bots)
+
+
+#: Honeynet subnet per botnet, so traces never share addresses (the
+#: overlay keys ground truth by bot address).
+_BOTNET_SUBNET = {"storm": 1, "nugache": 2, "waledac": 3}
+
+
+def _honeynet_addresses(botnet: str, count: int) -> List[str]:
+    subnet = _BOTNET_SUBNET[botnet]
+    return [f"{HONEYNET_PREFIX}{subnet}.{i + 1}" for i in range(count)]
+
+
+def capture_storm_trace(
+    seed: int,
+    n_bots: int = STORM_BOT_COUNT,
+    window: float = COLLECTION_WINDOW,
+    network_size: int = 600,
+    timers: StormTimers = StormTimers(),
+    day: int = 0,
+) -> HoneynetTrace:
+    """Run ``n_bots`` Storm bots in a honeynet for ``window`` seconds.
+
+    All bots share one simulated Overnet population (they are in the
+    same botnet) and the same compiled-in timers, so their traffic is
+    mutually similar — the property θ_hm exploits.
+    """
+    capture_seed = derive_seed(seed, "honeynet-storm", day)
+    space = AddressSpace(internal_prefixes=(HONEYNET_PREFIX,))
+    sim = NetworkSimulation(seed=capture_seed, address_space=space, horizon=window)
+    network = KademliaNetwork.build(
+        substream(capture_seed, "overnet"),
+        size=network_size,
+        horizon=window,
+        churn=STORM_NETWORK_CHURN,
+        address_factory=space.random_external,
+    )
+    bots = tuple(_honeynet_addresses("storm", n_bots))
+    for address in bots:
+        sim.add_source(StormPlotterAgent(address, network, day=day, timers=timers))
+    store = sim.run()
+    return HoneynetTrace(botnet="storm", bots=bots, store=store)
+
+
+def capture_nugache_trace(
+    seed: int,
+    n_bots: int = NUGACHE_BOT_COUNT,
+    window: float = COLLECTION_WINDOW,
+    population: int = 500,
+    day: int = 0,
+    activity_median: float = 0.30,
+    activity_sigma: float = 1.6,
+) -> HoneynetTrace:
+    """Run ``n_bots`` Nugache bots in a honeynet for ``window`` seconds.
+
+    Per-bot activity levels are lognormal with a heavy spread, giving
+    the orders-of-magnitude variation in flow counts the paper reports
+    for its Nugache trace (Figure 10) — the quiet bots are the ones the
+    detector later struggles with.
+    """
+    capture_seed = derive_seed(seed, "honeynet-nugache", day)
+    space = AddressSpace(internal_prefixes=(HONEYNET_PREFIX,))
+    sim = NetworkSimulation(seed=capture_seed, address_space=space, horizon=window)
+    world = NugacheWorld(
+        substream(capture_seed, "nugache-world"),
+        space.random_external,
+        horizon=window,
+        size=population,
+    )
+    activity_rng = substream(capture_seed, "activity")
+    bots = tuple(_honeynet_addresses("nugache", n_bots))
+    for address in bots:
+        activity = min(
+            1.0, max(0.004, activity_rng.lognormvariate(0.0, activity_sigma) * activity_median)
+        )
+        sim.add_source(NugachePlotterAgent(address, world, activity=activity))
+    store = sim.run()
+    return HoneynetTrace(botnet="nugache", bots=bots, store=store)
+
+
+def capture_waledac_trace(
+    seed: int,
+    n_bots: int = 30,
+    window: float = COLLECTION_WINDOW,
+    population: int = 300,
+    day: int = 0,
+) -> HoneynetTrace:
+    """Run ``n_bots`` Waledac-style bots in a honeynet (extension).
+
+    Waledac is not part of the paper's evaluation; the trace supports
+    the generalization experiment — how the detector fares on a bot
+    family it was never calibrated against (HTTP transport, web-sized
+    flows, soft timers).
+    """
+    capture_seed = derive_seed(seed, "honeynet-waledac", day)
+    space = AddressSpace(internal_prefixes=(HONEYNET_PREFIX,))
+    sim = NetworkSimulation(seed=capture_seed, address_space=space, horizon=window)
+    world = WaledacWorld(
+        substream(capture_seed, "waledac-world"),
+        space.random_external,
+        horizon=window,
+        size=population,
+    )
+    bots = tuple(_honeynet_addresses("waledac", n_bots))
+    for address in bots:
+        sim.add_source(WaledacPlotterAgent(address, world))
+    store = sim.run()
+    return HoneynetTrace(botnet="waledac", bots=bots, store=store)

@@ -1,0 +1,123 @@
+"""Overlaying honeynet Plotter traces onto campus hosts.
+
+§V of the paper: "For each day of traffic in the CMU dataset, we overlay
+the bot traces by assigning them to randomly selected internal hosts
+that are active during that day (including possibly Traders)."  The
+chosen host keeps its own traffic, so the bot's flows are *added on top*
+— the detector must find the bot underneath the host's normal
+behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..flows.filters import active_hosts
+from ..flows.record import FlowRecord
+from ..flows.store import FlowStore
+from .campus import CampusDay
+from .honeynet import HoneynetTrace
+
+__all__ = ["OverlaidDay", "overlay_traces"]
+
+
+@dataclass
+class OverlaidDay:
+    """A campus day with Plotter traces implanted.
+
+    ``assignments`` maps each honeynet bot address to the internal host
+    it was assigned to; ``plotter_hosts`` is the ground-truth positive
+    set for the day's evaluation.
+    """
+
+    day: CampusDay
+    store: FlowStore
+    assignments: Dict[str, str]
+    botnet_of: Dict[str, str]
+
+    @property
+    def plotter_hosts(self) -> Set[str]:
+        return set(self.assignments.values())
+
+    def plotters_of(self, botnet: str) -> Set[str]:
+        """Hosts carrying an implanted bot of the given botnet."""
+        return {
+            host
+            for bot, host in self.assignments.items()
+            if self.botnet_of[bot] == botnet
+        }
+
+
+def overlay_traces(
+    campus: CampusDay,
+    traces: Sequence[HoneynetTrace],
+    rng: random.Random,
+    eligible: Optional[Set[str]] = None,
+) -> OverlaidDay:
+    """Implant every bot of every trace onto a distinct campus host.
+
+    Parameters
+    ----------
+    campus:
+        The day of background+Trader traffic.
+    traces:
+        Honeynet traces to overlay (e.g. one Storm and one Nugache).
+    rng:
+        Randomness for host assignment.
+    eligible:
+        Candidate hosts; defaults to internal hosts active on the day
+        (initiated at least one successful flow), as in §V.
+
+    Raises
+    ------
+    ValueError
+        If there are more bots than eligible hosts (assignments must be
+        distinct so ground truth stays unambiguous).
+    """
+    if eligible is None:
+        eligible = active_hosts(campus.store) & campus.all_hosts
+    candidates = sorted(eligible)
+    total_bots = sum(t.bot_count for t in traces)
+    if total_bots > len(candidates):
+        raise ValueError(
+            f"{total_bots} bots cannot be assigned to {len(candidates)} "
+            "eligible hosts"
+        )
+    chosen = rng.sample(candidates, total_bots)
+
+    # Campus days and honeynet traces both use window-local time
+    # starting at zero, so implanting needs no time shift.
+    assignments: Dict[str, str] = {}
+    botnet_of: Dict[str, str] = {}
+    index = 0
+    for trace in traces:
+        for bot in trace.bots:
+            assignments[bot] = chosen[index]
+            botnet_of[bot] = trace.botnet
+            index += 1
+
+    # Re-attribute every trace flow: outbound flows get the host as
+    # their new source, inbound flows (remote peers contacting the bot)
+    # get it as their new destination.
+    from dataclasses import replace as _replace
+
+    implanted: List[FlowRecord] = []
+    for trace in traces:
+        for flow in trace.store:
+            if flow.src in assignments:
+                implanted.append(flow.reassigned(assignments[flow.src]))
+            elif flow.dst in assignments:
+                implanted.append(_replace(flow, dst=assignments[flow.dst]))
+            else:  # pragma: no cover - traces only contain bot flows
+                implanted.append(flow)
+
+    merged = FlowStore(list(campus.store))
+    merged.extend(implanted)
+    return OverlaidDay(
+        day=campus,
+        store=merged,
+        assignments=assignments,
+        botnet_of=botnet_of,
+    )

@@ -1,0 +1,86 @@
+"""Saving and loading synthesised datasets.
+
+Synthesising a campus day takes real time; experiments that sweep
+thresholds over the same traffic should capture once and reload.  A
+dataset directory holds one Argus-style CSV per trace plus a JSON
+manifest with the ground truth.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..flows.argus import read_flows, write_flows
+from ..netsim.entities import HostRole
+from .campus import CampusDay
+from .honeynet import HoneynetTrace
+
+__all__ = [
+    "save_campus_day",
+    "load_campus_day",
+    "save_honeynet_trace",
+    "load_honeynet_trace",
+]
+
+
+def save_campus_day(directory: Union[str, Path], day: CampusDay) -> Path:
+    """Write one campus day under ``directory`` and return its path."""
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    flows_path = base / f"campus-day{day.day}.flows.csv"
+    manifest_path = base / f"campus-day{day.day}.manifest.json"
+    write_flows(flows_path, day.store)
+    manifest = {
+        "day": day.day,
+        "window": day.window,
+        "internal_prefixes": list(day.internal_prefixes),
+        "roles": {host: role.value for host, role in day.roles.items()},
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    return base
+
+
+def load_campus_day(directory: Union[str, Path], day: int) -> CampusDay:
+    """Reload one campus day previously written by :func:`save_campus_day`."""
+    base = Path(directory)
+    store = read_flows(base / f"campus-day{day}.flows.csv")
+    manifest = json.loads((base / f"campus-day{day}.manifest.json").read_text())
+    if manifest["day"] != day:
+        raise ValueError(
+            f"manifest day {manifest['day']} does not match requested {day}"
+        )
+    return CampusDay(
+        day=day,
+        store=store,
+        roles={h: HostRole(v) for h, v in manifest["roles"].items()},
+        internal_prefixes=tuple(manifest["internal_prefixes"]),
+        window=float(manifest["window"]),
+    )
+
+
+def save_honeynet_trace(directory: Union[str, Path], trace: HoneynetTrace) -> Path:
+    """Write one honeynet trace under ``directory``."""
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    write_flows(base / f"honeynet-{trace.botnet}.flows.csv", trace.store)
+    manifest = {"botnet": trace.botnet, "bots": list(trace.bots)}
+    (base / f"honeynet-{trace.botnet}.manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True)
+    )
+    return base
+
+
+def load_honeynet_trace(directory: Union[str, Path], botnet: str) -> HoneynetTrace:
+    """Reload a honeynet trace previously written."""
+    base = Path(directory)
+    store = read_flows(base / f"honeynet-{botnet}.flows.csv")
+    manifest = json.loads((base / f"honeynet-{botnet}.manifest.json").read_text())
+    if manifest["botnet"] != botnet:
+        raise ValueError(
+            f"manifest botnet {manifest['botnet']!r} does not match {botnet!r}"
+        )
+    return HoneynetTrace(
+        botnet=botnet, bots=tuple(manifest["bots"]), store=store
+    )

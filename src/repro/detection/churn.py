@@ -1,0 +1,55 @@
+"""θ_churn — the peer-churn / persistence test (§IV-B).
+
+A Trader's peer set is dictated by file availability and churns
+constantly; a Plotter keeps talking to the peers on its stored list to
+preserve botnet connectivity.  The metric is the fraction of destination
+IPs a host first contacts *after its first hour of activity* in the
+window, relative to all IPs it contacts — high values mean high churn.
+Hosts below the dynamic threshold τ_churn (low churn) are retained as
+Plotter-like.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from ..flows.metrics import NEW_IP_GRACE_PERIOD, new_ip_fraction
+from ..flows.store import FlowStore
+from ..stats.thresholds import percentile_threshold, select_below
+from .testbase import TestResult
+
+__all__ = ["churn_metric", "theta_churn"]
+
+
+def churn_metric(
+    store: FlowStore,
+    hosts: Iterable[str],
+    grace_period: float = NEW_IP_GRACE_PERIOD,
+) -> Dict[str, float]:
+    """Fraction of newly contacted IPs per host."""
+    metric: Dict[str, float] = {}
+    for host in hosts:
+        flows = store.flows_from(host)
+        if flows:
+            metric[host] = new_ip_fraction(flows, grace_period)
+    return metric
+
+
+def theta_churn(
+    store: FlowStore,
+    hosts: Set[str],
+    percentile: float = 50.0,
+    grace_period: float = NEW_IP_GRACE_PERIOD,
+) -> TestResult:
+    """Select hosts whose new-IP fraction is below τ_churn."""
+    metric = churn_metric(store, hosts, grace_period)
+    if not metric:
+        return TestResult(name="churn", selected=frozenset(), threshold=0.0)
+    threshold = percentile_threshold(list(metric.values()), percentile)
+    selected = select_below(metric, threshold)
+    return TestResult(
+        name="churn",
+        selected=frozenset(selected),
+        threshold=threshold,
+        metric=metric,
+    )

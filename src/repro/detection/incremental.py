@@ -1,0 +1,185 @@
+"""Online detection over a sliding window.
+
+The batch pipeline (:func:`repro.detection.pipeline.find_plotters`)
+analyses a completed window of traffic.  An operator at a live border
+wants the same verdicts *while the window fills*: ingest flows as they
+arrive, re-evaluate periodically, keep memory bounded.
+
+:class:`OnlineDetector` composes the streaming feature extractor with
+the detection tests.  Flows are ingested one at a time; at any moment
+:meth:`evaluate` runs the FindPlotters logic over the features
+accumulated in the current window.  Windows tumble: when a flow arrives
+past the window end, the window is finalised (its result retained in
+``history``) and a new one starts.
+
+Fidelity note: θ_vol, θ_churn and the reduction step are computed from
+the streaming features *exactly* as in the batch pipeline; θ_hm uses
+the per-host interstitial reservoir (an unbiased sample) instead of the
+complete sample set, so its histograms converge to the batch ones as
+the reservoir grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..flows.record import FlowRecord
+from ..flows.streaming import StreamingFeatureExtractor
+from ..stats.histogram import Histogram, build_histogram
+from ..stats.thresholds import percentile_threshold, select_above, select_below
+from .humanmachine import MIN_SAMPLES, _LOG_FLOOR, cluster_hosts
+from .pipeline import PipelineConfig
+
+__all__ = ["OnlineVerdict", "OnlineDetector"]
+
+
+@dataclass(frozen=True)
+class OnlineVerdict:
+    """One evaluation of the current window."""
+
+    window_index: int
+    evaluated_at: float
+    hosts_seen: int
+    reduced: frozenset
+    suspects: frozenset
+
+
+class OnlineDetector:
+    """Streaming FindPlotters over tumbling windows.
+
+    Parameters
+    ----------
+    internal_hosts:
+        The candidate (internal) host population; flows from other
+        sources are ingested but never scored.
+    window:
+        Window length in seconds (the paper's D; default six hours).
+    config:
+        Detection thresholds, shared with the batch pipeline.
+    """
+
+    def __init__(
+        self,
+        internal_hosts: Set[str],
+        window: float = 6 * 3600.0,
+        config: PipelineConfig = PipelineConfig(),
+        reservoir_size: int = 4096,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window length must be positive")
+        self.internal_hosts = set(internal_hosts)
+        self.window = window
+        self.config = config
+        self.reservoir_size = reservoir_size
+        self.history: List[OnlineVerdict] = []
+        self._window_index = 0
+        self._window_start: Optional[float] = None
+        self._extractor = self._fresh_extractor()
+
+    def _fresh_extractor(self) -> StreamingFeatureExtractor:
+        return StreamingFeatureExtractor(
+            reservoir_size=self.reservoir_size,
+            seed=self._window_index,
+        )
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, flow: FlowRecord) -> None:
+        """Feed one flow; rolls the window when the flow starts past it."""
+        if self._window_start is None:
+            self._window_start = flow.start
+        elif flow.start >= self._window_start + self.window:
+            self._finalize(self._window_start + self.window)
+            # Advance by whole windows so a long gap skips empty ones.
+            while flow.start >= self._window_start + self.window:
+                self._window_start += self.window
+        self._extractor.update(flow)
+
+    def ingest_many(self, flows) -> None:
+        """Feed an iterable of flows (must be roughly time-ordered)."""
+        for flow in flows:
+            self.ingest(flow)
+
+    def _finalize(self, at: float) -> None:
+        self.history.append(self.evaluate(at))
+        self._window_index += 1
+        self._extractor = self._fresh_extractor()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, now: Optional[float] = None) -> OnlineVerdict:
+        """Run the FindPlotters logic over the current window's state."""
+        features = {
+            host: feats
+            for host, feats in self._extractor.all_features().items()
+            if host in self.internal_hosts
+        }
+        evaluated_at = (
+            now
+            if now is not None
+            else (self._window_start or 0.0)
+        )
+
+        # Initial data reduction on failed-connection rates.
+        rates = {
+            h: f.failed_conn_rate
+            for h, f in features.items()
+            if f.successful_flow_count > 0
+        }
+        if not rates:
+            return OnlineVerdict(
+                window_index=self._window_index,
+                evaluated_at=evaluated_at,
+                hosts_seen=len(features),
+                reduced=frozenset(),
+                suspects=frozenset(),
+            )
+        reduction_threshold = percentile_threshold(
+            list(rates.values()), self.config.reduction_percentile
+        )
+        reduced = select_above(rates, reduction_threshold)
+
+        # θ_vol and θ_churn from the streamed features.
+        vol_metric = {h: features[h].avg_flow_size for h in reduced}
+        churn_metric = {h: features[h].new_ip_fraction for h in reduced}
+        suspects: Set[str] = set()
+        if vol_metric:
+            vol_threshold = percentile_threshold(
+                list(vol_metric.values()), self.config.vol_percentile
+            )
+            churn_threshold = percentile_threshold(
+                list(churn_metric.values()), self.config.churn_percentile
+            )
+            union = select_below(vol_metric, vol_threshold) | select_below(
+                churn_metric, churn_threshold
+            )
+            # θ_hm over reservoir-sampled interstitials.
+            histograms: Dict[str, Histogram] = {}
+            for host in sorted(union):
+                samples = features[host].interstitials
+                if len(samples) < MIN_SAMPLES:
+                    continue
+                if self.config.hm_log_scale:
+                    samples = tuple(
+                        float(np.log10(max(s, _LOG_FLOOR))) for s in samples
+                    )
+                histograms[host] = build_histogram(list(samples))
+            clustering = cluster_hosts(
+                histograms,
+                self.config.hm_percentile,
+                self.config.hm_cut_fraction,
+            )
+            suspects = {h for cluster in clustering.kept for h in cluster}
+
+        return OnlineVerdict(
+            window_index=self._window_index,
+            evaluated_at=evaluated_at,
+            hosts_seen=len(features),
+            reduced=frozenset(reduced),
+            suspects=frozenset(suspects),
+        )

@@ -1,0 +1,135 @@
+"""Port-split detection: finding Plotters that hide behind Traders.
+
+§VI of the paper identifies its main limitation: a Plotter sharing a
+host with a heavy Trader can be obscured by the Trader's traffic, and
+sketches the fix — "separate traffic by application, such as determined
+using port numbers. Traffic from each port, or a group of associated
+ports, can then be applied individually to the tests."  This module
+implements that extension.
+
+Each internal host's flows are partitioned into *port groups* (exact
+destination port for ports the host uses heavily, a shared bucket for
+the rest), each (host, group) pair becomes a virtual host, and the
+FindPlotters pipeline runs over the virtual population.  A real host is
+flagged if any of its virtual hosts is flagged; the responsible port
+group is reported, which is operationally useful by itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..flows.record import FlowRecord
+from ..flows.store import FlowStore
+from .pipeline import PipelineConfig, PipelineResult, find_plotters
+
+__all__ = ["PortSplitConfig", "PortSplitResult", "find_plotters_port_split"]
+
+#: Separator in virtual-host identifiers.  IPv4 addresses never contain
+#: it, so splitting back is unambiguous.
+_SEP = "|"
+
+
+@dataclass(frozen=True)
+class PortSplitConfig:
+    """How a host's traffic is partitioned into port groups.
+
+    A destination port gets its own group when the host sent at least
+    ``min_flows_per_group`` flows to it; all remaining flows share the
+    ``"rest"`` group.  Virtual hosts with fewer than
+    ``min_flows_per_group`` total flows are dropped — they cannot carry
+    a meaningful signal through the tests.
+    """
+
+    min_flows_per_group: int = 20
+    pipeline: PipelineConfig = PipelineConfig()
+
+
+@dataclass(frozen=True)
+class PortSplitResult:
+    """Port-split detection output.
+
+    ``suspects`` are real hosts; ``suspect_groups`` maps each suspect to
+    the port groups whose virtual host was flagged.
+    """
+
+    pipeline: PipelineResult
+    suspects: frozenset
+    suspect_groups: Dict[str, Tuple[str, ...]]
+    virtual_hosts: int
+
+
+def _port_groups(
+    flows: List[FlowRecord], min_flows: int
+) -> Dict[str, List[FlowRecord]]:
+    """Partition one host's flows into port groups."""
+    per_port: Dict[int, List[FlowRecord]] = {}
+    for flow in flows:
+        per_port.setdefault(flow.dport, []).append(flow)
+    groups: Dict[str, List[FlowRecord]] = {}
+    rest: List[FlowRecord] = []
+    for port, port_flows in per_port.items():
+        if len(port_flows) >= min_flows:
+            groups[str(port)] = port_flows
+        else:
+            rest.extend(port_flows)
+    if rest:
+        groups["rest"] = rest
+    return groups
+
+
+def split_virtual_hosts(
+    store: FlowStore,
+    hosts: Iterable[str],
+    min_flows_per_group: int = 20,
+) -> Tuple[FlowStore, Dict[str, str]]:
+    """Rewrite flows so each (host, port group) is its own source.
+
+    Returns the rewritten store and the virtual→real host mapping.
+    Flows initiated by addresses outside ``hosts`` pass through
+    unchanged (they are nobody's virtual host).
+    """
+    host_set = set(hosts)
+    rewritten: List[FlowRecord] = []
+    mapping: Dict[str, str] = {}
+    for host in sorted(host_set):
+        flows = store.flows_from(host)
+        for group, group_flows in _port_groups(flows, min_flows_per_group).items():
+            if len(group_flows) < min_flows_per_group:
+                continue
+            virtual = f"{host}{_SEP}{group}"
+            mapping[virtual] = host
+            rewritten.extend(f.reassigned(virtual) for f in group_flows)
+    for flow in store:
+        if flow.src not in host_set:
+            rewritten.append(flow)
+    return FlowStore(rewritten), mapping
+
+
+def find_plotters_port_split(
+    store: FlowStore,
+    hosts: Set[str],
+    config: PortSplitConfig = PortSplitConfig(),
+) -> PortSplitResult:
+    """Run FindPlotters over per-port virtual hosts (§VI extension)."""
+    virtual_store, mapping = split_virtual_hosts(
+        store, hosts, config.min_flows_per_group
+    )
+    result = find_plotters(
+        virtual_store, hosts=set(mapping), config=config.pipeline
+    )
+    suspect_groups: Dict[str, List[str]] = {}
+    for virtual in result.suspects:
+        host = mapping[virtual]
+        group = virtual.split(_SEP, 1)[1]
+        suspect_groups.setdefault(host, []).append(group)
+    return PortSplitResult(
+        pipeline=result,
+        suspects=frozenset(suspect_groups),
+        suspect_groups={
+            host: tuple(sorted(groups))
+            for host, groups in suspect_groups.items()
+        },
+        virtual_hosts=len(mapping),
+    )

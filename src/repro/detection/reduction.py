@@ -1,0 +1,73 @@
+"""Initial data reduction: filtering hosts unlikely to be P2P at all.
+
+§V-A: P2P hosts — Traders *and* Plotters — exhibit much higher
+failed-connection rates than ordinary hosts, because peer churn leaves
+every peer's contact lists full of stale entries.  The paper therefore
+keeps only hosts whose failed-connection rate exceeds the *median*
+across all hosts that initiated successful flows in the window,
+removing roughly half the population while retaining essentially all
+P2P hosts.  The threshold is recomputed for every day of traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..flows.metrics import failed_connection_rate
+from ..flows.store import FlowStore
+from ..stats.thresholds import percentile_threshold, select_above
+from .testbase import TestResult
+
+__all__ = ["failed_rates", "initial_data_reduction"]
+
+
+def failed_rates(store: FlowStore, hosts: Iterable[str]) -> Dict[str, float]:
+    """Failed-connection rate per host, for hosts with ≥1 successful flow.
+
+    Hosts that never initiated a successful connection are excluded, as
+    in the paper ("Only hosts that initiated successful connections
+    within that day were included").
+    """
+    rates: Dict[str, float] = {}
+    for host in hosts:
+        flows = store.flows_from(host)
+        if not flows:
+            continue
+        if all(f.failed for f in flows):
+            continue
+        rates[host] = failed_connection_rate(flows)
+    return rates
+
+
+def initial_data_reduction(
+    store: FlowStore,
+    hosts: Optional[Set[str]] = None,
+    percentile: float = 50.0,
+) -> TestResult:
+    """Keep hosts whose failed-connection rate exceeds the percentile.
+
+    Parameters
+    ----------
+    store:
+        The traffic Λ for the detection window.
+    hosts:
+        Candidate hosts (default: every initiator in the store).
+    percentile:
+        Percentile of the per-host failed-connection rate used as the
+        cutoff; the paper uses the median (50).
+    """
+    if hosts is None:
+        hosts = store.initiators
+    rates = failed_rates(store, hosts)
+    if not rates:
+        return TestResult(
+            name="reduction", selected=frozenset(), threshold=0.0, metric={}
+        )
+    threshold = percentile_threshold(list(rates.values()), percentile)
+    selected = select_above(rates, threshold)
+    return TestResult(
+        name="reduction",
+        selected=frozenset(selected),
+        threshold=threshold,
+        metric=rates,
+    )

@@ -1,0 +1,130 @@
+"""Evaluation reports: per-stage funnels and detection rates.
+
+These helpers turn a :class:`~repro.detection.pipeline.PipelineResult`
+plus ground truth into the quantities the paper reports — true/false
+positive rates per botnet (Figure 9's endpoint), per-stage survival of
+each host class (Figure 9's funnel), and multi-day averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .pipeline import PipelineResult
+
+__all__ = ["StageCounts", "DetectionReport", "evaluate_pipeline", "average_reports"]
+
+
+@dataclass(frozen=True)
+class StageCounts:
+    """How many hosts of each class survive one pipeline stage."""
+
+    stage: str
+    total: int
+    per_class: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Detection quality of one FindPlotters run against ground truth."""
+
+    stages: Tuple[StageCounts, ...]
+    tpr_per_class: Dict[str, float]
+    false_positive_rate: float
+    trader_survival: float
+    suspects: frozenset
+
+    def tpr(self, cls: str) -> float:
+        """True-positive rate for one Plotter class (e.g. ``"storm"``)."""
+        return self.tpr_per_class.get(cls, 0.0)
+
+
+def _stage_counts(
+    stage: str, hosts: Set[str], classes: Dict[str, Set[str]]
+) -> StageCounts:
+    return StageCounts(
+        stage=stage,
+        total=len(hosts),
+        per_class={name: len(hosts & members) for name, members in classes.items()},
+    )
+
+
+def evaluate_pipeline(
+    result: PipelineResult,
+    plotters_by_class: Dict[str, Set[str]],
+    traders: Set[str],
+) -> DetectionReport:
+    """Score one pipeline run.
+
+    Parameters
+    ----------
+    result:
+        The pipeline output (with intermediate sets).
+    plotters_by_class:
+        Ground-truth Plotter hosts keyed by botnet name.
+    traders:
+        Ground-truth Trader hosts.
+
+    Notes
+    -----
+    The false-positive rate is computed over the *input* host set minus
+    all Plotters, matching the paper's accounting (0.81% of non-Plotter
+    hosts flagged); Trader survival (5.40% in the paper) is reported
+    separately.
+    """
+    all_plotters: Set[str] = set()
+    for members in plotters_by_class.values():
+        all_plotters |= members
+    classes: Dict[str, Set[str]] = dict(plotters_by_class)
+    classes["trader"] = traders
+
+    input_hosts = set(result.input_hosts)
+    stages = [
+        _stage_counts("input", input_hosts, classes),
+        _stage_counts("reduction", result.reduced_hosts, classes),
+        _stage_counts("volume", result.volume.selected_set, classes),
+        _stage_counts("churn", result.churn.selected_set, classes),
+        _stage_counts("vol-or-churn", result.union_vol_churn, classes),
+        _stage_counts("hm", result.suspects, classes),
+    ]
+
+    suspects = result.suspects
+    tpr_per_class = {
+        name: (len(suspects & members) / len(members) if members else 0.0)
+        for name, members in plotters_by_class.items()
+    }
+    negatives = input_hosts - all_plotters
+    false_positives = suspects & negatives
+    fpr = len(false_positives) / len(negatives) if negatives else 0.0
+    trader_survival = (
+        len(suspects & traders) / len(traders) if traders else 0.0
+    )
+    return DetectionReport(
+        stages=tuple(stages),
+        tpr_per_class=tpr_per_class,
+        false_positive_rate=fpr,
+        trader_survival=trader_survival,
+        suspects=frozenset(suspects),
+    )
+
+
+def average_reports(reports: Sequence[DetectionReport]) -> Dict[str, float]:
+    """Multi-day averages of the headline numbers (as in §V-B).
+
+    Returns a dictionary with ``tpr_<class>`` per Plotter class plus
+    ``fpr`` and ``trader_survival``.
+    """
+    if not reports:
+        raise ValueError("cannot average zero reports")
+    summary: Dict[str, float] = {}
+    class_names = set()
+    for report in reports:
+        class_names.update(report.tpr_per_class)
+    for name in sorted(class_names):
+        summary[f"tpr_{name}"] = sum(r.tpr(name) for r in reports) / len(reports)
+    summary["fpr"] = sum(r.false_positive_rate for r in reports) / len(reports)
+    summary["trader_survival"] = sum(
+        r.trader_survival for r in reports
+    ) / len(reports)
+    return summary

@@ -1,0 +1,54 @@
+"""Shared types for the detection tests.
+
+Each test in §IV consumes a collection of traffic Λ (a
+:class:`~repro.flows.store.FlowStore`), a host set S, and a threshold,
+and returns the subset of S exhibiting the characteristic it evaluates.
+:class:`TestResult` carries that subset along with the per-host metric
+and the dynamically computed threshold, so callers (and the evasion
+experiments) can inspect *why* hosts were kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+__all__ = ["TestResult"]
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of one detection test.
+
+    Attributes
+    ----------
+    name:
+        Which test produced this result (``"volume"``, ``"churn"``, …).
+    selected:
+        The hosts that passed (i.e. remain suspicious).
+    threshold:
+        The dynamically computed threshold value that was applied.
+    metric:
+        The per-host metric the threshold was applied to.  Hosts present
+        in the input set S always appear here, selected or not.
+    """
+
+    name: str
+    selected: frozenset
+    threshold: float
+    metric: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def selected_set(self) -> Set[str]:
+        """The selected hosts as a plain mutable set."""
+        return set(self.selected)
+
+    def survival_rate(self, hosts: Set[str]) -> float:
+        """Fraction of ``hosts`` that passed the test.
+
+        Useful for the Figure 9 funnel view (e.g. what share of Traders
+        survives each stage).  Returns 0.0 for an empty ``hosts``.
+        """
+        if not hosts:
+            return 0.0
+        return len(self.selected & hosts) / len(hosts)

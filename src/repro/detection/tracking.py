@@ -1,0 +1,136 @@
+"""Multi-day suspect tracking.
+
+The paper evaluates one day at a time; an operator runs the detector
+every day and reasons across days: a host flagged on five of eight days
+is a different proposition from one flagged once.  The tracker
+aggregates per-window verdicts, scores hosts by flag persistence, and
+answers the triage questions — who is newly flagged today, who keeps
+being flagged, whose cluster co-membership is stable.
+
+Cluster stability matters: two hosts that repeatedly land in the *same*
+timing cluster across days are almost certainly running the same
+binary, even when neither clears the threshold every single day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["DayVerdict", "SuspectTracker"]
+
+
+@dataclass(frozen=True)
+class DayVerdict:
+    """One detection window's outcome, as fed to the tracker."""
+
+    day: int
+    suspects: FrozenSet[str]
+    clusters: Tuple[FrozenSet[str], ...] = ()
+
+
+class SuspectTracker:
+    """Aggregates daily FindPlotters verdicts into operator state."""
+
+    def __init__(self) -> None:
+        self._verdicts: List[DayVerdict] = []
+        self._flag_days: Dict[str, Set[int]] = {}
+        self._pair_days: Dict[Tuple[str, str], Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def add_day(
+        self,
+        day: int,
+        suspects: Set[str],
+        clusters: Optional[Sequence[Set[str]]] = None,
+    ) -> None:
+        """Record one day's verdict.
+
+        ``clusters`` are the kept θ_hm clusters (e.g. from
+        :class:`~repro.detection.humanmachine.HmClustering`'s ``kept``);
+        they drive the co-membership statistics.  Days may arrive in
+        any order but each day index at most once.
+        """
+        if any(v.day == day for v in self._verdicts):
+            raise ValueError(f"day {day} already recorded")
+        cluster_tuple: Tuple[FrozenSet[str], ...] = tuple(
+            frozenset(c) for c in (clusters or ())
+        )
+        self._verdicts.append(
+            DayVerdict(
+                day=day, suspects=frozenset(suspects), clusters=cluster_tuple
+            )
+        )
+        for host in suspects:
+            self._flag_days.setdefault(host, set()).add(day)
+        for cluster in cluster_tuple:
+            members = sorted(cluster)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    self._pair_days.setdefault((a, b), set()).add(day)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_days(self) -> int:
+        """Number of recorded days."""
+        return len(self._verdicts)
+
+    def flag_count(self, host: str) -> int:
+        """On how many recorded days ``host`` was flagged."""
+        return len(self._flag_days.get(host, ()))
+
+    def flag_rate(self, host: str) -> float:
+        """Fraction of recorded days on which ``host`` was flagged."""
+        if not self._verdicts:
+            return 0.0
+        return self.flag_count(host) / self.n_days
+
+    def persistent_suspects(self, min_days: int = 2) -> List[str]:
+        """Hosts flagged on at least ``min_days`` days, most-flagged first."""
+        ranked = [
+            (len(days), host)
+            for host, days in self._flag_days.items()
+            if len(days) >= min_days
+        ]
+        ranked.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [host for _count, host in ranked]
+
+    def newly_flagged(self, day: int) -> Set[str]:
+        """Hosts flagged on ``day`` but on no earlier recorded day."""
+        today = next(
+            (v for v in self._verdicts if v.day == day), None
+        )
+        if today is None:
+            raise KeyError(f"day {day} not recorded")
+        earlier: Set[str] = set()
+        for verdict in self._verdicts:
+            if verdict.day < day:
+                earlier |= verdict.suspects
+        return set(today.suspects) - earlier
+
+    def stable_pairs(self, min_days: int = 2) -> List[Tuple[str, str, int]]:
+        """Host pairs sharing a kept cluster on ≥ ``min_days`` days.
+
+        Returned as ``(host_a, host_b, day_count)``, strongest first —
+        the operator's "same binary" signal.
+        """
+        ranked = [
+            (pair[0], pair[1], len(days))
+            for pair, days in self._pair_days.items()
+            if len(days) >= min_days
+        ]
+        ranked.sort(key=lambda row: (-row[2], row[0], row[1]))
+        return ranked
+
+    def summary_rows(self, min_days: int = 1) -> List[List[str]]:
+        """Table rows: host, days flagged, rate — for reporting."""
+        rows = []
+        for host in self.persistent_suspects(min_days=min_days):
+            rows.append(
+                [host, str(self.flag_count(host)), f"{self.flag_rate(host):.2f}"]
+            )
+        return rows

@@ -1,0 +1,30 @@
+"""Evasion transformations and cost measures (§VI of the paper)."""
+
+from .jitter import jitter_flows, jitter_trace
+from .volume_inflation import (
+    inflate_flows,
+    inflate_trace,
+    required_inflation_factor,
+)
+from .combined import EvasionCost, EvasionPlan, apply_evasion_plan
+from .churn_inflation import (
+    pad_trace,
+    pad_with_new_contacts,
+    required_churn_factor,
+    required_new_contacts,
+)
+
+__all__ = [
+    "EvasionCost",
+    "EvasionPlan",
+    "apply_evasion_plan",
+    "jitter_flows",
+    "jitter_trace",
+    "inflate_flows",
+    "inflate_trace",
+    "required_inflation_factor",
+    "pad_trace",
+    "pad_with_new_contacts",
+    "required_churn_factor",
+    "required_new_contacts",
+]

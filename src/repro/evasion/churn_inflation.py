@@ -1,0 +1,145 @@
+"""Churn-inflation evasion (§VI, Figure 11(b)).
+
+To escape θ_churn a Plotter must raise its fraction of newly-contacted
+IPs above τ_churn while still talking to its real peers.  The only way
+to do that without dropping peers is to *add* one-time contacts to
+fresh addresses — which is exactly the scanning-like behaviour that
+makes the bot conspicuous elsewhere.  The paper quantifies the cost as
+the factor by which the new-IP fraction must grow (≥1.5×).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List
+
+from ..datasets.honeynet import HoneynetTrace
+from ..flows.record import FlowRecord, FlowState, Protocol
+from ..flows.store import FlowStore
+
+__all__ = [
+    "required_new_contacts",
+    "required_churn_factor",
+    "pad_with_new_contacts",
+    "pad_trace",
+]
+
+
+def required_churn_factor(current_fraction: float, threshold: float) -> float:
+    """The multiplicative growth in new-IP fraction needed to evade.
+
+    The Figure 11(b) quantity: τ_churn ÷ the (median) Plotter's current
+    new-IP fraction.  Values ≤ 1 mean the host already evades.
+    """
+    if current_fraction <= 0:
+        return math.inf
+    return max(threshold / current_fraction, 0.0)
+
+
+def required_new_contacts(
+    n_existing_dests: int, current_new: int, target_fraction: float
+) -> int:
+    """One-time contacts needed to reach ``target_fraction`` new IPs.
+
+    With ``n_existing_dests`` total destinations of which
+    ``current_new`` are new, adding ``k`` fresh one-time destinations
+    (all new by construction) yields fraction
+    ``(current_new + k) / (n_existing_dests + k)``; solve for the least
+    integer ``k`` reaching the target.  Returns 0 when already above,
+    raises ``ValueError`` for an unreachable target (≥ 1).
+    """
+    if not 0.0 <= target_fraction < 1.0:
+        raise ValueError("target fraction must lie in [0, 1)")
+    if n_existing_dests <= 0:
+        return 0
+    current = current_new / n_existing_dests
+    if current >= target_fraction:
+        return 0
+    k = (target_fraction * n_existing_dests - current_new) / (1.0 - target_fraction)
+    # Guard against float slop pushing an exact solution over the next
+    # integer (e.g. 800.0000000003 -> 801).
+    return int(math.ceil(k - 1e-9))
+
+
+def pad_with_new_contacts(
+    flows: List[FlowRecord],
+    host: str,
+    count: int,
+    rng: random.Random,
+    address_factory: Callable[[random.Random], str],
+    grace_period: float = 3600.0,
+    pad_bytes: int = 64,
+) -> List[FlowRecord]:
+    """Add ``count`` one-time contacts to fresh addresses after hour one.
+
+    The padding flows are spread over the remainder of the host's
+    activity window, *after* the churn metric's grace period (contacts
+    inside it would not count as new).  ``pad_bytes`` sets their size:
+    the default mimics small control messages, but a bot evading the
+    volume test *simultaneously* must pad with large flows — small pads
+    drag its average bytes/flow back under τ_vol (see the combined-
+    evasion experiment).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if not flows:
+        return list(flows)
+    ordered = sorted(flows, key=lambda f: f.start)
+    t0 = ordered[0].start
+    t1 = max(f.start for f in ordered)
+    window_start = t0 + grace_period
+    if t1 <= window_start:
+        t1 = window_start + 1.0
+    padded = list(flows)
+    for _ in range(count):
+        start = rng.uniform(window_start, t1)
+        padded.append(
+            FlowRecord(
+                src=host,
+                dst=address_factory(rng),
+                sport=rng.randint(1024, 65000),
+                dport=rng.randint(1024, 65000),
+                proto=Protocol.UDP,
+                start=start,
+                end=start + 2.0,
+                src_bytes=pad_bytes,
+                dst_bytes=0,
+                src_pkts=max(1, pad_bytes // 800),
+                dst_pkts=0,
+                state=FlowState.TIMEOUT,
+            )
+        )
+    return padded
+
+
+def pad_trace(
+    trace: HoneynetTrace,
+    target_fraction: float,
+    rng: random.Random,
+    address_factory: Callable[[random.Random], str],
+    grace_period: float = 3600.0,
+    pad_bytes: int = 64,
+) -> HoneynetTrace:
+    """Pad every bot of a trace up to the target new-IP fraction."""
+    from ..flows.metrics import new_ip_fraction
+
+    flows: List[FlowRecord] = []
+    for bot in trace.bots:
+        bot_flows = trace.store.flows_from(bot)
+        dests = {f.dst for f in bot_flows}
+        current = new_ip_fraction(bot_flows, grace_period)
+        count = required_new_contacts(
+            len(dests), int(round(current * len(dests))), target_fraction
+        )
+        flows.extend(
+            pad_with_new_contacts(
+                bot_flows, bot, count, rng, address_factory, grace_period,
+                pad_bytes,
+            )
+        )
+    bot_set = set(trace.bots)
+    flows.extend(f for f in trace.store if f.src not in bot_set)
+    return HoneynetTrace(
+        botnet=trace.botnet, bots=trace.bots, store=FlowStore(flows)
+    )

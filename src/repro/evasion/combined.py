@@ -1,0 +1,111 @@
+"""Combined evasion: a botmaster who attacks every test at once.
+
+§VI quantifies the cost of evading each test *separately*.  A rational
+adversary applies all the behavioural changes together — inflating
+per-flow volume past τ_vol, padding new-IP contacts past τ_churn, and
+jittering repeat-contact timing against θ_hm — and pays all the costs
+together (more conspicuous traffic, scanning-like contact patterns,
+minutes of command latency).  This module composes the three
+transformations and reports the total traffic overhead the evasion
+adds, so the defender's "evasion is expensive" claim can be priced.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..datasets.honeynet import HoneynetTrace
+from .churn_inflation import pad_trace
+from .jitter import jitter_trace
+from .volume_inflation import inflate_trace
+
+__all__ = ["EvasionPlan", "EvasionCost", "apply_evasion_plan"]
+
+
+@dataclass(frozen=True)
+class EvasionPlan:
+    """The behavioural changes the botmaster ships in the next binary.
+
+    ``volume_factor`` multiplies uploaded bytes per flow;
+    ``churn_target`` is the new-IP fraction to pad up to (``None`` to
+    skip); ``jitter`` is the ±d half-width applied to repeat contacts.
+    """
+
+    volume_factor: float = 1.0
+    churn_target: Optional[float] = None
+    jitter: float = 0.0
+    pad_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.volume_factor < 1.0:
+            raise ValueError("evasion never *shrinks* flows; factor >= 1")
+        if self.churn_target is not None and not 0.0 <= self.churn_target < 1.0:
+            raise ValueError("churn target must lie in [0, 1)")
+        if self.jitter < 0.0:
+            raise ValueError("jitter half-width must be non-negative")
+        if self.pad_bytes <= 0:
+            raise ValueError("pad flows must carry at least one byte")
+
+
+@dataclass(frozen=True)
+class EvasionCost:
+    """The overhead the plan added, measured on the transformed trace."""
+
+    extra_upload_bytes: int
+    extra_flows: int
+    upload_overhead: float  # fraction of the original upload volume
+    flow_overhead: float  # fraction of the original flow count
+
+
+def apply_evasion_plan(
+    trace: HoneynetTrace,
+    plan: EvasionPlan,
+    rng: random.Random,
+    address_factory: Callable[[random.Random], str],
+    horizon: Optional[float] = None,
+) -> "tuple[HoneynetTrace, EvasionCost]":
+    """Apply a full evasion plan; return the new trace and its cost.
+
+    Order matters and mirrors what the binary would do: flows are
+    padded (volume), extra one-time contacts are added (churn), and
+    finally the timing of repeat contacts is randomised (jitter) —
+    jitter applies to the padded flows too, since the binary emits them
+    all.
+    """
+    bot_set = set(trace.bots)
+
+    def bot_upload(t: HoneynetTrace) -> int:
+        return sum(f.src_bytes for f in t.store if f.src in bot_set)
+
+    def bot_flows(t: HoneynetTrace) -> int:
+        return sum(1 for f in t.store if f.src in bot_set)
+
+    base_bytes = bot_upload(trace)
+    base_flows = bot_flows(trace)
+
+    evaded = trace
+    if plan.volume_factor > 1.0:
+        evaded = inflate_trace(evaded, plan.volume_factor)
+    if plan.churn_target is not None:
+        evaded = pad_trace(
+            evaded, plan.churn_target, rng, address_factory,
+            pad_bytes=plan.pad_bytes,
+        )
+    if plan.jitter > 0.0:
+        evaded = jitter_trace(evaded, plan.jitter, rng, horizon)
+
+    new_bytes = bot_upload(evaded)
+    new_flows = bot_flows(evaded)
+    cost = EvasionCost(
+        extra_upload_bytes=new_bytes - base_bytes,
+        extra_flows=new_flows - base_flows,
+        upload_overhead=(
+            (new_bytes - base_bytes) / base_bytes if base_bytes else 0.0
+        ),
+        flow_overhead=(
+            (new_flows - base_flows) / base_flows if base_flows else 0.0
+        ),
+    )
+    return evaded, cost

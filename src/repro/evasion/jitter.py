@@ -1,0 +1,82 @@
+"""Interstitial-time jitter evasion (§VI, Figure 12).
+
+To escape θ_hm a botmaster can have every bot add (or subtract) a random
+delay before each connection to a previously-contacted peer, drawn
+uniformly from ±d.  The paper simulates exactly this on its Plotter
+traces and measures how the true-positive rate decays with d; this
+module is that transformation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..datasets.honeynet import HoneynetTrace
+from ..flows.record import FlowRecord
+from ..flows.store import FlowStore
+
+__all__ = ["jitter_flows", "jitter_trace"]
+
+
+def jitter_flows(
+    flows: List[FlowRecord],
+    d: float,
+    rng: random.Random,
+    horizon: Optional[float] = None,
+) -> List[FlowRecord]:
+    """Apply ±d uniform start-time jitter to repeat-contact flows.
+
+    Only flows to destinations the host has *already contacted* are
+    delayed, as in the paper ("before every connection a Plotter makes
+    to a peer with which it had previously communicated").  First
+    contacts keep their timing — delaying those would change peer
+    discovery, not hide periodicity.
+
+    A connection delayed past the observation window (or advanced past
+    its start) is simply *not observed* and is dropped — clamping it to
+    the boundary would pile flows onto one timestamp and hand the
+    botnet a brand-new shared timing fingerprint (zero-gap spikes),
+    which is a simulation artifact, not an evasion property.
+    """
+    if d < 0:
+        raise ValueError("jitter range d must be non-negative")
+    seen: set = set()
+    jittered: List[FlowRecord] = []
+    for flow in sorted(flows, key=lambda f: f.start):
+        if flow.dst in seen and d > 0:
+            delta = rng.uniform(-d, d)
+            new_start = flow.start + delta
+            if new_start < 0:
+                seen.add(flow.dst)
+                continue  # moved before the capture: unobserved
+            if horizon is not None and new_start > horizon:
+                seen.add(flow.dst)
+                continue  # moved past the window: unobserved
+            jittered.append(flow.shifted(new_start - flow.start))
+        else:
+            jittered.append(flow)
+        seen.add(flow.dst)
+    return jittered
+
+
+def jitter_trace(
+    trace: HoneynetTrace,
+    d: float,
+    rng: random.Random,
+    horizon: Optional[float] = None,
+) -> HoneynetTrace:
+    """A copy of a honeynet trace with per-bot jitter applied.
+
+    Only the bots' *initiated* connections are delayed (those are the
+    ones the evading binary controls); inbound flows from remote peers
+    pass through untouched.
+    """
+    flows: List[FlowRecord] = []
+    for bot in trace.bots:
+        flows.extend(jitter_flows(trace.store.flows_from(bot), d, rng, horizon))
+    bot_set = set(trace.bots)
+    flows.extend(f for f in trace.store if f.src not in bot_set)
+    return HoneynetTrace(
+        botnet=trace.botnet, bots=trace.bots, store=FlowStore(flows)
+    )

@@ -1,0 +1,58 @@
+"""Volume-inflation evasion (§VI, Figure 11(a)).
+
+To escape θ_vol a Plotter must push its average uploaded bytes per flow
+*above* τ_vol.  Because τ_vol is the median over all surviving hosts,
+the Plotter cannot observe the value it must beat; the paper quantifies
+the cost as the multiplicative factor between the threshold and the
+median Plotter's current value (~5× for Storm, ~1.3× for Nugache).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..datasets.honeynet import HoneynetTrace
+from ..flows.record import FlowRecord
+from ..flows.store import FlowStore
+
+__all__ = ["inflate_flows", "inflate_trace", "required_inflation_factor"]
+
+
+def inflate_flows(flows: List[FlowRecord], factor: float) -> List[FlowRecord]:
+    """Scale the uploaded bytes of every flow by ``factor``.
+
+    Models a bot padding its messages; packet counts are left alone
+    (padding rides in bigger datagrams), which is conservative in the
+    bot's favour.
+    """
+    if factor < 0:
+        raise ValueError("inflation factor must be non-negative")
+    return [flow.scaled_volume(factor) for flow in flows]
+
+
+def inflate_trace(trace: HoneynetTrace, factor: float) -> HoneynetTrace:
+    """A copy of a honeynet trace with every bot's upload volume scaled.
+
+    Inbound flows from remote peers are not the bot's to pad; they pass
+    through unchanged.
+    """
+    flows: List[FlowRecord] = []
+    for bot in trace.bots:
+        flows.extend(inflate_flows(trace.store.flows_from(bot), factor))
+    bot_set = set(trace.bots)
+    flows.extend(f for f in trace.store if f.src not in bot_set)
+    return HoneynetTrace(
+        botnet=trace.botnet, bots=trace.bots, store=FlowStore(flows)
+    )
+
+
+def required_inflation_factor(current: float, threshold: float) -> float:
+    """The factor by which a value must grow to reach ``threshold``.
+
+    This is the Figure 11(a) quantity: threshold ÷ the (median)
+    Plotter's average flow size.  Values ≤ 1 mean the host already
+    clears the threshold.
+    """
+    if current <= 0:
+        raise ValueError("current average flow size must be positive")
+    return max(threshold / current, 0.0)

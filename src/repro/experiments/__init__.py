@@ -1,0 +1,103 @@
+"""Experiment harness: one runner per figure of the paper's evaluation."""
+
+from .config import ExperimentConfig, ExperimentContext, context_from_env
+from .distributions import (
+    DistributionResult,
+    run_fig1_volume_cdf,
+    run_fig2_new_ip_timeseries,
+    run_fig3_interstitial,
+    run_fig5_failed_conn_cdf,
+)
+from .roc import RocResult, run_fig6_roc_volume, run_fig7_roc_churn, run_fig8_roc_hm
+from .pipeline_figs import (
+    ActivityResult,
+    FunnelResult,
+    day_report,
+    run_fig10_nugache_activity,
+    run_fig9_funnel,
+)
+from .evasion_figs import (
+    DEFAULT_JITTER_SWEEP,
+    JitterResult,
+    ThresholdGapResult,
+    run_fig11_evasion_thresholds,
+    run_fig12_jitter_decay,
+)
+from .ablations import (
+    AblationResult,
+    run_ablation_binning,
+    run_ablation_composition,
+    run_ablation_distance,
+    run_ablation_thresholds,
+    run_baseline_comparison,
+)
+from .sensitivity import (
+    SensitivityResult,
+    run_sensitivity_botnet_size,
+    run_sensitivity_sampling,
+    run_sensitivity_window,
+)
+from .extensions import (
+    CombinedEvasionResult,
+    run_ext_combined_evasion,
+    TraderHostedResult,
+    WaledacResult,
+    run_ext_trader_hosted,
+    run_ext_waledac,
+)
+from .paper_targets import PAPER_HEADLINE, ShapeCheck, check_headline, check_roc_shape
+from .report_md import PAPER_EXPECTATIONS, build_report, write_report
+from .tables import render_series, render_table
+from .cli import EXPERIMENTS, main
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "context_from_env",
+    "DistributionResult",
+    "run_fig1_volume_cdf",
+    "run_fig2_new_ip_timeseries",
+    "run_fig3_interstitial",
+    "run_fig5_failed_conn_cdf",
+    "RocResult",
+    "run_fig6_roc_volume",
+    "run_fig7_roc_churn",
+    "run_fig8_roc_hm",
+    "ActivityResult",
+    "FunnelResult",
+    "day_report",
+    "run_fig10_nugache_activity",
+    "run_fig9_funnel",
+    "DEFAULT_JITTER_SWEEP",
+    "JitterResult",
+    "ThresholdGapResult",
+    "run_fig11_evasion_thresholds",
+    "run_fig12_jitter_decay",
+    "AblationResult",
+    "run_ablation_binning",
+    "run_ablation_composition",
+    "run_ablation_distance",
+    "run_ablation_thresholds",
+    "run_baseline_comparison",
+    "SensitivityResult",
+    "run_sensitivity_botnet_size",
+    "run_sensitivity_sampling",
+    "run_sensitivity_window",
+    "CombinedEvasionResult",
+    "run_ext_combined_evasion",
+    "TraderHostedResult",
+    "WaledacResult",
+    "run_ext_trader_hosted",
+    "run_ext_waledac",
+    "PAPER_HEADLINE",
+    "ShapeCheck",
+    "check_headline",
+    "check_roc_shape",
+    "PAPER_EXPECTATIONS",
+    "build_report",
+    "write_report",
+    "render_series",
+    "render_table",
+    "EXPERIMENTS",
+    "main",
+]

@@ -1,0 +1,140 @@
+"""Machine-readable reproduction targets from the paper.
+
+EXPERIMENTS.md narrates paper-vs-measured; this module encodes the
+*shape* criteria as executable checks, so "did the reproduction hold?"
+is a function call, not a judgement.  Each check returns a
+:class:`ShapeCheck` with the claim, the measured value(s), and a
+verdict; the Figure 9 benchmark asserts the non-negotiable ones.
+
+The criteria deliberately test orderings and rough factors, never
+absolute equality — the substrate is a simulator, not the 2007 CMU
+border (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["PAPER_HEADLINE", "ShapeCheck", "check_headline", "check_roc_shape"]
+
+#: The paper's §V-B operating-point numbers (Figure 9).
+PAPER_HEADLINE: Dict[str, float] = {
+    "tpr_storm": 0.8750,
+    "tpr_nugache": 0.30,
+    "fpr": 0.0081,
+    "trader_survival": 0.0540,
+}
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One reproduction criterion and its outcome."""
+
+    name: str
+    claim: str
+    measured: str
+    passed: bool
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.claim} (measured: {self.measured})"
+
+
+def check_headline(summary: Dict[str, float]) -> List[ShapeCheck]:
+    """Shape checks for the Figure 9 headline rates.
+
+    ``summary`` is the dict produced by
+    :func:`repro.detection.report.average_reports` (keys ``tpr_storm``,
+    ``tpr_nugache``, ``fpr``, ``trader_survival``).
+    """
+    storm = summary["tpr_storm"]
+    nugache = summary["tpr_nugache"]
+    fpr = summary["fpr"]
+    traders = summary["trader_survival"]
+    return [
+        ShapeCheck(
+            name="storm-high",
+            claim="Storm detection is high (paper: 87.5%; shape: ≥ 60%)",
+            measured=f"{storm:.3f}",
+            passed=storm >= 0.60,
+        ),
+        ShapeCheck(
+            name="storm-over-nugache",
+            claim="Storm is detected at a higher rate than Nugache",
+            measured=f"{storm:.3f} vs {nugache:.3f}",
+            passed=storm >= nugache,
+        ),
+        ShapeCheck(
+            name="nugache-partial",
+            claim=(
+                "Nugache is partially detected (paper: 30%; shape: "
+                "strictly between the FPR and Storm)"
+            ),
+            measured=f"{nugache:.3f} (fpr {fpr:.3f})",
+            passed=fpr < nugache < max(storm, 1e-9) + 1e-9,
+        ),
+        ShapeCheck(
+            name="fpr-small",
+            claim=(
+                "FPR is far below the single tests' tens of percent "
+                "(shape: ≤ 15%)"
+            ),
+            measured=f"{fpr:.4f}",
+            passed=fpr <= 0.15,
+        ),
+        ShapeCheck(
+            name="traders-mostly-cleared",
+            claim=(
+                "most Traders are eliminated despite the shared "
+                "substrate (paper: 5.4% survive; shape: ≤ 35%)"
+            ),
+            measured=f"{traders:.3f}",
+            passed=traders <= 0.35,
+        ),
+    ]
+
+
+def check_roc_shape(
+    points: Dict[str, Sequence[Tuple[float, float, float]]],
+) -> List[ShapeCheck]:
+    """Shape checks for a single-test ROC (Figures 6–8 form).
+
+    ``points`` maps botnet → [(percentile, TPR, FPR), …].
+    """
+    checks: List[ShapeCheck] = []
+    for botnet, series in points.items():
+        tprs = [tpr for _p, tpr, _f in series]
+        fprs = [fpr for _p, _t, fpr in series]
+        checks.append(
+            ShapeCheck(
+                name=f"{botnet}-tpr-monotone",
+                claim="looser thresholds keep at least as many bots",
+                measured=str([round(t, 3) for t in tprs]),
+                passed=all(b >= a - 1e-9 for a, b in zip(tprs, tprs[1:])),
+            )
+        )
+        checks.append(
+            ShapeCheck(
+                name=f"{botnet}-fpr-monotone",
+                claim="looser thresholds keep at least as many negatives",
+                measured=str([round(f, 3) for f in fprs]),
+                passed=all(b >= a - 1e-9 for a, b in zip(fprs, fprs[1:])),
+            )
+        )
+    if {"storm", "nugache"} <= set(points):
+        storm_mean = sum(t for _p, t, _f in points["storm"]) / len(
+            points["storm"]
+        )
+        nugache_mean = sum(t for _p, t, _f in points["nugache"]) / len(
+            points["nugache"]
+        )
+        checks.append(
+            ShapeCheck(
+                name="storm-dominates-sweep",
+                claim="Storm ≥ Nugache on average across the sweep",
+                measured=f"{storm_mean:.3f} vs {nugache_mean:.3f}",
+                passed=storm_mean >= nugache_mean - 1e-9,
+            )
+        )
+    return checks

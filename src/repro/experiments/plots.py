@@ -1,0 +1,142 @@
+"""Terminal plots: ASCII renderings of the paper's figure types.
+
+The experiment tables give exact numbers; these helpers give the same
+data the *visual* form the paper's figures have — CDF staircases, ROC
+scatter, decay curves — without any plotting dependency, so `repro-
+experiments` output is readable at a glance over ssh.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..stats.ecdf import ecdf
+
+__all__ = ["ascii_cdf", "ascii_xy", "ascii_decay"]
+
+#: Glyphs assigned to series, in order.
+_GLYPHS = "ox+*#@%&"
+
+
+def _canvas(width: int, height: int) -> List[List[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _render(
+    canvas: List[List[str]],
+    title: str,
+    x_label: str,
+    y_label: str,
+    x_lo: float,
+    x_hi: float,
+    legend: Sequence[Tuple[str, str]],
+) -> str:
+    height = len(canvas)
+    lines = [title]
+    for row_index, row in enumerate(canvas):
+        y_value = 1.0 - row_index / (height - 1) if height > 1 else 1.0
+        prefix = f"{y_value:4.2f} |" if row_index % 2 == 0 else "     |"
+        lines.append(prefix + "".join(row))
+    width = len(canvas[0]) if canvas else 0
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {x_lo:<12g}{x_label:^{max(width - 24, 1)}}{x_hi:>10g}")
+    lines.append(
+        "      legend: "
+        + "  ".join(f"{glyph}={name}" for name, glyph in legend)
+        + f"   (y: {y_label})"
+    )
+    return "\n".join(lines)
+
+
+def _plot_points(
+    series: Dict[str, List[Tuple[float, float]]],
+    title: str,
+    x_label: str,
+    y_label: str,
+    width: int,
+    height: int,
+    log_x: bool,
+) -> str:
+    """Shared scatter renderer over unit-scaled y in [0, 1]."""
+    xs = [x for pts in series.values() for x, _y in pts]
+    if not xs:
+        raise ValueError("nothing to plot")
+    x_lo, x_hi = min(xs), max(xs)
+    if log_x:
+        floor = min(x for x in xs if x > 0) if any(x > 0 for x in xs) else 1.0
+        x_lo = max(x_lo, floor)
+
+    def x_to_col(x: float) -> int:
+        if x_hi == x_lo:
+            return 0
+        if log_x:
+            x = max(x, x_lo)
+            frac = (math.log10(x) - math.log10(x_lo)) / (
+                math.log10(x_hi) - math.log10(x_lo)
+            )
+        else:
+            frac = (x - x_lo) / (x_hi - x_lo)
+        return min(width - 1, max(0, int(round(frac * (width - 1)))))
+
+    canvas = _canvas(width, height)
+    legend = []
+    for index, (name, points) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        legend.append((name, glyph))
+        for x, y in points:
+            y = min(1.0, max(0.0, y))
+            row = min(height - 1, max(0, int(round((1.0 - y) * (height - 1)))))
+            canvas[row][x_to_col(x)] = glyph
+    return _render(canvas, title, x_label, y_label, x_lo, x_hi, legend)
+
+
+def ascii_cdf(
+    series: Dict[str, Sequence[float]],
+    title: str,
+    x_label: str = "value",
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+) -> str:
+    """Render per-dataset CDFs (the Figure 1 / Figure 5 form)."""
+    staircases = {
+        name: ecdf(list(values))
+        for name, values in series.items()
+        if len(values) > 0
+    }
+    return _plot_points(
+        staircases, title, x_label, "cumulative fraction", width, height, log_x
+    )
+
+
+def ascii_xy(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str,
+    x_label: str,
+    y_label: str,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+) -> str:
+    """Render (x, y∈[0,1]) series — ROC sweeps, decay curves."""
+    return _plot_points(
+        {name: list(points) for name, points in series.items()},
+        title,
+        x_label,
+        y_label,
+        width,
+        height,
+        log_x,
+    )
+
+
+def ascii_decay(
+    points: Dict[str, Sequence[Tuple[float, float]]],
+    title: str,
+    x_label: str = "jitter d (s)",
+) -> str:
+    """Render the Figure 12 decay-curve form (log x-axis)."""
+    return ascii_xy(
+        points, title, x_label, "TPR", log_x=True
+    )

@@ -1,0 +1,42 @@
+"""Plain-text table rendering for experiment output.
+
+Every figure runner returns structured data plus a table; the harness
+prints the same rows/series the paper's figures show, so paper-vs-
+measured comparison is a side-by-side read.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    title: str, header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned monospace table with a title line."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in cells:
+        if len(row) != len(header):
+            raise ValueError(
+                f"row arity {len(row)} does not match header {len(header)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str, points: Sequence[tuple], x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render an (x, y) series as a two-column table."""
+    return render_table(
+        title, [x_label, y_label], [(f"{x:g}", f"{y:.4f}") for x, y in points]
+    )

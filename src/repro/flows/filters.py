@@ -1,0 +1,65 @@
+"""Convenience predicates and selectors over flow stores.
+
+These helpers express the host/time scoping the paper's evaluation needs:
+restricting Λ to internal hosts, to a detection window D, or to hosts that
+were active (initiated successful flows) within the window.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Set
+
+from .record import FlowRecord, Protocol
+from .store import FlowStore
+
+__all__ = [
+    "is_internal",
+    "internal_initiators",
+    "active_hosts",
+    "tcp_udp_only",
+    "restrict_window",
+    "by_destination_port",
+]
+
+
+def is_internal(address: str, prefixes: Iterable[str]) -> bool:
+    """Whether ``address`` falls inside one of the internal prefixes.
+
+    Prefixes are dotted string prefixes such as ``"10.1."`` — sufficient
+    for the /16-style internal subnets the paper's vantage point covers.
+    """
+    return any(address.startswith(p) for p in prefixes)
+
+
+def internal_initiators(store: FlowStore, prefixes: Iterable[str]) -> Set[str]:
+    """Internal hosts that initiated at least one flow in the store."""
+    prefix_list = list(prefixes)
+    return {h for h in store.initiators if is_internal(h, prefix_list)}
+
+
+def active_hosts(store: FlowStore) -> Set[str]:
+    """Hosts that initiated at least one *successful* flow (§V-A)."""
+    active: Set[str] = set()
+    for host in store.initiators:
+        if any(not f.failed for f in store.flows_from(host)):
+            active.add(host)
+    return active
+
+
+def tcp_udp_only(store: FlowStore) -> FlowStore:
+    """Restrict to TCP and UDP flows (the paper's protocol scope, §III)."""
+    return store.filter(lambda f: f.proto in (Protocol.TCP, Protocol.UDP))
+
+
+def restrict_window(store: FlowStore, t0: float, t1: float) -> FlowStore:
+    """Restrict to flows starting within ``[t0, t1)`` — the window D."""
+    return store.between(t0, t1)
+
+
+def by_destination_port(port: int) -> Callable[[FlowRecord], bool]:
+    """Predicate selecting flows addressed to ``port``."""
+
+    def predicate(flow: FlowRecord) -> bool:
+        return flow.dport == port
+
+    return predicate

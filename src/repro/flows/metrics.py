@@ -1,0 +1,201 @@
+"""Per-host features extracted from flow records.
+
+These are the exact quantities the paper's tests consume:
+
+* **average bytes uploaded per flow** (§IV-A) — the volume test metric;
+* **failed-connection rate** (§V-A) — the initial data-reduction metric;
+* **fraction of new destination IPs** contacted after the first hour of a
+  host's activity in the window (§IV-B) — the churn test metric;
+* **per-destination flow interstitial times** (§IV-C) — the raw samples
+  behind the human-vs-machine test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .record import FlowRecord
+from .store import FlowStore
+
+__all__ = [
+    "HostFeatures",
+    "average_flow_size",
+    "failed_connection_rate",
+    "new_ip_fraction",
+    "new_ip_timeseries",
+    "interstitial_times",
+    "extract_features",
+    "extract_all_features",
+]
+
+#: Seconds in the "settling" period of the churn metric: destinations first
+#: contacted within this span of a host's first activity are treated as the
+#: host's baseline peer set (§IV-B uses one hour).
+NEW_IP_GRACE_PERIOD = 3600.0
+
+
+@dataclass(frozen=True)
+class HostFeatures:
+    """Bundle of the per-host features used by the detection tests."""
+
+    host: str
+    flow_count: int
+    successful_flow_count: int
+    avg_flow_size: float
+    failed_conn_rate: float
+    new_ip_fraction: float
+    distinct_destinations: int
+    interstitials: Tuple[float, ...]
+
+    @property
+    def initiated_successful(self) -> bool:
+        """Whether the host initiated at least one successful flow.
+
+        The paper only considers hosts that initiated successful
+        connections within the day (§V-A).
+        """
+        return self.successful_flow_count > 0
+
+
+def average_flow_size(flows: Sequence[FlowRecord]) -> float:
+    """Mean bytes *uploaded* (initiator-side) per flow (§IV-A).
+
+    The paper prefers this over the cumulative byte count because a chatty
+    Plotter can accumulate a large total while each flow stays tiny.
+    Returns 0.0 for an empty sequence.
+    """
+    if not flows:
+        return 0.0
+    return sum(f.src_bytes for f in flows) / len(flows)
+
+
+def failed_connection_rate(flows: Sequence[FlowRecord]) -> float:
+    """Fraction of a host's initiated flows that failed (§V-A).
+
+    Returns 0.0 for an empty sequence.
+    """
+    if not flows:
+        return 0.0
+    return sum(1 for f in flows if f.failed) / len(flows)
+
+
+def _first_contact_times(flows: Sequence[FlowRecord]) -> Dict[str, float]:
+    """Earliest start time at which each destination was first contacted."""
+    first: Dict[str, float] = {}
+    for flow in flows:
+        seen = first.get(flow.dst)
+        if seen is None or flow.start < seen:
+            first[flow.dst] = flow.start
+    return first
+
+
+def new_ip_fraction(
+    flows: Sequence[FlowRecord], grace_period: float = NEW_IP_GRACE_PERIOD
+) -> float:
+    """Fraction of destinations first contacted after the grace period.
+
+    §IV-B quantifies peer churn as the ratio of (i) the number of IP
+    addresses a host first contacts after its first hour of activity to
+    (ii) the total number of IP addresses it contacts in the window.  A
+    high value means high churn (Trader-like); a low value means the host
+    keeps talking to the same peers (Plotter-like).
+
+    Returns 0.0 when the host contacted no destinations.
+    """
+    first = _first_contact_times(flows)
+    if not first:
+        return 0.0
+    activity_start = min(f.start for f in flows)
+    cutoff = activity_start + grace_period
+    new = sum(1 for t in first.values() if t > cutoff)
+    return new / len(first)
+
+
+def new_ip_timeseries(
+    flows: Sequence[FlowRecord], bucket: float = 3600.0
+) -> List[Tuple[float, float]]:
+    """Per-bucket fraction of contacted destinations that are new.
+
+    For each time bucket (default: one hour) starting at the host's first
+    activity, report ``(bucket_start_offset, new_fraction)`` where
+    ``new_fraction`` is the share of destinations contacted in the bucket
+    that had never been contacted before.  This reproduces the view in
+    Figure 2 of the paper.
+    """
+    if not flows:
+        return []
+    ordered = sorted(flows, key=lambda f: f.start)
+    t0 = ordered[0].start
+    seen: Set[str] = set()
+    series: List[Tuple[float, float]] = []
+    bucket_index = 0
+    bucket_dests: Set[str] = set()
+    bucket_new: Set[str] = set()
+
+    def flush() -> None:
+        if bucket_dests:
+            series.append(
+                (bucket_index * bucket, len(bucket_new) / len(bucket_dests))
+            )
+        seen.update(bucket_dests)
+
+    for flow in ordered:
+        idx = int((flow.start - t0) // bucket)
+        if idx != bucket_index:
+            flush()
+            bucket_index = idx
+            bucket_dests = set()
+            bucket_new = set()
+        bucket_dests.add(flow.dst)
+        if flow.dst not in seen:
+            bucket_new.add(flow.dst)
+    flush()
+    return series
+
+
+def interstitial_times(flows: Sequence[FlowRecord]) -> List[float]:
+    """Per-destination flow interstitial times for one host (§IV-C).
+
+    For each destination the host contacts, compute the gaps between the
+    start times of consecutive flows to that destination; the returned
+    samples pool the gaps across *all* destinations, since the monitor does
+    not know which destinations are P2P peers.
+    """
+    per_dest: Dict[str, List[float]] = {}
+    for flow in flows:
+        per_dest.setdefault(flow.dst, []).append(flow.start)
+    samples: List[float] = []
+    for starts in per_dest.values():
+        if len(starts) < 2:
+            continue
+        starts.sort()
+        samples.extend(b - a for a, b in zip(starts, starts[1:]))
+    return samples
+
+
+def extract_features(
+    store: FlowStore, host: str, grace_period: float = NEW_IP_GRACE_PERIOD
+) -> HostFeatures:
+    """Compute the full feature bundle for one host."""
+    flows = store.flows_from(host)
+    return HostFeatures(
+        host=host,
+        flow_count=len(flows),
+        successful_flow_count=sum(1 for f in flows if not f.failed),
+        avg_flow_size=average_flow_size(flows),
+        failed_conn_rate=failed_connection_rate(flows),
+        new_ip_fraction=new_ip_fraction(flows, grace_period),
+        distinct_destinations=len({f.dst for f in flows}),
+        interstitials=tuple(interstitial_times(flows)),
+    )
+
+
+def extract_all_features(
+    store: FlowStore, grace_period: float = NEW_IP_GRACE_PERIOD
+) -> Dict[str, HostFeatures]:
+    """Feature bundles for every initiating host in the store."""
+    return {
+        host: extract_features(store, host, grace_period)
+        for host in store.initiators
+    }

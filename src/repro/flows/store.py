@@ -1,0 +1,119 @@
+"""An indexed, in-memory collection of flow records.
+
+The detection tests (§IV) all consume "a collection of traffic Λ involving
+a group S of internal hosts over a time window D".  :class:`FlowStore` is
+that Λ: it holds flow records sorted by start time and maintains a
+per-initiator index so per-host feature extraction is cheap.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+
+from .record import FlowRecord
+
+__all__ = ["FlowStore"]
+
+
+class FlowStore:
+    """A queryable collection of :class:`~repro.flows.record.FlowRecord`.
+
+    The store is append-oriented: records may be added in any order and
+    are kept sorted by flow start time.  Hosts are indexed by the
+    *initiator* address because every per-host feature in the paper is
+    computed over the flows a host initiates (uploads, contacted
+    destinations, connection attempts).
+    """
+
+    def __init__(self, flows: Optional[Iterable[FlowRecord]] = None) -> None:
+        self._flows: List[FlowRecord] = []
+        self._starts: List[float] = []
+        self._by_src: Dict[str, List[FlowRecord]] = {}
+        if flows is not None:
+            self.extend(flows)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, flow: FlowRecord) -> None:
+        """Insert one flow, keeping start-time order."""
+        idx = bisect.bisect_right(self._starts, flow.start)
+        self._flows.insert(idx, flow)
+        self._starts.insert(idx, flow.start)
+        self._by_src.setdefault(flow.src, []).append(flow)
+
+    def extend(self, flows: Iterable[FlowRecord]) -> None:
+        """Insert many flows (more efficient than repeated :meth:`add`)."""
+        incoming = list(flows)
+        if not incoming:
+            return
+        self._flows.extend(incoming)
+        self._flows.sort(key=lambda f: f.start)
+        self._starts = [f.start for f in self._flows]
+        self._by_src = {}
+        for flow in self._flows:
+            self._by_src.setdefault(flow.src, []).append(flow)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(self._flows)
+
+    def __bool__(self) -> bool:
+        return bool(self._flows)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def initiators(self) -> Set[str]:
+        """All source addresses that initiated at least one flow."""
+        return set(self._by_src)
+
+    @property
+    def span(self) -> float:
+        """Time between the earliest flow start and the latest flow end."""
+        if not self._flows:
+            return 0.0
+        return max(f.end for f in self._flows) - self._starts[0]
+
+    def flows_from(self, host: str) -> List[FlowRecord]:
+        """Flows initiated by ``host``, in start-time order."""
+        return sorted(self._by_src.get(host, []), key=lambda f: f.start)
+
+    def flows_involving(self, host: str) -> List[FlowRecord]:
+        """Flows where ``host`` is either endpoint, in start-time order."""
+        return [f for f in self._flows if f.involves(host)]
+
+    def between(self, t0: float, t1: float) -> "FlowStore":
+        """Flows whose start time lies in ``[t0, t1)``, as a new store."""
+        lo = bisect.bisect_left(self._starts, t0)
+        hi = bisect.bisect_left(self._starts, t1)
+        return FlowStore(self._flows[lo:hi])
+
+    def filter(self, predicate: Callable[[FlowRecord], bool]) -> "FlowStore":
+        """A new store with only the flows satisfying ``predicate``."""
+        return FlowStore([f for f in self._flows if predicate(f)])
+
+    def restricted_to_sources(self, hosts: Iterable[str]) -> "FlowStore":
+        """A new store with only flows initiated by the given hosts."""
+        wanted = set(hosts)
+        kept: List[FlowRecord] = []
+        for host in wanted:
+            kept.extend(self._by_src.get(host, []))
+        return FlowStore(kept)
+
+    def merged_with(self, other: "FlowStore") -> "FlowStore":
+        """A new store holding the union of both stores' flows."""
+        merged = FlowStore(self._flows)
+        merged.extend(list(other))
+        return merged
+
+    def destinations_of(self, host: str) -> Set[str]:
+        """Distinct destination addresses contacted by ``host``."""
+        return {f.dst for f in self._by_src.get(host, [])}

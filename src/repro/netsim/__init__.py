@@ -1,0 +1,24 @@
+"""Network simulation substrate: clock, events, RNG, addressing, engine."""
+
+from .clock import COLLECTION_WINDOW, SimulationClock, day_window
+from .events import EventQueue
+from .rng import derive_seed, numpy_substream, substream
+from .addressing import DEFAULT_INTERNAL_PREFIXES, AddressSpace
+from .entities import Host, HostRole
+from .network import NetworkSimulation, TrafficSource
+
+__all__ = [
+    "COLLECTION_WINDOW",
+    "SimulationClock",
+    "day_window",
+    "EventQueue",
+    "derive_seed",
+    "numpy_substream",
+    "substream",
+    "DEFAULT_INTERNAL_PREFIXES",
+    "AddressSpace",
+    "Host",
+    "HostRole",
+    "NetworkSimulation",
+    "TrafficSource",
+]

@@ -1,0 +1,103 @@
+"""IPv4 address pools for the simulated campus and the outside world.
+
+The paper's vantage point sees two /16 internal subnets plus the entire
+external Internet.  :class:`AddressSpace` allocates internal host
+addresses deterministically and synthesises plausible external addresses
+on demand, guaranteeing the two populations never collide.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Set, Tuple
+
+__all__ = ["AddressSpace", "DEFAULT_INTERNAL_PREFIXES"]
+
+#: Two /16-style internal prefixes, mirroring the CMU vantage point (§III).
+DEFAULT_INTERNAL_PREFIXES: Tuple[str, ...] = ("10.1.", "10.2.")
+
+
+class AddressSpace:
+    """Allocator for internal and external IPv4 addresses.
+
+    Internal addresses are drawn sequentially from the configured /16
+    prefixes; external addresses are random dotted quads outside any
+    internal prefix (and outside reserved 0/255 octet endpoints), drawn
+    from a caller-supplied RNG so allocation is reproducible.
+    """
+
+    def __init__(
+        self,
+        internal_prefixes: Sequence[str] = DEFAULT_INTERNAL_PREFIXES,
+    ) -> None:
+        if not internal_prefixes:
+            raise ValueError("at least one internal prefix is required")
+        for prefix in internal_prefixes:
+            parts = prefix.strip(".").split(".")
+            if len(parts) != 2 or not all(p.isdigit() for p in parts):
+                raise ValueError(
+                    f"internal prefixes must be two-octet ('a.b.'): {prefix!r}"
+                )
+        self._prefixes: Tuple[str, ...] = tuple(
+            p if p.endswith(".") else p + "." for p in internal_prefixes
+        )
+        self._next_internal = 0
+        self._issued_external: Set[str] = set()
+
+    @property
+    def internal_prefixes(self) -> Tuple[str, ...]:
+        """The internal network prefixes ('a.b.' strings)."""
+        return self._prefixes
+
+    def is_internal(self, address: str) -> bool:
+        """Whether ``address`` lies inside the campus."""
+        return any(address.startswith(p) for p in self._prefixes)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate_internal(self, count: int) -> List[str]:
+        """Allocate ``count`` fresh internal host addresses.
+
+        Hosts are spread round-robin over the configured prefixes; each
+        prefix provides a /16 (65,024 usable host slots after excluding
+        .0 and .255 final octets).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        addresses: List[str] = []
+        while len(addresses) < count:
+            index = self._next_internal
+            self._next_internal += 1
+            prefix = self._prefixes[index % len(self._prefixes)]
+            slot = index // len(self._prefixes)
+            third = slot // 254
+            fourth = slot % 254 + 1
+            if third > 255:
+                raise RuntimeError("internal address space exhausted")
+            addresses.append(f"{prefix}{third}.{fourth}")
+        return addresses
+
+    def random_external(self, rng: random.Random) -> str:
+        """A fresh random external address (never internal, never reused)."""
+        for _ in range(10_000):
+            octets = (
+                rng.randint(1, 223),
+                rng.randint(0, 255),
+                rng.randint(0, 255),
+                rng.randint(1, 254),
+            )
+            address = ".".join(str(o) for o in octets)
+            if self.is_internal(address) or address in self._issued_external:
+                continue
+            if octets[0] == 10 or octets[0] == 127:
+                continue
+            self._issued_external.add(address)
+            return address
+        raise RuntimeError(  # pragma: no cover - astronomically unlikely
+            "failed to find a fresh external address"
+        )
+
+    def random_externals(self, rng: random.Random, count: int) -> List[str]:
+        """Allocate ``count`` distinct external addresses."""
+        return [self.random_external(rng) for _ in range(count)]

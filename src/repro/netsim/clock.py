@@ -1,0 +1,50 @@
+"""Simulation time.
+
+Simulation time is measured in seconds from an arbitrary trace epoch.
+The paper's collection window is 9 a.m. to 3 p.m. — six hours — per day;
+helpers here express that convention.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimulationClock", "COLLECTION_WINDOW", "day_window"]
+
+#: Length of one daily collection window in seconds (9 a.m.–3 p.m., §III).
+COLLECTION_WINDOW = 6 * 3600.0
+
+
+class SimulationClock:
+    """A monotonically advancing simulation clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t``.
+
+        Raises
+        ------
+        ValueError
+            If ``t`` precedes the current time — simulated time never
+            runs backwards.
+        """
+        if t < self._now:
+            raise ValueError(f"clock cannot run backwards: {t} < {self._now}")
+        self._now = float(t)
+
+
+def day_window(day: int, window: float = COLLECTION_WINDOW) -> tuple:
+    """(start, end) of collection day ``day`` (0-based).
+
+    Days are laid out back to back on the simulation time axis; each
+    carries one collection window.
+    """
+    if day < 0:
+        raise ValueError("day index must be non-negative")
+    start = day * window
+    return (start, start + window)

@@ -1,0 +1,69 @@
+"""Host entities in the simulated network.
+
+A :class:`Host` ties an address to a role label.  Roles record *what the
+generator made the host do* — they are the evaluation's ground truth, and
+are never visible to the detector.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+__all__ = ["HostRole", "Host"]
+
+
+class HostRole(enum.Enum):
+    """Ground-truth role of a simulated host."""
+
+    BACKGROUND = "background"
+    TRADER_BITTORRENT = "trader-bittorrent"
+    TRADER_GNUTELLA = "trader-gnutella"
+    TRADER_EMULE = "trader-emule"
+    PLOTTER_STORM = "plotter-storm"
+    PLOTTER_NUGACHE = "plotter-nugache"
+
+    @property
+    def is_trader(self) -> bool:
+        """Whether the role is a P2P file-sharing host."""
+        return self in (
+            HostRole.TRADER_BITTORRENT,
+            HostRole.TRADER_GNUTELLA,
+            HostRole.TRADER_EMULE,
+        )
+
+    @property
+    def is_plotter(self) -> bool:
+        """Whether the role is a P2P bot."""
+        return self in (HostRole.PLOTTER_STORM, HostRole.PLOTTER_NUGACHE)
+
+    @property
+    def is_p2p(self) -> bool:
+        """Whether the role involves any P2P substrate."""
+        return self.is_trader or self.is_plotter
+
+
+@dataclass(frozen=True)
+class Host:
+    """One simulated endpoint.
+
+    A physical host may accumulate several roles — e.g. a Trader that a
+    Plotter trace was overlaid onto, which is exactly the hard case the
+    paper evaluates (§V).
+    """
+
+    address: str
+    roles: FrozenSet[HostRole] = field(default_factory=frozenset)
+
+    def with_role(self, role: HostRole) -> "Host":
+        """A copy of this host with ``role`` added."""
+        return Host(address=self.address, roles=self.roles | {role})
+
+    @property
+    def is_trader(self) -> bool:
+        return any(r.is_trader for r in self.roles)
+
+    @property
+    def is_plotter(self) -> bool:
+        return any(r.is_plotter for r in self.roles)

@@ -1,0 +1,47 @@
+"""A discrete-event queue.
+
+Agents schedule callbacks at future simulation times; the network engine
+pops them in time order.  Ties are broken by insertion order so runs are
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventQueue"]
+
+Callback = Callable[[float], None]
+
+
+class EventQueue:
+    """A heap-ordered queue of timed callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callback]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, when: float, callback: Callback) -> None:
+        """Enqueue ``callback`` to fire at simulation time ``when``."""
+        if when < 0:
+            raise ValueError("events cannot be scheduled at negative times")
+        heapq.heappush(self._heap, (float(when), next(self._counter), callback))
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or ``None`` if the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> Tuple[float, Callback]:
+        """Remove and return the next ``(time, callback)`` pair."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        when, _seq, callback = heapq.heappop(self._heap)
+        return when, callback

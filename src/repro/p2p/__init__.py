@@ -1,0 +1,65 @@
+"""P2P protocol substrate: the overlays both Traders and Plotters ride."""
+
+from .churn import ChurnModel, OnlineSchedule, PLOTTER_CHURN, TRADER_CHURN
+from .kademlia import (
+    DEFAULT_ALPHA,
+    DEFAULT_K,
+    ID_BITS,
+    KademliaNetwork,
+    KBucket,
+    LookupResult,
+    QueryOutcome,
+    RoutingTable,
+    SimPeer,
+    bucket_index,
+    random_node_id,
+    xor_distance,
+)
+from .overnet import MSG_SIZES, OvernetNode, OvernetOperation, storm_rendezvous_key
+from .pieces import PieceMap, PieceScheduler, rarest_first
+from .bittorrent import (
+    BitTorrentOverlay,
+    Swarm,
+    SwarmPeer,
+    TorrentMetadata,
+    Tracker,
+)
+from .gnutella import FileSource, GnutellaOverlay, Ultrapeer
+from .emule import Ed2kServer, EmuleOverlay, EmuleSource
+
+__all__ = [
+    "ChurnModel",
+    "OnlineSchedule",
+    "PLOTTER_CHURN",
+    "TRADER_CHURN",
+    "DEFAULT_ALPHA",
+    "DEFAULT_K",
+    "ID_BITS",
+    "KademliaNetwork",
+    "KBucket",
+    "LookupResult",
+    "QueryOutcome",
+    "RoutingTable",
+    "SimPeer",
+    "bucket_index",
+    "random_node_id",
+    "xor_distance",
+    "MSG_SIZES",
+    "OvernetNode",
+    "OvernetOperation",
+    "storm_rendezvous_key",
+    "PieceMap",
+    "PieceScheduler",
+    "rarest_first",
+    "BitTorrentOverlay",
+    "Swarm",
+    "SwarmPeer",
+    "TorrentMetadata",
+    "Tracker",
+    "FileSource",
+    "GnutellaOverlay",
+    "Ultrapeer",
+    "Ed2kServer",
+    "EmuleOverlay",
+    "EmuleSource",
+]

@@ -1,0 +1,172 @@
+"""A flow-granularity BitTorrent substrate: trackers, swarms, pieces.
+
+The Trader dataset in the paper is dominated by BitTorrent, Gnutella and
+eMule hosts (§III).  This module models the BitTorrent side: torrents
+with piece structure, HTTP trackers answering announce/scrape, and
+churning swarms of external peers.  The model operates at the
+granularity the detector sees — connections and their byte counts — not
+individual protocol messages.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .churn import ChurnModel, OnlineSchedule, TRADER_CHURN
+
+__all__ = [
+    "TorrentMetadata",
+    "SwarmPeer",
+    "Tracker",
+    "Swarm",
+    "BitTorrentOverlay",
+]
+
+#: Standard BitTorrent piece length used by the synthetic torrents.
+PIECE_LENGTH = 256 * 1024
+
+#: Port range typical of BitTorrent peers.
+PEER_PORTS = (6881, 6889)
+
+
+@dataclass(frozen=True)
+class TorrentMetadata:
+    """Immutable description of one shared torrent."""
+
+    infohash: bytes
+    name: str
+    total_bytes: int
+    piece_length: int = PIECE_LENGTH
+
+    def __post_init__(self) -> None:
+        if len(self.infohash) != 20:
+            raise ValueError("a BitTorrent infohash is 20 bytes")
+        if self.total_bytes <= 0:
+            raise ValueError("torrent size must be positive")
+        if self.piece_length <= 0:
+            raise ValueError("piece length must be positive")
+
+    @property
+    def n_pieces(self) -> int:
+        """Number of pieces (ceiling division)."""
+        return -(-self.total_bytes // self.piece_length)
+
+    @classmethod
+    def synthesise(cls, rng: random.Random, index: int) -> "TorrentMetadata":
+        """A plausible multimedia torrent: hundreds of MB, lognormal."""
+        size = int(rng.lognormvariate(19.5, 1.0))  # median ~294 MB
+        size = max(size, 4 * 1024 * 1024)
+        infohash = hashlib.sha1(f"torrent:{index}:{size}".encode()).digest()
+        return cls(infohash=infohash, name=f"content-{index}", total_bytes=size)
+
+
+@dataclass(frozen=True)
+class SwarmPeer:
+    """One external swarm member."""
+
+    address: str
+    port: int
+    schedule: OnlineSchedule
+    is_seed: bool
+    upload_rate: float  # bytes/second available to one downloader
+
+    def is_online(self, t: float) -> bool:
+        return self.schedule.is_online(t)
+
+
+@dataclass(frozen=True)
+class Tracker:
+    """An HTTP tracker for one or more torrents."""
+
+    address: str
+    port: int = 6969
+
+    def announce_size(self, n_peers: int) -> Tuple[int, int]:
+        """(request_bytes, response_bytes) of one announce exchange.
+
+        The request is a small HTTP GET; the response is a bencoded peer
+        list, 6 bytes per compact peer entry plus headers.
+        """
+        return (220, 180 + 6 * n_peers)
+
+    def scrape_size(self) -> Tuple[int, int]:
+        """(request_bytes, response_bytes) of one scrape exchange."""
+        return (200, 130)
+
+
+class Swarm:
+    """The churning peer population sharing one torrent."""
+
+    def __init__(
+        self,
+        torrent: TorrentMetadata,
+        tracker: Tracker,
+        peers: Sequence[SwarmPeer],
+    ) -> None:
+        if not peers:
+            raise ValueError("a swarm needs at least one peer")
+        self.torrent = torrent
+        self.tracker = tracker
+        self.peers: List[SwarmPeer] = list(peers)
+
+    def announce(self, rng: random.Random, count: int = 50) -> List[SwarmPeer]:
+        """A tracker response: up to ``count`` random swarm members.
+
+        Trackers return a random subset regardless of liveness — stale
+        entries are precisely why leechers see failed handshakes.
+        """
+        k = min(count, len(self.peers))
+        return rng.sample(self.peers, k)
+
+    def online_fraction(self, t: float) -> float:
+        """Share of the swarm online at ``t`` (diagnostic)."""
+        return sum(1 for p in self.peers if p.is_online(t)) / len(self.peers)
+
+
+class BitTorrentOverlay:
+    """Factory and registry for synthetic torrents and their swarms."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        address_factory,
+        horizon: float,
+        n_torrents: int = 40,
+        swarm_size_range: Tuple[int, int] = (30, 300),
+        churn: ChurnModel = TRADER_CHURN,
+        seed_fraction: float = 0.25,
+    ) -> None:
+        if n_torrents <= 0:
+            raise ValueError("need at least one torrent")
+        self.rng = rng
+        self.swarms: List[Swarm] = []
+        for index in range(n_torrents):
+            torrent = TorrentMetadata.synthesise(rng, index)
+            tracker = Tracker(address=address_factory(rng))
+            size = rng.randint(*swarm_size_range)
+            peers = [
+                SwarmPeer(
+                    address=address_factory(rng),
+                    port=rng.randint(*PEER_PORTS),
+                    schedule=churn.sample_schedule(rng, horizon),
+                    is_seed=rng.random() < seed_fraction,
+                    upload_rate=rng.lognormvariate(10.6, 0.9),  # median ~40 kB/s
+                )
+                for _ in range(size)
+            ]
+            self.swarms.append(Swarm(torrent=torrent, tracker=tracker, peers=peers))
+
+    def pick_swarm(self, rng: random.Random) -> Swarm:
+        """A torrent chosen by popularity (Zipf-ish: earlier = hotter)."""
+        weights = [1.0 / (rank + 1) for rank in range(len(self.swarms))]
+        total = sum(weights)
+        point = rng.uniform(0, total)
+        acc = 0.0
+        for swarm, weight in zip(self.swarms, weights):
+            acc += weight
+            if point <= acc:
+                return swarm
+        return self.swarms[-1]

@@ -1,0 +1,156 @@
+"""Peer churn models: who is online when.
+
+Churn — peers joining and leaving — is the defining dynamic of P2P
+membership (§IV-B).  Measurement studies the paper cites [3], [4], [5]
+find heavy-tailed session lengths with most file-sharing peers online
+only minutes, many appearing once per day and leaving permanently after
+a single file.  :class:`OnlineSchedule` realises one peer's alternating
+online/offline intervals; :class:`ChurnModel` samples schedules for a
+population.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["OnlineSchedule", "ChurnModel", "TRADER_CHURN", "PLOTTER_CHURN"]
+
+
+@dataclass(frozen=True)
+class OnlineSchedule:
+    """Alternating online intervals for one peer over a horizon.
+
+    ``intervals`` is a sorted tuple of ``(start, end)`` pairs with
+    ``start < end`` and no overlaps.  A peer with an empty tuple is never
+    online (a permanently departed peer whose address lingers in other
+    peers' contact lists — the main source of failed connections).
+    """
+
+    intervals: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        last_end = -math.inf
+        for start, end in self.intervals:
+            if end <= start:
+                raise ValueError(f"empty or inverted interval ({start}, {end})")
+            if start < last_end:
+                raise ValueError("online intervals must be sorted and disjoint")
+            last_end = end
+
+    def is_online(self, t: float) -> bool:
+        """Whether the peer is online at time ``t``."""
+        starts = [iv[0] for iv in self.intervals]
+        idx = bisect.bisect_right(starts, t) - 1
+        if idx < 0:
+            return False
+        start, end = self.intervals[idx]
+        return start <= t < end
+
+    @property
+    def total_online(self) -> float:
+        """Total online seconds across the horizon."""
+        return sum(end - start for start, end in self.intervals)
+
+
+class ChurnModel:
+    """Sampler of per-peer online schedules.
+
+    The model is an alternating renewal process: offline gaps are
+    exponential with mean ``mean_offline``; online sessions are lognormal
+    with median ``median_session`` and shape ``session_sigma`` (heavy
+    tails, matching measured file-sharing session distributions).  A
+    fraction ``fraction_dead`` of peers never come online at all, and a
+    fraction ``fraction_single_session`` leave permanently after their
+    first session (the "fetch one file and go" population of [5]).
+    """
+
+    def __init__(
+        self,
+        median_session: float,
+        session_sigma: float,
+        mean_offline: float,
+        fraction_dead: float = 0.0,
+        fraction_single_session: float = 0.0,
+    ) -> None:
+        if median_session <= 0 or mean_offline <= 0:
+            raise ValueError("session and offline scales must be positive")
+        if not 0 <= fraction_dead <= 1 or not 0 <= fraction_single_session <= 1:
+            raise ValueError("population fractions must lie in [0, 1]")
+        self.median_session = median_session
+        self.session_sigma = session_sigma
+        self.mean_offline = mean_offline
+        self.fraction_dead = fraction_dead
+        self.fraction_single_session = fraction_single_session
+
+    def _session_length(self, rng: random.Random) -> float:
+        return rng.lognormvariate(math.log(self.median_session), self.session_sigma)
+
+    @property
+    def mean_session(self) -> float:
+        """Mean session length implied by the lognormal parameters."""
+        return self.median_session * math.exp(self.session_sigma ** 2 / 2.0)
+
+    @property
+    def duty_cycle(self) -> float:
+        """Steady-state probability that a live peer is online."""
+        return self.mean_session / (self.mean_session + self.mean_offline)
+
+    def sample_schedule(self, rng: random.Random, horizon: float) -> OnlineSchedule:
+        """Sample one peer's schedule over ``[0, horizon)``.
+
+        The process starts in steady state: a live peer begins online
+        with probability equal to its duty cycle (mid-session), so a
+        population sampled at time zero already has its equilibrium
+        online fraction.
+        """
+        if horizon <= 0:
+            return OnlineSchedule(intervals=())
+        if rng.random() < self.fraction_dead:
+            return OnlineSchedule(intervals=())
+        single = rng.random() < self.fraction_single_session
+        intervals: List[Tuple[float, float]] = []
+        if rng.random() < self.duty_cycle:
+            # Mid-session at t=0: the residual session remains.
+            t = 0.0
+        else:
+            t = rng.expovariate(1.0 / self.mean_offline)
+        while t < horizon:
+            length = self._session_length(rng)
+            end = min(t + length, horizon)
+            if end > t:
+                intervals.append((t, end))
+            if single:
+                break
+            t = end + rng.expovariate(1.0 / self.mean_offline)
+        return OnlineSchedule(intervals=tuple(intervals))
+
+    def sample_population(
+        self, rng: random.Random, count: int, horizon: float
+    ) -> List[OnlineSchedule]:
+        """Sample schedules for ``count`` peers."""
+        return [self.sample_schedule(rng, horizon) for _ in range(count)]
+
+
+#: File-sharing churn: short-median sessions, long offline gaps, a large
+#: once-and-gone population — the regime measured in [3], [4], [5].
+TRADER_CHURN = ChurnModel(
+    median_session=15 * 60.0,
+    session_sigma=1.3,
+    mean_offline=50 * 60.0,
+    fraction_dead=0.15,
+    fraction_single_session=0.30,
+)
+
+#: Plotter churn: bots stay connected as long as the infected machine is
+#: up, so sessions are hours, not minutes, and few peers vanish for good.
+PLOTTER_CHURN = ChurnModel(
+    median_session=3 * 3600.0,
+    session_sigma=0.8,
+    mean_offline=45 * 60.0,
+    fraction_dead=0.25,
+    fraction_single_session=0.02,
+)

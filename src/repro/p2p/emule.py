@@ -1,0 +1,108 @@
+"""A flow-granularity eMule/eD2k substrate: servers, queues, Kad.
+
+eMule combines centralised eD2k index servers (TCP 4661) with the Kad
+DHT (UDP 4672) and peer-to-peer transfers (TCP 4662).  Its most
+distinctive flow-level behaviour is the *upload queue*: a downloader that
+finds a busy source is queued and re-asks periodically, so eMule Traders
+retry the same sources over long stretches — yet their overall contact
+set still churns heavily as sources come and go.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .churn import ChurnModel, OnlineSchedule, TRADER_CHURN
+
+__all__ = ["Ed2kServer", "EmuleSource", "EmuleOverlay"]
+
+#: Conventional eD2k ports.
+SERVER_PORT = 4661
+PEER_PORT = 4662
+KAD_PORT = 4672
+
+
+@dataclass(frozen=True)
+class Ed2kServer:
+    """One eD2k index server (Razorback-style, long-lived)."""
+
+    address: str
+    port: int = SERVER_PORT
+
+    @staticmethod
+    def login_size() -> Tuple[int, int]:
+        """(request, response) bytes of the login exchange."""
+        return (90, 160)
+
+    @staticmethod
+    def search_size(n_results: int) -> Tuple[int, int]:
+        """(request, response) bytes of a keyword search."""
+        return (60, 80 + 120 * n_results)
+
+
+@dataclass(frozen=True)
+class EmuleSource:
+    """A peer holding (part of) a wanted file."""
+
+    address: str
+    port: int
+    schedule: OnlineSchedule
+    file_bytes: int
+    upload_rate: float
+    queue_length: int  # positions ahead of a new requester
+
+    def is_online(self, t: float) -> bool:
+        return self.schedule.is_online(t)
+
+
+class EmuleOverlay:
+    """The external eD2k/Kad world as seen from a monitored client."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        address_factory,
+        horizon: float,
+        n_servers: int = 8,
+        n_sources: int = 500,
+        churn: ChurnModel = TRADER_CHURN,
+    ) -> None:
+        if n_servers <= 0:
+            raise ValueError("need at least one eD2k server")
+        self.rng = rng
+        self.servers: List[Ed2kServer] = [
+            Ed2kServer(address=address_factory(rng)) for _ in range(n_servers)
+        ]
+        self.sources: List[EmuleSource] = [
+            EmuleSource(
+                address=address_factory(rng),
+                port=PEER_PORT,
+                schedule=churn.sample_schedule(rng, horizon),
+                file_bytes=max(int(rng.lognormvariate(16.0, 1.2)), 128 * 1024),
+                upload_rate=rng.lognormvariate(10.2, 0.8),
+                queue_length=int(rng.expovariate(1.0 / 8.0)),
+            )
+            for _ in range(n_sources)
+        ]
+
+    def pick_server(self, rng: random.Random) -> Ed2kServer:
+        """The server a client logs into (sticky per client in practice)."""
+        return rng.choice(self.servers)
+
+    def search_sources(self, rng: random.Random, max_sources: int = 20) -> List[EmuleSource]:
+        """Sources returned for one file search."""
+        n = min(len(self.sources), max(1, int(rng.expovariate(1.0 / 6.0)) + 1))
+        n = min(n, max_sources)
+        return rng.sample(self.sources, n)
+
+    @staticmethod
+    def kad_message_size() -> Tuple[int, int]:
+        """(request, response) bytes of one Kad UDP exchange."""
+        return (35, 60)
+
+    @staticmethod
+    def queue_poll_size() -> Tuple[int, int]:
+        """(request, response) bytes of an upload-queue re-ask."""
+        return (46, 30)

@@ -1,0 +1,117 @@
+"""A flow-granularity Gnutella substrate: ultrapeers, queries, downloads.
+
+Modern (0.6) Gnutella is a two-tier overlay: leaves hold a handful of
+long-lived TCP connections to *ultrapeers*, flood queries through them,
+and fetch files from query hits over direct HTTP connections.  The model
+captures the pieces that matter at flow granularity: a churning ultrapeer
+population, query fan-out, hit counts, and download sources.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .churn import ChurnModel, OnlineSchedule, TRADER_CHURN
+
+__all__ = ["Ultrapeer", "FileSource", "GnutellaOverlay"]
+
+#: Conventional Gnutella port.
+GNUTELLA_PORT = 6346
+
+
+@dataclass(frozen=True)
+class Ultrapeer:
+    """One external ultrapeer a leaf may attach to."""
+
+    address: str
+    port: int
+    schedule: OnlineSchedule
+
+    def is_online(self, t: float) -> bool:
+        return self.schedule.is_online(t)
+
+
+@dataclass(frozen=True)
+class FileSource:
+    """A peer advertising a file in a query hit."""
+
+    address: str
+    port: int
+    schedule: OnlineSchedule
+    file_bytes: int
+    upload_rate: float
+
+    def is_online(self, t: float) -> bool:
+        return self.schedule.is_online(t)
+
+
+class GnutellaOverlay:
+    """The external Gnutella world as seen from a monitored leaf.
+
+    Provides ultrapeer candidates (from a GWebCache-style bootstrap
+    list), and answers queries with file sources whose sizes follow the
+    multimedia distribution the paper describes ("several MBytes", §IV-A).
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        address_factory,
+        horizon: float,
+        n_ultrapeers: int = 120,
+        n_sources: int = 600,
+        churn: ChurnModel = TRADER_CHURN,
+    ) -> None:
+        self.rng = rng
+        self.ultrapeers: List[Ultrapeer] = [
+            Ultrapeer(
+                address=address_factory(rng),
+                port=GNUTELLA_PORT,
+                schedule=churn.sample_schedule(rng, horizon),
+            )
+            for _ in range(n_ultrapeers)
+        ]
+        self.sources: List[FileSource] = [
+            FileSource(
+                address=address_factory(rng),
+                port=rng.choice((GNUTELLA_PORT, 6347, 6348)),
+                schedule=churn.sample_schedule(rng, horizon),
+                file_bytes=max(int(rng.lognormvariate(15.2, 1.3)), 64 * 1024),
+                upload_rate=rng.lognormvariate(10.4, 0.8),
+            )
+            for _ in range(n_sources)
+        ]
+
+    def bootstrap_candidates(self, rng: random.Random, count: int = 20) -> List[Ultrapeer]:
+        """Ultrapeer candidates from the bootstrap cache (liveness unknown)."""
+        return rng.sample(self.ultrapeers, min(count, len(self.ultrapeers)))
+
+    def query_hits(self, rng: random.Random, max_hits: int = 12) -> List[FileSource]:
+        """Sources answering one keyword query.
+
+        Hit counts are geometric-ish: most queries return a few sources,
+        occasionally many, sometimes none.
+        """
+        n = min(len(self.sources), max(0, int(rng.expovariate(1.0 / 4.0))))
+        n = min(n, max_hits)
+        if n == 0:
+            return []
+        return rng.sample(self.sources, n)
+
+    # Message-size constants for flow synthesis -------------------------
+    @staticmethod
+    def handshake_size() -> Tuple[int, int]:
+        """(request, response) bytes of the 0.6 CONNECT handshake."""
+        return (210, 280)
+
+    @staticmethod
+    def query_size(n_hits: int) -> Tuple[int, int]:
+        """(query, hits) bytes for a query with ``n_hits`` results."""
+        return (80, 120 + 90 * n_hits)
+
+    @staticmethod
+    def ping_size() -> Tuple[int, int]:
+        """(ping, pong) keep-alive bytes."""
+        return (23, 37)

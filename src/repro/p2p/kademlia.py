@@ -1,0 +1,388 @@
+"""A Kademlia distributed hash table, simulated at message granularity.
+
+Storm built its command-and-control on the Overnet network, whose DHT is
+Kademlia [2] — the same DHT embedded in eDonkey and BitTorrent clients.
+This module implements the Kademlia machinery the overlay simulators
+need: 128-bit node identifiers under the XOR metric, k-bucket routing
+tables with least-recently-seen eviction, and iterative ``FIND_NODE`` /
+``FIND_VALUE`` lookups with parallelism α.
+
+The simulation is logical rather than packet-level: lookups walk a
+:class:`KademliaNetwork` of simulated peers whose liveness comes from a
+churn schedule, and report which peers were *queried* and whether each
+query succeeded.  Traffic agents convert that query log into flow
+records, which is exactly the granularity the paper's detector sees.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .churn import ChurnModel, OnlineSchedule
+
+__all__ = [
+    "ID_BITS",
+    "xor_distance",
+    "bucket_index",
+    "random_node_id",
+    "KBucket",
+    "RoutingTable",
+    "SimPeer",
+    "QueryOutcome",
+    "LookupResult",
+    "KademliaNetwork",
+]
+
+#: Identifier width.  Overnet/eDonkey use 128-bit MD4-space identifiers.
+ID_BITS = 128
+
+#: Default bucket capacity (the Kademlia paper's k).
+DEFAULT_K = 20
+
+#: Default lookup parallelism (the Kademlia paper's alpha).
+DEFAULT_ALPHA = 3
+
+
+def xor_distance(a: int, b: int) -> int:
+    """XOR metric between two node/key identifiers."""
+    return a ^ b
+
+
+def bucket_index(own_id: int, other_id: int) -> int:
+    """Index of the k-bucket where ``other_id`` belongs (0..ID_BITS-1).
+
+    Bucket ``i`` covers identifiers whose XOR distance from ``own_id``
+    has its highest set bit at position ``i``.
+    """
+    if own_id == other_id:
+        raise ValueError("a node does not bucket its own identifier")
+    return xor_distance(own_id, other_id).bit_length() - 1
+
+
+def random_node_id(rng: random.Random) -> int:
+    """A uniformly random identifier."""
+    return rng.getrandbits(ID_BITS)
+
+
+@dataclass
+class KBucket:
+    """One k-bucket: a least-recently-seen-ordered contact list."""
+
+    capacity: int = DEFAULT_K
+    contacts: List[int] = field(default_factory=list)
+
+    def touch(self, node_id: int, alive_check: Optional[bool] = None) -> None:
+        """Record contact with ``node_id``.
+
+        Known contacts move to the tail (most recently seen).  New
+        contacts are appended if there is room; when the bucket is full,
+        Kademlia pings the least-recently-seen contact and keeps it if it
+        answers — ``alive_check`` supplies that answer (``None`` means
+        "assume alive", the conservative default).
+        """
+        if node_id in self.contacts:
+            self.contacts.remove(node_id)
+            self.contacts.append(node_id)
+            return
+        if len(self.contacts) < self.capacity:
+            self.contacts.append(node_id)
+            return
+        if alive_check is False:
+            self.contacts.pop(0)
+            self.contacts.append(node_id)
+
+    def remove(self, node_id: int) -> None:
+        """Drop a contact that failed to respond."""
+        if node_id in self.contacts:
+            self.contacts.remove(node_id)
+
+    def __len__(self) -> int:
+        return len(self.contacts)
+
+
+class RoutingTable:
+    """The per-node table of ID_BITS k-buckets."""
+
+    def __init__(self, own_id: int, k: int = DEFAULT_K) -> None:
+        self.own_id = own_id
+        self.k = k
+        self._buckets: List[KBucket] = [KBucket(capacity=k) for _ in range(ID_BITS)]
+
+    def touch(self, node_id: int, alive_check: Optional[bool] = None) -> None:
+        """Record that ``node_id`` was seen (on any message)."""
+        if node_id == self.own_id:
+            return
+        self._buckets[bucket_index(self.own_id, node_id)].touch(node_id, alive_check)
+
+    def remove(self, node_id: int) -> None:
+        """Evict a contact that failed."""
+        if node_id == self.own_id:
+            return
+        self._buckets[bucket_index(self.own_id, node_id)].remove(node_id)
+
+    def closest(self, target: int, count: Optional[int] = None) -> List[int]:
+        """The ``count`` known contacts closest to ``target`` by XOR."""
+        limit = self.k if count is None else count
+        everyone = [c for bucket in self._buckets for c in bucket.contacts]
+        everyone.sort(key=lambda n: xor_distance(n, target))
+        return everyone[:limit]
+
+    @property
+    def contact_count(self) -> int:
+        """Total number of known contacts."""
+        return sum(len(b) for b in self._buckets)
+
+    def all_contacts(self) -> List[int]:
+        """All known contacts (unordered)."""
+        return [c for bucket in self._buckets for c in bucket.contacts]
+
+
+@dataclass(frozen=True)
+class SimPeer:
+    """One simulated DHT participant outside the monitored network."""
+
+    node_id: int
+    address: str
+    udp_port: int
+    schedule: OnlineSchedule
+
+    def is_online(self, t: float) -> bool:
+        return self.schedule.is_online(t)
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One RPC attempted during a lookup: to whom, and did it answer."""
+
+    peer: SimPeer
+    responded: bool
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of one iterative lookup."""
+
+    target: int
+    queried: Tuple[QueryOutcome, ...]
+    closest: Tuple[int, ...]
+
+    @property
+    def messages_sent(self) -> int:
+        return len(self.queried)
+
+    @property
+    def failure_rate(self) -> float:
+        if not self.queried:
+            return 0.0
+        return sum(1 for q in self.queried if not q.responded) / len(self.queried)
+
+
+class KademliaNetwork:
+    """A population of simulated DHT peers plus lookup machinery.
+
+    The network holds external peers (with churn schedules) and a global
+    key→publisher map for ``publish``/``find_value``.  Monitored bots own
+    a :class:`RoutingTable` and run :meth:`lookup` against this network;
+    the result records every RPC so callers can emit one flow per RPC.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        peers: Sequence[SimPeer],
+        k: int = DEFAULT_K,
+        alpha: int = DEFAULT_ALPHA,
+    ) -> None:
+        if not peers:
+            raise ValueError("a DHT needs at least one simulated peer")
+        self.rng = rng
+        self.k = k
+        self.alpha = alpha
+        self.peers: Dict[int, SimPeer] = {p.node_id: p for p in peers}
+        self._ids_sorted = sorted(self.peers)
+        self._published: Dict[int, Set[int]] = {}
+        # Per-node key/value replicas: node_id -> key -> publisher set.
+        # This is Kademlia's STORE state; :meth:`publish` places
+        # replicas on the k closest nodes and :meth:`find_value`
+        # terminates a lookup early at any replica holder.
+        self._node_storage: Dict[int, Dict[int, Set[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Population helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        rng: random.Random,
+        size: int,
+        horizon: float,
+        churn: ChurnModel,
+        address_factory,
+        k: int = DEFAULT_K,
+        alpha: int = DEFAULT_ALPHA,
+        udp_port: int = 7871,
+    ) -> "KademliaNetwork":
+        """Construct a network of ``size`` churning peers.
+
+        ``address_factory`` maps an RNG to a fresh external IP (typically
+        ``AddressSpace.random_external``).
+        """
+        peers = [
+            SimPeer(
+                node_id=random_node_id(rng),
+                address=address_factory(rng),
+                udp_port=udp_port,
+                schedule=churn.sample_schedule(rng, horizon),
+            )
+            for _ in range(size)
+        ]
+        return cls(rng=rng, peers=peers, k=k, alpha=alpha)
+
+    def sample_bootstrap(self, rng: random.Random, count: int) -> List[SimPeer]:
+        """A random sample of peers to seed a new node's routing table.
+
+        Mirrors the hard-coded peer lists Storm binaries shipped with.
+        """
+        ids = rng.sample(self._ids_sorted, min(count, len(self._ids_sorted)))
+        return [self.peers[i] for i in ids]
+
+    def peer(self, node_id: int) -> SimPeer:
+        """Look up a simulated peer by identifier."""
+        return self.peers[node_id]
+
+    def _network_closest(self, target: int, count: int) -> List[int]:
+        """Ground-truth closest peers (used to emulate responses)."""
+        ids = sorted(self._ids_sorted, key=lambda n: xor_distance(n, target))
+        return ids[:count]
+
+    # ------------------------------------------------------------------
+    # Publish / search state
+    # ------------------------------------------------------------------
+    def publish(
+        self, key: int, publisher_id: int, now: Optional[float] = None
+    ) -> List[int]:
+        """Record that ``publisher_id`` published under ``key``.
+
+        When ``now`` is given, the value is also replicated (STORE) at
+        the k closest *online* nodes, as the Kademlia protocol does;
+        the storing node identifiers are returned.  Without ``now`` the
+        publication is only tracked globally (sufficient for the
+        evaluation's ground-truth bookkeeping).
+        """
+        self._published.setdefault(key, set()).add(publisher_id)
+        stored_at: List[int] = []
+        if now is not None:
+            for node_id in self._network_closest(key, self.k):
+                peer = self.peers[node_id]
+                if not peer.is_online(now):
+                    continue
+                replicas = self._node_storage.setdefault(node_id, {})
+                replicas.setdefault(key, set()).add(publisher_id)
+                stored_at.append(node_id)
+        return stored_at
+
+    def publishers(self, key: int) -> Set[int]:
+        """Identifiers that published under ``key``."""
+        return set(self._published.get(key, set()))
+
+    def replicas_of(self, key: int) -> Set[int]:
+        """Nodes currently holding a replica for ``key``."""
+        return {
+            node_id
+            for node_id, replicas in self._node_storage.items()
+            if key in replicas
+        }
+
+    def find_value(
+        self,
+        table: RoutingTable,
+        key: int,
+        now: float,
+        max_rounds: int = 6,
+    ) -> Tuple[Set[int], LookupResult]:
+        """Iterative FIND_VALUE: like :meth:`lookup`, but replica-aware.
+
+        Returns ``(publisher_set, lookup_result)``.  The walk stops as
+        soon as a queried node answers with a stored value — Kademlia's
+        early-termination rule — so the RPC log is a prefix of what the
+        plain FIND_NODE would have produced.
+        """
+        result = self.lookup(table, key, now, max_rounds)
+        found: Set[int] = set()
+        queried: List[QueryOutcome] = []
+        for outcome in result.queried:
+            queried.append(outcome)
+            if not outcome.responded:
+                continue
+            replicas = self._node_storage.get(outcome.peer.node_id, {})
+            if key in replicas:
+                found = set(replicas[key])
+                break
+        if found:
+            result = LookupResult(
+                target=key, queried=tuple(queried), closest=result.closest
+            )
+        return found, result
+
+    # ------------------------------------------------------------------
+    # Iterative lookup
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        table: RoutingTable,
+        target: int,
+        now: float,
+        max_rounds: int = 6,
+    ) -> LookupResult:
+        """Run one iterative FIND_NODE from the node owning ``table``.
+
+        Each round queries the α closest not-yet-queried known contacts;
+        peers offline at ``now`` do not respond (and are evicted from the
+        routing table); responders return their k closest contacts, which
+        refine the candidate set.  Terminates when a round yields no
+        closer candidate or after ``max_rounds``.
+        """
+        queried: List[QueryOutcome] = []
+        seen: Set[int] = set()
+        candidates = list(table.closest(target, self.k))
+        if not candidates:
+            return LookupResult(target=target, queried=(), closest=())
+
+        best_distance = min(xor_distance(c, target) for c in candidates)
+        for _ in range(max_rounds):
+            batch = [c for c in candidates if c not in seen][: self.alpha]
+            if not batch:
+                break
+            improved = False
+            for node_id in batch:
+                seen.add(node_id)
+                peer = self.peers.get(node_id)
+                if peer is None:
+                    table.remove(node_id)
+                    continue
+                responded = peer.is_online(now)
+                queried.append(QueryOutcome(peer=peer, responded=responded))
+                if not responded:
+                    table.remove(node_id)
+                    continue
+                table.touch(node_id)
+                for returned in self._network_closest(target, self.k):
+                    if returned not in candidates:
+                        candidates.append(returned)
+                    table.touch(returned)
+            candidates.sort(key=lambda n: xor_distance(n, target))
+            candidates = candidates[: self.k * 2]
+            new_best = min(xor_distance(c, target) for c in candidates)
+            if new_best < best_distance:
+                best_distance = new_best
+                improved = True
+            if not improved:
+                break
+        closest = tuple(
+            sorted(seen | set(candidates), key=lambda n: xor_distance(n, target))[
+                : self.k
+            ]
+        )
+        return LookupResult(target=target, queried=tuple(queried), closest=closest)

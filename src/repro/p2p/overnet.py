@@ -1,0 +1,180 @@
+"""An Overnet-style publish/search layer over the Kademlia DHT.
+
+Overnet is the Kademlia deployment that the Storm botnet repurposed for
+rendezvous [1], [13]: bots *publicize* themselves under keys derived
+from the current date and a small random offset, and *search* for those
+keys to find the identifiers that the botmaster (or other bots) have
+published.  This module provides:
+
+* the day-keyed rendezvous-key schedule (:func:`storm_rendezvous_key`),
+* :class:`OvernetNode` — the per-bot protocol state machine
+  (connect / publicize / search / keepalive), returning per-operation
+  RPC logs so traffic agents can emit one flow per UDP message, and
+* wire-size constants for the Overnet message types, used to synthesise
+  realistic byte counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .kademlia import (
+    ID_BITS,
+    KademliaNetwork,
+    LookupResult,
+    QueryOutcome,
+    RoutingTable,
+    SimPeer,
+    random_node_id,
+)
+
+__all__ = [
+    "MSG_SIZES",
+    "storm_rendezvous_key",
+    "OvernetOperation",
+    "OvernetNode",
+]
+
+#: Approximate UDP payload sizes of Overnet message types, in bytes.
+#: Overnet control messages are tiny — this is what makes Plotter traffic
+#: "low volume" in the sense of §IV-A.
+MSG_SIZES = {
+    "connect": 25,
+    "connect_reply": 155,
+    "publicize": 25,
+    "publicize_ack": 2,
+    "search": 19,
+    "search_next": 340,
+    "publish": 81,
+    "publish_ack": 18,
+    "ip_query": 6,
+    "keepalive": 25,
+}
+
+
+def storm_rendezvous_key(day: int, offset: int, bits: int = ID_BITS) -> int:
+    """The rendezvous key Storm bots derive for ``day`` and ``offset``.
+
+    Storm computed its search keys from the current date combined with a
+    random integer in a small range, so all bots converge on a small,
+    predictable key set each day.  We reproduce the *structure* (a hash
+    of day and offset truncated to the identifier width); the concrete
+    hash differs from the malware's but is behaviourally equivalent.
+    """
+    digest = hashlib.sha256(f"storm:{day}:{offset}".encode()).digest()
+    return int.from_bytes(digest, "big") >> (256 - bits)
+
+
+@dataclass(frozen=True)
+class OvernetOperation:
+    """One protocol operation and the RPCs it generated."""
+
+    kind: str
+    rpcs: Tuple[QueryOutcome, ...]
+    request_size: int
+    response_size: int
+
+
+class OvernetNode:
+    """Per-bot Overnet protocol state.
+
+    The node owns a routing table bootstrapped from a hard-coded peer
+    list (as Storm's binary shipped one) and exposes the operations the
+    bot's schedule drives: :meth:`connect` (bootstrap), :meth:`search`,
+    :meth:`publicize`, and :meth:`keepalive_targets` (the stable peer
+    subset a bot pings between lookups — the low-churn behaviour §IV-B
+    keys on).
+    """
+
+    def __init__(
+        self,
+        network: KademliaNetwork,
+        rng: random.Random,
+        bootstrap_size: int = 50,
+        node_id: Optional[int] = None,
+    ) -> None:
+        self.network = network
+        self.rng = rng
+        self.node_id = node_id if node_id is not None else random_node_id(rng)
+        self.table = RoutingTable(own_id=self.node_id, k=network.k)
+        self._bootstrap = network.sample_bootstrap(rng, bootstrap_size)
+        for peer in self._bootstrap:
+            self.table.touch(peer.node_id)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def connect(self, now: float) -> OvernetOperation:
+        """Bootstrap: OP_CONNECT to peers from the stored peer list.
+
+        Bots walk their peer file until enough peers answer; offline
+        entries (stale addresses) simply never reply.
+        """
+        rpcs: List[QueryOutcome] = []
+        for peer in self._bootstrap:
+            responded = peer.is_online(now)
+            rpcs.append(QueryOutcome(peer=peer, responded=responded))
+            if responded:
+                self.table.touch(peer.node_id)
+            else:
+                self.table.remove(peer.node_id)
+        return OvernetOperation(
+            kind="connect",
+            rpcs=tuple(rpcs),
+            request_size=MSG_SIZES["connect"],
+            response_size=MSG_SIZES["connect_reply"],
+        )
+
+    def search(self, key: int, now: float) -> OvernetOperation:
+        """Iterative search for ``key`` (FIND_VALUE semantics)."""
+        result = self.network.lookup(self.table, key, now)
+        return OvernetOperation(
+            kind="search",
+            rpcs=result.queried,
+            request_size=MSG_SIZES["search"],
+            response_size=MSG_SIZES["search_next"],
+        )
+
+    def publicize(self, key: int, now: float) -> OvernetOperation:
+        """Publish own presence under ``key`` at the k closest nodes."""
+        result = self.network.lookup(self.table, key, now)
+        self.network.publish(key, self.node_id, now)
+        # The publish RPCs go to the closest responders found by the
+        # lookup; fold them into the same operation log.
+        return OvernetOperation(
+            kind="publicize",
+            rpcs=result.queried,
+            request_size=MSG_SIZES["publish"],
+            response_size=MSG_SIZES["publish_ack"],
+        )
+
+    def keepalive_targets(self, now: float, count: int = 8) -> List[QueryOutcome]:
+        """The stable neighbour subset pinged between lookups.
+
+        Storm keeps re-contacting the peers on its stored list whether or
+        not they answered last time — it cannot tell a transiently
+        offline peer from a dead one — so the target set is *fixed* per
+        bot (the head of its peer file) and failures recur.  This is the
+        persistence/low-churn signature §IV-B keys on, and a steady
+        source of failed connections (Figure 5).
+        """
+        targets = self._bootstrap[:count]
+        outcomes: List[QueryOutcome] = []
+        for peer in targets:
+            responded = peer.is_online(now)
+            outcomes.append(QueryOutcome(peer=peer, responded=responded))
+            if responded:
+                self.table.touch(peer.node_id)
+        return outcomes
+
+    def daily_keys(self, day: int, key_count: int = 32, sample: int = 4) -> List[int]:
+        """The rendezvous keys this bot will search on ``day``.
+
+        Each bot samples ``sample`` offsets from the day's ``key_count``
+        possibilities, as Storm did with its random date-offset scheme.
+        """
+        offsets = self.rng.sample(range(key_count), min(sample, key_count))
+        return [storm_rendezvous_key(day, off) for off in offsets]

@@ -1,0 +1,134 @@
+"""Piece-level BitTorrent machinery: bitfields and rarest-first.
+
+BitTorrent content is exchanged in pieces; clients advertise what they
+hold in a *bitfield* and pick what to fetch next with the rarest-first
+heuristic (download the piece the fewest visible peers hold, to keep
+swarm availability even).  The flow-level Trader agent uses these to
+decide how much a given peer can serve it — a seed can serve anything,
+a leecher only the overlap — which shapes the per-connection byte
+counts the detector observes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["PieceMap", "rarest_first", "PieceScheduler"]
+
+
+class PieceMap:
+    """A client's piece bitfield for one torrent."""
+
+    def __init__(self, n_pieces: int, have: Optional[Iterable[int]] = None) -> None:
+        if n_pieces <= 0:
+            raise ValueError("a torrent has at least one piece")
+        self.n_pieces = n_pieces
+        self._have: Set[int] = set()
+        if have is not None:
+            for piece in have:
+                self.add(piece)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def complete(cls, n_pieces: int) -> "PieceMap":
+        """A seed's bitfield: every piece present."""
+        return cls(n_pieces, have=range(n_pieces))
+
+    @classmethod
+    def random_fraction(
+        cls, n_pieces: int, fraction: float, rng: random.Random
+    ) -> "PieceMap":
+        """A leecher partway through: a random ``fraction`` of pieces."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must lie in [0, 1]")
+        count = int(round(fraction * n_pieces))
+        return cls(n_pieces, have=rng.sample(range(n_pieces), count))
+
+    # ------------------------------------------------------------------
+    def add(self, piece: int) -> None:
+        """Mark one piece as held."""
+        if not 0 <= piece < self.n_pieces:
+            raise ValueError(f"piece {piece} outside [0, {self.n_pieces})")
+        self._have.add(piece)
+
+    def has(self, piece: int) -> bool:
+        return piece in self._have
+
+    @property
+    def have(self) -> Set[int]:
+        """The held piece indices (a copy)."""
+        return set(self._have)
+
+    @property
+    def missing(self) -> Set[int]:
+        """The pieces still needed."""
+        return set(range(self.n_pieces)) - self._have
+
+    @property
+    def completion(self) -> float:
+        """Fraction of pieces held."""
+        return len(self._have) / self.n_pieces
+
+    @property
+    def is_complete(self) -> bool:
+        return len(self._have) == self.n_pieces
+
+    def overlap_available(self, peer: "PieceMap") -> Set[int]:
+        """Pieces this client still needs that ``peer`` can serve."""
+        if peer.n_pieces != self.n_pieces:
+            raise ValueError("bitfields belong to different torrents")
+        return self.missing & peer._have
+
+
+def rarest_first(
+    wanted: Set[int],
+    peer_bitfields: Sequence[PieceMap],
+    limit: int,
+    rng: random.Random,
+) -> List[int]:
+    """Order ``wanted`` pieces by swarm rarity; return the first ``limit``.
+
+    Ties are broken randomly, as real clients do, so concurrent leechers
+    do not stampede the same piece.
+    """
+    if limit <= 0:
+        return []
+    counts: Dict[int, int] = {piece: 0 for piece in wanted}
+    for bitfield in peer_bitfields:
+        for piece in wanted:
+            if bitfield.has(piece):
+                counts[piece] += 1
+    jittered: List[Tuple[int, float, int]] = [
+        (count, rng.random(), piece) for piece, count in counts.items()
+    ]
+    jittered.sort()
+    return [piece for _count, _tie, piece in jittered[:limit]]
+
+
+@dataclass
+class PieceScheduler:
+    """Plans piece requests for one download.
+
+    Wraps the client's own bitfield plus the visible peers' bitfields
+    and answers "which pieces do I request from this peer next?".
+    """
+
+    own: PieceMap
+
+    def plan_requests(
+        self,
+        peer: PieceMap,
+        visible: Sequence[PieceMap],
+        batch: int,
+        rng: random.Random,
+    ) -> List[int]:
+        """Pieces to request from ``peer`` now (rarest-first order)."""
+        available = self.own.overlap_available(peer)
+        return rarest_first(available, visible, batch, rng)
+
+    def record_received(self, pieces: Iterable[int]) -> None:
+        """Mark requested pieces as downloaded."""
+        for piece in pieces:
+            self.own.add(piece)

@@ -1,0 +1,93 @@
+"""Dendrogram diagnostics: rendering and cophenetic correlation.
+
+Operators debugging a θ_hm verdict need to *see* the clustering: which
+hosts merged at what heights, and how faithfully the tree represents
+the underlying distances.  This module renders a dendrogram as text and
+computes the cophenetic correlation coefficient (the standard goodness
+measure for a hierarchical clustering: correlation between the original
+pairwise distances and the merge heights at which pairs first join).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .clustering import Dendrogram
+
+__all__ = ["cophenetic_matrix", "cophenetic_correlation", "render_dendrogram"]
+
+
+def _member_map(dendrogram: Dendrogram) -> Dict[int, List[int]]:
+    """Item members of every node id (items and merge pseudo-nodes)."""
+    n = dendrogram.n_items
+    members: Dict[int, List[int]] = {i: [i] for i in range(n)}
+    for index, merge in enumerate(dendrogram.merges):
+        members[n + index] = members[merge.left] + members[merge.right]
+    return members
+
+
+def cophenetic_matrix(dendrogram: Dendrogram) -> np.ndarray:
+    """Matrix of merge heights at which each item pair first joins."""
+    n = dendrogram.n_items
+    matrix = np.zeros((n, n), dtype=float)
+    members = _member_map(dendrogram)
+    for index, merge in enumerate(dendrogram.merges):
+        left = members[merge.left]
+        right = members[merge.right]
+        for a in left:
+            for b in right:
+                matrix[a, b] = merge.weight
+                matrix[b, a] = merge.weight
+    return matrix
+
+
+def cophenetic_correlation(
+    dendrogram: Dendrogram, distance: np.ndarray
+) -> float:
+    """Pearson correlation between distances and cophenetic heights.
+
+    Values near 1 mean the tree is a faithful summary of the metric
+    structure; values near 0 mean the clustering distorted it.
+    Requires at least three items (below that the correlation is
+    undefined) — raises ``ValueError`` otherwise.
+    """
+    n = dendrogram.n_items
+    if n < 3:
+        raise ValueError("cophenetic correlation needs >= 3 items")
+    coph = cophenetic_matrix(dendrogram)
+    iu = np.triu_indices(n, 1)
+    a = np.asarray(distance, dtype=float)[iu]
+    b = coph[iu]
+    if np.allclose(a, a[0]) or np.allclose(b, b[0]):
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def render_dendrogram(
+    dendrogram: Dendrogram,
+    labels: Optional[Sequence[str]] = None,
+    precision: int = 3,
+) -> str:
+    """Render the merge history as indented text, one line per merge.
+
+    Example output (two items joining at 0.5, then absorbing a third)::
+
+        [0.500] {a, b}
+        [2.000] {a, b, c}
+    """
+    n = dendrogram.n_items
+    if labels is None:
+        labels = [str(i) for i in range(n)]
+    if len(labels) != n:
+        raise ValueError("one label per item is required")
+    members = _member_map(dendrogram)
+    lines: List[str] = []
+    for index, merge in enumerate(dendrogram.merges):
+        items = sorted(members[n + index])
+        shown = ", ".join(labels[i] for i in items[:8])
+        if len(items) > 8:
+            shown += f", … ({len(items)} total)"
+        lines.append(f"[{merge.weight:.{precision}f}] {{{shown}}}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Empirical CDF utilities for the paper's distribution figures.
+
+Figures 1, 5 and 10 are cumulative-distribution plots over per-host
+metrics; :func:`ecdf` produces the (x, F(x)) series those figures show.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ecdf", "ecdf_at", "quantile_series"]
+
+
+def ecdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """The empirical CDF of ``values`` as sorted (value, fraction<=) pairs.
+
+    Duplicate values are collapsed to a single step.  Returns an empty
+    list for empty input.
+    """
+    if len(values) == 0:
+        return []
+    data = np.sort(np.asarray(values, dtype=float))
+    n = data.size
+    xs: List[float] = []
+    fs: List[float] = []
+    for i, x in enumerate(data):
+        if i + 1 < n and data[i + 1] == x:
+            continue
+        xs.append(float(x))
+        fs.append((i + 1) / n)
+    return list(zip(xs, fs))
+
+
+def ecdf_at(values: Sequence[float], x: float) -> float:
+    """Fraction of ``values`` less than or equal to ``x``."""
+    if len(values) == 0:
+        raise ValueError("ECDF of an empty sample is undefined")
+    data = np.asarray(values, dtype=float)
+    return float(np.count_nonzero(data <= x) / data.size)
+
+
+def quantile_series(
+    values: Sequence[float], probs: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9)
+) -> List[Tuple[float, float]]:
+    """(probability, quantile) pairs — a compact CDF summary for reports."""
+    if len(values) == 0:
+        raise ValueError("quantiles of an empty sample are undefined")
+    data = np.asarray(values, dtype=float)
+    return [(float(p), float(np.quantile(data, p))) for p in probs]

@@ -1,0 +1,102 @@
+"""Earth Mover's Distance between histogram signatures.
+
+§IV-C compares per-host interstitial-time histograms with the Earth
+Mover's Distance (EMD) [49]: the minimum cost of transforming one
+distribution into the other, where moving mass ``m`` over ground distance
+``d`` costs ``m * d``.  The general formulation is a transportation
+problem [50]; for one-dimensional signatures with ground distance
+``|x - y|`` and equal total mass it has a closed form — the area between
+the two CDFs.
+
+Both solvers are provided:
+
+* :func:`emd_1d` — the exact O(n log n) closed form used in production;
+* :func:`emd_transport` — a scipy ``linprog`` transportation solve, kept
+  as an independent oracle for the property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .histogram import Histogram
+
+__all__ = ["emd_1d", "emd_transport", "emd"]
+
+
+def _as_signature(hist: Histogram) -> Tuple[np.ndarray, np.ndarray]:
+    return (
+        np.asarray(hist.centers, dtype=float),
+        np.asarray(hist.weights, dtype=float),
+    )
+
+
+def emd_1d(a: Histogram, b: Histogram) -> float:
+    """Exact 1-D EMD with ground distance ``|x - y|``.
+
+    Computed as the integral of the absolute difference between the two
+    signatures' CDFs over the merged support — the standard closed form
+    of the transportation problem on the line.
+    """
+    pos_a, w_a = _as_signature(a)
+    pos_b, w_b = _as_signature(b)
+    positions = np.concatenate([pos_a, pos_b])
+    masses = np.concatenate([w_a, -w_b])
+    order = np.argsort(positions, kind="mergesort")
+    positions = positions[order]
+    masses = masses[order]
+    # Running signed mass after each point; cost accrues over each gap.
+    cdf_diff = np.cumsum(masses)[:-1]
+    gaps = np.diff(positions)
+    return float(np.sum(np.abs(cdf_diff) * gaps))
+
+
+def emd_transport(a: Histogram, b: Histogram) -> float:
+    """EMD via an explicit transportation linear program (oracle).
+
+    Minimise ``sum_ij c_ij f_ij`` subject to row sums equal to the source
+    weights and column sums equal to the sink weights, ``f_ij >= 0``,
+    with ``c_ij = |x_i - y_j|``.  Exponential in neither n nor m, but much
+    slower than :func:`emd_1d`; used to cross-validate it in tests.
+    """
+    pos_a, w_a = _as_signature(a)
+    pos_b, w_b = _as_signature(b)
+    n, m = len(pos_a), len(pos_b)
+    cost = np.abs(pos_a[:, None] - pos_b[None, :]).ravel()
+
+    # Equality constraints: each source bin ships exactly its weight,
+    # each sink bin receives exactly its weight.
+    a_eq = np.zeros((n + m, n * m))
+    for i in range(n):
+        a_eq[i, i * m:(i + 1) * m] = 1.0
+    for j in range(m):
+        a_eq[n + j, j::m] = 1.0
+    b_eq = np.concatenate([w_a, w_b])
+
+    result = linprog(cost, A_eq=a_eq, b_eq=b_eq, method="highs")
+    if not result.success:  # pragma: no cover - defensive
+        raise RuntimeError(f"transportation LP failed: {result.message}")
+    return float(result.fun)
+
+
+def emd(a: Histogram, b: Histogram) -> float:
+    """The production EMD between two histogram signatures."""
+    return emd_1d(a, b)
+
+
+def pairwise_emd(histograms: Sequence[Histogram]) -> np.ndarray:
+    """Symmetric matrix of EMDs between all pairs of histograms."""
+    n = len(histograms)
+    matrix = np.zeros((n, n), dtype=float)
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = emd_1d(histograms[i], histograms[j])
+            matrix[i, j] = d
+            matrix[j, i] = d
+    return matrix
+
+
+__all__.append("pairwise_emd")

@@ -1,0 +1,94 @@
+"""ROC (Receiver Operating Characteristic) computation.
+
+Figures 6–8 of the paper report ROC points for each test as its threshold
+percentile sweeps over {10, 30, 50, 70, 90}.  Rates are computed relative
+to the test's *input set*, not the whole population, "to highlight the
+independent discriminating power that each test contributes" (§V-B) — the
+helpers here take that input set explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["RocPoint", "RocCurve", "confusion_rates", "roc_from_selections"]
+
+#: The percentile sweep used throughout the paper's ROC figures.
+PERCENTILE_SWEEP = (10.0, 30.0, 50.0, 70.0, 90.0)
+__all__.append("PERCENTILE_SWEEP")
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    """One operating point: the rates achieved at a given threshold."""
+
+    threshold_label: str
+    true_positive_rate: float
+    false_positive_rate: float
+
+    def __post_init__(self) -> None:
+        for rate in (self.true_positive_rate, self.false_positive_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rates must be in [0, 1], got {rate}")
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """A labelled series of ROC points (one per threshold setting)."""
+
+    label: str
+    points: Tuple[RocPoint, ...]
+
+    def dominated_area(self) -> float:
+        """Trapezoidal area under the (sorted) ROC points.
+
+        A coarse AUC over the sampled operating points, anchored at
+        (0, 0) and (1, 1).
+        """
+        pts = sorted(
+            [(0.0, 0.0)]
+            + [(p.false_positive_rate, p.true_positive_rate) for p in self.points]
+            + [(1.0, 1.0)]
+        )
+        area = 0.0
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            area += (x1 - x0) * (y0 + y1) / 2.0
+        return area
+
+
+def confusion_rates(
+    selected: Set[str], positives: Set[str], population: Set[str]
+) -> Tuple[float, float]:
+    """(TPR, FPR) of ``selected`` against ground truth ``positives``.
+
+    Both rates are relative to ``population`` — the test's input set.
+    Hosts outside the population are ignored entirely.  A TPR over zero
+    positives, or an FPR over zero negatives, is reported as 0.0.
+    """
+    pos = positives & population
+    neg = population - positives
+    sel = selected & population
+    tpr = len(sel & pos) / len(pos) if pos else 0.0
+    fpr = len(sel & neg) / len(neg) if neg else 0.0
+    return tpr, fpr
+
+
+def roc_from_selections(
+    label: str,
+    selections: Sequence[Tuple[str, Set[str]]],
+    positives: Set[str],
+    population: Set[str],
+) -> RocCurve:
+    """Build a ROC curve from (threshold_label, selected_hosts) pairs."""
+    points: List[RocPoint] = []
+    for threshold_label, selected in selections:
+        tpr, fpr = confusion_rates(selected, positives, population)
+        points.append(
+            RocPoint(
+                threshold_label=threshold_label,
+                true_positive_rate=tpr,
+                false_positive_rate=fpr,
+            )
+        )
+    return RocCurve(label=label, points=tuple(points))

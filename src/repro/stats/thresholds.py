@@ -1,0 +1,54 @@
+"""Dynamic (data-dependent) threshold helpers.
+
+Every threshold in the paper — τ_vol, τ_churn, τ_hm, and the failed-
+connection cutoff of the initial data reduction — is set *relative to the
+current traffic*: a percentile (typically the median) of the metric over
+all hosts under consideration.  §VI argues this is itself an evasion
+obstacle, since a Plotter cannot observe the statistic it must beat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, TypeVar
+
+import numpy as np
+
+__all__ = ["percentile_threshold", "median_threshold", "select_below", "select_above"]
+
+K = TypeVar("K")
+
+
+def percentile_threshold(values: Sequence[float], percentile: float) -> float:
+    """The ``percentile``-th percentile of ``values`` (linear interpolation).
+
+    Raises ``ValueError`` on an empty sequence — a threshold computed from
+    no data would silently select everything or nothing.
+    """
+    if len(values) == 0:
+        raise ValueError("cannot take a percentile of zero values")
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {percentile}")
+    return float(np.percentile(np.asarray(values, dtype=float), percentile))
+
+
+def median_threshold(values: Sequence[float]) -> float:
+    """The median — the paper's default dynamic threshold."""
+    return percentile_threshold(values, 50.0)
+
+
+def select_below(metric: Dict[K, float], threshold: float) -> Set[K]:
+    """Keys whose metric is strictly below ``threshold``.
+
+    Used by θ_vol (avg flow size < τ_vol) and θ_churn
+    (new-IP fraction < τ_churn).
+    """
+    return {k for k, v in metric.items() if v < threshold}
+
+
+def select_above(metric: Dict[K, float], threshold: float) -> Set[K]:
+    """Keys whose metric is strictly above ``threshold``.
+
+    Used by the initial data reduction (failed-connection rate above the
+    median ⇒ "possibly P2P").
+    """
+    return {k for k, v in metric.items() if v > threshold}

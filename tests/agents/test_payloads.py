@@ -1,0 +1,87 @@
+"""Tests for payload synthesis and its agreement with the labeler."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.agents import payloads
+from repro.datasets.groundtruth import classify_payload
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestTraderPayloadsMatchSignatures:
+    def test_gnutella_handshake(self, rng):
+        assert classify_payload(payloads.gnutella_handshake(rng)) == "gnutella"
+
+    def test_gnutella_connect_back(self, rng):
+        assert classify_payload(payloads.gnutella_connect_back(rng)) == "gnutella"
+
+    def test_gnutella_query(self, rng):
+        assert classify_payload(payloads.gnutella_query(rng)) == "gnutella"
+
+    def test_lime(self, rng):
+        assert classify_payload(payloads.lime_payload(rng)) == "gnutella"
+
+    def test_emule_tcp(self, rng):
+        assert classify_payload(payloads.emule_tcp(rng)) == "emule"
+
+    def test_emule_udp(self, rng):
+        assert classify_payload(payloads.emule_udp(rng)) == "emule"
+
+    def test_bittorrent_handshake(self, rng):
+        payload = payloads.bittorrent_handshake(rng, b"\x01" * 20)
+        assert classify_payload(payload) == "bittorrent"
+
+    def test_tracker_requests(self, rng):
+        infohash = b"\x02" * 20
+        assert classify_payload(
+            payloads.tracker_announce_request(rng, infohash)
+        ) == "bittorrent"
+        assert classify_payload(
+            payloads.tracker_scrape_request(rng, infohash)
+        ) == "bittorrent"
+
+    def test_dht_messages(self, rng):
+        assert classify_payload(payloads.dht_query(rng)) == "bittorrent"
+        assert classify_payload(payloads.dht_response(rng)) == "bittorrent"
+
+
+class TestNonTraderPayloadsStayUnlabelled:
+    @given(seed=st.integers(0, 500))
+    def test_opaque_never_matches(self, seed):
+        rng = random.Random(seed)
+        assert classify_payload(payloads.opaque(rng)) is None
+
+    @given(seed=st.integers(0, 200))
+    def test_dns_never_matches(self, seed):
+        rng = random.Random(seed)
+        assert classify_payload(payloads.dns_query(rng)) is None
+
+    def test_http_ssh_smtp(self, rng):
+        assert classify_payload(payloads.http_get(rng)) is None
+        assert classify_payload(payloads.ssh_banner(rng)) is None
+        assert classify_payload(payloads.smtp_banner_reply(rng)) is None
+
+    def test_empty_payload(self):
+        assert classify_payload(b"") is None
+
+
+class TestSnippetLength:
+    @given(seed=st.integers(0, 50))
+    def test_all_payloads_at_most_64_bytes(self, seed):
+        rng = random.Random(seed)
+        samples = [
+            payloads.gnutella_handshake(rng),
+            payloads.emule_tcp(rng),
+            payloads.bittorrent_handshake(rng, b"\x03" * 20),
+            payloads.dht_query(rng),
+            payloads.http_get(rng),
+            payloads.opaque(rng),
+            payloads.dns_query(rng),
+        ]
+        assert all(len(s) <= 64 for s in samples)

@@ -1,0 +1,81 @@
+"""Tests for the Waledac-style plotter (extension)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.agents.plotter_waledac import (
+    WALEDAC_PORT,
+    WaledacPlotterAgent,
+    WaledacWorld,
+)
+from repro.datasets.honeynet import capture_waledac_trace
+from repro.flows.metrics import extract_features, interstitial_times
+
+
+class TestWaledacWorld:
+    def test_population_validated(self):
+        from repro.netsim.addressing import AddressSpace
+
+        with pytest.raises(ValueError):
+            WaledacWorld(
+                random.Random(0),
+                AddressSpace().random_external,
+                3600.0,
+                size=0,
+            )
+
+    def test_relay_list_sampling(self):
+        from repro.netsim.addressing import AddressSpace
+
+        world = WaledacWorld(
+            random.Random(0), AddressSpace().random_external, 3600.0, size=50
+        )
+        relays = world.sample_relay_list(random.Random(1), 20)
+        assert len(relays) == 20
+        assert len({r.address for r in relays}) == 20
+
+
+class TestWaledacCapture:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return capture_waledac_trace(seed=11, n_bots=6, population=120)
+
+    def test_http_transport(self, trace):
+        bot_set = set(trace.bots)
+        for flow in trace.store:
+            if flow.src in bot_set:
+                assert flow.dport == WALEDAC_PORT
+
+    def test_web_sized_flows(self, trace):
+        # Waledac's defining challenge: per-flow volume near web scale,
+        # far above Storm's tens of bytes.
+        for bot in trace.bots:
+            features = extract_features(trace.store, bot)
+            assert features.avg_flow_size > 500
+
+    def test_persistent_relay_set(self, trace):
+        # Low churn: the relay list dominates the contact set.
+        for bot in trace.bots:
+            features = extract_features(trace.store, bot)
+            assert features.new_ip_fraction < 0.6
+
+    def test_soft_timer_signature(self, trace):
+        # Polls run on a jittered ~150 s timer: per-destination gaps
+        # concentrate within a factor-two band of it, but more loosely
+        # than Storm's hard timers.
+        bot = max(trace.bots, key=lambda b: len(trace.store.flows_from(b)))
+        gaps = np.array(interstitial_times(trace.store.flows_from(bot)))
+        assert gaps.size > 20
+        in_band = np.mean((gaps > 300) & (gaps < 3.5 * 3600))
+        assert in_band > 0.5  # gaps ~ poll interval x relay-list size
+
+    def test_invalid_parameters(self):
+        from repro.netsim.addressing import AddressSpace
+
+        world = WaledacWorld(
+            random.Random(0), AddressSpace().random_external, 3600.0, size=10
+        )
+        with pytest.raises(ValueError):
+            WaledacPlotterAgent("10.0.0.1", world, poll_interval=0.0)

@@ -1,0 +1,84 @@
+"""Tests for the timing-entropy baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.entropy import EntropyDetector, timing_entropy
+from repro.flows import FlowRecord, FlowStore, Protocol
+
+
+def flow(src, dst="peer", start=0.0):
+    return FlowRecord(
+        src=src, dst=dst, sport=1, dport=2, proto=Protocol.TCP,
+        start=start, end=start + 0.5,
+    )
+
+
+class TestTimingEntropy:
+    def test_hard_timer_scores_near_zero(self):
+        samples = [30.0] * 200
+        assert timing_entropy(samples) < 0.05
+
+    def test_spread_samples_score_high(self):
+        rng = np.random.default_rng(0)
+        samples = list(10 ** rng.uniform(-2, 4, size=500))
+        assert timing_entropy(samples) > 0.6
+
+    def test_bot_below_human(self):
+        rng = np.random.default_rng(1)
+        bot = list(30.0 + rng.normal(0, 0.5, size=300))
+        human = list(10 ** rng.uniform(-1, 3.5, size=300))
+        assert timing_entropy(bot) < timing_entropy(human) / 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            timing_entropy([])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(1e-3, 1e5, allow_nan=False), min_size=1, max_size=200
+        )
+    )
+    def test_bounds(self, samples):
+        assert 0.0 <= timing_entropy(samples) <= 1.0
+
+
+class TestEntropyDetector:
+    def test_flags_the_periodic_host(self):
+        flows = []
+        for i in range(120):
+            flows.append(flow("bot", start=30.0 * i))
+        rng = np.random.default_rng(2)
+        for h in range(6):
+            t = 0.0
+            for _ in range(120):
+                t += float(10 ** rng.uniform(-1, 3))
+                flows.append(flow(f"human{h}", start=t))
+        store = FlowStore(flows)
+        hosts = {"bot"} | {f"human{h}" for h in range(6)}
+        result = EntropyDetector(percentile=20.0).detect(store, hosts)
+        assert "bot" in result.selected
+
+    def test_percentile_validated(self):
+        with pytest.raises(ValueError):
+            EntropyDetector(percentile=-1.0)
+
+    def test_empty_store(self):
+        result = EntropyDetector().detect(FlowStore(), {"a"})
+        assert result.selected == frozenset()
+
+    def test_cannot_separate_bots_from_benign_automation(
+        self, overlaid_day, campus_day
+    ):
+        """The baseline's structural weakness: periodic != malicious."""
+        result = EntropyDetector(percentile=30.0).detect(
+            overlaid_day.store, campus_day.all_hosts
+        )
+        flagged = result.selected_set
+        if not flagged:
+            pytest.skip("nothing flagged at this tiny scale")
+        plotters = overlaid_day.plotter_hosts
+        precision = len(flagged & plotters) / len(flagged)
+        assert precision < 0.95

@@ -1,0 +1,66 @@
+"""Shared fixtures: tiny-but-complete synthetic worlds.
+
+Session-scoped so the expensive synthesis happens once per test run.
+"""
+
+import pytest
+
+from repro.datasets import (
+    CampusConfig,
+    build_campus_day,
+    capture_nugache_trace,
+    capture_storm_trace,
+    overlay_traces,
+)
+from repro.netsim.rng import substream
+
+
+TEST_SEED = 424242
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """A small campus configuration that still has every host class."""
+    return CampusConfig(
+        seed=TEST_SEED,
+        n_days=2,
+        n_background=60,
+        n_bittorrent=4,
+        n_gnutella=3,
+        n_emule=3,
+        n_web_servers=80,
+        n_dead_hosts=20,
+        n_torrents=6,
+        n_ultrapeers=30,
+        n_gnutella_sources=60,
+        n_ed2k_servers=2,
+        n_emule_sources=60,
+    )
+
+
+@pytest.fixture(scope="session")
+def campus_day(tiny_config):
+    """One synthesised campus day."""
+    return build_campus_day(tiny_config, 0)
+
+
+@pytest.fixture(scope="session")
+def storm_trace():
+    """A small Storm honeynet capture."""
+    return capture_storm_trace(seed=TEST_SEED, n_bots=5, network_size=200)
+
+
+@pytest.fixture(scope="session")
+def nugache_trace():
+    """A small Nugache honeynet capture."""
+    return capture_nugache_trace(seed=TEST_SEED, n_bots=10, population=150)
+
+
+@pytest.fixture(scope="session")
+def overlaid_day(campus_day, storm_trace, nugache_trace):
+    """The campus day with both bot traces implanted."""
+    return overlay_traces(
+        campus_day,
+        [storm_trace, nugache_trace],
+        substream(TEST_SEED, "overlay", 0),
+    )

@@ -1,0 +1,94 @@
+"""Tests for campus-day synthesis."""
+
+import pytest
+
+from repro.datasets.campus import CampusConfig, build_campus_day
+from repro.flows.metrics import failed_connection_rate
+from repro.netsim.entities import HostRole
+
+
+class TestStructure:
+    def test_population_counts(self, tiny_config, campus_day):
+        roles = list(campus_day.roles.values())
+        assert roles.count(HostRole.BACKGROUND) == tiny_config.n_background
+        assert roles.count(HostRole.TRADER_BITTORRENT) == tiny_config.n_bittorrent
+        assert roles.count(HostRole.TRADER_GNUTELLA) == tiny_config.n_gnutella
+        assert roles.count(HostRole.TRADER_EMULE) == tiny_config.n_emule
+
+    def test_hosts_are_internal(self, campus_day):
+        for host in campus_day.all_hosts:
+            assert any(
+                host.startswith(p) for p in campus_day.internal_prefixes
+            )
+
+    def test_flows_within_window(self, campus_day):
+        for flow in campus_day.store:
+            assert 0.0 <= flow.start <= campus_day.window
+
+    def test_every_host_emits_traffic(self, campus_day):
+        initiators = campus_day.store.initiators
+        silent = campus_day.all_hosts - initiators
+        # Virtually every simulated host produces at least one flow.
+        assert len(silent) <= len(campus_day.all_hosts) * 0.02
+
+    def test_host_sets(self, campus_day):
+        assert campus_day.trader_hosts | campus_day.background_hosts == (
+            campus_day.all_hosts
+        )
+        assert not campus_day.trader_hosts & campus_day.background_hosts
+
+
+class TestDeterminismAndVariation:
+    def test_same_day_reproducible(self, tiny_config, campus_day):
+        rebuilt = build_campus_day(tiny_config, 0)
+        assert len(rebuilt.store) == len(campus_day.store)
+        assert rebuilt.roles == campus_day.roles
+
+    def test_different_days_differ(self, tiny_config, campus_day):
+        other = build_campus_day(tiny_config, 1)
+        assert other.roles == campus_day.roles  # same hosts...
+        assert len(other.store) != len(campus_day.store)  # ...fresh traffic
+
+    def test_negative_day_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            build_campus_day(tiny_config, -1)
+
+
+class TestCalibration:
+    def test_traders_fail_more_than_quiet_background(self, campus_day):
+        store = campus_day.store
+        trader_rates = [
+            failed_connection_rate(store.flows_from(h))
+            for h in campus_day.trader_hosts
+        ]
+        background_rates = sorted(
+            failed_connection_rate(store.flows_from(h))
+            for h in campus_day.background_hosts
+            if store.flows_from(h)
+        )
+        quiet_median = background_rates[len(background_rates) // 4]
+        assert min(trader_rates) > quiet_median
+
+
+class TestScaled:
+    def test_scaled_shrinks_population(self):
+        config = CampusConfig().scaled(0.1)
+        assert config.n_background == 110
+        assert config.n_bittorrent == 2
+        # Fractions and thresholds untouched.
+        assert config.noisy_fraction == CampusConfig().noisy_fraction
+
+    def test_scaled_respects_minimums(self):
+        config = CampusConfig().scaled(0.001)
+        assert config.n_background >= 1
+        assert config.n_web_servers >= 10
+
+
+class TestDatasetBuilder:
+    def test_build_campus_dataset_covers_all_days(self, tiny_config):
+        from repro.datasets.campus import build_campus_dataset
+
+        days = build_campus_dataset(tiny_config)
+        assert [d.day for d in days] == list(range(tiny_config.n_days))
+        # Same hosts across days, different traffic.
+        assert days[0].roles == days[1].roles

@@ -1,0 +1,47 @@
+"""Tests for the repro-datasets command line."""
+
+import pytest
+
+from repro.datasets.cli import main
+
+
+class TestGenerateInspectLabel:
+    @pytest.fixture(scope="class")
+    def generated(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("traces")
+        code = main([
+            "generate", "--out", str(out),
+            "--days", "1", "--scale", "0.05", "--seed", "9",
+        ])
+        assert code == 0
+        return out
+
+    def test_generate_writes_all_traces(self, generated):
+        names = {p.name for p in generated.iterdir()}
+        assert "campus-day0.flows.csv" in names
+        assert "campus-day0.manifest.json" in names
+        assert "honeynet-storm.flows.csv" in names
+        assert "honeynet-nugache.flows.csv" in names
+
+    def test_inspect_prints_features(self, generated, capsys):
+        trace = generated / "campus-day0.flows.csv"
+        assert main(["inspect", "--trace", str(trace), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "initiators" in out
+        assert "avg B/flow" in out
+
+    def test_label_finds_traders(self, generated, capsys):
+        trace = generated / "campus-day0.flows.csv"
+        assert main(["label", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "hosts labelled" in out
+
+    def test_label_clean_trace(self, generated, capsys):
+        trace = generated / "honeynet-storm.flows.csv"
+        assert main(["label", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "no hosts matched" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,66 @@
+"""Tests for honeynet trace capture."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.honeynet import (
+    HoneynetTrace,
+    capture_nugache_trace,
+    capture_storm_trace,
+)
+from repro.flows.metrics import extract_features
+
+
+class TestStormCapture:
+    def test_bot_count(self, storm_trace):
+        assert storm_trace.bot_count == 5
+        assert storm_trace.botnet == "storm"
+
+    def test_every_bot_talks(self, storm_trace):
+        for bot in storm_trace.bots:
+            assert len(storm_trace.store.flows_from(bot)) > 100
+
+    def test_flows_of_unknown_bot_rejected(self, storm_trace):
+        with pytest.raises(KeyError):
+            storm_trace.flows_of("10.0.0.1")
+
+    def test_low_volume_signature(self, storm_trace):
+        for bot in storm_trace.bots:
+            features = extract_features(storm_trace.store, bot)
+            assert features.avg_flow_size < 500
+
+    def test_moderate_failure_signature(self, storm_trace):
+        rates = [
+            extract_features(storm_trace.store, bot).failed_conn_rate
+            for bot in storm_trace.bots
+        ]
+        assert 0.15 < float(np.median(rates)) < 0.75
+
+    def test_reproducible(self, storm_trace):
+        again = capture_storm_trace(seed=424242, n_bots=5, network_size=200)
+        assert len(again.store) == len(storm_trace.store)
+
+
+class TestNugacheCapture:
+    def test_bot_count(self, nugache_trace):
+        assert nugache_trace.bot_count == 10
+        assert nugache_trace.botnet == "nugache"
+
+    def test_high_failure_signature(self, nugache_trace):
+        rates = [
+            extract_features(nugache_trace.store, bot).failed_conn_rate
+            for bot in nugache_trace.bots
+            if len(nugache_trace.store.flows_from(bot)) > 30
+        ]
+        assert float(np.median(rates)) > 0.5
+
+    def test_activity_spread(self):
+        trace = capture_nugache_trace(seed=7, n_bots=40, population=200)
+        counts = sorted(
+            len(trace.store.flows_from(bot)) for bot in trace.bots
+        )
+        # Orders of magnitude between the quietest and busiest bots.
+        assert counts[-1] > 20 * max(counts[0], 1)
+
+    def test_distinct_addresses_from_storm(self, storm_trace, nugache_trace):
+        assert not set(storm_trace.bots) & set(nugache_trace.bots)

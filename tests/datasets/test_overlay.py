@@ -1,0 +1,59 @@
+"""Tests for the Plotter-trace overlay."""
+
+import random
+
+import pytest
+
+from repro.datasets.overlay import overlay_traces
+from repro.flows.filters import active_hosts
+
+
+class TestOverlay:
+    def test_assignments_distinct_and_internal(self, overlaid_day, campus_day):
+        assigned = list(overlaid_day.assignments.values())
+        assert len(assigned) == len(set(assigned))
+        assert set(assigned) <= campus_day.all_hosts
+
+    def test_assigned_hosts_were_active(self, overlaid_day, campus_day):
+        eligible = active_hosts(campus_day.store) & campus_day.all_hosts
+        assert set(overlaid_day.assignments.values()) <= eligible
+
+    def test_flow_counts_add_up(self, overlaid_day, campus_day, storm_trace, nugache_trace):
+        expected = (
+            len(campus_day.store)
+            + len(storm_trace.store)
+            + len(nugache_trace.store)
+        )
+        assert len(overlaid_day.store) == expected
+
+    def test_host_keeps_its_own_traffic(self, overlaid_day, campus_day):
+        bot, host = next(iter(overlaid_day.assignments.items()))
+        own = len(campus_day.store.flows_from(host))
+        combined = len(overlaid_day.store.flows_from(host))
+        assert combined > own  # bot flows came on top of the host's own
+
+    def test_plotters_of_partition(self, overlaid_day, storm_trace, nugache_trace):
+        storm_hosts = overlaid_day.plotters_of("storm")
+        nugache_hosts = overlaid_day.plotters_of("nugache")
+        assert len(storm_hosts) == storm_trace.bot_count
+        assert len(nugache_hosts) == nugache_trace.bot_count
+        assert not storm_hosts & nugache_hosts
+        assert overlaid_day.plotter_hosts == storm_hosts | nugache_hosts
+
+    def test_no_honeynet_addresses_leak(self, overlaid_day):
+        for flow in overlaid_day.store:
+            assert not flow.src.startswith("172.16.")
+
+    def test_too_many_bots_rejected(self, campus_day, storm_trace):
+        with pytest.raises(ValueError):
+            overlay_traces(
+                campus_day,
+                [storm_trace],
+                random.Random(0),
+                eligible={"10.1.0.1"},  # one slot, five bots
+            )
+
+    def test_deterministic_given_rng(self, campus_day, storm_trace):
+        a = overlay_traces(campus_day, [storm_trace], random.Random(9))
+        b = overlay_traces(campus_day, [storm_trace], random.Random(9))
+        assert a.assignments == b.assignments

@@ -1,0 +1,44 @@
+"""Round-trip tests for dataset persistence."""
+
+import pytest
+
+from repro.datasets.traces import (
+    load_campus_day,
+    load_honeynet_trace,
+    save_campus_day,
+    save_honeynet_trace,
+)
+
+
+class TestCampusPersistence:
+    def test_round_trip(self, tmp_path, campus_day):
+        save_campus_day(tmp_path, campus_day)
+        restored = load_campus_day(tmp_path, campus_day.day)
+        assert restored.day == campus_day.day
+        assert restored.roles == campus_day.roles
+        assert restored.window == campus_day.window
+        assert tuple(restored.internal_prefixes) == campus_day.internal_prefixes
+        assert len(restored.store) == len(campus_day.store)
+        assert list(restored.store) == list(campus_day.store)
+
+    def test_wrong_day_rejected(self, tmp_path, campus_day):
+        save_campus_day(tmp_path, campus_day)
+        with pytest.raises(FileNotFoundError):
+            load_campus_day(tmp_path, campus_day.day + 5)
+
+
+class TestHoneynetPersistence:
+    def test_round_trip(self, tmp_path, storm_trace):
+        save_honeynet_trace(tmp_path, storm_trace)
+        restored = load_honeynet_trace(tmp_path, "storm")
+        assert restored.botnet == "storm"
+        assert restored.bots == storm_trace.bots
+        assert list(restored.store) == list(storm_trace.store)
+
+    def test_per_bot_flows_preserved(self, tmp_path, nugache_trace):
+        save_honeynet_trace(tmp_path, nugache_trace)
+        restored = load_honeynet_trace(tmp_path, "nugache")
+        for bot in nugache_trace.bots:
+            assert len(restored.flows_of(bot)) == len(
+                nugache_trace.flows_of(bot)
+            )

@@ -1,0 +1,135 @@
+"""Tests for the port-split detection extension (§VI ongoing work)."""
+
+import random
+
+import pytest
+
+from repro.detection.portsplit import (
+    PortSplitConfig,
+    find_plotters_port_split,
+    split_virtual_hosts,
+)
+from repro.flows import FlowRecord, FlowState, FlowStore, Protocol
+
+
+def flow(src, dst, dport, start=0.0, src_bytes=100, failed=False):
+    return FlowRecord(
+        src=src, dst=dst, sport=1, dport=dport, proto=Protocol.TCP,
+        start=start, end=start + 1, src_bytes=src_bytes,
+        state=FlowState.TIMEOUT if failed else FlowState.ESTABLISHED,
+    )
+
+
+class TestSplitVirtualHosts:
+    def test_heavy_ports_get_own_group(self):
+        flows = [flow("h", f"d{i}", 80, start=float(i)) for i in range(25)]
+        flows += [flow("h", "x", 443, start=100.0)]
+        store = FlowStore(flows)
+        virtual, mapping = split_virtual_hosts(store, {"h"}, 20)
+        assert "h|80" in mapping
+        assert mapping["h|80"] == "h"
+        # The lone 443 flow fell into "rest", below the minimum: dropped.
+        assert all(v.startswith("h|") for v in mapping)
+        assert "h|rest" not in mapping
+
+    def test_rest_bucket_aggregates_small_ports(self):
+        flows = []
+        for port in range(1000, 1025):  # one flow on each of 25 ports
+            flows.append(flow("h", "d", port, start=float(port)))
+        store = FlowStore(flows)
+        virtual, mapping = split_virtual_hosts(store, {"h"}, 20)
+        assert set(mapping) == {"h|rest"}
+        assert len(virtual.flows_from("h|rest")) == 25
+
+    def test_external_flows_pass_through(self):
+        flows = [flow("h", "d", 80, start=float(i)) for i in range(20)]
+        flows.append(flow("9.9.9.9", "h", 80, start=50.0))
+        store = FlowStore(flows)
+        virtual, mapping = split_virtual_hosts(store, {"h"}, 20)
+        assert len(virtual.flows_from("9.9.9.9")) == 1
+
+    def test_counts_preserved_for_internal_hosts(self):
+        flows = [flow("h", "d", 80, start=float(i)) for i in range(40)]
+        flows += [flow("h", "d", 7871, start=float(i) + 0.5) for i in range(40)]
+        store = FlowStore(flows)
+        virtual, mapping = split_virtual_hosts(store, {"h"}, 20)
+        total = sum(len(virtual.flows_from(v)) for v in mapping)
+        assert total == 80
+
+
+class TestTraderHostedBot:
+    @pytest.fixture
+    def trader_with_bot(self):
+        """A host that is simultaneously a heavy Trader and a Storm-like
+        bot, plus clean hosts for threshold context."""
+        rng = random.Random(5)
+        flows = []
+        # Trader side: huge uploads to churning peers on BT ports, with
+        # the P2P-typical failure rate on stale peers.
+        for i in range(120):
+            flows.append(
+                flow(
+                    "dual", f"peer{i}", 6881 + (i % 5),
+                    start=rng.uniform(0, 21000),
+                    src_bytes=rng.randint(50_000, 2_000_000),
+                    failed=rng.random() < 0.5,
+                )
+            )
+        # Bot side: tiny periodic flows to 6 fixed peers on port 7871.
+        for step in range(200):
+            for peer in range(6):
+                flows.append(
+                    flow(
+                        "dual", f"c2-{peer}", 7871,
+                        start=30.0 * step + peer * 0.3,
+                        src_bytes=80,
+                        failed=rng.random() < 0.4,
+                    )
+                )
+        # Companion bots on otherwise quiet hosts so θ_hm has a botnet
+        # cluster to find.
+        for bot in range(4):
+            for step in range(200):
+                for peer in range(6):
+                    flows.append(
+                        flow(
+                            f"bot{bot}", f"c2-{peer}", 7871,
+                            start=30.0 * step + peer * 0.3 + bot * 0.05,
+                            src_bytes=80,
+                            failed=rng.random() < 0.4,
+                        )
+                    )
+        # Background hosts with human-ish traffic and low failure rates.
+        for host in range(12):
+            t = 0.0
+            for _ in range(120):
+                t += rng.lognormvariate(2.0 + host * 0.2, 1.0)
+                flows.append(
+                    flow(
+                        f"bg{host}", f"site{rng.randrange(8)}", 80,
+                        start=t, src_bytes=rng.randint(200, 1500),
+                        failed=rng.random() < 0.05,
+                    )
+                )
+        hosts = (
+            {"dual"}
+            | {f"bot{i}" for i in range(4)}
+            | {f"bg{i}" for i in range(12)}
+        )
+        return FlowStore(flows), hosts
+
+    def test_port_split_flags_the_dual_host(self, trader_with_bot):
+        store, hosts = trader_with_bot
+        result = find_plotters_port_split(
+            store,
+            hosts,
+            config=PortSplitConfig(),
+        )
+        assert "dual" in result.suspects
+        # And it names the bot's port group, not the BT ports.
+        assert "7871" in result.suspect_groups["dual"]
+
+    def test_virtual_host_count(self, trader_with_bot):
+        store, hosts = trader_with_bot
+        result = find_plotters_port_split(store, hosts)
+        assert result.virtual_hosts >= len(hosts)

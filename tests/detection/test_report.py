@@ -1,0 +1,79 @@
+"""Direct tests for the evaluation-report accounting."""
+
+import pytest
+
+from repro.detection.pipeline import PipelineConfig, find_plotters
+from repro.detection.report import StageCounts, average_reports, evaluate_pipeline
+from repro.flows import FlowRecord, FlowState, FlowStore, Protocol
+
+
+def flow(src, dst="d", start=0.0, failed=False, src_bytes=100):
+    return FlowRecord(
+        src=src, dst=dst, sport=1, dport=2, proto=Protocol.TCP,
+        start=start, end=start + 1, src_bytes=src_bytes,
+        state=FlowState.TIMEOUT if failed else FlowState.ESTABLISHED,
+    )
+
+
+@pytest.fixture
+def scored():
+    # Hand-built population: two "bots" (failure-heavy, small periodic
+    # flows to one peer), one "trader" (huge flows), three clean hosts.
+    flows = []
+    for bot in ("bot-a", "bot-b"):
+        for i in range(60):
+            flows.append(
+                flow(bot, dst="c2", start=i * 30.0, src_bytes=60,
+                     failed=(i % 2 == 0))
+            )
+    for i in range(40):
+        flows.append(
+            flow("trader", dst=f"peer{i}", start=i * 100.0,
+                 src_bytes=500_000, failed=(i % 3 == 0))
+        )
+    for host in ("clean1", "clean2", "clean3"):
+        for i in range(30):
+            flows.append(flow(host, dst=f"site{i % 5}", start=i * 97.0))
+    store = FlowStore(flows)
+    hosts = {"bot-a", "bot-b", "trader", "clean1", "clean2", "clean3"}
+    result = find_plotters(store, hosts=hosts)
+    report = evaluate_pipeline(
+        result,
+        {"storm": {"bot-a", "bot-b"}},
+        {"trader"},
+    )
+    return result, report
+
+
+class TestStageAccounting:
+    def test_input_counts_every_class(self, scored):
+        _result, report = scored
+        by_name = {s.stage: s for s in report.stages}
+        assert by_name["input"].total == 6
+        assert by_name["input"].per_class["storm"] == 2
+        assert by_name["input"].per_class["trader"] == 1
+
+    def test_stage_order_is_pipeline_order(self, scored):
+        _result, report = scored
+        names = [s.stage for s in report.stages]
+        assert names == [
+            "input", "reduction", "volume", "churn", "vol-or-churn", "hm",
+        ]
+
+    def test_fpr_excludes_plotters_from_denominator(self, scored):
+        result, report = scored
+        negatives = 4  # trader + 3 clean
+        fp = len(result.suspects - {"bot-a", "bot-b"})
+        assert report.false_positive_rate == pytest.approx(fp / negatives)
+
+    def test_stage_counts_type(self):
+        counts = StageCounts(stage="x", total=3, per_class={"storm": 1})
+        assert counts.per_class["storm"] == 1
+
+
+class TestAveraging:
+    def test_mixed_days(self, scored):
+        _result, report = scored
+        summary = average_reports([report])
+        assert set(summary) >= {"tpr_storm", "fpr", "trader_survival"}
+        assert summary["tpr_storm"] == report.tpr("storm")

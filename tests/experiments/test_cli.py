@@ -1,0 +1,69 @@
+"""Tests for the repro-experiments command line."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main
+
+
+class TestArgumentHandling:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig9", "fig12", "baselines"):
+            assert name in out
+
+    def test_no_arguments_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig9" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-figure"])
+
+    def test_every_registered_name_is_callable(self):
+        for name, runner in EXPERIMENTS.items():
+            assert callable(runner), name
+
+
+class TestEndToEnd:
+    # A real (tiny-ish) run: the quick scale keeps this to seconds for
+    # the cheap figure.
+    def test_runs_fig2_quick(self, capsys, monkeypatch):
+        import repro.experiments.cli as cli
+        from repro.experiments import ExperimentConfig, ExperimentContext
+        from repro.datasets.campus import CampusConfig
+
+        tiny = ExperimentConfig(
+            campus=CampusConfig(seed=5).scaled(0.06),
+            n_days=1,
+            storm_bots=4,
+            nugache_bots=6,
+            seed=5,
+        )
+        monkeypatch.setattr(
+            cli.ExperimentConfig, "quick", classmethod(lambda cls: tiny)
+        )
+        assert main(["fig2", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "completed in" in out
+
+    def test_plot_flag_renders_figure(self, capsys, monkeypatch):
+        import repro.experiments.cli as cli
+        from repro.experiments import ExperimentConfig
+        from repro.datasets.campus import CampusConfig
+
+        tiny = ExperimentConfig(
+            campus=CampusConfig(seed=5).scaled(0.06),
+            n_days=1,
+            storm_bots=4,
+            nugache_bots=6,
+            seed=5,
+        )
+        monkeypatch.setattr(
+            cli.ExperimentConfig, "quick", classmethod(lambda cls: tiny)
+        )
+        assert main(["fig5", "--scale", "quick", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "per-host CDF" in out
+        assert "legend:" in out

@@ -1,0 +1,67 @@
+"""Tests for the machine-readable shape criteria."""
+
+from repro.experiments.paper_targets import (
+    PAPER_HEADLINE,
+    check_headline,
+    check_roc_shape,
+)
+
+
+class TestHeadlineChecks:
+    def test_paper_numbers_pass_their_own_checks(self):
+        checks = check_headline(PAPER_HEADLINE)
+        assert all(c.passed for c in checks)
+
+    def test_measured_full_scale_numbers_pass(self):
+        measured = {
+            "tpr_storm": 0.875,
+            "tpr_nugache": 0.311,
+            "fpr": 0.086,
+            "trader_survival": 0.122,
+        }
+        assert all(c.passed for c in check_headline(measured))
+
+    def test_inverted_ordering_fails(self):
+        broken = {
+            "tpr_storm": 0.2,
+            "tpr_nugache": 0.8,
+            "fpr": 0.086,
+            "trader_survival": 0.122,
+        }
+        failed = {c.name for c in check_headline(broken) if not c.passed}
+        assert "storm-over-nugache" in failed
+        assert "storm-high" in failed
+
+    def test_useless_detector_fails(self):
+        broken = {
+            "tpr_storm": 0.9,
+            "tpr_nugache": 0.5,
+            "fpr": 0.6,
+            "trader_survival": 0.9,
+        }
+        failed = {c.name for c in check_headline(broken) if not c.passed}
+        assert "fpr-small" in failed
+        assert "traders-mostly-cleared" in failed
+
+    def test_str_rendering(self):
+        check = check_headline(PAPER_HEADLINE)[0]
+        assert "PASS" in str(check)
+
+
+class TestRocChecks:
+    def test_monotone_series_passes(self):
+        points = {
+            "storm": [(10, 0.2, 0.1), (50, 0.6, 0.5), (90, 1.0, 0.9)],
+            "nugache": [(10, 0.1, 0.1), (50, 0.3, 0.5), (90, 0.8, 0.9)],
+        }
+        assert all(c.passed for c in check_roc_shape(points))
+
+    def test_non_monotone_fails(self):
+        points = {"storm": [(10, 0.9, 0.1), (50, 0.2, 0.5)]}
+        failed = [c for c in check_roc_shape(points) if not c.passed]
+        assert any("tpr-monotone" in c.name for c in failed)
+
+    def test_dominance_check_needs_both_botnets(self):
+        points = {"storm": [(10, 0.5, 0.1)]}
+        names = {c.name for c in check_roc_shape(points)}
+        assert "storm-dominates-sweep" not in names

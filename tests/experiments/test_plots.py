@@ -1,0 +1,68 @@
+"""Tests for the ASCII plot renderers."""
+
+import pytest
+
+from repro.experiments.plots import ascii_cdf, ascii_decay, ascii_xy
+
+
+class TestAsciiCdf:
+    def test_renders_title_and_legend(self):
+        text = ascii_cdf(
+            {"traders": [1e5, 2e5, 5e5], "plotters": [50, 80, 100]},
+            title="avg flow size",
+        )
+        assert text.startswith("avg flow size")
+        assert "o=traders" in text
+        assert "x=plotters" in text
+
+    def test_empty_series_skipped(self):
+        text = ascii_cdf({"a": [1.0, 2.0], "empty": []}, title="t")
+        assert "o=a" in text
+        assert "empty" not in text
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({"a": []}, title="t")
+
+    def test_separated_distributions_occupy_different_columns(self):
+        text = ascii_cdf(
+            {"low": [1.0, 2.0, 3.0], "high": [1e6, 2e6]},
+            title="t",
+            width=40,
+        )
+        rows = [line for line in text.splitlines() if "|" in line]
+        # 'o' marks must appear left of the leftmost 'x' mark somewhere.
+        o_cols = [r.index("o") for r in rows if "o" in r]
+        x_cols = [r.index("x") for r in rows if "x" in r]
+        assert min(o_cols) < min(x_cols)
+
+
+class TestAsciiXy:
+    def test_roc_form(self):
+        text = ascii_xy(
+            {"storm": [(0.1, 0.9), (0.5, 1.0)], "nugache": [(0.1, 0.1)]},
+            title="roc",
+            x_label="FPR",
+            y_label="TPR",
+        )
+        assert "roc" in text
+        assert "(y: TPR)" in text
+
+    def test_y_values_clamped(self):
+        text = ascii_xy(
+            {"s": [(0.0, 1.5), (1.0, -0.3)]},
+            title="clamp",
+            x_label="x",
+            y_label="y",
+        )
+        assert "o" in text  # rendered without exploding
+
+
+class TestAsciiDecay:
+    def test_log_axis_handles_zero(self):
+        text = ascii_decay(
+            {"storm": [(0.0, 0.9), (30.0, 0.7), (3600.0, 0.1)]},
+            title="decay",
+        )
+        assert "decay" in text
+        assert "o=storm" in text

@@ -1,0 +1,41 @@
+"""Tests for the markdown report assembler."""
+
+import pytest
+
+from repro.experiments.report_md import (
+    PAPER_EXPECTATIONS,
+    build_report,
+    write_report,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "fig9_findplotters.txt").write_text("storm TPR 0.875\n")
+    (tmp_path / "zz_custom.txt").write_text("custom rows\n")
+    return tmp_path
+
+
+class TestBuildReport:
+    def test_includes_tables_and_expectations(self, results_dir):
+        text = build_report(results_dir)
+        assert "## fig9_findplotters" in text
+        assert "storm TPR 0.875" in text
+        assert PAPER_EXPECTATIONS["fig9_findplotters"] in text
+
+    def test_unknown_sections_have_no_note(self, results_dir):
+        text = build_report(results_dir)
+        assert "## zz_custom" in text
+        assert "custom rows" in text
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_report(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_report(tmp_path)
+
+    def test_write_report(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "REPORT.md")
+        assert out.read_text().startswith("# Regenerated evaluation report")

@@ -1,0 +1,200 @@
+"""Smoke tests for every experiment runner at a tiny scale.
+
+These verify each runner completes, returns structured results, and
+exhibits the paper's qualitative shape where that is stable even on a
+very small campus.
+"""
+
+import pytest
+
+from repro.datasets.campus import CampusConfig
+from repro.detection.pipeline import PipelineConfig
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentContext,
+    run_ablation_composition,
+    run_baseline_comparison,
+    run_fig1_volume_cdf,
+    run_fig2_new_ip_timeseries,
+    run_fig3_interstitial,
+    run_fig5_failed_conn_cdf,
+    run_fig6_roc_volume,
+    run_fig7_roc_churn,
+    run_fig8_roc_hm,
+    run_fig9_funnel,
+    run_fig10_nugache_activity,
+    run_fig11_evasion_thresholds,
+    run_fig12_jitter_decay,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    config = ExperimentConfig(
+        campus=CampusConfig(
+            seed=777,
+            n_background=70,
+            n_bittorrent=4,
+            n_gnutella=3,
+            n_emule=3,
+            n_web_servers=80,
+            n_dead_hosts=20,
+            n_torrents=6,
+            n_ultrapeers=30,
+            n_gnutella_sources=60,
+            n_ed2k_servers=2,
+            n_emule_sources=60,
+        ),
+        n_days=2,
+        storm_bots=6,
+        nugache_bots=12,
+        seed=777,
+    )
+    return ExperimentContext(config)
+
+
+class TestDistributionFigures:
+    def test_fig1_volume_ordering(self, ctx):
+        result = run_fig1_volume_cdf(ctx)
+        assert "Figure 1" in result.table
+        import numpy as np
+
+        trader_median = np.median(result.series["trader"])
+        storm_median = np.median(result.series["storm"])
+        assert trader_median > 50 * storm_median
+
+    def test_fig5_failure_ordering(self, ctx):
+        import numpy as np
+
+        result = run_fig5_failed_conn_cdf(ctx)
+        trader_median = np.median(result.series["trader"])
+        background_median = np.median(result.series["cmu-minus-trader"])
+        assert trader_median > background_median
+
+    def test_fig2_series_present(self, ctx):
+        result = run_fig2_new_ip_timeseries(ctx)
+        assert result.series["trader"]
+        assert result.series["storm"]
+        assert all(0.0 <= v <= 1.0 for v in result.series["trader"])
+
+    def test_fig3_modes(self, ctx):
+        result = run_fig3_interstitial(ctx)
+        assert set(result.series) == {
+            "storm", "nugache", "bittorrent", "gnutella",
+        }
+        assert len(result.series["storm"]) > 50
+
+
+class TestRocFigures:
+    def test_fig6_points_shape(self, ctx):
+        result = run_fig6_roc_volume(ctx)
+        for botnet in ("storm", "nugache"):
+            points = result.points[botnet]
+            assert len(points) == 5
+            for _pct, tpr, fpr in points:
+                assert 0.0 <= tpr <= 1.0
+                assert 0.0 <= fpr <= 1.0
+        # Higher threshold percentile keeps more hosts: TPR monotone.
+        tprs = [tpr for _p, tpr, _f in result.points["storm"]]
+        assert tprs == sorted(tprs)
+
+    def test_fig7_churn_roc(self, ctx):
+        result = run_fig7_roc_churn(ctx)
+        fprs = [fpr for _p, _t, fpr in result.points["storm"]]
+        assert fprs == sorted(fprs)
+
+    def test_fig8_hm_roc(self, ctx):
+        result = run_fig8_roc_hm(ctx)
+        assert set(result.points) == {"storm", "nugache"}
+
+
+class TestPipelineFigures:
+    def test_fig9_summary_keys(self, ctx):
+        result = run_fig9_funnel(ctx)
+        assert {"tpr_storm", "tpr_nugache", "fpr", "trader_survival"} <= set(
+            result.summary
+        )
+        assert len(result.reports) == 2
+
+    def test_fig10_stage_population_shrinks(self, ctx):
+        result = run_fig10_nugache_activity(ctx)
+        assert len(result.per_stage["hm"]) <= len(result.per_stage["input"])
+        assert result.per_stage["input"]
+
+
+class TestEvasionFigures:
+    def test_fig11_factors_positive(self, ctx):
+        result = run_fig11_evasion_thresholds(ctx)
+        for factors in result.volume_factors.values():
+            assert all(f > 0 for f in factors)
+
+    def test_fig12_sweep(self, ctx):
+        result = run_fig12_jitter_decay(ctx, sweep=(0.0, 1800.0), days=[0])
+        assert len(result.points["storm"]) == 2
+
+
+class TestAblations:
+    def test_composition_lowers_fpr(self, ctx):
+        result = run_ablation_composition(ctx)
+        _s, _n, fpr_volume = result.rates["volume alone"]
+        _s2, _n2, fpr_pipeline = result.rates["FindPlotters"]
+        assert fpr_pipeline < fpr_volume
+
+    def test_baselines_run(self, ctx):
+        result = run_baseline_comparison(ctx)
+        assert set(result.rates) == {
+            "tdg",
+            "volume-only",
+            "failed-conn-only",
+            "timing-entropy",
+            "FindPlotters",
+        }
+
+
+class TestConfigPresets:
+    def test_quick_smaller_than_paper(self):
+        quick = ExperimentConfig.quick()
+        paper = ExperimentConfig.paper()
+        assert quick.campus.n_background < paper.campus.n_background
+        assert quick.n_days < paper.n_days
+
+    def test_context_caches(self, ctx):
+        assert ctx.campus_day(0) is ctx.campus_day(0)
+        assert ctx.storm_trace() is ctx.storm_trace()
+        assert ctx.overlaid_day(0) is ctx.overlaid_day(0)
+        assert ctx.pipeline_result(0) is ctx.pipeline_result(0)
+
+
+class TestSensitivity:
+    def test_sampling_identity_at_rate_one(self, ctx):
+        from repro.experiments import run_sensitivity_sampling
+
+        result = run_sensitivity_sampling(ctx, rates=(1.0, 0.5))
+        assert result.rates["uniform@1"] == result.rates["per-host@1"]
+
+    def test_window_runner(self, ctx):
+        from repro.experiments import run_sensitivity_window
+
+        result = run_sensitivity_window(ctx, fractions=(1.0, 0.5))
+        assert set(result.rates) == {"D=1x", "D=0.5x"}
+
+    def test_botnet_size_runner(self, ctx):
+        from repro.experiments import run_sensitivity_botnet_size
+
+        result = run_sensitivity_botnet_size(ctx, sizes=(6, 2))
+        assert set(result.rates) == {"6 bots", "2 bots"}
+
+
+class TestExtensions:
+    def test_trader_hosted_runner(self, ctx):
+        from repro.experiments import run_ext_trader_hosted
+
+        result = run_ext_trader_hosted(ctx)
+        assert set(result.rates) == {"plain", "port-split"}
+
+    def test_waledac_runner(self, ctx):
+        from repro.experiments import run_ext_waledac
+
+        result = run_ext_waledac(ctx)
+        assert set(result.rates) == {"storm", "nugache", "waledac"}
+        assert 0.0 <= result.fpr <= 1.0

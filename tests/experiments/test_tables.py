@@ -1,0 +1,35 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.experiments.tables import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            "Title", ["col", "value"], [["a", 1], ["longer", 22]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1].startswith("col")
+        # All data lines share the header's column start offsets.
+        value_col = lines[1].index("value")
+        assert lines[3][value_col] == "1"
+        assert lines[4][value_col : value_col + 2] == "22"
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            render_table("t", ["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table("t", ["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_two_columns(self):
+        text = render_series("s", [(1.0, 0.5), (2.0, 0.25)], "x", "y")
+        assert "1" in text
+        assert "0.5000" in text
+        assert "0.2500" in text

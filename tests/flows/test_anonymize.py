@@ -1,0 +1,84 @@
+"""Tests for prefix-preserving anonymization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flows.anonymize import Anonymizer
+
+
+octet = st.integers(0, 255)
+address = st.builds(
+    lambda a, b, c, d: f"{a}.{b}.{c}.{d}", octet, octet, octet, octet
+)
+
+
+class TestBasics:
+    def test_deterministic(self):
+        a = Anonymizer(b"key")
+        b = Anonymizer(b"key")
+        assert a.anonymize_address("10.1.2.3") == b.anonymize_address("10.1.2.3")
+
+    def test_key_matters(self):
+        a = Anonymizer(b"key-one")
+        b = Anonymizer(b"key-two")
+        assert a.anonymize_address("10.1.2.3") != b.anonymize_address("10.1.2.3")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            Anonymizer(b"")
+
+    def test_bad_address_rejected(self):
+        anon = Anonymizer(b"k")
+        with pytest.raises(ValueError):
+            anon.anonymize_address("10.1.2")
+        with pytest.raises(ValueError):
+            anon.anonymize_address("10.1.2.999")
+
+
+class TestPrefixPreservation:
+    @given(a=address, b=address)
+    def test_shared_prefix_length_preserved(self, a, b):
+        anon = Anonymizer(b"prefix-test")
+        octets_a = a.split(".")
+        octets_b = b.split(".")
+        shared = 0
+        for x, y in zip(octets_a, octets_b):
+            if x != y:
+                break
+            shared += 1
+        out_a = anon.anonymize_address(a).split(".")
+        out_b = anon.anonymize_address(b).split(".")
+        out_shared = 0
+        for x, y in zip(out_a, out_b):
+            if x != y:
+                break
+            out_shared += 1
+        assert out_shared == shared
+
+    @given(a=address, b=address)
+    def test_injective(self, a, b):
+        anon = Anonymizer(b"inj")
+        if a != b:
+            assert anon.anonymize_address(a) != anon.anonymize_address(b)
+
+
+class TestDetectionInvariance:
+    def test_findplotters_equivariant_under_anonymization(
+        self, overlaid_day, campus_day
+    ):
+        """The paper analyses *anonymized* traces; verify that is sound.
+
+        Anonymizing the traffic and the host list must anonymize the
+        suspect set — nothing the detector uses depends on concrete
+        addresses.
+        """
+        from repro.detection import find_plotters
+
+        anon = Anonymizer(b"invariance")
+        plain = find_plotters(overlaid_day.store, hosts=campus_day.all_hosts)
+        masked = find_plotters(
+            anon.anonymize_store(overlaid_day.store),
+            hosts=set(anon.anonymize_hosts(campus_day.all_hosts)),
+        )
+        expected = {anon.anonymize_address(h) for h in plain.suspects}
+        assert masked.suspects == expected

@@ -1,0 +1,91 @@
+"""Round-trip tests for the Argus-like serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flows import FlowRecord, FlowState, FlowStore, Protocol
+from repro.flows.argus import (
+    ARGUS_COLUMNS,
+    dumps,
+    flow_to_row,
+    loads,
+    read_flows,
+    row_to_flow,
+    write_flows,
+)
+
+
+flow_strategy = st.builds(
+    FlowRecord,
+    src=st.sampled_from(["10.1.0.1", "10.2.3.4", "172.16.1.2"]),
+    dst=st.sampled_from(["8.8.8.8", "1.2.3.4", "93.184.216.34"]),
+    sport=st.integers(0, 65535),
+    dport=st.integers(0, 65535),
+    proto=st.sampled_from(list(Protocol)),
+    start=st.floats(0, 1e6, allow_nan=False).map(lambda x: round(x, 6)),
+    end=st.just(2e6),
+    src_bytes=st.integers(0, 10**9),
+    dst_bytes=st.integers(0, 10**9),
+    src_pkts=st.integers(0, 10**6),
+    dst_pkts=st.integers(0, 10**6),
+    state=st.sampled_from(list(FlowState)),
+    payload=st.binary(max_size=64),
+)
+
+
+@given(flow=flow_strategy)
+def test_row_round_trip(flow):
+    assert row_to_flow(flow_to_row(flow)) == flow
+
+
+@given(flows=st.lists(flow_strategy, max_size=20))
+def test_string_round_trip(flows):
+    restored = loads(dumps(flows))
+    assert sorted(restored, key=lambda f: (f.start, f.src)) == sorted(
+        flows, key=lambda f: (f.start, f.src)
+    )
+
+
+def test_file_round_trip(tmp_path):
+    flows = [
+        FlowRecord(
+            src="10.1.0.1",
+            dst="8.8.8.8",
+            sport=123,
+            dport=53,
+            proto=Protocol.UDP,
+            start=1.5,
+            end=1.6,
+            src_bytes=60,
+            dst_bytes=120,
+            src_pkts=1,
+            dst_pkts=1,
+            payload=b"\xe3\x01\x02",
+        )
+    ]
+    path = tmp_path / "trace.csv"
+    count = write_flows(path, flows)
+    assert count == 1
+    restored = read_flows(path)
+    assert list(restored) == flows
+
+
+def test_empty_file_round_trip(tmp_path):
+    path = tmp_path / "empty.csv"
+    write_flows(path, [])
+    assert len(read_flows(path)) == 0
+
+
+def test_wrong_arity_rejected():
+    with pytest.raises(ValueError):
+        row_to_flow(["1", "2"])
+
+
+def test_bad_header_rejected():
+    with pytest.raises(ValueError):
+        loads("not,a,real,header\n")
+
+
+def test_header_matches_columns():
+    text = dumps([])
+    assert text.strip() == ",".join(ARGUS_COLUMNS)

@@ -1,0 +1,149 @@
+"""Tests for packet → bi-directional flow assembly."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flows import FlowState, Protocol
+from repro.flows.assembly import (
+    FLAG_ACK,
+    FLAG_RST,
+    FLAG_SYN,
+    FlowAssembler,
+    PacketRecord,
+)
+
+
+def pkt(src, dst, sport, dport, t, length=100, flags=FLAG_ACK, payload=b""):
+    return PacketRecord(
+        src=src, dst=dst, sport=sport, dport=dport, proto=Protocol.TCP,
+        timestamp=t, length=length, flags=flags, payload=payload,
+    )
+
+
+class TestBidirectionalGrouping:
+    def test_both_directions_one_record(self):
+        packets = [
+            pkt("10.1.0.1", "9.9.9.9", 1234, 80, 0.0, length=60,
+                flags=FLAG_SYN, payload=b"GET /"),
+            pkt("9.9.9.9", "10.1.0.1", 80, 1234, 0.1, length=1500),
+            pkt("10.1.0.1", "9.9.9.9", 1234, 80, 0.2, length=40),
+        ]
+        flows = FlowAssembler().assemble(packets)
+        assert len(flows) == 1
+        flow = flows[0]
+        assert flow.src == "10.1.0.1"  # first packet defines initiator
+        assert flow.dst == "9.9.9.9"
+        assert flow.src_bytes == 100
+        assert flow.dst_bytes == 1500
+        assert flow.src_pkts == 2
+        assert flow.dst_pkts == 1
+        assert flow.state is FlowState.ESTABLISHED
+        assert flow.payload == b"GET /"
+        assert flow.start == 0.0
+        assert flow.end == 0.2
+
+    def test_initiator_is_first_seen(self):
+        packets = [
+            pkt("9.9.9.9", "10.1.0.1", 80, 1234, 0.0),
+            pkt("10.1.0.1", "9.9.9.9", 1234, 80, 0.1),
+        ]
+        flows = FlowAssembler().assemble(packets)
+        assert flows[0].src == "9.9.9.9"
+
+    def test_distinct_five_tuples_distinct_flows(self):
+        packets = [
+            pkt("a", "b", 1, 80, 0.0),
+            pkt("a", "b", 2, 80, 0.1),
+        ]
+        flows = FlowAssembler().assemble(packets)
+        assert len(flows) == 2
+
+
+class TestStateInference:
+    def test_unanswered_is_timeout(self):
+        flows = FlowAssembler().assemble(
+            [pkt("a", "b", 1, 80, 0.0, flags=FLAG_SYN)]
+        )
+        assert flows[0].state is FlowState.TIMEOUT
+
+    def test_pure_rst_answer_is_rejected(self):
+        packets = [
+            pkt("a", "b", 1, 80, 0.0, flags=FLAG_SYN),
+            pkt("b", "a", 80, 1, 0.1, length=40, flags=FLAG_RST),
+        ]
+        flows = FlowAssembler().assemble(packets)
+        assert flows[0].state is FlowState.REJECTED
+
+    def test_data_answer_is_established(self):
+        packets = [
+            pkt("a", "b", 1, 80, 0.0, flags=FLAG_SYN),
+            pkt("b", "a", 80, 1, 0.1, flags=FLAG_ACK),
+        ]
+        flows = FlowAssembler().assemble(packets)
+        assert flows[0].state is FlowState.ESTABLISHED
+
+
+class TestIdleTimeout:
+    def test_idle_gap_splits_flows(self):
+        assembler = FlowAssembler(idle_timeout=10.0)
+        out = []
+        out += assembler.add(pkt("a", "b", 1, 80, 0.0))
+        out += assembler.add(pkt("a", "b", 1, 80, 100.0))  # same 5-tuple
+        out += assembler.flush()
+        assert len(out) == 2
+        assert out[0].end == 0.0
+        assert out[1].start == 100.0
+
+    def test_active_flow_count(self):
+        assembler = FlowAssembler(idle_timeout=10.0)
+        assembler.add(pkt("a", "b", 1, 80, 0.0))
+        assembler.add(pkt("c", "d", 2, 80, 1.0))
+        assert assembler.active_flows == 2
+        assembler.add(pkt("e", "f", 3, 80, 100.0))  # expires the others
+        assert assembler.active_flows == 1
+
+    def test_out_of_order_rejected(self):
+        assembler = FlowAssembler()
+        assembler.add(pkt("a", "b", 1, 80, 10.0))
+        with pytest.raises(ValueError):
+            assembler.add(pkt("a", "b", 1, 80, 5.0))
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            FlowAssembler(idle_timeout=0.0)
+
+
+class TestPayloadSnippet:
+    def test_snippet_capped_at_64_bytes(self):
+        packets = [
+            pkt("a", "b", 1, 80, 0.0, payload=b"x" * 50),
+            pkt("a", "b", 1, 80, 0.1, payload=b"y" * 50),
+        ]
+        flows = FlowAssembler().assemble(packets)
+        assert len(flows[0].payload) == 64
+        assert flows[0].payload.startswith(b"x" * 50)
+
+    def test_responder_payload_not_captured(self):
+        packets = [
+            pkt("a", "b", 1, 80, 0.0, payload=b"req"),
+            pkt("b", "a", 80, 1, 0.1, payload=b"resp"),
+        ]
+        flows = FlowAssembler().assemble(packets)
+        assert flows[0].payload == b"req"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    timestamps=st.lists(
+        st.floats(0, 1000, allow_nan=False), min_size=1, max_size=60
+    )
+)
+def test_packet_and_byte_conservation(timestamps):
+    """Every packet lands in exactly one flow record."""
+    packets = [
+        pkt("a", "b", 1 + (i % 3), 80, t, length=10)
+        for i, t in enumerate(sorted(timestamps))
+    ]
+    flows = FlowAssembler(idle_timeout=50.0).assemble(packets)
+    assert sum(f.total_pkts for f in flows) == len(packets)
+    assert sum(f.total_bytes for f in flows) == 10 * len(packets)

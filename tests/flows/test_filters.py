@@ -1,0 +1,63 @@
+"""Tests for flow-store scoping filters."""
+
+from repro.flows import FlowRecord, FlowState, FlowStore, Protocol
+from repro.flows.filters import (
+    active_hosts,
+    by_destination_port,
+    internal_initiators,
+    is_internal,
+    restrict_window,
+    tcp_udp_only,
+)
+
+
+def flow(src, dst="8.8.8.8", start=0.0, dport=80, failed=False):
+    return FlowRecord(
+        src=src,
+        dst=dst,
+        sport=1,
+        dport=dport,
+        proto=Protocol.TCP,
+        start=start,
+        end=start + 1,
+        state=FlowState.TIMEOUT if failed else FlowState.ESTABLISHED,
+    )
+
+
+def test_is_internal():
+    assert is_internal("10.1.2.3", ["10.1.", "10.2."])
+    assert not is_internal("10.30.2.3", ["10.1.", "10.2."])
+    assert not is_internal("8.8.8.8", ["10.1."])
+
+
+def test_internal_initiators():
+    store = FlowStore([flow("10.1.0.1"), flow("9.9.9.9")])
+    assert internal_initiators(store, ["10.1."]) == {"10.1.0.1"}
+
+
+def test_active_hosts_requires_success():
+    store = FlowStore(
+        [
+            flow("alive", failed=False),
+            flow("dead-only", failed=True),
+            flow("mixed", failed=True),
+            flow("mixed", failed=False),
+        ]
+    )
+    assert active_hosts(store) == {"alive", "mixed"}
+
+
+def test_tcp_udp_only_passes_everything_here():
+    store = FlowStore([flow("a"), flow("b")])
+    assert len(tcp_udp_only(store)) == 2
+
+
+def test_restrict_window():
+    store = FlowStore([flow("a", start=1.0), flow("a", start=9.0)])
+    assert len(restrict_window(store, 0.0, 5.0)) == 1
+
+
+def test_by_destination_port():
+    predicate = by_destination_port(53)
+    assert predicate(flow("a", dport=53))
+    assert not predicate(flow("a", dport=80))

@@ -1,0 +1,165 @@
+"""Tests for per-host feature extraction — the paper's metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flows import FlowRecord, FlowState, FlowStore, Protocol
+from repro.flows.metrics import (
+    average_flow_size,
+    extract_all_features,
+    extract_features,
+    failed_connection_rate,
+    interstitial_times,
+    new_ip_fraction,
+    new_ip_timeseries,
+)
+
+
+def flow(dst="d", start=0.0, src_bytes=100, failed=False, src="h"):
+    return FlowRecord(
+        src=src,
+        dst=dst,
+        sport=1,
+        dport=2,
+        proto=Protocol.TCP,
+        start=start,
+        end=start + 1.0,
+        src_bytes=src_bytes,
+        dst_bytes=0,
+        src_pkts=1,
+        dst_pkts=0,
+        state=FlowState.TIMEOUT if failed else FlowState.ESTABLISHED,
+    )
+
+
+class TestAverageFlowSize:
+    def test_empty(self):
+        assert average_flow_size([]) == 0.0
+
+    def test_mean_of_uploaded_bytes(self):
+        flows = [flow(src_bytes=100), flow(src_bytes=300)]
+        assert average_flow_size(flows) == 200.0
+
+    def test_ignores_downloaded_bytes(self):
+        record = FlowRecord(
+            src="h", dst="d", sport=1, dport=2, proto=Protocol.TCP,
+            start=0, end=1, src_bytes=10, dst_bytes=10**6,
+        )
+        assert average_flow_size([record]) == 10.0
+
+
+class TestFailedConnectionRate:
+    def test_empty(self):
+        assert failed_connection_rate([]) == 0.0
+
+    def test_mixed(self):
+        flows = [flow(failed=True), flow(failed=False), flow(failed=True)]
+        assert failed_connection_rate(flows) == pytest.approx(2 / 3)
+
+    @given(n_fail=st.integers(0, 20), n_ok=st.integers(0, 20))
+    def test_bounds(self, n_fail, n_ok):
+        flows = [flow(failed=True)] * n_fail + [flow(failed=False)] * n_ok
+        rate = failed_connection_rate(flows)
+        assert 0.0 <= rate <= 1.0
+
+
+class TestNewIpFraction:
+    def test_all_in_grace_period(self):
+        flows = [flow(dst=f"d{i}", start=i * 60.0) for i in range(5)]
+        assert new_ip_fraction(flows, grace_period=3600.0) == 0.0
+
+    def test_all_after_grace_period(self):
+        flows = [flow(dst="first", start=0.0)] + [
+            flow(dst=f"d{i}", start=4000.0 + i) for i in range(4)
+        ]
+        assert new_ip_fraction(flows, grace_period=3600.0) == pytest.approx(0.8)
+
+    def test_repeat_contacts_not_new(self):
+        flows = [
+            flow(dst="peer", start=0.0),
+            flow(dst="peer", start=5000.0),
+            flow(dst="other", start=5001.0),
+        ]
+        assert new_ip_fraction(flows, grace_period=3600.0) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert new_ip_fraction([]) == 0.0
+
+    @given(
+        starts=st.lists(
+            st.floats(0, 20000, allow_nan=False), min_size=1, max_size=50
+        )
+    )
+    def test_bounds(self, starts):
+        flows = [flow(dst=f"d{i % 7}", start=s) for i, s in enumerate(starts)]
+        assert 0.0 <= new_ip_fraction(flows) <= 1.0
+
+
+class TestNewIpTimeseries:
+    def test_empty(self):
+        assert new_ip_timeseries([]) == []
+
+    def test_first_bucket_all_new(self):
+        flows = [flow(dst=f"d{i}", start=i * 10.0) for i in range(3)]
+        series = new_ip_timeseries(flows, bucket=3600.0)
+        assert series == [(0.0, 1.0)]
+
+    def test_later_bucket_repeats_are_old(self):
+        flows = [
+            flow(dst="a", start=0.0),
+            flow(dst="a", start=4000.0),
+            flow(dst="b", start=4001.0),
+        ]
+        series = new_ip_timeseries(flows, bucket=3600.0)
+        assert series[0] == (0.0, 1.0)
+        assert series[1][1] == pytest.approx(0.5)
+
+
+class TestInterstitialTimes:
+    def test_needs_repeat_contact(self):
+        flows = [flow(dst="a", start=0.0), flow(dst="b", start=5.0)]
+        assert interstitial_times(flows) == []
+
+    def test_per_destination_gaps(self):
+        flows = [
+            flow(dst="a", start=0.0),
+            flow(dst="a", start=10.0),
+            flow(dst="a", start=25.0),
+            flow(dst="b", start=3.0),
+            flow(dst="b", start=7.0),
+        ]
+        assert sorted(interstitial_times(flows)) == [4.0, 10.0, 15.0]
+
+    @given(
+        starts=st.lists(
+            st.floats(0, 1000, allow_nan=False), min_size=2, max_size=30
+        )
+    )
+    def test_sample_count(self, starts):
+        flows = [flow(dst="only", start=s) for s in starts]
+        samples = interstitial_times(flows)
+        assert len(samples) == len(starts) - 1
+        assert all(s >= 0 for s in samples)
+
+
+class TestExtractFeatures:
+    def test_bundle_consistency(self):
+        store = FlowStore(
+            [
+                flow(dst="a", start=0.0, src_bytes=100),
+                flow(dst="a", start=10.0, src_bytes=300, failed=True),
+                flow(dst="b", start=4000.0, src_bytes=200),
+            ]
+        )
+        features = extract_features(store, "h")
+        assert features.flow_count == 3
+        assert features.successful_flow_count == 2
+        assert features.avg_flow_size == pytest.approx((100 + 300 + 200) / 3)
+        assert features.failed_conn_rate == pytest.approx(1 / 3)
+        assert features.distinct_destinations == 2
+        assert features.initiated_successful
+
+    def test_extract_all_covers_initiators(self):
+        store = FlowStore([flow(src="h1"), flow(src="h2")])
+        features = extract_all_features(store)
+        assert set(features) == {"h1", "h2"}

@@ -1,0 +1,89 @@
+"""Tests for border flow sampling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flows import FlowRecord, FlowStore, Protocol
+from repro.flows.sampling import sample_per_host, sample_uniform
+
+
+def flow(src, start=0.0):
+    return FlowRecord(
+        src=src, dst="d", sport=1, dport=2, proto=Protocol.TCP,
+        start=start, end=start + 1,
+    )
+
+
+@pytest.fixture
+def store():
+    return FlowStore(
+        [flow(f"h{i % 20}", start=float(i)) for i in range(400)]
+    )
+
+
+class TestUniformSampling:
+    def test_rate_one_keeps_everything(self, store):
+        assert len(sample_uniform(store, 1.0, random.Random(0))) == len(store)
+
+    def test_invalid_rate(self, store):
+        with pytest.raises(ValueError):
+            sample_uniform(store, 0.0, random.Random(0))
+        with pytest.raises(ValueError):
+            sample_uniform(store, 1.5, random.Random(0))
+
+    @settings(max_examples=15, deadline=None)
+    @given(rate=st.floats(0.05, 0.95), seed=st.integers(0, 50))
+    def test_retention_near_rate(self, rate, seed):
+        local_store = FlowStore(
+            [flow(f"h{i % 20}", start=float(i)) for i in range(400)]
+        )
+        sampled = sample_uniform(local_store, rate, random.Random(seed))
+        observed = len(sampled) / len(local_store)
+        assert abs(observed - rate) < 0.15
+
+    def test_subset_of_original(self, store):
+        sampled = sample_uniform(store, 0.3, random.Random(1))
+        original = {(f.src, f.start) for f in store}
+        assert all((f.src, f.start) in original for f in sampled)
+
+
+class TestPerHostSampling:
+    def test_all_or_nothing_per_host(self, store):
+        sampled = sample_per_host(store, 0.5, salt=3)
+        kept_hosts = sampled.initiators
+        for host in kept_hosts:
+            assert len(sampled.flows_from(host)) == len(
+                store.flows_from(host)
+            )
+        for host in store.initiators - kept_hosts:
+            assert sampled.flows_from(host) == []
+
+    def test_deterministic(self, store):
+        a = sample_per_host(store, 0.5, salt=7)
+        b = sample_per_host(store, 0.5, salt=7)
+        assert a.initiators == b.initiators
+
+    def test_salt_changes_selection(self, store):
+        selections = {
+            frozenset(sample_per_host(store, 0.5, salt=s).initiators)
+            for s in range(6)
+        }
+        assert len(selections) > 1
+
+    def test_rate_one_keeps_everything(self, store):
+        assert len(sample_per_host(store, 1.0)) == len(store)
+
+    def test_invalid_rate(self, store):
+        with pytest.raises(ValueError):
+            sample_per_host(store, -0.1)
+
+    def test_per_host_features_exact_for_kept_hosts(self, store):
+        from repro.flows.metrics import extract_features
+
+        sampled = sample_per_host(store, 0.5, salt=1)
+        for host in sampled.initiators:
+            assert extract_features(sampled, host) == extract_features(
+                store, host
+            )

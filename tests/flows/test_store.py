@@ -1,0 +1,129 @@
+"""Tests for the indexed flow store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flows import FlowRecord, FlowState, FlowStore, Protocol
+
+
+def flow(src, dst, start, **kw):
+    defaults = dict(
+        sport=1000,
+        dport=80,
+        proto=Protocol.TCP,
+        end=start + 1.0,
+        src_bytes=10,
+        dst_bytes=10,
+        src_pkts=1,
+        dst_pkts=1,
+        state=FlowState.ESTABLISHED,
+    )
+    defaults.update(kw)
+    return FlowRecord(src=src, dst=dst, start=start, **defaults)
+
+
+@pytest.fixture
+def store():
+    return FlowStore(
+        [
+            flow("a", "x", 5.0),
+            flow("b", "y", 1.0),
+            flow("a", "y", 3.0),
+            flow("c", "x", 2.0, state=FlowState.TIMEOUT),
+        ]
+    )
+
+
+class TestContainer:
+    def test_len_and_bool(self, store):
+        assert len(store) == 4
+        assert store
+        assert not FlowStore()
+
+    def test_iteration_is_time_ordered(self, store):
+        starts = [f.start for f in store]
+        assert starts == sorted(starts)
+
+    def test_add_keeps_order(self, store):
+        store.add(flow("d", "z", 2.5))
+        starts = [f.start for f in store]
+        assert starts == sorted(starts)
+
+    def test_extend_empty_is_noop(self, store):
+        before = len(store)
+        store.extend([])
+        assert len(store) == before
+
+
+class TestQueries:
+    def test_initiators(self, store):
+        assert store.initiators == {"a", "b", "c"}
+
+    def test_flows_from_sorted(self, store):
+        flows = store.flows_from("a")
+        assert [f.start for f in flows] == [3.0, 5.0]
+
+    def test_flows_from_unknown_host(self, store):
+        assert store.flows_from("nobody") == []
+
+    def test_flows_involving(self, store):
+        assert len(store.flows_involving("x")) == 2
+        assert len(store.flows_involving("a")) == 2
+
+    def test_between_is_half_open(self, store):
+        window = store.between(2.0, 5.0)
+        assert [f.start for f in window] == [2.0, 3.0]
+
+    def test_filter(self, store):
+        failed = store.filter(lambda f: f.failed)
+        assert len(failed) == 1
+        assert next(iter(failed)).src == "c"
+
+    def test_restricted_to_sources(self, store):
+        sub = store.restricted_to_sources({"a", "c"})
+        assert sub.initiators == {"a", "c"}
+        assert len(sub) == 3
+
+    def test_merged_with(self, store):
+        other = FlowStore([flow("d", "w", 0.5)])
+        merged = store.merged_with(other)
+        assert len(merged) == 5
+        assert len(store) == 4  # original untouched
+        assert [f.start for f in merged][0] == 0.5
+
+    def test_destinations_of(self, store):
+        assert store.destinations_of("a") == {"x", "y"}
+
+    def test_span(self, store):
+        assert store.span == pytest.approx(5.0)  # 1.0 .. 6.0
+
+    def test_span_empty(self):
+        assert FlowStore().span == 0.0
+
+
+@given(
+    starts=st.lists(
+        st.floats(min_value=0, max_value=1e4, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_store_always_sorted(starts):
+    store = FlowStore(flow("h", "d", s) for s in starts)
+    observed = [f.start for f in store]
+    assert observed == sorted(starts)
+
+
+@given(
+    starts=st.lists(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        min_size=0,
+        max_size=30,
+    ),
+    t0=st.floats(min_value=0, max_value=100, allow_nan=False),
+    t1=st.floats(min_value=0, max_value=100, allow_nan=False),
+)
+def test_between_matches_filter(starts, t0, t1):
+    store = FlowStore(flow("h", "d", s) for s in starts)
+    expected = sorted(s for s in starts if t0 <= s < t1)
+    assert [f.start for f in store.between(t0, t1)] == expected

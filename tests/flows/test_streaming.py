@@ -1,0 +1,117 @@
+"""Tests for the streaming feature extractor vs. the batch metrics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flows import FlowRecord, FlowState, FlowStore, Protocol
+from repro.flows.metrics import extract_features
+from repro.flows.streaming import StreamingFeatureExtractor
+
+
+def flow(src="h", dst="d", start=0.0, src_bytes=100, failed=False):
+    return FlowRecord(
+        src=src, dst=dst, sport=1, dport=2, proto=Protocol.TCP,
+        start=start, end=start + 1, src_bytes=src_bytes,
+        state=FlowState.TIMEOUT if failed else FlowState.ESTABLISHED,
+    )
+
+
+flow_strategy = st.builds(
+    flow,
+    src=st.sampled_from(["h1", "h2"]),
+    dst=st.sampled_from(["d1", "d2", "d3", "d4"]),
+    start=st.floats(0, 20_000, allow_nan=False),
+    src_bytes=st.integers(0, 10_000),
+    failed=st.booleans(),
+)
+
+
+class TestAgainstBatch:
+    @settings(max_examples=40, deadline=None)
+    @given(flows=st.lists(flow_strategy, min_size=1, max_size=120))
+    def test_scalar_features_match_batch_exactly(self, flows):
+        store = FlowStore(flows)
+        streaming = StreamingFeatureExtractor()
+        streaming.update_many(store)  # time-ordered ingest
+        for host in store.initiators:
+            batch = extract_features(store, host)
+            online = streaming.features(host)
+            assert online.flow_count == batch.flow_count
+            assert online.successful_flow_count == batch.successful_flow_count
+            assert online.avg_flow_size == pytest.approx(batch.avg_flow_size)
+            assert online.failed_conn_rate == pytest.approx(
+                batch.failed_conn_rate
+            )
+            assert online.new_ip_fraction == pytest.approx(
+                batch.new_ip_fraction
+            )
+            assert online.distinct_destinations == batch.distinct_destinations
+
+    @settings(max_examples=30, deadline=None)
+    @given(flows=st.lists(flow_strategy, min_size=1, max_size=100))
+    def test_interstitial_multiset_matches_batch_when_uncapped(self, flows):
+        store = FlowStore(flows)
+        streaming = StreamingFeatureExtractor(reservoir_size=10_000)
+        streaming.update_many(store)
+        for host in store.initiators:
+            batch = sorted(extract_features(store, host).interstitials)
+            online = sorted(streaming.features(host).interstitials)
+            assert [pytest.approx(b) for b in batch] == online
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        flows=st.lists(flow_strategy, min_size=1, max_size=80),
+        seed=st.integers(0, 100),
+    )
+    def test_scalar_features_order_independent(self, flows, seed):
+        shuffled = list(flows)
+        random.Random(seed).shuffle(shuffled)
+        a = StreamingFeatureExtractor()
+        a.update_many(sorted(flows, key=lambda f: f.start))
+        b = StreamingFeatureExtractor()
+        b.update_many(shuffled)
+        for host in a.hosts:
+            fa, fb = a.features(host), b.features(host)
+            assert fa.flow_count == fb.flow_count
+            assert fa.avg_flow_size == pytest.approx(fb.avg_flow_size)
+            assert fa.new_ip_fraction == pytest.approx(fb.new_ip_fraction)
+            assert fa.distinct_destinations == fb.distinct_destinations
+
+
+class TestBoundedMemory:
+    def test_reservoir_is_capped(self):
+        streaming = StreamingFeatureExtractor(reservoir_size=50)
+        for i in range(2000):
+            streaming.update(flow(dst="peer", start=float(i)))
+        dests, reservoir = streaming.state_size("h")
+        assert dests == 1
+        assert reservoir == 50
+        assert len(streaming.features("h").interstitials) == 50
+
+    def test_reservoir_is_representative(self):
+        # Alternating gaps of 10 and 1000; the reservoir keeps roughly
+        # half of each.
+        streaming = StreamingFeatureExtractor(reservoir_size=200, seed=1)
+        t = 0.0
+        for i in range(4000):
+            t += 10.0 if i % 2 == 0 else 1000.0
+            streaming.update(flow(dst="peer", start=t))
+        samples = streaming.features("h").interstitials
+        short = sum(1 for s in samples if s < 100)
+        assert 0.35 < short / len(samples) < 0.65
+
+    def test_invalid_reservoir(self):
+        with pytest.raises(ValueError):
+            StreamingFeatureExtractor(reservoir_size=0)
+
+    def test_unknown_host(self):
+        with pytest.raises(KeyError):
+            StreamingFeatureExtractor().features("ghost")
+
+    def test_all_features(self):
+        streaming = StreamingFeatureExtractor()
+        streaming.update(flow(src="a"))
+        streaming.update(flow(src="b"))
+        assert set(streaming.all_features()) == {"a", "b"}

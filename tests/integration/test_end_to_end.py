@@ -1,0 +1,70 @@
+"""End-to-end integration: synthesize → overlay → detect → evaluate.
+
+Uses the shared tiny-world fixtures and asserts the qualitative facts
+that must hold at any scale.
+"""
+
+import random
+
+from repro.detection import evaluate_pipeline, find_plotters
+from repro.detection.pipeline import PipelineConfig
+from repro.evasion.jitter import jitter_trace
+from repro.datasets.overlay import overlay_traces
+
+
+class TestFullPipeline:
+    def test_detects_storm_better_than_chance(self, overlaid_day, campus_day):
+        result = find_plotters(overlaid_day.store, hosts=campus_day.all_hosts)
+        report = evaluate_pipeline(
+            result,
+            {
+                "storm": overlaid_day.plotters_of("storm"),
+                "nugache": overlaid_day.plotters_of("nugache"),
+            },
+            campus_day.trader_hosts,
+        )
+        # At tiny scale the exact operating point is noisy; structural
+        # facts must still hold: suspects are a small subset and the
+        # non-plotter survival is small.
+        assert len(report.suspects) < len(campus_day.all_hosts) * 0.4
+        assert report.false_positive_rate < 0.5
+
+    def test_pipeline_suspects_are_input_hosts(self, overlaid_day, campus_day):
+        result = find_plotters(overlaid_day.store, hosts=campus_day.all_hosts)
+        assert result.suspects <= campus_day.all_hosts
+
+
+class TestEvadedBotsEscapeBetter:
+    def test_heavy_jitter_does_not_increase_detection(
+        self, campus_day, storm_trace, nugache_trace
+    ):
+        rng_overlay = random.Random(5)
+
+        def detect(traces):
+            overlaid = overlay_traces(campus_day, traces, random.Random(11))
+            result = find_plotters(
+                overlaid.store, hosts=campus_day.all_hosts
+            )
+            storm_hosts = overlaid.plotters_of("storm")
+            return len(result.suspects & storm_hosts) / len(storm_hosts)
+
+        baseline = detect([storm_trace, nugache_trace])
+        jittered_storm = jitter_trace(
+            storm_trace, 10800.0, random.Random(7), horizon=campus_day.window
+        )
+        jittered = detect([jittered_storm, nugache_trace])
+        assert jittered <= baseline + 1e-9
+
+
+class TestSerializationInLoop:
+    def test_saved_dataset_detects_identically(
+        self, tmp_path, overlaid_day, campus_day
+    ):
+        from repro.flows.argus import read_flows, write_flows
+
+        path = tmp_path / "overlaid.csv"
+        write_flows(path, overlaid_day.store)
+        restored = read_flows(path)
+        a = find_plotters(overlaid_day.store, hosts=campus_day.all_hosts)
+        b = find_plotters(restored, hosts=campus_day.all_hosts)
+        assert a.suspects == b.suspects

@@ -1,0 +1,70 @@
+"""Tests for address allocation."""
+
+import random
+
+import pytest
+
+from repro.netsim.addressing import DEFAULT_INTERNAL_PREFIXES, AddressSpace
+
+
+class TestInternalAllocation:
+    def test_round_robin_over_prefixes(self):
+        space = AddressSpace(("10.1.", "10.2."))
+        addresses = space.allocate_internal(4)
+        assert addresses == ["10.1.0.1", "10.2.0.1", "10.1.0.2", "10.2.0.2"]
+
+    def test_sequential_allocations_never_collide(self):
+        space = AddressSpace()
+        first = space.allocate_internal(100)
+        second = space.allocate_internal(100)
+        assert not set(first) & set(second)
+
+    def test_final_octet_avoids_0_and_255(self):
+        space = AddressSpace(("10.1.",))
+        addresses = space.allocate_internal(600)
+        for address in addresses:
+            last = int(address.rsplit(".", 1)[1])
+            assert 1 <= last <= 254
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().allocate_internal(-1)
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace(("10.",))
+        with pytest.raises(ValueError):
+            AddressSpace(())
+
+
+class TestExternalAllocation:
+    def test_never_internal_never_duplicate(self):
+        space = AddressSpace()
+        rng = random.Random(3)
+        seen = set()
+        for _ in range(500):
+            address = space.random_external(rng)
+            assert not space.is_internal(address)
+            assert address not in seen
+            seen.add(address)
+
+    def test_first_octet_sane(self):
+        space = AddressSpace()
+        rng = random.Random(5)
+        for address in space.random_externals(rng, 200):
+            first = int(address.split(".")[0])
+            assert 1 <= first <= 223
+            assert first not in (10, 127)
+
+    def test_deterministic_given_rng(self):
+        a = AddressSpace().random_externals(random.Random(1), 10)
+        b = AddressSpace().random_externals(random.Random(1), 10)
+        assert a == b
+
+
+def test_default_prefixes_are_two_slash16s():
+    assert len(DEFAULT_INTERNAL_PREFIXES) == 2
+    space = AddressSpace()
+    assert space.is_internal("10.1.200.3")
+    assert space.is_internal("10.2.0.77")
+    assert not space.is_internal("10.3.0.1")

@@ -1,0 +1,76 @@
+"""Tests for the simulation clock and event queue."""
+
+import pytest
+
+from repro.netsim.clock import COLLECTION_WINDOW, SimulationClock, day_window
+from repro.netsim.events import EventQueue
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimulationClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_never_backwards(self):
+        clock = SimulationClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_advance_to_same_time_ok(self):
+        clock = SimulationClock(start=3.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+
+class TestDayWindow:
+    def test_window_length(self):
+        start, end = day_window(0)
+        assert end - start == COLLECTION_WINDOW
+
+    def test_days_are_contiguous(self):
+        assert day_window(0)[1] == day_window(1)[0]
+
+    def test_negative_day_rejected(self):
+        with pytest.raises(ValueError):
+            day_window(-1)
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5.0, lambda t: fired.append(("b", t)))
+        queue.schedule(1.0, lambda t: fired.append(("a", t)))
+        while queue:
+            when, callback = queue.pop()
+            callback(when)
+        assert fired == [("a", 1.0), ("b", 5.0)]
+
+    def test_fifo_on_ties(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda t: fired.append("first"))
+        queue.schedule(1.0, lambda t: fired.append("second"))
+        while queue:
+            when, callback = queue.pop()
+            callback(when)
+        assert fired == ["first", "second"]
+
+    def test_peek(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(3.0, lambda t: None)
+        assert queue.peek_time() == 3.0
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda t: None)

@@ -1,0 +1,154 @@
+"""Tests for the flow-emission engine and host entities."""
+
+import pytest
+
+from repro.flows.record import FlowState, Protocol
+from repro.netsim.entities import Host, HostRole
+from repro.netsim.network import NetworkSimulation
+
+
+class TestHostRole:
+    def test_role_classification(self):
+        assert HostRole.TRADER_BITTORRENT.is_trader
+        assert not HostRole.TRADER_BITTORRENT.is_plotter
+        assert HostRole.PLOTTER_STORM.is_plotter
+        assert HostRole.PLOTTER_STORM.is_p2p
+        assert not HostRole.BACKGROUND.is_p2p
+
+    def test_host_accumulates_roles(self):
+        host = Host(address="10.1.0.1")
+        both = host.with_role(HostRole.TRADER_EMULE).with_role(
+            HostRole.PLOTTER_NUGACHE
+        )
+        assert both.is_trader
+        assert both.is_plotter
+
+
+class TestScheduling:
+    def test_events_run_in_order(self):
+        sim = NetworkSimulation(seed=1, horizon=100.0)
+        fired = []
+        sim.schedule(5.0, lambda t: fired.append(t))
+        sim.schedule(2.0, lambda t: fired.append(t))
+        sim.run()
+        assert fired == [2.0, 5.0]
+
+    def test_events_beyond_horizon_dropped(self):
+        sim = NetworkSimulation(seed=1, horizon=10.0)
+        fired = []
+        sim.schedule(20.0, lambda t: fired.append(t))
+        sim.run()
+        assert fired == []
+
+    def test_schedule_in_relative(self):
+        sim = NetworkSimulation(seed=1, horizon=100.0)
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if len(fired) < 3:
+                sim.schedule_in(10.0, chain)
+
+        sim.schedule(0.0, chain)
+        sim.run()
+        assert fired == [0.0, 10.0, 20.0]
+
+    def test_negative_delay_rejected(self):
+        sim = NetworkSimulation(seed=1)
+        with pytest.raises(ValueError):
+            sim.schedule_in(-1.0, lambda t: None)
+
+    def test_run_until_partial(self):
+        sim = NetworkSimulation(seed=1, horizon=100.0)
+        fired = []
+        sim.schedule(5.0, lambda t: fired.append(t))
+        sim.schedule(50.0, lambda t: fired.append(t))
+        sim.run(until=10.0)
+        assert fired == [5.0]
+
+    def test_sources_started_once(self):
+        sim = NetworkSimulation(seed=1, horizon=10.0)
+        calls = []
+
+        class Source:
+            def start(self, s):
+                calls.append(s)
+
+        sim.add_source(Source())
+        sim.run()
+        sim.run()
+        assert len(calls) == 1
+
+
+class TestEmitConnection:
+    def test_failed_flows_carry_no_response(self):
+        sim = NetworkSimulation(seed=1, horizon=10.0)
+        flow = sim.emit_connection(
+            src="10.1.0.1",
+            dst="1.2.3.4",
+            dport=80,
+            proto=Protocol.TCP,
+            state=FlowState.TIMEOUT,
+            duration=30.0,
+            src_bytes=5000,
+            dst_bytes=9999,
+            payload=b"secret",
+        )
+        assert flow.dst_bytes == 0
+        assert flow.src_bytes <= 180
+        assert flow.payload == b""
+        assert flow.duration <= 3.0
+
+    def test_established_flow_preserved(self):
+        sim = NetworkSimulation(seed=1, horizon=10.0)
+        flow = sim.emit_connection(
+            src="10.1.0.1",
+            dst="1.2.3.4",
+            dport=80,
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED,
+            duration=2.0,
+            src_bytes=100,
+            dst_bytes=200,
+            payload=b"GET /",
+        )
+        assert flow.src_bytes == 100
+        assert flow.dst_bytes == 200
+        assert flow.payload == b"GET /"
+
+    def test_packet_estimation(self):
+        sim = NetworkSimulation(seed=1, horizon=10.0)
+        flow = sim.emit_connection(
+            src="a",
+            dst="b",
+            dport=80,
+            proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED,
+            duration=1.0,
+            src_bytes=8000,
+            dst_bytes=0,
+        )
+        assert flow.src_pkts == 10
+        assert flow.dst_pkts == 0
+
+    def test_sport_deterministic(self):
+        def one_flow():
+            sim = NetworkSimulation(seed=1, horizon=10.0)
+            return sim.emit_connection(
+                src="a", dst="b", dport=80, proto=Protocol.TCP,
+                state=FlowState.ESTABLISHED, duration=1.0,
+                src_bytes=10, dst_bytes=10,
+            )
+
+        assert one_flow().sport == one_flow().sport
+
+    def test_flows_collected(self):
+        sim = NetworkSimulation(seed=1, horizon=10.0)
+        sim.emit_connection(
+            src="a", dst="b", dport=80, proto=Protocol.TCP,
+            state=FlowState.ESTABLISHED, duration=1.0,
+            src_bytes=10, dst_bytes=10,
+        )
+        store = sim.run()
+        assert len(store) == 1
+        assert sim.flow_count == 1

@@ -1,0 +1,36 @@
+"""Tests for deterministic RNG streams."""
+
+from repro.netsim.rng import derive_seed, numpy_substream, substream
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_key_path_matters(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a", "b") != derive_seed(1, "ab")
+        assert derive_seed(1) != derive_seed(2)
+
+    def test_int_and_str_keys_distinct_paths(self):
+        # "1" and 1 stringify identically by design; the path separator
+        # keeps ("a", 1) distinct from ("a1",).
+        assert derive_seed(0, "a", 1) == derive_seed(0, "a", "1")
+        assert derive_seed(0, "a", 1) != derive_seed(0, "a1")
+
+
+class TestSubstreams:
+    def test_substream_reproducible(self):
+        a = substream(7, "agent", "10.1.0.1")
+        b = substream(7, "agent", "10.1.0.1")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_substreams_independent(self):
+        a = substream(7, "agent", "10.1.0.1")
+        b = substream(7, "agent", "10.1.0.2")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_numpy_substream_reproducible(self):
+        a = numpy_substream(7, "x")
+        b = numpy_substream(7, "x")
+        assert (a.random(5) == b.random(5)).all()

@@ -1,0 +1,102 @@
+"""Tests for churn models and online schedules."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.p2p.churn import (
+    PLOTTER_CHURN,
+    TRADER_CHURN,
+    ChurnModel,
+    OnlineSchedule,
+)
+
+
+class TestOnlineSchedule:
+    def test_empty_never_online(self):
+        schedule = OnlineSchedule(intervals=())
+        assert not schedule.is_online(0.0)
+        assert schedule.total_online == 0.0
+
+    def test_membership(self):
+        schedule = OnlineSchedule(intervals=((10.0, 20.0), (30.0, 40.0)))
+        assert not schedule.is_online(5.0)
+        assert schedule.is_online(10.0)
+        assert schedule.is_online(15.0)
+        assert not schedule.is_online(20.0)  # half-open
+        assert not schedule.is_online(25.0)
+        assert schedule.is_online(35.0)
+        assert schedule.total_online == 20.0
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            OnlineSchedule(intervals=((0.0, 10.0), (5.0, 15.0)))
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            OnlineSchedule(intervals=((10.0, 5.0),))
+
+
+class TestChurnModel:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ChurnModel(median_session=-1, session_sigma=1, mean_offline=1)
+        with pytest.raises(ValueError):
+            ChurnModel(
+                median_session=1, session_sigma=1, mean_offline=1,
+                fraction_dead=1.5,
+            )
+
+    def test_duty_cycle(self):
+        model = ChurnModel(
+            median_session=100.0, session_sigma=0.0, mean_offline=100.0
+        )
+        assert model.mean_session == pytest.approx(100.0)
+        assert model.duty_cycle == pytest.approx(0.5)
+
+    def test_dead_fraction(self):
+        model = ChurnModel(
+            median_session=100.0,
+            session_sigma=0.5,
+            mean_offline=100.0,
+            fraction_dead=1.0,
+        )
+        schedule = model.sample_schedule(random.Random(1), 1000.0)
+        assert schedule.intervals == ()
+
+    def test_zero_horizon(self):
+        schedule = TRADER_CHURN.sample_schedule(random.Random(1), 0.0)
+        assert schedule.intervals == ()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_intervals_within_horizon(self, seed):
+        horizon = 5000.0
+        schedule = TRADER_CHURN.sample_schedule(random.Random(seed), horizon)
+        for start, end in schedule.intervals:
+            assert 0.0 <= start < end <= horizon
+
+    def test_steady_state_online_fraction(self):
+        # At time zero a large population should already be online at
+        # roughly duty_cycle x (1 - fraction_dead).
+        rng = random.Random(11)
+        model = PLOTTER_CHURN
+        population = model.sample_population(rng, 2000, 3600.0)
+        online = sum(1 for s in population if s.is_online(0.0)) / len(population)
+        expected = model.duty_cycle * (1.0 - model.fraction_dead)
+        assert online == pytest.approx(expected, abs=0.05)
+
+    def test_trader_sessions_shorter_than_plotter(self):
+        rng_a = random.Random(5)
+        rng_b = random.Random(5)
+        horizon = 6 * 3600.0
+        trader_online = sum(
+            s.total_online
+            for s in TRADER_CHURN.sample_population(rng_a, 300, horizon)
+        )
+        plotter_online = sum(
+            s.total_online
+            for s in PLOTTER_CHURN.sample_population(rng_b, 300, horizon)
+        )
+        assert plotter_online > trader_online

@@ -1,0 +1,238 @@
+"""Tests for the Kademlia DHT simulation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.addressing import AddressSpace
+from repro.p2p.churn import PLOTTER_CHURN, ChurnModel, OnlineSchedule
+from repro.p2p.kademlia import (
+    ID_BITS,
+    KademliaNetwork,
+    KBucket,
+    RoutingTable,
+    SimPeer,
+    bucket_index,
+    random_node_id,
+    xor_distance,
+)
+
+
+ids = st.integers(0, 2**ID_BITS - 1)
+
+ALWAYS_ON = ChurnModel(
+    median_session=1e9, session_sigma=0.01, mean_offline=1.0
+)
+
+
+class TestXorMetric:
+    @given(a=ids, b=ids)
+    def test_symmetry(self, a, b):
+        assert xor_distance(a, b) == xor_distance(b, a)
+
+    @given(a=ids)
+    def test_identity(self, a):
+        assert xor_distance(a, a) == 0
+
+    @given(a=ids, b=ids, c=ids)
+    def test_xor_triangle(self, a, b, c):
+        # The XOR metric satisfies d(a,c) <= d(a,b) XOR-combined, and in
+        # particular the standard triangle inequality.
+        assert xor_distance(a, c) <= xor_distance(a, b) + xor_distance(b, c)
+
+    @given(a=ids, b=ids)
+    def test_bucket_index_range(self, a, b):
+        if a == b:
+            with pytest.raises(ValueError):
+                bucket_index(a, b)
+        else:
+            index = bucket_index(a, b)
+            assert 0 <= index < ID_BITS
+            assert xor_distance(a, b).bit_length() - 1 == index
+
+
+class TestKBucket:
+    def test_touch_moves_to_tail(self):
+        bucket = KBucket(capacity=3)
+        bucket.touch(1)
+        bucket.touch(2)
+        bucket.touch(1)
+        assert bucket.contacts == [2, 1]
+
+    def test_full_bucket_keeps_lrs_when_alive(self):
+        bucket = KBucket(capacity=2, contacts=[1, 2])
+        bucket.touch(3, alive_check=True)
+        assert bucket.contacts == [1, 2]
+
+    def test_full_bucket_evicts_dead_lrs(self):
+        bucket = KBucket(capacity=2, contacts=[1, 2])
+        bucket.touch(3, alive_check=False)
+        assert bucket.contacts == [2, 3]
+
+    def test_remove(self):
+        bucket = KBucket(capacity=2, contacts=[1, 2])
+        bucket.remove(1)
+        assert bucket.contacts == [2]
+        bucket.remove(99)  # no-op
+        assert bucket.contacts == [2]
+
+
+class TestRoutingTable:
+    def test_ignores_own_id(self):
+        table = RoutingTable(own_id=42)
+        table.touch(42)
+        assert table.contact_count == 0
+
+    def test_closest_ordering(self):
+        table = RoutingTable(own_id=0, k=20)
+        for node_id in (1, 2, 4, 8, 100):
+            table.touch(node_id)
+        closest = table.closest(3, count=3)
+        assert closest[0] == 2  # xor(2,3)=1
+        assert set(closest) == {2, 1, 4} or closest[0] == 2
+
+    def test_remove(self):
+        table = RoutingTable(own_id=0)
+        table.touch(5)
+        table.remove(5)
+        assert table.contact_count == 0
+
+    @given(node_ids=st.sets(ids, min_size=1, max_size=50))
+    def test_all_contacts_bucketed(self, node_ids):
+        table = RoutingTable(own_id=0)
+        for node_id in node_ids:
+            table.touch(node_id)
+        expected = {n for n in node_ids if n != 0}
+        assert set(table.all_contacts()) == expected
+
+
+def build_network(rng, size=120, churn=ALWAYS_ON, horizon=3600.0):
+    space = AddressSpace()
+    return KademliaNetwork.build(
+        rng, size=size, horizon=horizon, churn=churn,
+        address_factory=space.random_external,
+    )
+
+
+class TestKademliaNetwork:
+    def test_requires_peers(self):
+        with pytest.raises(ValueError):
+            KademliaNetwork(rng=random.Random(0), peers=[])
+
+    def test_bootstrap_sampling(self):
+        network = build_network(random.Random(1))
+        sample = network.sample_bootstrap(random.Random(2), 30)
+        assert len(sample) == 30
+        assert len({p.node_id for p in sample}) == 30
+
+    def test_lookup_converges_to_closest(self):
+        rng = random.Random(3)
+        network = build_network(rng, size=150)
+        table = RoutingTable(own_id=random_node_id(rng), k=20)
+        for peer in network.sample_bootstrap(rng, 20):
+            table.touch(peer.node_id)
+        target = random_node_id(rng)
+        result = network.lookup(table, target, now=10.0)
+        assert result.messages_sent > 0
+        # With everyone online, the lookup must find the true closest peer.
+        true_closest = min(
+            network.peers, key=lambda n: xor_distance(n, target)
+        )
+        assert result.closest[0] == true_closest
+
+    def test_lookup_with_churn_reports_failures(self):
+        rng = random.Random(4)
+        network = build_network(
+            rng, size=150,
+            churn=ChurnModel(
+                median_session=600.0, session_sigma=0.5,
+                mean_offline=1200.0, fraction_dead=0.4,
+            ),
+        )
+        failures = 0
+        for trial in range(10):
+            table = RoutingTable(own_id=random_node_id(rng), k=20)
+            for peer in network.sample_bootstrap(rng, 30):
+                table.touch(peer.node_id)
+            result = network.lookup(
+                table, random_node_id(rng), now=100.0 + trial * 60.0
+            )
+            assert 0.0 <= result.failure_rate <= 1.0
+            failures += sum(1 for q in result.queried if not q.responded)
+        # With 40% of peers permanently dead, ten lookups cannot all
+        # succeed on every RPC.
+        assert failures > 0
+
+    def test_empty_table_lookup(self):
+        rng = random.Random(5)
+        network = build_network(rng, size=20)
+        table = RoutingTable(own_id=random_node_id(rng))
+        result = network.lookup(table, random_node_id(rng), now=0.0)
+        assert result.messages_sent == 0
+        assert result.closest == ()
+
+    def test_publish_and_publishers(self):
+        rng = random.Random(6)
+        network = build_network(rng, size=20)
+        network.publish(123, 777)
+        network.publish(123, 888)
+        assert network.publishers(123) == {777, 888}
+        assert network.publishers(999) == set()
+
+
+class TestValueStorage:
+    def test_publish_replicates_at_closest_online(self):
+        rng = random.Random(10)
+        network = build_network(rng, size=60)
+        key = random_node_id(rng)
+        stored = network.publish(key, publisher_id=42, now=100.0)
+        assert stored  # everyone online: replicas placed
+        assert set(stored) <= network.replicas_of(key)
+        truth = network._network_closest(key, network.k)
+        assert set(stored) <= set(truth)
+
+    def test_publish_without_now_keeps_old_semantics(self):
+        rng = random.Random(11)
+        network = build_network(rng, size=20)
+        assert network.publish(5, publisher_id=1) == []
+        assert network.publishers(5) == {1}
+        assert network.replicas_of(5) == set()
+
+    def test_find_value_recovers_publication(self):
+        rng = random.Random(12)
+        network = build_network(rng, size=120)
+        key = random_node_id(rng)
+        network.publish(key, publisher_id=777, now=10.0)
+        table = RoutingTable(own_id=random_node_id(rng), k=20)
+        for peer in network.sample_bootstrap(rng, 25):
+            table.touch(peer.node_id)
+        found, result = network.find_value(table, key, now=20.0)
+        assert found == {777}
+        assert result.messages_sent > 0
+
+    def test_find_value_misses_unpublished_key(self):
+        rng = random.Random(13)
+        network = build_network(rng, size=60)
+        table = RoutingTable(own_id=random_node_id(rng), k=20)
+        for peer in network.sample_bootstrap(rng, 15):
+            table.touch(peer.node_id)
+        found, _result = network.find_value(table, random_node_id(rng), now=5.0)
+        assert found == set()
+
+    def test_find_value_stops_early(self):
+        rng = random.Random(14)
+        network = build_network(rng, size=120)
+        key = random_node_id(rng)
+        network.publish(key, publisher_id=9, now=0.0)
+        table = RoutingTable(own_id=random_node_id(rng), k=20)
+        for peer in network.sample_bootstrap(rng, 25):
+            table.touch(peer.node_id)
+        _found_a, with_value = network.find_value(table, key, now=1.0)
+        table2 = RoutingTable(own_id=table.own_id, k=20)
+        for peer in network.sample_bootstrap(rng, 25):
+            table2.touch(peer.node_id)
+        plain = network.lookup(table2, key, now=1.0)
+        # Early termination can only shorten the walk, never extend it
+        # beyond a full lookup's round budget.
+        assert with_value.messages_sent <= max(plain.messages_sent, network.k * 6)

@@ -1,0 +1,140 @@
+"""Tests for the BitTorrent / Gnutella / eMule overlay substrates."""
+
+import random
+
+import pytest
+
+from repro.netsim.addressing import AddressSpace
+from repro.p2p.bittorrent import BitTorrentOverlay, Swarm, TorrentMetadata, Tracker
+from repro.p2p.emule import EmuleOverlay
+from repro.p2p.gnutella import GnutellaOverlay
+
+
+HORIZON = 6 * 3600.0
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+class TestTorrentMetadata:
+    def test_piece_count_ceiling(self):
+        torrent = TorrentMetadata(
+            infohash=b"\x01" * 20, name="x", total_bytes=1000, piece_length=256
+        )
+        assert torrent.n_pieces == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TorrentMetadata(infohash=b"short", name="x", total_bytes=10)
+        with pytest.raises(ValueError):
+            TorrentMetadata(infohash=b"\x01" * 20, name="x", total_bytes=0)
+
+    def test_synthesise_plausible_sizes(self):
+        rng = random.Random(0)
+        sizes = [
+            TorrentMetadata.synthesise(rng, i).total_bytes for i in range(50)
+        ]
+        assert min(sizes) >= 4 * 1024 * 1024
+        # Multimedia scale: the median synthetic torrent is >50 MB.
+        assert sorted(sizes)[25] > 50 * 1024 * 1024
+
+
+class TestBitTorrentOverlay:
+    def test_swarm_construction(self, space):
+        rng = random.Random(1)
+        overlay = BitTorrentOverlay(
+            rng, space.random_external, HORIZON, n_torrents=5,
+            swarm_size_range=(10, 20),
+        )
+        assert len(overlay.swarms) == 5
+        for swarm in overlay.swarms:
+            assert 10 <= len(swarm.peers) <= 20
+
+    def test_announce_returns_sample(self, space):
+        rng = random.Random(2)
+        overlay = BitTorrentOverlay(
+            rng, space.random_external, HORIZON, n_torrents=2,
+            swarm_size_range=(30, 30),
+        )
+        peers = overlay.swarms[0].announce(random.Random(0), count=10)
+        assert len(peers) == 10
+        assert len({p.address for p in peers}) == 10
+
+    def test_popularity_skew(self, space):
+        rng = random.Random(3)
+        overlay = BitTorrentOverlay(
+            rng, space.random_external, HORIZON, n_torrents=10,
+        )
+        picks = [overlay.pick_swarm(random.Random(i)) for i in range(300)]
+        first = sum(1 for s in picks if s is overlay.swarms[0])
+        last = sum(1 for s in picks if s is overlay.swarms[-1])
+        assert first > last  # Zipf-ish: rank 1 much hotter than rank 10
+
+    def test_tracker_sizes_scale_with_peers(self):
+        tracker = Tracker(address="1.2.3.4")
+        _req0, resp0 = tracker.announce_size(0)
+        _req50, resp50 = tracker.announce_size(50)
+        assert resp50 == resp0 + 300
+
+
+class TestGnutellaOverlay:
+    def test_bootstrap_candidates(self, space):
+        overlay = GnutellaOverlay(
+            random.Random(4), space.random_external, HORIZON,
+            n_ultrapeers=40, n_sources=50,
+        )
+        candidates = overlay.bootstrap_candidates(random.Random(0), count=10)
+        assert len(candidates) == 10
+
+    def test_query_hits_bounded(self, space):
+        overlay = GnutellaOverlay(
+            random.Random(5), space.random_external, HORIZON,
+            n_ultrapeers=10, n_sources=50,
+        )
+        for i in range(50):
+            hits = overlay.query_hits(random.Random(i), max_hits=12)
+            assert 0 <= len(hits) <= 12
+
+    def test_message_sizes(self):
+        q, h = GnutellaOverlay.query_size(3)
+        assert h == 120 + 270
+        assert GnutellaOverlay.ping_size() == (23, 37)
+
+
+class TestEmuleOverlay:
+    def test_requires_server(self, space):
+        with pytest.raises(ValueError):
+            EmuleOverlay(
+                random.Random(6), space.random_external, HORIZON, n_servers=0
+            )
+
+    def test_search_sources_nonempty(self, space):
+        overlay = EmuleOverlay(
+            random.Random(7), space.random_external, HORIZON,
+            n_servers=2, n_sources=50,
+        )
+        for i in range(20):
+            sources = overlay.search_sources(random.Random(i))
+            assert 1 <= len(sources) <= 20
+
+    def test_server_choice_from_pool(self, space):
+        overlay = EmuleOverlay(
+            random.Random(8), space.random_external, HORIZON,
+            n_servers=3, n_sources=10,
+        )
+        server = overlay.pick_server(random.Random(0))
+        assert server in overlay.servers
+
+
+class TestEd2kServerSizes:
+    def test_login_and_search_sizes(self):
+        from repro.p2p.emule import Ed2kServer
+
+        server = Ed2kServer(address="1.2.3.4")
+        req, resp = server.login_size()
+        assert req > 0 and resp > 0
+        _q0, r0 = server.search_size(0)
+        _q5, r5 = server.search_size(5)
+        assert r5 == r0 + 5 * 120

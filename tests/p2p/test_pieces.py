@@ -1,0 +1,102 @@
+"""Tests for piece-level BitTorrent machinery."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.p2p.pieces import PieceMap, PieceScheduler, rarest_first
+
+
+class TestPieceMap:
+    def test_construction(self):
+        with pytest.raises(ValueError):
+            PieceMap(0)
+        bitfield = PieceMap(10, have=[0, 3])
+        assert bitfield.has(0)
+        assert not bitfield.has(1)
+        assert bitfield.completion == pytest.approx(0.2)
+
+    def test_add_bounds_checked(self):
+        bitfield = PieceMap(4)
+        with pytest.raises(ValueError):
+            bitfield.add(4)
+        with pytest.raises(ValueError):
+            bitfield.add(-1)
+
+    def test_complete_seed(self):
+        seed = PieceMap.complete(8)
+        assert seed.is_complete
+        assert seed.missing == set()
+
+    def test_random_fraction(self):
+        rng = random.Random(1)
+        partial = PieceMap.random_fraction(100, 0.4, rng)
+        assert len(partial.have) == 40
+        with pytest.raises(ValueError):
+            PieceMap.random_fraction(10, 1.5, rng)
+
+    def test_overlap_available(self):
+        own = PieceMap(6, have=[0, 1])
+        peer = PieceMap(6, have=[1, 2, 3])
+        assert own.overlap_available(peer) == {2, 3}
+
+    def test_overlap_requires_same_torrent(self):
+        with pytest.raises(ValueError):
+            PieceMap(4).overlap_available(PieceMap(5))
+
+    @given(
+        n=st.integers(1, 60),
+        data=st.data(),
+    )
+    def test_have_missing_partition(self, n, data):
+        have = data.draw(st.sets(st.integers(0, n - 1)))
+        bitfield = PieceMap(n, have=have)
+        assert bitfield.have | bitfield.missing == set(range(n))
+        assert not bitfield.have & bitfield.missing
+
+
+class TestRarestFirst:
+    def test_prefers_rare_pieces(self):
+        rng = random.Random(2)
+        # Piece 0 held by 3 peers, piece 1 by one peer.
+        peers = [
+            PieceMap(2, have=[0]),
+            PieceMap(2, have=[0]),
+            PieceMap(2, have=[0, 1]),
+        ]
+        order = rarest_first({0, 1}, peers, limit=2, rng=rng)
+        assert order[0] == 1
+
+    def test_limit_respected(self):
+        rng = random.Random(3)
+        order = rarest_first(set(range(10)), [], limit=3, rng=rng)
+        assert len(order) == 3
+        assert rarest_first({1}, [], limit=0, rng=rng) == []
+
+    def test_tie_break_varies(self):
+        outcomes = {
+            tuple(rarest_first({0, 1, 2}, [], limit=3, rng=random.Random(s)))
+            for s in range(12)
+        }
+        assert len(outcomes) > 1
+
+
+class TestScheduler:
+    def test_end_to_end_download(self):
+        rng = random.Random(4)
+        scheduler = PieceScheduler(own=PieceMap(20))
+        seed = PieceMap.complete(20)
+        visible = [PieceMap.random_fraction(20, 0.5, rng) for _ in range(4)]
+        while not scheduler.own.is_complete:
+            batch = scheduler.plan_requests(seed, visible, batch=6, rng=rng)
+            assert batch  # a seed can always serve something
+            scheduler.record_received(batch)
+        assert scheduler.own.completion == 1.0
+
+    def test_cannot_request_what_peer_lacks(self):
+        rng = random.Random(5)
+        scheduler = PieceScheduler(own=PieceMap(10, have=[0]))
+        peer = PieceMap(10, have=[0, 1, 2])
+        batch = scheduler.plan_requests(peer, [], batch=10, rng=rng)
+        assert set(batch) == {1, 2}

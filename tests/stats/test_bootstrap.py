@@ -1,0 +1,56 @@
+"""Tests for bootstrap confidence intervals."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.bootstrap import ConfidenceInterval, bootstrap_mean_ci
+
+
+class TestConfidenceInterval:
+    def test_must_bracket_mean(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(mean=5.0, low=6.0, high=7.0, confidence=0.9)
+
+    def test_confidence_bounds(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(mean=0.0, low=0.0, high=0.0, confidence=1.5)
+
+    def test_format(self):
+        ci = ConfidenceInterval(mean=0.875, low=0.75, high=1.0, confidence=0.9)
+        assert ci.format(2) == "0.88 [0.75, 1.00]"
+
+
+class TestBootstrapMeanCi:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    def test_single_value_degenerates(self):
+        ci = bootstrap_mean_ci([0.5])
+        assert ci.low == ci.mean == ci.high == 0.5
+
+    def test_constant_sample_zero_width(self):
+        ci = bootstrap_mean_ci([0.3] * 8)
+        assert ci.low == pytest.approx(0.3)
+        assert ci.high == pytest.approx(0.3)
+
+    def test_deterministic(self):
+        data = [0.0, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0]
+        assert bootstrap_mean_ci(data, seed=1) == bootstrap_mean_ci(data, seed=1)
+
+    def test_bernoulli_eight_days(self):
+        # The fig9 situation: 7 hits of 8 days.
+        data = [1.0] * 7 + [0.0]
+        ci = bootstrap_mean_ci(data)
+        assert ci.mean == pytest.approx(0.875)
+        assert ci.low <= 0.75
+        assert ci.high == pytest.approx(1.0, abs=0.01)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=20),
+        confidence=st.floats(0.5, 0.99),
+    )
+    def test_interval_properties(self, data, confidence):
+        ci = bootstrap_mean_ci(data, confidence=confidence, resamples=500)
+        assert min(data) - 1e-9 <= ci.low <= ci.mean <= ci.high <= max(data) + 1e-9

@@ -1,0 +1,90 @@
+"""Tests for dendrogram diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.clustering import agglomerate
+from repro.stats.dendro import (
+    cophenetic_correlation,
+    cophenetic_matrix,
+    render_dendrogram,
+)
+
+
+def distance_matrix(points):
+    pts = np.asarray(points, dtype=float)
+    return np.abs(pts[:, None] - pts[None, :])
+
+
+class TestCopheneticMatrix:
+    def test_pair_heights(self):
+        d = distance_matrix([0.0, 1.0, 10.0])
+        dend = agglomerate(d)
+        coph = cophenetic_matrix(dend)
+        assert coph[0, 1] == pytest.approx(1.0)
+        # 2 joins the {0,1} cluster at the average distance 9.5.
+        assert coph[0, 2] == pytest.approx(9.5)
+        assert coph[1, 2] == pytest.approx(9.5)
+        assert (coph == coph.T).all()
+        assert (np.diagonal(coph) == 0).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        points=st.lists(
+            st.floats(0, 100, allow_nan=False), min_size=2, max_size=12
+        )
+    )
+    def test_cophenetic_dominates_distance_for_average_linkage(self, points):
+        # For UPGMA on a metric, the cophenetic height of a pair is at
+        # least the merge weight of the first cluster containing both,
+        # and every pair eventually joins.
+        d = distance_matrix(points)
+        dend = agglomerate(d)
+        coph = cophenetic_matrix(dend)
+        n = len(points)
+        iu = np.triu_indices(n, 1)
+        assert (coph[iu] >= 0).all()
+        # The root merge height bounds every entry.
+        assert coph.max() == pytest.approx(dend.merges[-1].weight)
+
+
+class TestCopheneticCorrelation:
+    def test_well_separated_clusters_score_high(self):
+        d = distance_matrix([0.0, 0.5, 1.0, 50.0, 50.5, 51.0])
+        dend = agglomerate(d)
+        assert cophenetic_correlation(dend, d) > 0.9
+
+    def test_needs_three_items(self):
+        d = distance_matrix([0.0, 1.0])
+        dend = agglomerate(d)
+        with pytest.raises(ValueError):
+            cophenetic_correlation(dend, d)
+
+    def test_constant_distances_yield_zero(self):
+        d = np.ones((4, 4)) - np.eye(4)
+        dend = agglomerate(d)
+        assert cophenetic_correlation(dend, d) == 0.0
+
+
+class TestRender:
+    def test_lines_one_per_merge(self):
+        d = distance_matrix([0.0, 1.0, 10.0])
+        dend = agglomerate(d)
+        text = render_dendrogram(dend, labels=["a", "b", "c"])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "{a, b}" in lines[0]
+        assert "{a, b, c}" in lines[1]
+
+    def test_large_clusters_truncated(self):
+        d = distance_matrix(list(range(12)))
+        dend = agglomerate(d)
+        text = render_dendrogram(dend)
+        assert "total)" in text.splitlines()[-1]
+
+    def test_label_arity_checked(self):
+        d = distance_matrix([0.0, 1.0])
+        dend = agglomerate(d)
+        with pytest.raises(ValueError):
+            render_dendrogram(dend, labels=["only-one"])

@@ -1,0 +1,54 @@
+"""Tests for ECDF utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.ecdf import ecdf, ecdf_at, quantile_series
+
+
+class TestEcdf:
+    def test_empty(self):
+        assert ecdf([]) == []
+
+    def test_simple(self):
+        points = ecdf([1.0, 2.0, 3.0, 4.0])
+        assert points == [(1.0, 0.25), (2.0, 0.5), (3.0, 0.75), (4.0, 1.0)]
+
+    def test_duplicates_collapse(self):
+        points = ecdf([1.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(2 / 3)), (2.0, 1.0)]
+
+    @given(
+        values=st.lists(
+            st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=100
+        )
+    )
+    def test_monotone_and_ends_at_one(self, values):
+        points = ecdf(values)
+        fractions = [f for _x, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+        xs = [x for x, _f in points]
+        assert xs == sorted(xs)
+
+
+class TestEcdfAt:
+    def test_values(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert ecdf_at(data, 0.0) == 0.0
+        assert ecdf_at(data, 2.0) == 0.5
+        assert ecdf_at(data, 10.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf_at([], 1.0)
+
+
+class TestQuantileSeries:
+    def test_median(self):
+        series = dict(quantile_series([1.0, 2.0, 3.0], probs=(0.5,)))
+        assert series[0.5] == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantile_series([])

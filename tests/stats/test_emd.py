@@ -1,0 +1,129 @@
+"""Tests for the Earth Mover's Distance: closed form vs. LP oracle."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.emd import emd, emd_1d, emd_transport, pairwise_emd
+from repro.stats.histogram import Histogram, build_histogram
+
+
+def hist(centers, weights):
+    return Histogram(centers=tuple(centers), weights=tuple(weights), bin_width=1.0)
+
+
+histogram_strategy = st.lists(
+    st.tuples(
+        st.floats(-100, 100, allow_nan=False),
+        st.floats(0.01, 1.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=6,
+    unique_by=lambda t: t[0],
+).map(
+    lambda pairs: hist(
+        [c for c, _w in sorted(pairs)],
+        [w / sum(w for _c, w in pairs) for _c, w in sorted(pairs)],
+    )
+)
+
+
+class TestKnownValues:
+    def test_identical_histograms(self):
+        h = hist([0.0, 1.0], [0.5, 0.5])
+        assert emd_1d(h, h) == pytest.approx(0.0, abs=1e-12)
+
+    def test_pure_shift(self):
+        # EMD between deltas at 0 and at 7 is exactly 7.
+        a = hist([0.0], [1.0])
+        b = hist([7.0], [1.0])
+        assert emd_1d(a, b) == pytest.approx(7.0)
+
+    def test_split_mass(self):
+        # Half the mass moves 2, half moves 0: EMD = 1.
+        a = hist([0.0, 2.0], [0.5, 0.5])
+        b = hist([0.0], [1.0])
+        assert emd_1d(a, b) == pytest.approx(1.0)
+
+    def test_shift_invariance_of_magnitude(self):
+        a = hist([0.0, 1.0], [0.3, 0.7])
+        b = hist([5.0, 6.0], [0.3, 0.7])
+        # Same shape shifted by 5: EMD is exactly the shift.
+        assert emd_1d(a, b) == pytest.approx(5.0)
+
+
+class TestOracleAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(a=histogram_strategy, b=histogram_strategy)
+    def test_closed_form_matches_transport_lp(self, a, b):
+        fast = emd_1d(a, b)
+        oracle = emd_transport(a, b)
+        assert fast == pytest.approx(oracle, abs=1e-6, rel=1e-6)
+
+
+class TestMetricProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(a=histogram_strategy, b=histogram_strategy)
+    def test_symmetry(self, a, b):
+        assert emd_1d(a, b) == pytest.approx(emd_1d(b, a), abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=histogram_strategy)
+    def test_identity(self, a):
+        assert emd_1d(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=histogram_strategy, b=histogram_strategy, c=histogram_strategy)
+    def test_triangle_inequality(self, a, b, c):
+        assert emd_1d(a, c) <= emd_1d(a, b) + emd_1d(b, c) + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=histogram_strategy, b=histogram_strategy)
+    def test_non_negative(self, a, b):
+        assert emd_1d(a, b) >= -1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=histogram_strategy, b=histogram_strategy)
+    def test_bounded_by_support_spread(self, a, b):
+        spread = max(a.support[1], b.support[1]) - min(
+            a.support[0], b.support[0]
+        )
+        assert emd_1d(a, b) <= spread + 1e-9
+
+
+class TestPairwise:
+    def test_matrix_shape_and_symmetry(self):
+        hists = [build_histogram([1, 2, 3]), build_histogram([10, 20]), build_histogram([5])]
+        matrix = pairwise_emd(hists)
+        assert matrix.shape == (3, 3)
+        assert (matrix == matrix.T).all()
+        assert (matrix.diagonal() == 0).all()
+
+    def test_default_emd_is_closed_form(self):
+        a = hist([0.0], [1.0])
+        b = hist([3.0], [1.0])
+        assert emd(a, b) == emd_1d(a, b)
+
+
+class TestShiftInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=histogram_strategy,
+        b=histogram_strategy,
+        shift=st.floats(-50, 50, allow_nan=False),
+    )
+    def test_common_shift_preserves_emd(self, a, b, shift):
+        """EMD with ground distance |x-y| is translation-invariant."""
+        def shifted(h):
+            return hist([c + shift for c in h.centers], list(h.weights))
+
+        original = emd_1d(a, b)
+        moved = emd_1d(shifted(a), shifted(b))
+        assert moved == pytest.approx(original, abs=1e-6, rel=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=histogram_strategy, shift=st.floats(0.1, 50, allow_nan=False))
+    def test_shifting_one_histogram_costs_exactly_the_shift(self, a, shift):
+        moved = hist([c + shift for c in a.centers], list(a.weights))
+        assert emd_1d(a, moved) == pytest.approx(shift, rel=1e-6)

@@ -1,0 +1,91 @@
+"""Tests for ROC computation."""
+
+import pytest
+
+from repro.stats.roc import (
+    PERCENTILE_SWEEP,
+    RocCurve,
+    RocPoint,
+    confusion_rates,
+    roc_from_selections,
+)
+
+
+class TestConfusionRates:
+    def test_perfect_detection(self):
+        tpr, fpr = confusion_rates(
+            selected={"bot1", "bot2"},
+            positives={"bot1", "bot2"},
+            population={"bot1", "bot2", "good1", "good2"},
+        )
+        assert tpr == 1.0
+        assert fpr == 0.0
+
+    def test_rates_relative_to_population(self):
+        # Hosts outside the population are ignored entirely.
+        tpr, fpr = confusion_rates(
+            selected={"bot1", "outsider"},
+            positives={"bot1", "bot-not-in-population"},
+            population={"bot1", "good1"},
+        )
+        assert tpr == 1.0
+        assert fpr == 0.0
+
+    def test_false_positives(self):
+        tpr, fpr = confusion_rates(
+            selected={"good1", "good2"},
+            positives={"bot1"},
+            population={"bot1", "good1", "good2", "good3", "good4"},
+        )
+        assert tpr == 0.0
+        assert fpr == pytest.approx(0.5)
+
+    def test_empty_positive_set(self):
+        tpr, fpr = confusion_rates(set(), set(), {"a"})
+        assert tpr == 0.0
+        assert fpr == 0.0
+
+
+class TestRocPoint:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            RocPoint(threshold_label="x", true_positive_rate=1.2, false_positive_rate=0.0)
+        with pytest.raises(ValueError):
+            RocPoint(threshold_label="x", true_positive_rate=0.0, false_positive_rate=-0.1)
+
+
+class TestRocCurve:
+    def test_from_selections(self):
+        population = {"b", "g1", "g2", "g3"}
+        positives = {"b"}
+        curve = roc_from_selections(
+            "test",
+            [("50", {"b"}), ("90", {"b", "g1", "g2"})],
+            positives,
+            population,
+        )
+        assert curve.points[0].true_positive_rate == 1.0
+        assert curve.points[0].false_positive_rate == 0.0
+        assert curve.points[1].false_positive_rate == pytest.approx(2 / 3)
+
+    def test_area_of_perfect_classifier(self):
+        curve = RocCurve(
+            label="perfect",
+            points=(
+                RocPoint("t", true_positive_rate=1.0, false_positive_rate=0.0),
+            ),
+        )
+        assert curve.dominated_area() == pytest.approx(1.0)
+
+    def test_area_of_diagonal(self):
+        curve = RocCurve(
+            label="chance",
+            points=(
+                RocPoint("t", true_positive_rate=0.5, false_positive_rate=0.5),
+            ),
+        )
+        assert curve.dominated_area() == pytest.approx(0.5)
+
+
+def test_sweep_matches_paper():
+    assert PERCENTILE_SWEEP == (10.0, 30.0, 50.0, 70.0, 90.0)

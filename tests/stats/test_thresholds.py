@@ -1,0 +1,68 @@
+"""Tests for dynamic threshold helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.thresholds import (
+    median_threshold,
+    percentile_threshold,
+    select_above,
+    select_below,
+)
+
+
+class TestPercentileThreshold:
+    def test_median(self):
+        assert percentile_threshold([1, 2, 3, 4, 5], 50) == 3.0
+        assert median_threshold([1, 2, 3, 4, 5]) == 3.0
+
+    def test_extremes(self):
+        values = [10.0, 20.0, 30.0]
+        assert percentile_threshold(values, 0) == 10.0
+        assert percentile_threshold(values, 100) == 30.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_threshold([], 50)
+
+    def test_out_of_range_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_threshold([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile_threshold([1.0], -1)
+
+    @given(
+        values=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=100
+        ),
+        pct=st.floats(0, 100),
+    )
+    def test_threshold_within_value_range(self, values, pct):
+        threshold = percentile_threshold(values, pct)
+        assert min(values) <= threshold <= max(values)
+
+
+class TestSelection:
+    def test_select_below_strict(self):
+        metric = {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert select_below(metric, 2.0) == {"a"}
+
+    def test_select_above_strict(self):
+        metric = {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert select_above(metric, 2.0) == {"c"}
+
+    @given(
+        metric=st.dictionaries(
+            st.text(min_size=1, max_size=4),
+            st.floats(-100, 100, allow_nan=False),
+            max_size=30,
+        ),
+        threshold=st.floats(-100, 100, allow_nan=False),
+    )
+    def test_partition(self, metric, threshold):
+        below = select_below(metric, threshold)
+        above = select_above(metric, threshold)
+        equal = {k for k, v in metric.items() if v == threshold}
+        assert below | above | equal == set(metric)
+        assert not below & above
