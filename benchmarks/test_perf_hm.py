@@ -1,0 +1,156 @@
+"""Perf harness for the θ_hm pairwise-EMD distance engine.
+
+Times the ``loop`` / ``vectorized`` / ``parallel`` backends of
+:func:`repro.stats.emd.pairwise_emd` over synthetic host populations at
+several scales, verifies the fast backends reproduce the reference
+matrix, and writes the measurements to ``BENCH_hm.json`` at the repo
+root so successive PRs accumulate a perf trajectory.
+
+Run directly (full sweep)::
+
+    PYTHONPATH=src python benchmarks/test_perf_hm.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_hm.py -q
+
+Environment knobs:
+
+* ``REPRO_BENCH_HM_HOSTS`` — comma-separated host counts
+  (default ``50,200,500,1000``); CI smoke runs set a small value.
+* ``REPRO_BENCH_HM_OUT`` — output path (default ``<repo>/BENCH_hm.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.stats.emd import pairwise_emd
+from repro.stats.histogram import Histogram, build_histogram
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_HOST_COUNTS = (50, 200, 500, 1000)
+
+#: Equivalence tolerance between backends — the engines integrate the
+#: same merged CDF, so only summation-order float dust may differ.
+ATOL = 1e-12
+
+
+def synthesize_histograms(n_hosts: int, seed: int = 7) -> List[Histogram]:
+    """A θ_hm-shaped host population: timer bots plus lognormal humans.
+
+    Sample counts vary per host (as reservoir fill levels do), so the
+    signatures have unequal bin counts — the ragged case the dense
+    padding must handle.
+    """
+    rng = np.random.default_rng(seed)
+    hists = []
+    for i in range(n_hosts):
+        n_samples = int(rng.integers(60, 1500))
+        if i % 4 == 0:  # machine-periodic: tight spread around a timer
+            period = float(rng.uniform(0.5, 3.0))
+            samples = rng.normal(period, 0.02, n_samples)
+        else:  # human-driven: heavy-tailed interstitials (log10 space)
+            samples = np.log10(
+                np.clip(rng.lognormal(np.log(20), 1.5, n_samples), 1e-3, None)
+            )
+        hists.append(build_histogram(samples))
+    return hists
+
+
+def _time_backend(
+    histograms: Sequence[Histogram], backend: str, repeats: int
+) -> Dict[str, object]:
+    best = float("inf")
+    matrix = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        matrix = pairwise_emd(histograms, backend=backend)
+        best = min(best, time.perf_counter() - t0)
+    return {"seconds": best, "matrix": matrix}
+
+
+def run_benchmark(
+    host_counts: Sequence[int],
+    out_path: Path,
+    repeats: int = 3,
+) -> dict:
+    """Time every backend at every scale and write the JSON report."""
+    report = {
+        "benchmark": "theta_hm pairwise EMD distance engine",
+        "generated_by": "benchmarks/test_perf_hm.py",
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "cpu_count": os.cpu_count(),
+        "atol": ATOL,
+        "results": [],
+    }
+    for n_hosts in host_counts:
+        hists = synthesize_histograms(n_hosts)
+        max_bins = max(len(h.centers) for h in hists)
+        # The loop backend is the slow reference; one round suffices.
+        loop = _time_backend(hists, "loop", repeats=1)
+        vec = _time_backend(hists, "vectorized", repeats=repeats)
+        par = _time_backend(hists, "parallel", repeats=1)
+        reference = loop["matrix"]
+        entry = {
+            "n_hosts": n_hosts,
+            "n_pairs": n_hosts * (n_hosts - 1) // 2,
+            "max_bins": max_bins,
+            "backends": {},
+        }
+        for name, run in (("loop", loop), ("vectorized", vec), ("parallel", par)):
+            diff = float(np.abs(run["matrix"] - reference).max())
+            if diff > ATOL:
+                raise AssertionError(
+                    f"{name} backend diverges from loop at "
+                    f"{n_hosts} hosts: max|diff|={diff:g}"
+                )
+            entry["backends"][name] = {
+                "seconds": run["seconds"],
+                "speedup_vs_loop": loop["seconds"] / run["seconds"],
+                "max_abs_diff_vs_loop": diff,
+            }
+        report["results"].append(entry)
+        print(
+            f"n_hosts={n_hosts:5d}  loop={loop['seconds']:8.3f}s  "
+            f"vectorized={vec['seconds']:8.3f}s "
+            f"({entry['backends']['vectorized']['speedup_vs_loop']:6.1f}x)  "
+            f"parallel={par['seconds']:8.3f}s "
+            f"({entry['backends']['parallel']['speedup_vs_loop']:6.1f}x)"
+        )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return report
+
+
+def _configured_host_counts() -> List[int]:
+    raw = os.environ.get("REPRO_BENCH_HM_HOSTS")
+    if not raw:
+        return list(DEFAULT_HOST_COUNTS)
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def _configured_out_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_HM_OUT", REPO_ROOT / "BENCH_hm.json"))
+
+
+def test_perf_hm_distance_engine():
+    """Benchmark entry point under pytest.
+
+    Backend equivalence is asserted inside :func:`run_benchmark`; the
+    speedups themselves are recorded, not asserted, so a loaded CI
+    machine cannot flake the suite.
+    """
+    report = run_benchmark(_configured_host_counts(), _configured_out_path())
+    assert report["results"], "benchmark produced no measurements"
+
+
+if __name__ == "__main__":
+    run_benchmark(_configured_host_counts(), _configured_out_path())

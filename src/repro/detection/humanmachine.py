@@ -24,7 +24,7 @@ from ..flows.store import FlowStore
 from ..stats.clustering import (
     DEFAULT_CUT_FRACTION,
     average_linkage,
-    cluster_diameter,
+    cluster_diameters,
     cut_top_links,
 )
 from ..stats.emd import pairwise_emd
@@ -97,6 +97,7 @@ def cluster_hosts(
     percentile: float,
     cut_fraction: float = DEFAULT_CUT_FRACTION,
     min_cluster_size: int = 2,
+    backend: str = "auto",
 ) -> HmClustering:
     """Cluster hosts by EMD and keep tight clusters.
 
@@ -105,6 +106,11 @@ def cluster_hosts(
     clusters".  Clusters smaller than ``min_cluster_size`` are never
     kept: the test's evidence is *similarity between hosts* (bots of one
     botnet share binary timers), and a singleton exhibits none.
+
+    ``backend`` selects the :func:`repro.stats.emd.pairwise_emd` engine
+    used for the distance matrix; every backend produces the same matrix
+    (pinned to atol=1e-12 by the test suite), so clustering results do
+    not depend on the choice.
     """
     hosts = tuple(sorted(histograms))
     if not hosts:
@@ -121,15 +127,13 @@ def cluster_hosts(
             threshold=0.0,
             kept=kept_single,
         )
-    distance = pairwise_emd([histograms[h] for h in hosts])
+    distance = pairwise_emd([histograms[h] for h in hosts], backend=backend)
     dendrogram = average_linkage(distance)
     member_lists = cut_top_links(dendrogram, cut_fraction)
     clusters = tuple(
         tuple(hosts[i] for i in members) for members in member_lists
     )
-    diameters = tuple(
-        cluster_diameter(distance, members) for members in member_lists
-    )
+    diameters = cluster_diameters(distance, member_lists)
     threshold = percentile_threshold(list(diameters), percentile)
     # The tolerance absorbs float dust when many diameters tie (e.g.
     # several exactly-zero bot clusters and an interpolated percentile).
@@ -155,14 +159,18 @@ def theta_hm(
     min_samples: int = MIN_SAMPLES,
     log_scale: bool = True,
     min_cluster_size: int = 2,
+    backend: str = "auto",
 ) -> TestResult:
     """Select hosts in timing clusters whose diameter is ≤ τ_hm.
 
     The returned :class:`~repro.detection.testbase.TestResult` metric
     maps each clustered host to the diameter of its cluster.
+    ``backend`` is forwarded to the pairwise-EMD engine.
     """
     histograms = host_histograms(store, sorted(hosts), min_samples, log_scale)
-    clustering = cluster_hosts(histograms, percentile, cut_fraction, min_cluster_size)
+    clustering = cluster_hosts(
+        histograms, percentile, cut_fraction, min_cluster_size, backend=backend
+    )
     selected = {host for cluster in clustering.kept for host in cluster}
     metric: Dict[str, float] = {}
     for cluster, diameter in zip(clustering.clusters, clustering.diameters):

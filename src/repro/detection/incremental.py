@@ -67,6 +67,7 @@ class OnlineDetector:
         window: float = 6 * 3600.0,
         config: PipelineConfig = PipelineConfig(),
         reservoir_size: int = 4096,
+        cache_histograms: bool = True,
     ) -> None:
         if window <= 0:
             raise ValueError("window length must be positive")
@@ -74,10 +75,16 @@ class OnlineDetector:
         self.window = window
         self.config = config
         self.reservoir_size = reservoir_size
+        self.cache_histograms = cache_histograms
         self.history: List[OnlineVerdict] = []
         self._window_index = 0
         self._window_start: Optional[float] = None
         self._extractor = self._fresh_extractor()
+        # host -> (reservoir version, histogram built at that version).
+        # Valid only within the current window; cleared on tumble.
+        self._hist_cache: Dict[str, Tuple[int, Histogram]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def _fresh_extractor(self) -> StreamingFeatureExtractor:
         return StreamingFeatureExtractor(
@@ -108,10 +115,37 @@ class OnlineDetector:
         self.history.append(self.evaluate(at))
         self._window_index += 1
         self._extractor = self._fresh_extractor()
+        # The new window starts with empty reservoirs whose version
+        # counters restart from zero — stale entries must not collide.
+        self._hist_cache.clear()
 
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
+    def _host_histogram(self, host, samples) -> Optional[Histogram]:
+        """The host's interstitial histogram, cached per reservoir version.
+
+        Returns ``None`` for hosts without enough samples.  The cache key
+        is the extractor's reservoir version counter, which changes iff
+        the sample set changed — so between evaluations of a busy window,
+        only hosts with new samples pay the histogram rebuild.
+        """
+        if len(samples) < MIN_SAMPLES:
+            return None
+        version = self._extractor.reservoir_version(host)
+        if self.cache_histograms:
+            cached = self._hist_cache.get(host)
+            if cached is not None and cached[0] == version:
+                self.cache_hits += 1
+                return cached[1]
+        self.cache_misses += 1
+        if self.config.hm_log_scale:
+            samples = [float(np.log10(max(s, _LOG_FLOOR))) for s in samples]
+        hist = build_histogram(list(samples))
+        if self.cache_histograms:
+            self._hist_cache[host] = (version, hist)
+        return hist
+
     def evaluate(self, now: Optional[float] = None) -> OnlineVerdict:
         """Run the FindPlotters logic over the current window's state."""
         features = {
@@ -161,18 +195,14 @@ class OnlineDetector:
             # θ_hm over reservoir-sampled interstitials.
             histograms: Dict[str, Histogram] = {}
             for host in sorted(union):
-                samples = features[host].interstitials
-                if len(samples) < MIN_SAMPLES:
-                    continue
-                if self.config.hm_log_scale:
-                    samples = tuple(
-                        float(np.log10(max(s, _LOG_FLOOR))) for s in samples
-                    )
-                histograms[host] = build_histogram(list(samples))
+                hist = self._host_histogram(host, features[host].interstitials)
+                if hist is not None:
+                    histograms[host] = hist
             clustering = cluster_hosts(
                 histograms,
                 self.config.hm_percentile,
                 self.config.hm_cut_fraction,
+                backend=self.config.hm_backend,
             )
             suspects = {h for cluster in clustering.kept for h in cluster}
 

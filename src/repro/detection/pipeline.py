@@ -44,6 +44,9 @@ class PipelineConfig:
     hm_percentile: float = 85.0
     hm_cut_fraction: float = 0.05
     hm_log_scale: bool = True
+    #: Pairwise-EMD engine for θ_hm ("auto", "loop", "vectorized",
+    #: "parallel") — all backends yield the same distance matrix.
+    hm_backend: str = "auto"
     apply_reduction: bool = True
 
 
@@ -113,6 +116,7 @@ def find_plotters(
         percentile=config.hm_percentile,
         cut_fraction=config.hm_cut_fraction,
         log_scale=config.hm_log_scale,
+        backend=config.hm_backend,
     )
     return PipelineResult(
         input_hosts=frozenset(hosts),

@@ -1,7 +1,14 @@
 """Statistics substrate: histograms, EMD, clustering, thresholds, ROC."""
 
 from .histogram import Histogram, build_histogram, freedman_diaconis_width
-from .emd import emd, emd_1d, emd_transport, pairwise_emd
+from .emd import (
+    PAIRWISE_BACKENDS,
+    emd,
+    emd_1d,
+    emd_transport,
+    pairwise_emd,
+    signature_arrays,
+)
 from .clustering import (
     DEFAULT_CUT_FRACTION,
     Dendrogram,
@@ -9,6 +16,7 @@ from .clustering import (
     average_linkage,
     cluster_by_emd_cut,
     cluster_diameter,
+    cluster_diameters,
     cut_top_links,
 )
 from .thresholds import (
@@ -40,12 +48,15 @@ __all__ = [
     "emd_1d",
     "emd_transport",
     "pairwise_emd",
+    "signature_arrays",
+    "PAIRWISE_BACKENDS",
     "DEFAULT_CUT_FRACTION",
     "Dendrogram",
     "Merge",
     "average_linkage",
     "cluster_by_emd_cut",
     "cluster_diameter",
+    "cluster_diameters",
     "cut_top_links",
     "median_threshold",
     "percentile_threshold",

@@ -27,6 +27,7 @@ __all__ = [
     "complete_linkage",
     "cut_top_links",
     "cluster_diameter",
+    "cluster_diameters",
     "cluster_by_emd_cut",
 ]
 
@@ -207,6 +208,20 @@ def cluster_diameter(distance: np.ndarray, members: Sequence[int]) -> float:
     idx = np.asarray(list(members), dtype=int)
     sub = distance[np.ix_(idx, idx)]
     return float(sub.max())
+
+
+def cluster_diameters(
+    distance: np.ndarray, member_lists: Sequence[Sequence[int]]
+) -> Tuple[float, ...]:
+    """Diameter of each cluster in one pass over the distance matrix.
+
+    Equivalent to mapping :func:`cluster_diameter` over ``member_lists``
+    but submatrix extraction is batched per cluster, which is what the
+    θ_hm hot path wants after a single :func:`pairwise_emd` call.
+    """
+    return tuple(
+        cluster_diameter(distance, members) for members in member_lists
+    )
 
 
 def cluster_by_emd_cut(

@@ -8,30 +8,67 @@ problem [50]; for one-dimensional signatures with ground distance
 ``|x - y|`` and equal total mass it has a closed form — the area between
 the two CDFs.
 
-Both solvers are provided:
+Three per-pair solvers are provided:
 
 * :func:`emd_1d` — the exact O(n log n) closed form used in production;
 * :func:`emd_transport` — a scipy ``linprog`` transportation solve, kept
   as an independent oracle for the property tests.
+
+θ_hm needs the full pairwise matrix over a host population, which is the
+pipeline's hot path.  :func:`pairwise_emd` dispatches between backends:
+
+* ``"loop"`` — the original per-pair Python loop, kept as the reference
+  implementation;
+* ``"vectorized"`` — pads all signatures into dense ``(n_hosts,
+  max_bins)`` position/weight arrays and evaluates the merged-CDF
+  integral for whole blocks of pairs with numpy array ops (no per-pair
+  Python calls);
+* ``"parallel"`` — the vectorized kernel fanned out over a
+  ``multiprocessing`` pool in chunks of pairs, for host populations
+  large enough to amortise worker startup;
+* ``"auto"`` (default) — vectorized, escalating to parallel for very
+  large populations on multi-core machines.
+
+All backends integrate the same merged CDF, differing only in summation
+order (float dust at the 1e-15 scale); equivalence is pinned by the
+test suite at ``atol=1e-12``.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
 
 from .histogram import Histogram
 
-__all__ = ["emd_1d", "emd_transport", "emd"]
+__all__ = [
+    "emd_1d",
+    "emd_transport",
+    "emd",
+    "pairwise_emd",
+    "signature_arrays",
+    "PAIRWISE_BACKENDS",
+]
+
+#: Backends accepted by :func:`pairwise_emd`.
+PAIRWISE_BACKENDS = ("auto", "loop", "vectorized", "parallel")
+
+#: ``"auto"`` escalates to the parallel backend at or above this host
+#: count — below it, pool startup outweighs the O(n²) work split.
+_PARALLEL_MIN_HOSTS = 1500
+
+#: Target float64 elements per vectorized block.  Chosen so one block's
+#: working set (~6 arrays of this size) stays cache-resident: larger
+#: blocks go memory-bound and were measured 3-4x slower at 500 hosts.
+_BLOCK_ELEMENTS = 131_072
 
 
 def _as_signature(hist: Histogram) -> Tuple[np.ndarray, np.ndarray]:
-    return (
-        np.asarray(hist.centers, dtype=float),
-        np.asarray(hist.weights, dtype=float),
-    )
+    return hist.as_arrays()
 
 
 def emd_1d(a: Histogram, b: Histogram) -> float:
@@ -87,8 +124,49 @@ def emd(a: Histogram, b: Histogram) -> float:
     return emd_1d(a, b)
 
 
-def pairwise_emd(histograms: Sequence[Histogram]) -> np.ndarray:
-    """Symmetric matrix of EMDs between all pairs of histograms."""
+# ----------------------------------------------------------------------
+# Dense signature packing
+# ----------------------------------------------------------------------
+def signature_arrays(
+    histograms: Sequence[Histogram],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack signatures into dense ``(n_hosts, max_bins)`` arrays.
+
+    Rows shorter than ``max_bins`` are padded with zero-weight bins
+    placed at the row's own last center: zero mass leaves the merged CDF
+    unchanged, and a position inside the row's support keeps every gap
+    non-negative and finite, so padded rows integrate to exactly the
+    same EMD as the ragged originals.
+    """
+    n = len(histograms)
+    if n == 0:
+        return np.zeros((0, 0)), np.zeros((0, 0))
+    max_bins = max(len(h.centers) for h in histograms)
+    positions = np.empty((n, max_bins), dtype=float)
+    weights = np.zeros((n, max_bins), dtype=float)
+    for i, hist in enumerate(histograms):
+        k = len(hist.centers)
+        positions[i, :k] = hist.centers
+        positions[i, k:] = hist.centers[-1]
+        weights[i, :k] = hist.weights
+    return positions, weights
+
+
+def _colmajor_pairs(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Upper-triangle pair indices ordered by column: (i<j, j) for j=1..n-1.
+
+    With hosts pre-sorted by bin count this ordering keeps consecutive
+    pairs at similar signature widths, so the width-adaptive blocks of
+    :func:`_condensed_blocks` shed most of the dense padding.
+    """
+    cols = np.repeat(np.arange(n), np.arange(n))
+    rows = np.concatenate([np.arange(j) for j in range(n)]) if n > 1 else (
+        np.zeros(0, dtype=int)
+    )
+    return rows, cols
+
+
+def _pairwise_loop(histograms: Sequence[Histogram]) -> np.ndarray:
     n = len(histograms)
     matrix = np.zeros((n, n), dtype=float)
     for i in range(n):
@@ -99,4 +177,192 @@ def pairwise_emd(histograms: Sequence[Histogram]) -> np.ndarray:
     return matrix
 
 
-__all__.append("pairwise_emd")
+def _block_rows(max_bins: int) -> int:
+    return max(16, _BLOCK_ELEMENTS // max(1, 2 * max_bins))
+
+
+def _condensed_blocks(
+    positions: np.ndarray,
+    weights: np.ndarray,
+    bins: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+) -> np.ndarray:
+    """Condensed distances for the given pair list, in adaptive blocks.
+
+    Each block of pairs is evaluated with the merged-CDF closed form of
+    :func:`emd_1d`, batched: one row per pair holding the concatenated
+    signatures as complex numbers — position in the real part, signed
+    mass (+a, -b) in the imaginary part — so a single in-place
+    lexicographic sort merges every row's support, and the CDF integral
+    is pure array arithmetic.  (Ties sort by mass instead of input
+    order, but equal positions contribute over zero-length gaps, so only
+    summation-order float dust can differ from the loop backend.)
+
+    Blocks are truncated to the widest signature actually present on
+    each side (``bins`` gives every row's real bin count), which only
+    drops zero-weight padding — the integral is unchanged.  Works for
+    any pair ordering; orderings that group similar widths (see
+    :func:`_colmajor_pairs` over bin-sorted hosts) benefit most.  All
+    scratch is preallocated once and reused across blocks: per-block
+    heap churn at these sizes bounces on the allocator's mmap threshold
+    and was measured ~40% slower.
+    """
+    n_pairs = len(rows)
+    out = np.empty(n_pairs, dtype=float)
+    if n_pairs == 0:
+        return out
+    max_width = 2 * int(bins.max())
+    step = _block_rows(max_width // 2)
+    merged_scratch = np.empty(step * max_width, dtype=complex)
+    cdf_scratch = np.empty(step * max_width, dtype=float)
+    gap_scratch = np.empty(step * max_width, dtype=float)
+    for start in range(0, n_pairs, step):
+        stop = min(start + step, n_pairs)
+        i = rows[start:stop]
+        j = cols[start:stop]
+        w_i = int(bins[i].max())
+        w_j = int(bins[j].max())
+        width = w_i + w_j
+        block = stop - start
+        merged = merged_scratch[: block * width].reshape(block, width)
+        merged.real[:, :w_i] = positions[i, :w_i]
+        merged.real[:, w_i:] = positions[j, :w_j]
+        merged.imag[:, :w_i] = weights[i, :w_i]
+        np.negative(weights[j, :w_j], out=merged.imag[:, w_i:])
+        merged.sort(axis=1)
+        cdf = cdf_scratch[: block * (width - 1)].reshape(block, width - 1)
+        np.cumsum(merged.imag[:, :-1], axis=1, out=cdf)
+        np.abs(cdf, out=cdf)
+        gaps = gap_scratch[: block * (width - 1)].reshape(block, width - 1)
+        np.subtract(merged.real[:, 1:], merged.real[:, :-1], out=gaps)
+        out[start:stop] = np.einsum("ij,ij->i", cdf, gaps)
+    return out
+
+
+def _sorted_signatures(
+    histograms: Sequence[Histogram],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Dense signatures with hosts sorted by bin count.
+
+    Returns ``(order, positions, weights, bins)`` where ``order`` maps
+    sorted rows back to the caller's host indices.
+    """
+    bins = np.array([len(h.centers) for h in histograms], dtype=np.int64)
+    order = np.argsort(bins, kind="stable")
+    positions, weights = signature_arrays([histograms[k] for k in order])
+    return order, positions, weights, bins[order]
+
+
+def _pairwise_vectorized(histograms: Sequence[Histogram]) -> np.ndarray:
+    n = len(histograms)
+    matrix = np.zeros((n, n), dtype=float)
+    if n < 2:
+        return matrix
+    order, positions, weights, bins = _sorted_signatures(histograms)
+    rows, cols = _colmajor_pairs(n)
+    condensed = _condensed_blocks(positions, weights, bins, rows, cols)
+    o_rows = order[rows]
+    o_cols = order[cols]
+    matrix[o_rows, o_cols] = condensed
+    matrix[o_cols, o_rows] = condensed
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Parallel backend
+# ----------------------------------------------------------------------
+# Workers receive the dense arrays once through the pool initializer
+# (inherited for free under fork, pickled once per worker under spawn)
+# instead of per task, so each chunk submission ships only two ints.
+_WORKER_STATE: dict = {}
+
+
+def _parallel_init(
+    positions: np.ndarray, weights: np.ndarray, bins: np.ndarray, n: int
+) -> None:
+    _WORKER_STATE["positions"] = positions
+    _WORKER_STATE["weights"] = weights
+    _WORKER_STATE["bins"] = bins
+    _WORKER_STATE["pairs"] = _colmajor_pairs(n)
+
+
+def _parallel_chunk(bounds: Tuple[int, int]) -> np.ndarray:
+    start, stop = bounds
+    rows, cols = _WORKER_STATE["pairs"]
+    return _condensed_blocks(
+        _WORKER_STATE["positions"],
+        _WORKER_STATE["weights"],
+        _WORKER_STATE["bins"],
+        rows[start:stop],
+        cols[start:stop],
+    )
+
+
+def _pairwise_parallel(
+    histograms: Sequence[Histogram],
+    n_workers: Optional[int] = None,
+) -> np.ndarray:
+    n = len(histograms)
+    matrix = np.zeros((n, n), dtype=float)
+    if n < 2:
+        return matrix
+    workers = n_workers or os.cpu_count() or 1
+    if workers <= 1:
+        return _pairwise_vectorized(histograms)
+
+    order, positions, weights, bins = _sorted_signatures(histograms)
+    rows, cols = _colmajor_pairs(n)
+    n_pairs = len(rows)
+    # Several chunks per worker so an uneven pair distribution still
+    # load-balances, but never smaller than one cache-sized block.
+    step = max(
+        _block_rows(positions.shape[1]), -(-n_pairs // (4 * workers))
+    )
+    chunks = [
+        (start, min(start + step, n_pairs))
+        for start in range(0, n_pairs, step)
+    ]
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(chunks)),
+        initializer=_parallel_init,
+        initargs=(positions, weights, bins, n),
+    ) as pool:
+        parts: List[np.ndarray] = list(pool.map(_parallel_chunk, chunks))
+    condensed = np.concatenate(parts) if parts else np.zeros(0)
+    o_rows = order[rows]
+    o_cols = order[cols]
+    matrix[o_rows, o_cols] = condensed
+    matrix[o_cols, o_rows] = condensed
+    return matrix
+
+
+def pairwise_emd(
+    histograms: Sequence[Histogram],
+    backend: str = "auto",
+    n_workers: Optional[int] = None,
+) -> np.ndarray:
+    """Symmetric matrix of EMDs between all pairs of histograms.
+
+    ``backend`` selects the engine (see module docstring): ``"loop"``
+    is the per-pair reference, ``"vectorized"`` the batched merged-CDF
+    kernel, ``"parallel"`` the multiprocessing fan-out, and ``"auto"``
+    picks vectorized — escalating to parallel when the population
+    reaches ``_PARALLEL_MIN_HOSTS`` on a multi-core machine.
+    ``n_workers`` caps the pool for the parallel backend.
+    """
+    if backend not in PAIRWISE_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {PAIRWISE_BACKENDS}"
+        )
+    if backend == "auto":
+        cores = os.cpu_count() or 1
+        if len(histograms) >= _PARALLEL_MIN_HOSTS and cores > 1:
+            backend = "parallel"
+        else:
+            backend = "vectorized"
+    if backend == "loop":
+        return _pairwise_loop(histograms)
+    if backend == "vectorized":
+        return _pairwise_vectorized(histograms)
+    return _pairwise_parallel(histograms, n_workers=n_workers)

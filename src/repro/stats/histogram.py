@@ -71,6 +71,23 @@ class Histogram:
         """Smallest and largest bin center."""
         return (self.centers[0], self.centers[-1])
 
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The signature as float64 ``(positions, weights)`` arrays.
+
+        The conversion is cached on the instance: the distance engine
+        reads every histogram O(n_hosts) times per clustering pass, and
+        tuples-to-ndarray is pure overhead to repeat.  The arrays are
+        shared — callers must not mutate them.
+        """
+        cached = self.__dict__.get("_arrays")
+        if cached is None:
+            cached = (
+                np.asarray(self.centers, dtype=float),
+                np.asarray(self.weights, dtype=float),
+            )
+            object.__setattr__(self, "_arrays", cached)
+        return cached
+
     def mean(self) -> float:
         """Mean of the represented distribution."""
         return float(sum(c * w for c, w in zip(self.centers, self.weights)))

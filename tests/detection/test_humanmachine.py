@@ -70,6 +70,67 @@ class TestClusterHosts:
         clustering = cluster_hosts({"only": hist}, 70.0, min_cluster_size=1)
         assert clustering.kept == (("only",),)
 
+    def test_empty_input_has_zero_threshold(self):
+        clustering = cluster_hosts({}, 70.0)
+        assert clustering.hosts == ()
+        assert clustering.diameters == ()
+        assert clustering.threshold == 0.0
+
+    def test_single_host_diameter_is_zero(self):
+        hist = build_histogram([1.0, 2.0, 3.0])
+        for size in (1, 2):
+            clustering = cluster_hosts(
+                {"only": hist}, 70.0, min_cluster_size=size
+            )
+            assert clustering.clusters == (("only",),)
+            assert clustering.diameters == (0.0,)
+
+    def test_all_identical_histograms_all_kept(self):
+        """Tie-heavy diameters: every cluster sits exactly at τ_hm.
+
+        Identical histograms give an all-zero distance matrix, so every
+        cluster diameter and the percentile threshold are all 0.0 — the
+        ``threshold + 1e-9`` tolerance must keep every non-singleton
+        cluster rather than dropping ties to float dust.
+        """
+        hist = build_histogram([1.0, 1.5, 2.0, 2.0, 3.0])
+        histograms = {f"h{i}": hist for i in range(8)}
+        clustering = cluster_hosts(histograms, 70.0)
+        assert all(d == 0.0 for d in clustering.diameters)
+        assert clustering.threshold == 0.0
+        kept_hosts = {h for cluster in clustering.kept for h in cluster}
+        multi_hosts = {
+            h
+            for cluster in clustering.clusters
+            if len(cluster) >= 2
+            for h in cluster
+        }
+        assert kept_hosts == multi_hosts
+        assert kept_hosts  # the tolerance actually kept something
+
+    def test_all_identical_histograms_with_singletons_allowed(self):
+        hist = build_histogram([4.0, 5.0, 6.0])
+        histograms = {f"h{i}": hist for i in range(5)}
+        clustering = cluster_hosts(histograms, 70.0, min_cluster_size=1)
+        kept_hosts = {h for cluster in clustering.kept for h in cluster}
+        assert kept_hosts == set(histograms)
+
+    def test_backends_agree_on_clustering(self):
+        flows = []
+        for i in range(3):
+            flows += periodic_flows(f"bot{i}", 30.0, 60, phase=i * 0.1)
+        for i in range(3):
+            flows += irregular_flows(f"human{i}", seed=i + 1, n=60)
+        store = FlowStore(flows)
+        hosts = [f"bot{i}" for i in range(3)] + [f"human{i}" for i in range(3)]
+        histograms = host_histograms(store, hosts)
+        results = [
+            cluster_hosts(histograms, 70.0, backend=backend)
+            for backend in ("loop", "vectorized", "parallel")
+        ]
+        assert results[0].clusters == results[1].clusters == results[2].clusters
+        assert results[0].kept == results[1].kept == results[2].kept
+
     def test_identical_bots_cluster_together(self):
         flows = []
         for i in range(4):

@@ -1,5 +1,6 @@
 """Tests for the sliding-window online detector."""
 
+import numpy as np
 import pytest
 
 from repro.detection.incremental import OnlineDetector
@@ -98,3 +99,127 @@ class TestAgreementWithBatch:
         verdict = detector.evaluate()
         assert verdict.suspects == frozenset()
         assert verdict.hosts_seen == 0
+
+
+def _mixed_population_flows(window=1000.0):
+    """One window of timer bots plus irregular hosts, thresholds tuned so
+    several hosts reach the θ_hm histogram stage (cache misses > 0)."""
+    rng = np.random.default_rng(42)
+    flows = []
+    for b in range(4):
+        period = 8.0 + b * 0.01
+        for k in range(60):
+            flows.append(
+                flow(
+                    f"bot{b}",
+                    dst="peer",
+                    start=k * period,
+                    src_bytes=40 + 3 * b,
+                    failed=(k % (3 + b) == 0),
+                )
+            )
+    for h in range(4):
+        start = 0.0
+        for k in range(60):
+            start += float(rng.uniform(2.0, 14.0))
+            flows.append(
+                flow(
+                    f"human{h}",
+                    dst="site",
+                    start=start,
+                    src_bytes=200 + 10 * h,
+                    failed=(k % (20 + 5 * h) == 0),
+                )
+            )
+    assert all(f.start < window for f in flows)
+    return sorted(flows, key=lambda f: f.start)
+
+
+_MIXED_HOSTS = {f"bot{b}" for b in range(4)} | {f"human{h}" for h in range(4)}
+
+#: Permissive thresholds so most of the mixed population reaches θ_hm.
+_MIXED_CONFIG = PipelineConfig(reduction_percentile=10.0, vol_percentile=90.0)
+
+
+class TestHistogramCaching:
+    """The reservoir-version cache must never change detector output."""
+
+    def test_cached_matches_uncached_across_windows(
+        self, overlaid_day, campus_day
+    ):
+        """Identical verdicts with and without caching, over 2 windows."""
+        runs = []
+        for cache in (True, False):
+            detector = OnlineDetector(
+                campus_day.all_hosts,
+                window=campus_day.window / 2 + 1.0,
+                cache_histograms=cache,
+            )
+            detector.ingest_many(overlaid_day.store)
+            runs.append(detector.history + [detector.evaluate()])
+        cached, uncached = runs
+        assert len(cached) == len(uncached) >= 2
+        for got, want in zip(cached, uncached):
+            assert got.window_index == want.window_index
+            assert got.reduced == want.reduced
+            assert got.suspects == want.suspects
+        # The comparison must exercise θ_hm, not vacuously agree.
+        assert any(v.suspects for v in cached)
+
+    def test_reevaluation_hits_cache(self):
+        detector = OnlineDetector(
+            _MIXED_HOSTS, window=1000.0, config=_MIXED_CONFIG
+        )
+        detector.ingest_many(_mixed_population_flows())
+        first = detector.evaluate()
+        misses_after_first = detector.cache_misses
+        assert misses_after_first > 0
+        assert detector.cache_hits == 0
+        # No new flows: every histogram must come from the cache.
+        second = detector.evaluate()
+        assert second.suspects == first.suspects
+        assert detector.cache_misses == misses_after_first
+        assert detector.cache_hits == misses_after_first
+
+    def test_cache_invalidated_by_new_samples(self):
+        detector = OnlineDetector(
+            _MIXED_HOSTS, window=1000.0, config=_MIXED_CONFIG
+        )
+        flows = _mixed_population_flows()
+        detector.ingest_many(flows)
+        detector.evaluate()
+        misses = detector.cache_misses
+        # More flows for every host, still inside the [0, 1000) window:
+        # reservoirs change, so the cache must rebuild, not hit.
+        for f in flows:
+            if f.start < 500.0:
+                detector.ingest(
+                    flow(f.src, dst=f.dst, start=985.0 + f.start * 0.01)
+                )
+        detector.evaluate()
+        assert detector.cache_misses > misses
+
+    def test_disabled_cache_never_hits(self):
+        detector = OnlineDetector(
+            _MIXED_HOSTS,
+            window=1000.0,
+            config=_MIXED_CONFIG,
+            cache_histograms=False,
+        )
+        detector.ingest_many(_mixed_population_flows())
+        detector.evaluate()
+        detector.evaluate()
+        assert detector.cache_hits == 0
+        assert detector.cache_misses > 0
+        assert detector._hist_cache == {}
+
+    def test_cache_cleared_on_window_tumble(self):
+        detector = OnlineDetector(
+            _MIXED_HOSTS, window=1000.0, config=_MIXED_CONFIG
+        )
+        detector.ingest_many(_mixed_population_flows())
+        detector.evaluate()
+        assert detector._hist_cache
+        # A flow past the window boundary finalises the window.
+        detector.ingest(flow("bot0", start=2500.0))
+        assert detector._hist_cache == {}
