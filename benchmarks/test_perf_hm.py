@@ -6,6 +6,13 @@ several scales, verifies the fast backends reproduce the reference
 matrix, and writes the measurements to ``BENCH_hm.json`` at the repo
 root so successive PRs accumulate a perf trajectory.
 
+All headline timings run with the observability layer *disabled* (its
+production default).  Each scale additionally records an
+``observability`` breakdown from one instrumented vectorized run —
+kernel block count, total/mean per-block time, and the wall-clock cost
+of having telemetry enabled — and a separate smoke test bounds the
+disabled-mode overhead of the instrumented kernel.
+
 Run directly (full sweep)::
 
     PYTHONPATH=src python benchmarks/test_perf_hm.py
@@ -32,6 +39,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.stats.emd import pairwise_emd
 from repro.stats.histogram import Histogram, build_histogram
 
@@ -77,6 +85,45 @@ def _time_backend(
     return {"seconds": best, "matrix": matrix}
 
 
+def _observed_breakdown(
+    histograms: Sequence[Histogram], disabled_seconds: float
+) -> Dict[str, object]:
+    """One vectorized run with repro.obs enabled: per-stage telemetry.
+
+    Returns the kernel's block count, total/mean per-block time, pair
+    count, and the enabled-mode wall time relative to the disabled-mode
+    measurement — the direct cost of the telemetry itself.  The
+    registry is reset so the numbers describe exactly this run.
+    """
+    obs.get_registry().reset()
+    obs.enable()
+    try:
+        t0 = time.perf_counter()
+        pairwise_emd(histograms, backend="vectorized")
+        enabled_seconds = time.perf_counter() - t0
+    finally:
+        obs.disable()
+    summary = obs.summary()
+    blocks = summary["repro_emd_blocks_total"].get("", 0.0)
+    block_hist = summary["repro_emd_block_seconds"].get(
+        "", {"count": 0, "sum": 0.0}
+    )
+    pairs = summary["repro_emd_pairs_total"].get("backend=vectorized", 0.0)
+    obs.get_registry().reset()
+    return {
+        "kernel_blocks": int(blocks),
+        "block_seconds_total": block_hist["sum"],
+        "block_seconds_mean": (
+            block_hist["sum"] / block_hist["count"] if block_hist["count"] else 0.0
+        ),
+        "pairs_recorded": int(pairs),
+        "enabled_seconds": enabled_seconds,
+        "enabled_overhead_vs_disabled": (
+            enabled_seconds / disabled_seconds if disabled_seconds else 0.0
+        ),
+    }
+
+
 def run_benchmark(
     host_counts: Sequence[int],
     out_path: Path,
@@ -117,13 +164,19 @@ def run_benchmark(
                 "speedup_vs_loop": loop["seconds"] / run["seconds"],
                 "max_abs_diff_vs_loop": diff,
             }
+        # Per-stage kernel telemetry (repro.obs): block counts, kernel
+        # time, and what turning instrumentation on costs at this scale.
+        entry["observability"] = _observed_breakdown(hists, vec["seconds"])
         report["results"].append(entry)
+        o = entry["observability"]
         print(
             f"n_hosts={n_hosts:5d}  loop={loop['seconds']:8.3f}s  "
             f"vectorized={vec['seconds']:8.3f}s "
             f"({entry['backends']['vectorized']['speedup_vs_loop']:6.1f}x)  "
             f"parallel={par['seconds']:8.3f}s "
-            f"({entry['backends']['parallel']['speedup_vs_loop']:6.1f}x)"
+            f"({entry['backends']['parallel']['speedup_vs_loop']:6.1f}x)  "
+            f"[{o['kernel_blocks']} blocks, obs-on "
+            f"{o['enabled_overhead_vs_disabled']:.2f}x]"
         )
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
@@ -139,6 +192,46 @@ def _configured_host_counts() -> List[int]:
 
 def _configured_out_path() -> Path:
     return Path(os.environ.get("REPRO_BENCH_HM_OUT", REPO_ROOT / "BENCH_hm.json"))
+
+
+def test_obs_disabled_overhead_smoke():
+    """Instrumented hot loops must cost ~nothing while obs is disabled.
+
+    The kernel's only disabled-mode residue is one boolean check per
+    cache-sized block, so two interleaved best-of-N disabled runs must
+    agree to measurement noise (±5%, with a small absolute floor for
+    very fast machines), and an enabled run — which pays two
+    ``perf_counter`` calls plus two locked metric updates per block —
+    is bounded loosely to catch accidentally-heavy telemetry.
+    """
+    hists = synthesize_histograms(300)
+    pairwise_emd(hists, backend="vectorized")  # warm caches and numpy
+
+    def best_of(n: int) -> float:
+        best = float("inf")
+        for _ in range(n):
+            t0 = time.perf_counter()
+            pairwise_emd(hists, backend="vectorized")
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    a = best_of(7)
+    b = best_of(7)
+    tolerance = max(0.05 * max(a, b), 1e-3)
+    assert abs(a - b) <= tolerance, (
+        f"disabled-mode timing unstable: {a:.6f}s vs {b:.6f}s"
+    )
+
+    obs.get_registry().reset()
+    obs.enable()
+    try:
+        enabled = best_of(5)
+    finally:
+        obs.disable()
+        obs.get_registry().reset()
+    assert enabled <= max(a, b) * 1.5 + 2e-3, (
+        f"enabled-mode overhead too high: {enabled:.6f}s vs {max(a, b):.6f}s"
+    )
 
 
 def test_perf_hm_distance_engine():

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Validate the observability exports of one instrumented pipeline run.
+
+Used by CI after ``examples/observability_demo.py``; also runnable by
+hand.  Asserts that:
+
+* the JSONL file parses line by line and contains the four funnel
+  stage spans (reduction, theta_vol, theta_churn, theta_hm), each with
+  a duration and a monotonically narrowing host funnel;
+* a final ``{"type": "metrics"}`` snapshot is present;
+* the Prometheus file parses under a strict line grammar and exposes
+  the funnel gauges and the online histogram-cache counters.
+
+Usage:  python scripts/check_obs_outputs.py metrics.jsonl metrics.prom
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+STAGES = ("reduction", "theta_vol", "theta_churn", "theta_hm")
+
+# name{labels} value  |  # HELP/TYPE lines  — the text exposition v0.0.4
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})? "
+    r"[0-9eE+.\-]+(inf|nan)?$"
+)
+_PROM_META = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+
+
+def check_jsonl(path: Path) -> None:
+    spans = []
+    snapshots = []
+    for i, line in enumerate(path.read_text().splitlines(), 1):
+        record = json.loads(line)  # raises on malformed lines
+        if record.get("type") == "span":
+            spans.append(record)
+        elif record.get("type") == "metrics":
+            snapshots.append(record)
+        else:
+            raise AssertionError(f"{path}:{i}: unknown record type {record!r}")
+    by_name = {}
+    for record in spans:
+        by_name.setdefault(record["name"], record)
+    missing = [s for s in STAGES if s not in by_name]
+    assert not missing, f"missing stage spans: {missing}"
+    funnel = []
+    for stage in STAGES:
+        record = by_name[stage]
+        assert record["wall_seconds"] is not None and record["wall_seconds"] >= 0
+        assert record["status"] == "ok", record
+        attrs = record["attrs"]
+        funnel.append((stage, attrs["input_hosts"], attrs["surviving_hosts"]))
+        assert attrs["surviving_hosts"] <= attrs["input_hosts"], record
+    # The funnel narrows: reduction feeds vol/churn, their union feeds hm.
+    assert funnel[1][1] <= funnel[0][2], "theta_vol saw more hosts than survived reduction"
+    assert funnel[3][2] <= funnel[3][1], "theta_hm emitted more hosts than it saw"
+    assert snapshots, "no metrics snapshot event in JSONL"
+    metrics = snapshots[-1]["metrics"]
+    for required in (
+        "repro_online_hist_cache_total",
+        "repro_emd_pairs_total",
+        "repro_flows_ingested_total",
+    ):
+        assert metrics.get(required), f"snapshot missing {required}"
+    cache = metrics["repro_online_hist_cache_total"]
+    assert "result=hit" in cache and "result=miss" in cache, cache
+    print(f"{path}: {len(spans)} spans, funnel " + " -> ".join(
+        f"{stage}:{int(n_in)}->{int(n_out)}" for stage, n_in, n_out in funnel
+    ))
+
+
+def check_prom(path: Path) -> None:
+    names = set()
+    for i, line in enumerate(path.read_text().splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert _PROM_META.match(line), f"{path}:{i}: bad meta line {line!r}"
+            continue
+        assert _PROM_SAMPLE.match(line), f"{path}:{i}: bad sample line {line!r}"
+        names.add(line.split("{")[0].split(" ")[0])
+    for required in (
+        "repro_stage_input_hosts",
+        "repro_stage_surviving_hosts",
+        "repro_stage_threshold",
+        "repro_online_hist_cache_total",
+        "repro_span_seconds_bucket",
+        "repro_flows_ingested_total",
+    ):
+        assert required in names, f"{path}: missing metric {required}"
+    print(f"{path}: {len(names)} sample names, grammar OK")
+
+
+def main(argv) -> int:
+    jsonl, prom = Path(argv[1]), Path(argv[2])
+    check_jsonl(jsonl)
+    check_prom(prom)
+    print("observability outputs OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -20,12 +20,18 @@ from pathlib import Path
 
 from ..flows.argus import read_flows
 from ..flows.metrics import extract_all_features
+from ..obs import configure_logging, get_logger
 from .campus import CampusConfig, build_campus_day
 from .groundtruth import identify_traders
 from .honeynet import capture_nugache_trace, capture_storm_trace
 from .traces import save_campus_day, save_honeynet_trace
 
 __all__ = ["main"]
+
+# Progress/status lines go through the namespaced logger (stderr);
+# the inspect/label subcommands' per-host listings are the program's
+# *output* and stay on stdout.
+logger = get_logger("datasets")
 
 
 def _cmd_generate(args) -> int:
@@ -34,15 +40,22 @@ def _cmd_generate(args) -> int:
     for day in range(args.days):
         campus = build_campus_day(config, day)
         save_campus_day(out, campus)
-        print(f"campus day {day}: {len(campus.store):,} flows -> {out}")
+        logger.info(
+            "campus day %d: %s flows -> %s", day, f"{len(campus.store):,}", out
+        )
     storm = capture_storm_trace(seed=args.seed, window=config.window)
     save_honeynet_trace(out, storm)
-    print(f"storm honeynet: {len(storm.store):,} flows ({storm.bot_count} bots)")
+    logger.info(
+        "storm honeynet: %s flows (%d bots)",
+        f"{len(storm.store):,}",
+        storm.bot_count,
+    )
     nugache = capture_nugache_trace(seed=args.seed, window=config.window)
     save_honeynet_trace(out, nugache)
-    print(
-        f"nugache honeynet: {len(nugache.store):,} flows "
-        f"({nugache.bot_count} bots)"
+    logger.info(
+        "nugache honeynet: %s flows (%d bots)",
+        f"{len(nugache.store):,}",
+        nugache.bot_count,
     )
     return 0
 
@@ -89,6 +102,11 @@ def main(argv=None) -> int:
         prog="repro-datasets",
         description="Synthesize, inspect and label flow traces.",
     )
+    parser.add_argument(
+        "--log-level",
+        default="INFO",
+        help="level for the repro.* diagnostic logger (default INFO)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     generate = sub.add_parser("generate", help="synthesize traces to disk")
@@ -108,6 +126,7 @@ def main(argv=None) -> int:
     label.set_defaults(func=_cmd_label)
 
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level)
     return args.func(args)
 
 

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..flows.metrics import interstitial_times
 from ..flows.store import FlowStore
+from ..obs.tracing import span
 from ..stats.clustering import (
     DEFAULT_CUT_FRACTION,
     average_linkage,
@@ -127,21 +128,30 @@ def cluster_hosts(
             threshold=0.0,
             kept=kept_single,
         )
-    distance = pairwise_emd([histograms[h] for h in hosts], backend=backend)
-    dendrogram = average_linkage(distance)
-    member_lists = cut_top_links(dendrogram, cut_fraction)
-    clusters = tuple(
-        tuple(hosts[i] for i in members) for members in member_lists
-    )
-    diameters = cluster_diameters(distance, member_lists)
-    threshold = percentile_threshold(list(diameters), percentile)
-    # The tolerance absorbs float dust when many diameters tie (e.g.
-    # several exactly-zero bot clusters and an interpolated percentile).
-    kept = tuple(
-        cluster
-        for cluster, diameter in zip(clusters, diameters)
-        if diameter <= threshold + 1e-9 and len(cluster) >= min_cluster_size
-    )
+    n = len(hosts)
+    with span(
+        "cluster_hosts", hosts=n, pairs=n * (n - 1) // 2, backend=backend
+    ) as s:
+        with span("emd_matrix", hosts=n, backend=backend):
+            distance = pairwise_emd(
+                [histograms[h] for h in hosts], backend=backend
+            )
+        with span("linkage", hosts=n):
+            dendrogram = average_linkage(distance)
+            member_lists = cut_top_links(dendrogram, cut_fraction)
+        clusters = tuple(
+            tuple(hosts[i] for i in members) for members in member_lists
+        )
+        diameters = cluster_diameters(distance, member_lists)
+        threshold = percentile_threshold(list(diameters), percentile)
+        # The tolerance absorbs float dust when many diameters tie (e.g.
+        # several exactly-zero bot clusters and an interpolated percentile).
+        kept = tuple(
+            cluster
+            for cluster, diameter in zip(clusters, diameters)
+            if diameter <= threshold + 1e-9 and len(cluster) >= min_cluster_size
+        )
+        s.set(clusters=len(clusters), kept=len(kept), threshold=threshold)
     return HmClustering(
         hosts=hosts,
         clusters=clusters,

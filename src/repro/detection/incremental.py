@@ -22,18 +22,46 @@ the reservoir grows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..flows.record import FlowRecord
 from ..flows.streaming import StreamingFeatureExtractor
+from ..obs import metrics as obs_metrics
+from ..obs.tracing import span
 from ..stats.histogram import Histogram, build_histogram
 from ..stats.thresholds import percentile_threshold, select_above, select_below
 from .humanmachine import MIN_SAMPLES, _LOG_FLOOR, cluster_hosts
 from .pipeline import PipelineConfig
 
 __all__ = ["OnlineVerdict", "OnlineDetector"]
+
+# Online-detector telemetry.  The cache hit/miss counts are *also* kept
+# as plain attributes on the detector (``cache_hits``/``cache_misses``)
+# because they are part of its public API and must keep counting while
+# observability is disabled; the registry counters below are the
+# exported view of the same events.
+_TUMBLES = obs_metrics.counter(
+    "repro_online_window_tumbles_total",
+    "Windows finalised by the online detector",
+)
+_EVALUATIONS = obs_metrics.counter(
+    "repro_online_evaluations_total", "OnlineDetector.evaluate() calls"
+)
+_HIST_CACHE = obs_metrics.counter(
+    "repro_online_hist_cache_total",
+    "Histogram-cache lookups by outcome",
+    labels=("result",),
+)
+_RESERVOIR_SAMPLES = obs_metrics.gauge(
+    "repro_online_reservoir_samples",
+    "Interstitial samples held across all evaluated hosts (last evaluate)",
+)
+_TRACKED_HOSTS = obs_metrics.gauge(
+    "repro_online_tracked_hosts",
+    "Internal hosts with state in the current window (last evaluate)",
+)
 
 
 @dataclass(frozen=True)
@@ -118,6 +146,7 @@ class OnlineDetector:
         # The new window starts with empty reservoirs whose version
         # counters restart from zero — stale entries must not collide.
         self._hist_cache.clear()
+        _TUMBLES.inc()
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -137,8 +166,10 @@ class OnlineDetector:
             cached = self._hist_cache.get(host)
             if cached is not None and cached[0] == version:
                 self.cache_hits += 1
+                _HIST_CACHE.inc(result="hit")
                 return cached[1]
         self.cache_misses += 1
+        _HIST_CACHE.inc(result="miss")
         if self.config.hm_log_scale:
             samples = [float(np.log10(max(s, _LOG_FLOOR))) for s in samples]
         hist = build_histogram(list(samples))
@@ -148,6 +179,16 @@ class OnlineDetector:
 
     def evaluate(self, now: Optional[float] = None) -> OnlineVerdict:
         """Run the FindPlotters logic over the current window's state."""
+        with span("online_evaluate", window_index=self._window_index) as sp:
+            verdict = self._evaluate(now)
+            sp.set(
+                hosts_seen=verdict.hosts_seen,
+                reduced=len(verdict.reduced),
+                suspects=len(verdict.suspects),
+            )
+        return verdict
+
+    def _evaluate(self, now: Optional[float] = None) -> OnlineVerdict:
         features = {
             host: feats
             for host, feats in self._extractor.all_features().items()
@@ -158,6 +199,12 @@ class OnlineDetector:
             if now is not None
             else (self._window_start or 0.0)
         )
+        _EVALUATIONS.inc()
+        if obs_metrics.is_enabled():
+            _TRACKED_HOSTS.set(len(features))
+            _RESERVOIR_SAMPLES.set(
+                sum(len(f.interstitials) for f in features.values())
+            )
 
         # Initial data reduction on failed-connection rates.
         rates = {

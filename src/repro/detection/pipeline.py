@@ -17,6 +17,9 @@ from dataclasses import dataclass
 from typing import Optional, Set
 
 from ..flows.store import FlowStore
+from ..obs import metrics as obs_metrics
+from ..obs.tracing import span
+from ..stats.emd import PAIRWISE_BACKENDS
 from .churn import theta_churn
 from .humanmachine import theta_hm
 from .reduction import initial_data_reduction
@@ -24,6 +27,33 @@ from .testbase import TestResult
 from .volume import theta_vol
 
 __all__ = ["PipelineConfig", "PipelineResult", "find_plotters"]
+
+# The Figure 9 funnel as a metric stream: per stage, how many hosts
+# entered, how many survived, and the dynamic threshold applied.
+_RUNS = obs_metrics.counter(
+    "repro_pipeline_runs_total", "FindPlotters invocations"
+)
+_STAGE_INPUT = obs_metrics.gauge(
+    "repro_stage_input_hosts",
+    "Hosts entering a pipeline stage (last run)",
+    labels=("stage",),
+)
+_STAGE_SURVIVING = obs_metrics.gauge(
+    "repro_stage_surviving_hosts",
+    "Hosts surviving a pipeline stage (last run)",
+    labels=("stage",),
+)
+_STAGE_THRESHOLD = obs_metrics.gauge(
+    "repro_stage_threshold",
+    "Dynamic threshold a pipeline stage applied (last run)",
+    labels=("stage",),
+)
+
+
+def _record_stage(stage: str, n_in: int, n_out: int, threshold: float) -> None:
+    _STAGE_INPUT.set(n_in, stage=stage)
+    _STAGE_SURVIVING.set(n_out, stage=stage)
+    _STAGE_THRESHOLD.set(threshold, stage=stage)
 
 
 @dataclass(frozen=True)
@@ -48,6 +78,16 @@ class PipelineConfig:
     #: "parallel") — all backends yield the same distance matrix.
     hm_backend: str = "auto"
     apply_reduction: bool = True
+
+    def __post_init__(self) -> None:
+        # Fail at construction, not deep inside pairwise_emd: a typo'd
+        # backend would otherwise surface only after the cheap stages
+        # already ran.
+        if self.hm_backend not in PAIRWISE_BACKENDS:
+            raise ValueError(
+                f"unknown hm_backend {self.hm_backend!r}; expected one of "
+                f"{PAIRWISE_BACKENDS}"
+            )
 
 
 @dataclass(frozen=True)
@@ -100,24 +140,66 @@ def find_plotters(
         hosts = store.initiators
     hosts = set(hosts)
 
-    reduction: Optional[TestResult] = None
-    working = hosts
-    if config.apply_reduction:
-        reduction = initial_data_reduction(
-            store, hosts, config.reduction_percentile
-        )
-        working = reduction.selected_set
+    with span("find_plotters", input_hosts=len(hosts)) as root:
+        _RUNS.inc()
+        reduction: Optional[TestResult] = None
+        working = hosts
+        if config.apply_reduction:
+            with span("reduction", input_hosts=len(hosts)) as s:
+                reduction = initial_data_reduction(
+                    store, hosts, config.reduction_percentile
+                )
+                working = reduction.selected_set
+                s.set(
+                    surviving_hosts=len(working),
+                    threshold=reduction.threshold,
+                )
+            _record_stage(
+                "reduction", len(hosts), len(working), reduction.threshold
+            )
 
-    volume = theta_vol(store, working, config.vol_percentile)
-    churn = theta_churn(store, working, config.churn_percentile)
-    hm = theta_hm(
-        store,
-        volume.selected_set | churn.selected_set,
-        percentile=config.hm_percentile,
-        cut_fraction=config.hm_cut_fraction,
-        log_scale=config.hm_log_scale,
-        backend=config.hm_backend,
-    )
+        with span("theta_vol", input_hosts=len(working)) as s:
+            volume = theta_vol(store, working, config.vol_percentile)
+            s.set(
+                surviving_hosts=len(volume.selected_set),
+                threshold=volume.threshold,
+            )
+        _record_stage(
+            "theta_vol", len(working), len(volume.selected_set),
+            volume.threshold,
+        )
+
+        with span("theta_churn", input_hosts=len(working)) as s:
+            churn = theta_churn(store, working, config.churn_percentile)
+            s.set(
+                surviving_hosts=len(churn.selected_set),
+                threshold=churn.threshold,
+            )
+        _record_stage(
+            "theta_churn", len(working), len(churn.selected_set),
+            churn.threshold,
+        )
+
+        union = volume.selected_set | churn.selected_set
+        with span(
+            "theta_hm", input_hosts=len(union), backend=config.hm_backend
+        ) as s:
+            hm = theta_hm(
+                store,
+                union,
+                percentile=config.hm_percentile,
+                cut_fraction=config.hm_cut_fraction,
+                log_scale=config.hm_log_scale,
+                backend=config.hm_backend,
+            )
+            s.set(
+                surviving_hosts=len(hm.selected_set),
+                threshold=hm.threshold,
+            )
+        _record_stage(
+            "theta_hm", len(union), len(hm.selected_set), hm.threshold
+        )
+        root.set(suspects=len(hm.selected_set))
     return PipelineResult(
         input_hosts=frozenset(hosts),
         reduction=reduction,

@@ -6,6 +6,14 @@ Usage::
     repro-experiments fig9
     repro-experiments fig6 fig7 fig8 --scale paper
     repro-experiments all --scale quick
+    repro-experiments fig9 --metrics-out metrics.jsonl --prom-out metrics.prom
+
+Result tables go to stdout; progress diagnostics go to the namespaced
+``repro.experiments`` logger on stderr (``--log-level`` adjusts it).
+``--metrics-out`` / ``--prom-out`` switch the observability layer on
+for the run: spans stream to the JSONL file as they finish, and a
+final registry snapshot (JSONL) plus a Prometheus text file are
+written on exit.
 """
 
 from __future__ import annotations
@@ -14,6 +22,8 @@ import argparse
 import sys
 import time
 from typing import Callable, Dict
+
+from .. import obs
 
 from .ablations import (
     run_ablation_binning,
@@ -100,7 +110,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="also render an ASCII figure where the result supports one",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="enable observability; stream span/metric events to this JSONL file",
+    )
+    parser.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        help="enable observability; write Prometheus text format here on exit",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="INFO",
+        help="level for the repro.* diagnostic logger (default INFO)",
+    )
     args = parser.parse_args(argv)
+    logger = obs.configure_logging(level=args.log_level).getChild("experiments")
 
     if args.list or not args.experiments:
         for name in EXPERIMENTS:
@@ -112,22 +138,44 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
+    observing = bool(args.metrics_out or args.prom_out)
+    jsonl_sink = None
+    if observing:
+        obs.enable()
+        if args.metrics_out:
+            jsonl_sink = obs.JsonlSink(args.metrics_out)
+            obs.add_sink(jsonl_sink)
+            logger.info("streaming span events to %s", args.metrics_out)
+
     config = (
         ExperimentConfig.paper() if args.scale == "paper" else ExperimentConfig.quick()
     )
     ctx = ExperimentContext(config)
-    for name in names:
-        started = time.time()
-        result = EXPERIMENTS[name](ctx)
-        elapsed = time.time() - started
-        print(result.table)
-        if args.plot:
-            figure = _ascii_figure(name, result)
-            if figure is not None:
-                print()
-                print(figure)
-        print(f"[{name} completed in {elapsed:.1f}s at scale={args.scale}]")
-        print()
+    try:
+        for name in names:
+            logger.info("running %s at scale=%s", name, args.scale)
+            started = time.time()
+            with obs.span("experiment", experiment=name, scale=args.scale):
+                result = EXPERIMENTS[name](ctx)
+            elapsed = time.time() - started
+            print(result.table)
+            if args.plot:
+                figure = _ascii_figure(name, result)
+                if figure is not None:
+                    print()
+                    print(figure)
+            print(f"[{name} completed in {elapsed:.1f}s at scale={args.scale}]")
+            print()
+    finally:
+        if observing:
+            if jsonl_sink is not None:
+                jsonl_sink.write_event(obs.metrics_event())
+                obs.remove_sink(jsonl_sink)
+                jsonl_sink.close()
+            if args.prom_out:
+                obs.write_prom(args.prom_out)
+                logger.info("wrote Prometheus exposition to %s", args.prom_out)
+            obs.disable()
     return 0
 
 

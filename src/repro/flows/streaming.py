@@ -19,9 +19,11 @@ unbiased sample of the distribution θ_hm histograms are built from.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..obs import metrics as obs_metrics
 from .metrics import NEW_IP_GRACE_PERIOD, HostFeatures
 from .record import FlowRecord
 
@@ -29,6 +31,19 @@ __all__ = ["StreamingHostState", "StreamingFeatureExtractor"]
 
 #: Default cap on retained interstitial samples per host.
 DEFAULT_RESERVOIR = 4096
+
+# Ingest telemetry (no-ops while repro.obs is disabled).  The rate
+# gauge is refreshed every _RATE_REFRESH flows rather than per flow so
+# a busy border pays one division per batch, not per record.
+_FLOWS_INGESTED = obs_metrics.counter(
+    "repro_flows_ingested_total",
+    "Flows consumed by streaming feature extractors",
+)
+_INGEST_RATE = obs_metrics.gauge(
+    "repro_flow_ingest_rate_per_s",
+    "Wall-clock ingest throughput of the busiest extractor (flows/s)",
+)
+_RATE_REFRESH = 1024
 
 
 @dataclass
@@ -72,12 +87,16 @@ class StreamingFeatureExtractor:
         self.grace_period = grace_period
         self._rng = random.Random(seed)
         self._hosts: Dict[str, StreamingHostState] = {}
+        self._ingested = 0
+        self._ingest_t0: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
     def update(self, flow: FlowRecord) -> None:
         """Account one flow to its initiator."""
+        if obs_metrics.is_enabled():
+            self._note_ingest()
         state = self._hosts.setdefault(flow.src, StreamingHostState())
         state.flow_count += 1
         if not flow.failed:
@@ -98,6 +117,18 @@ class StreamingFeatureExtractor:
         """Account an iterable of flows."""
         for flow in flows:
             self.update(flow)
+
+    def _note_ingest(self) -> None:
+        """Count one ingested flow; periodically refresh the rate gauge."""
+        now = time.perf_counter()
+        if self._ingest_t0 is None:
+            self._ingest_t0 = now
+        self._ingested += 1
+        _FLOWS_INGESTED.inc()
+        if self._ingested % _RATE_REFRESH == 0:
+            elapsed = now - self._ingest_t0
+            if elapsed > 0:
+                _INGEST_RATE.set(self._ingested / elapsed)
 
     def _add_sample(self, state: StreamingHostState, gap: float) -> None:
         state.samples_seen += 1
@@ -153,6 +184,12 @@ class StreamingFeatureExtractor:
 
     def all_features(self) -> Dict[str, HostFeatures]:
         """Feature bundles for every host seen."""
+        # Read-out is a natural refresh point, so short streams (fewer
+        # than _RATE_REFRESH flows) still report a throughput figure.
+        if obs_metrics.is_enabled() and self._ingested:
+            elapsed = time.perf_counter() - (self._ingest_t0 or 0.0)
+            if elapsed > 0:
+                _INGEST_RATE.set(self._ingested / elapsed)
         return {host: self.features(host) for host in self._hosts}
 
     def reservoir_version(self, host: str) -> int:

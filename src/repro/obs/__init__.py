@@ -1,0 +1,95 @@
+"""repro.obs — the pipeline-wide observability layer.
+
+One import point for the three concerns:
+
+* **Metrics** (:mod:`repro.obs.metrics`) — process-local counters,
+  gauges and histograms with labels, behind a module-level no-op
+  switch (:func:`enable` / :func:`disable`).
+* **Tracing** (:mod:`repro.obs.tracing`) — nested wall/CPU-timed spans
+  (``with span("theta_hm", hosts=n):``) delivered to pluggable sinks.
+* **Export** (:mod:`repro.obs.export`) — JSONL event files, Prometheus
+  text exposition, and plain-dict summaries for tests.
+
+Everything is off by default and costs one boolean check per
+instrumented site; a typical opt-in looks like::
+
+    from repro import obs
+
+    obs.enable()
+    sink = obs.JsonlSink("metrics.jsonl")
+    obs.add_sink(sink)
+    try:
+        result = find_plotters(store, hosts)
+    finally:
+        sink.write_event(obs.metrics_event())
+        obs.write_prom("metrics.prom")
+        obs.remove_sink(sink)
+        sink.close()
+        obs.disable()
+
+See ``docs/observability.md`` for the metric and span inventory.
+"""
+
+from .export import (
+    InMemorySink,
+    JsonlSink,
+    metrics_event,
+    render_prom,
+    summary,
+    write_prom,
+)
+from .logconf import configure_logging, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    HistogramMetric,
+    MetricsRegistry,
+    counter,
+    disable,
+    enable,
+    gauge,
+    get_registry,
+    histogram,
+    is_enabled,
+)
+from .tracing import (
+    Span,
+    add_sink,
+    clear_sinks,
+    current_span,
+    remove_sink,
+    span,
+)
+
+__all__ = [
+    # switch
+    "enable",
+    "disable",
+    "is_enabled",
+    # metrics
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_registry",
+    # tracing
+    "Span",
+    "span",
+    "current_span",
+    "add_sink",
+    "remove_sink",
+    "clear_sinks",
+    # export
+    "JsonlSink",
+    "InMemorySink",
+    "render_prom",
+    "write_prom",
+    "summary",
+    "metrics_event",
+    # logging
+    "configure_logging",
+    "get_logger",
+]

@@ -1,0 +1,201 @@
+"""Export surfaces: JSONL event sink, Prometheus text format, summaries.
+
+Three consumers are served:
+
+* **Tooling / offline analysis** — :class:`JsonlSink` appends one JSON
+  object per line: every finished span (``{"type": "span", ...}``) and,
+  on demand, whole-registry snapshots (``{"type": "metrics", ...}``).
+* **Scrapers** — :func:`write_prom` renders the registry in the
+  Prometheus text exposition format (version 0.0.4) for a node
+  exporter's textfile collector or a CI artifact.
+* **Tests** — :func:`summary` flattens the registry into plain dicts
+  keyed by metric name and serialised label set.
+
+:class:`InMemorySink` collects span dicts in a list — the natural sink
+for assertions about span trees.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .metrics import (
+    Counter,
+    Gauge,
+    HistogramMetric,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = [
+    "JsonlSink",
+    "InMemorySink",
+    "render_prom",
+    "write_prom",
+    "summary",
+    "metrics_event",
+]
+
+
+class InMemorySink:
+    """Collects finished-span dicts in :attr:`spans` (newest last)."""
+
+    def __init__(self) -> None:
+        self.spans: List[Dict] = []
+
+    def on_span(self, record: Dict) -> None:
+        self.spans.append(record)
+
+    def by_name(self, name: str) -> List[Dict]:
+        """All collected spans with the given name."""
+        return [s for s in self.spans if s["name"] == name]
+
+
+class JsonlSink:
+    """Append-only JSONL event file; usable as a context manager.
+
+    Registered as a tracing sink it receives every finished span;
+    :meth:`write_event` lets callers interleave their own records (the
+    CLI appends a final ``{"type": "metrics"}`` registry snapshot).
+    Lines are flushed per event so a crashed run still leaves a
+    readable prefix.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._file = self.path.open("w", encoding="utf-8")
+
+    def on_span(self, record: Dict) -> None:
+        self.write_event(record)
+
+    def write_event(self, record: Dict) -> None:
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_string(names, values, extra: Optional[Dict[str, str]] = None) -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.extend(
+            f'{name}="{_escape_label_value(value)}"'
+            for name, value in extra.items()
+        )
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    return repr(float(value))
+
+
+def render_prom(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry in Prometheus text format (a string, ``\\n``-joined)."""
+    registry = registry or get_registry()
+    lines: List[str] = []
+    for metric in registry.instruments():
+        lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        names = metric.label_names
+        if isinstance(metric, (Counter, Gauge)):
+            for values, child in metric.series():
+                lines.append(
+                    f"{metric.name}{_label_string(names, values)} "
+                    f"{_format_value(child)}"
+                )
+        elif isinstance(metric, HistogramMetric):
+            for values, child in metric.series():
+                running = 0
+                for bound, count in zip(metric.buckets, child.counts):
+                    running += count
+                    le = _label_string(names, values, {"le": repr(bound)})
+                    lines.append(f"{metric.name}_bucket{le} {running}")
+                inf = _label_string(names, values, {"le": "+Inf"})
+                lines.append(f"{metric.name}_bucket{inf} {child.count}")
+                plain = _label_string(names, values)
+                lines.append(
+                    f"{metric.name}_sum{plain} {_format_value(child.sum)}"
+                )
+                lines.append(f"{metric.name}_count{plain} {child.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prom(
+    path: Union[str, Path], registry: Optional[MetricsRegistry] = None
+) -> Path:
+    """Write :func:`render_prom` output to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(render_prom(registry), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Plain-dict summaries
+# ----------------------------------------------------------------------
+def _series_key(names, values) -> str:
+    return ",".join(f"{n}={v}" for n, v in zip(names, values))
+
+
+def summary(registry: Optional[MetricsRegistry] = None) -> Dict[str, Dict]:
+    """Flatten the registry: ``{metric: {label_key: value-or-snapshot}}``.
+
+    The label key is ``""`` for unlabelled series, otherwise
+    ``"name=value"`` pairs joined by commas in declaration order.
+    Counter/gauge series map to floats; histogram series map to
+    ``{"count", "sum", "buckets"}`` dicts with cumulative buckets.
+    """
+    registry = registry or get_registry()
+    out: Dict[str, Dict] = {}
+    for metric in registry.instruments():
+        series: Dict[str, object] = {}
+        names = metric.label_names
+        if isinstance(metric, (Counter, Gauge)):
+            for values, child in metric.series():
+                series[_series_key(names, values)] = float(child)
+        elif isinstance(metric, HistogramMetric):
+            for values, child in metric.series():
+                running = 0
+                buckets: Dict[str, int] = {}
+                for bound, count in zip(metric.buckets, child.counts):
+                    running += count
+                    buckets[repr(bound)] = running
+                buckets["+Inf"] = child.count
+                series[_series_key(names, values)] = {
+                    "count": child.count,
+                    "sum": child.sum,
+                    "buckets": buckets,
+                }
+        out[metric.name] = series
+    return out
+
+
+def metrics_event(registry: Optional[MetricsRegistry] = None) -> Dict:
+    """A ``{"type": "metrics"}`` JSONL record snapshotting the registry."""
+    return {
+        "type": "metrics",
+        "time": time.time(),
+        "metrics": summary(registry),
+    }

@@ -1,0 +1,76 @@
+"""Namespaced logging for the repro package.
+
+Library modules log through ``logging.getLogger("repro.<area>")`` and
+never touch handlers; an application (the CLIs, a notebook, a service)
+opts into output once with :func:`configure_logging`.  The helper is
+idempotent — repeated calls re-level the existing handler instead of
+stacking duplicates — and leaves the root logger alone, so embedding
+the library in a host application with its own logging setup stays
+clean.
+
+Diagnostics go to *stderr* by default: both CLIs write their data
+(tables, per-host listings) to stdout, and keeping the streams separate
+means ``repro-experiments fig9 > results.txt`` captures the figure
+while progress lines stay visible.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO, Union
+
+__all__ = ["configure_logging", "get_logger"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+#: Attribute stamped on the handler installed by :func:`configure_logging`
+#: so repeated calls find and reuse it.
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+def get_logger(area: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` logger, or the ``repro.<area>`` child."""
+    return logging.getLogger("repro" if not area else f"repro.{area}")
+
+
+def configure_logging(
+    level: Union[int, str] = logging.INFO,
+    stream: Optional[TextIO] = None,
+    fmt: str = _FORMAT,
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` logger and set its level.
+
+    Parameters
+    ----------
+    level:
+        A :mod:`logging` level (int or name, e.g. ``"DEBUG"``).
+    stream:
+        Destination (default ``sys.stderr``).
+    fmt:
+        Record format string.
+
+    Returns the configured ``repro`` logger.  Idempotent: a second call
+    updates the existing handler's level/stream/format in place.
+    """
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    handler = next(
+        (h for h in logger.handlers if getattr(h, _HANDLER_MARK, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        setattr(handler, _HANDLER_MARK, True)
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(fmt, datefmt=_DATE_FORMAT))
+    # The handler does the talking; don't double-log through the root.
+    logger.propagate = False
+    return logger

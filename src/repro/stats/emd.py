@@ -37,12 +37,14 @@ test suite at ``atol=1e-12``.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
 
+from ..obs import metrics as obs_metrics
 from .histogram import Histogram
 
 __all__ = [
@@ -65,6 +67,32 @@ _PARALLEL_MIN_HOSTS = 1500
 #: working set (~6 arrays of this size) stays cache-resident: larger
 #: blocks go memory-bound and were measured 3-4x slower at 500 hosts.
 _BLOCK_ELEMENTS = 131_072
+
+# Kernel telemetry (no-ops while repro.obs is disabled; the per-block
+# timing additionally hoists the enabled check out of the hot loop so
+# disabled-mode cost is one boolean per _condensed_blocks call).
+# Metrics are process-local: under the parallel backend the workers'
+# block counters stay in the workers — the parent records the coarse
+# facts (backend, pair count) that matter for capacity planning.
+_BACKEND_SELECTED = obs_metrics.counter(
+    "repro_emd_backend_selected_total",
+    "pairwise_emd invocations by resolved backend",
+    labels=("backend",),
+)
+_PAIRS_TOTAL = obs_metrics.counter(
+    "repro_emd_pairs_total",
+    "Host pairs whose EMD was computed, by resolved backend",
+    labels=("backend",),
+)
+_BLOCKS_TOTAL = obs_metrics.counter(
+    "repro_emd_blocks_total", "Cache-sized kernel blocks evaluated"
+)
+_BLOCK_SECONDS = obs_metrics.histogram(
+    "repro_emd_block_seconds",
+    "Wall-clock time per merged-CDF kernel block",
+    buckets=(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+             0.025, 0.05, 0.1, 0.25, 1.0),
+)
 
 
 def _as_signature(hist: Histogram) -> Tuple[np.ndarray, np.ndarray]:
@@ -217,7 +245,10 @@ def _condensed_blocks(
     merged_scratch = np.empty(step * max_width, dtype=complex)
     cdf_scratch = np.empty(step * max_width, dtype=float)
     gap_scratch = np.empty(step * max_width, dtype=float)
+    instrumented = obs_metrics.is_enabled()
     for start in range(0, n_pairs, step):
+        if instrumented:
+            block_t0 = time.perf_counter()
         stop = min(start + step, n_pairs)
         i = rows[start:stop]
         j = cols[start:stop]
@@ -237,6 +268,9 @@ def _condensed_blocks(
         gaps = gap_scratch[: block * (width - 1)].reshape(block, width - 1)
         np.subtract(merged.real[:, 1:], merged.real[:, :-1], out=gaps)
         out[start:stop] = np.einsum("ij,ij->i", cdf, gaps)
+        if instrumented:
+            _BLOCKS_TOTAL.inc()
+            _BLOCK_SECONDS.observe(time.perf_counter() - block_t0)
     return out
 
 
@@ -361,6 +395,9 @@ def pairwise_emd(
             backend = "parallel"
         else:
             backend = "vectorized"
+    n = len(histograms)
+    _BACKEND_SELECTED.inc(backend=backend)
+    _PAIRS_TOTAL.inc(n * (n - 1) // 2, backend=backend)
     if backend == "loop":
         return _pairwise_loop(histograms)
     if backend == "vectorized":

@@ -1,0 +1,30 @@
+"""Observability tests share one rule: leave the global layer clean.
+
+The metrics switch, the default registry's values and the tracing
+sink list are process-wide; every test runs against a freshly-zeroed
+registry and the layer is disabled again afterwards no matter how the
+test exits.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def clean_obs():
+    """Zeroed registry + no sinks; disabled again on teardown."""
+    obs.clear_sinks()
+    obs.get_registry().reset()
+    obs.disable()
+    yield obs.get_registry()
+    obs.disable()
+    obs.clear_sinks()
+    obs.get_registry().reset()
+
+
+@pytest.fixture
+def enabled_obs(clean_obs):
+    """Same, but with recording switched on for the test body."""
+    obs.enable()
+    yield clean_obs

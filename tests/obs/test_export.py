@@ -1,0 +1,98 @@
+"""Export surfaces: JSONL sink, Prometheus text format, summaries."""
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+
+
+class TestJsonlSink:
+    def test_spans_and_events_interleave(self, enabled_obs, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with obs.JsonlSink(path) as sink:
+            obs.add_sink(sink)
+            with obs.span("alpha", k=1):
+                pass
+            sink.write_event({"type": "metrics", "metrics": {}})
+            with obs.span("beta"):
+                pass
+            obs.remove_sink(sink)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["type"] for r in records] == ["span", "metrics", "span"]
+        assert records[0]["name"] == "alpha"
+        assert records[0]["attrs"] == {"k": 1}
+
+    def test_lines_flushed_immediately(self, enabled_obs, tmp_path):
+        path = tmp_path / "flush.jsonl"
+        sink = obs.JsonlSink(path)
+        obs.add_sink(sink)
+        with obs.span("early"):
+            pass
+        # Readable before close — a crashed run keeps its prefix.
+        assert json.loads(path.read_text().splitlines()[0])["name"] == "early"
+        obs.remove_sink(sink)
+        sink.close()
+
+
+class TestPromRendering:
+    def test_counter_and_gauge_lines(self, enabled_obs):
+        obs.counter("t_prom_counter", "help text", labels=("kind",)).inc(
+            5, kind="x"
+        )
+        obs.gauge("t_prom_gauge", "a gauge").set(2.5)
+        text = obs.render_prom()
+        assert "# HELP t_prom_counter help text" in text
+        assert "# TYPE t_prom_counter counter" in text
+        assert 't_prom_counter{kind="x"} 5.0' in text
+        assert "# TYPE t_prom_gauge gauge" in text
+        assert "t_prom_gauge 2.5" in text
+
+    def test_histogram_exposition(self, enabled_obs):
+        h = obs.histogram("t_prom_hist", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(3.0)
+        text = obs.render_prom()
+        assert 't_prom_hist_bucket{le="0.1"} 1' in text
+        assert 't_prom_hist_bucket{le="1.0"} 2' in text
+        assert 't_prom_hist_bucket{le="+Inf"} 3' in text
+        assert "t_prom_hist_count 3" in text
+        assert "t_prom_hist_sum 3.55" in text
+
+    def test_label_values_escaped(self, enabled_obs):
+        obs.counter("t_prom_escape", labels=("v",)).inc(
+            1, v='quo"te\\slash\nline'
+        )
+        text = obs.render_prom()
+        assert 'v="quo\\"te\\\\slash\\nline"' in text
+
+    def test_write_prom_file(self, enabled_obs, tmp_path):
+        obs.counter("t_prom_file").inc()
+        out = obs.write_prom(tmp_path / "m.prom")
+        assert out.read_text().endswith("\n")
+        assert "t_prom_file 1.0" in out.read_text()
+
+
+class TestSummary:
+    def test_flat_dict_shape(self, enabled_obs):
+        obs.counter("t_sum_counter", labels=("backend",)).inc(
+            10, backend="loop"
+        )
+        obs.gauge("t_sum_gauge").set(7)
+        obs.histogram("t_sum_hist", buckets=(1.0,)).observe(0.5)
+        s = obs.summary()
+        assert s["t_sum_counter"] == {"backend=loop": 10.0}
+        assert s["t_sum_gauge"] == {"": 7.0}
+        hist = s["t_sum_hist"][""]
+        assert hist["count"] == 1
+        assert hist["buckets"] == {"1.0": 1, "+Inf": 1}
+
+    def test_metrics_event_is_json_serialisable(self, enabled_obs):
+        obs.counter("t_sum_event").inc()
+        event = obs.metrics_event()
+        assert event["type"] == "metrics"
+        round_tripped = json.loads(json.dumps(event))
+        assert round_tripped["metrics"]["t_sum_event"][""] == 1.0
+        assert math.isfinite(round_tripped["time"])

@@ -1,0 +1,58 @@
+"""configure_logging(): namespacing, idempotence, stream routing."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs import configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def restore_repro_logger():
+    """Leave the shared 'repro' logger exactly as we found it."""
+    logger = logging.getLogger("repro")
+    saved = (list(logger.handlers), logger.level, logger.propagate)
+    yield
+    logger.handlers[:], logger.level, logger.propagate = (
+        saved[0],
+        saved[1],
+        saved[2],
+    )
+
+
+class TestConfigureLogging:
+    def test_namespaced_output(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        get_logger("datasets").info("generated %d flows", 42)
+        out = stream.getvalue()
+        assert "repro.datasets" in out
+        assert "generated 42 flows" in out
+
+    def test_idempotent_no_duplicate_handlers(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        configure_logging(stream=stream)
+        configure_logging(stream=stream)
+        get_logger().warning("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_level_by_name_and_filtering(self):
+        stream = io.StringIO()
+        configure_logging(level="WARNING", stream=stream)
+        get_logger("x").info("hidden")
+        get_logger("x").warning("shown")
+        out = stream.getvalue()
+        assert "hidden" not in out
+        assert "shown" in out
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="LOUD")
+
+    def test_does_not_touch_root_logger(self):
+        root_handlers = list(logging.getLogger().handlers)
+        configure_logging(stream=io.StringIO())
+        assert logging.getLogger().handlers == root_handlers
+        assert logging.getLogger("repro").propagate is False

@@ -1,0 +1,161 @@
+"""Span tracing: nesting, attributes, exceptions, sinks, no-op mode."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import _NOOP
+
+
+class TestNesting:
+    def test_parent_links_and_depth(self, enabled_obs):
+        sink = obs.InMemorySink()
+        obs.add_sink(sink)
+        with obs.span("outer") as outer:
+            with obs.span("middle") as middle:
+                with obs.span("inner") as inner:
+                    assert obs.current_span() is inner
+                assert obs.current_span() is middle
+        assert obs.current_span() is None
+        by_name = {s["name"]: s for s in sink.spans}
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["middle"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["inner"]["parent_id"] == by_name["middle"]["span_id"]
+        assert by_name["inner"]["depth"] == 2
+        # Children finish (and emit) before their parents.
+        names = [s["name"] for s in sink.spans]
+        assert names == ["inner", "middle", "outer"]
+
+    def test_siblings_share_parent(self, enabled_obs):
+        sink = obs.InMemorySink()
+        obs.add_sink(sink)
+        with obs.span("root") as root:
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+        a, b = sink.by_name("a")[0], sink.by_name("b")[0]
+        assert a["parent_id"] == b["parent_id"] == root.span_id
+
+    def test_threads_get_independent_stacks(self, enabled_obs):
+        seen = {}
+
+        def work(name: str) -> None:
+            with obs.span(name) as s:
+                seen[name] = (s.depth, obs.current_span().name)
+
+        with obs.span("main-root"):
+            t = threading.Thread(target=work, args=("thread-span",))
+            t.start()
+            t.join()
+        # The worker thread's context copies the spawning context is NOT
+        # guaranteed for plain threads — it starts empty, so its span is
+        # a root, not a child of main-root.
+        assert seen["thread-span"] == (0, "thread-span")
+
+
+class TestAttributesAndTiming:
+    def test_initial_and_set_attrs_merge(self, enabled_obs):
+        sink = obs.InMemorySink()
+        obs.add_sink(sink)
+        with obs.span("stage", input_hosts=100) as s:
+            s.set(surviving_hosts=40, threshold=0.5)
+        record = sink.spans[0]
+        assert record["attrs"] == {
+            "input_hosts": 100,
+            "surviving_hosts": 40,
+            "threshold": 0.5,
+        }
+
+    def test_wall_and_cpu_recorded(self, enabled_obs):
+        sink = obs.InMemorySink()
+        obs.add_sink(sink)
+        with obs.span("timed"):
+            sum(range(10000))
+        record = sink.spans[0]
+        assert record["wall_seconds"] >= 0
+        assert record["cpu_seconds"] >= 0
+        assert record["status"] == "ok"
+        assert record["error"] is None
+
+    def test_span_duration_lands_in_histogram(self, enabled_obs):
+        with obs.span("histogrammed"):
+            pass
+        snap = obs.histogram(
+            "repro_span_seconds", labels=("span",)
+        ).snapshot(span="histogrammed")
+        assert snap["count"] == 1
+
+
+class TestExceptions:
+    def test_exception_propagates_and_marks_span(self, enabled_obs):
+        sink = obs.InMemorySink()
+        obs.add_sink(sink)
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.span("failing"):
+                raise RuntimeError("boom")
+        record = sink.spans[0]
+        assert record["status"] == "error"
+        assert record["error"] == "RuntimeError: boom"
+        assert record["wall_seconds"] is not None
+
+    def test_stack_unwinds_after_exception(self, enabled_obs):
+        with pytest.raises(ValueError):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    raise ValueError("x")
+        assert obs.current_span() is None
+
+    def test_failing_sink_does_not_break_work(self, enabled_obs):
+        class BadSink:
+            def on_span(self, record):
+                raise OSError("disk full")
+
+        obs.add_sink(BadSink())
+        with obs.span("survives"):
+            pass  # must not raise despite the sink
+
+
+class TestDisabledMode:
+    def test_span_is_noop_object(self, clean_obs):
+        sink = obs.InMemorySink()
+        obs.add_sink(sink)
+        with obs.span("invisible", x=1) as s:
+            assert s is _NOOP
+            s.set(y=2)  # accepted and dropped
+        assert sink.spans == []
+        assert obs.current_span() is None
+
+    def test_reenabling_mid_tree_is_safe(self, clean_obs):
+        sink = obs.InMemorySink()
+        obs.add_sink(sink)
+        with obs.span("off-root"):
+            obs.enable()
+            with obs.span("on-child"):
+                pass
+            obs.disable()
+        assert [s["name"] for s in sink.spans] == ["on-child"]
+        # The child became a root: the disabled outer span never joined
+        # the stack.
+        assert sink.spans[0]["parent_id"] is None
+
+
+class TestSinkManagement:
+    def test_add_remove_clear(self, enabled_obs):
+        a, b = obs.InMemorySink(), obs.InMemorySink()
+        obs.add_sink(a)
+        obs.add_sink(a)  # idempotent
+        obs.add_sink(b)
+        with obs.span("one"):
+            pass
+        assert len(a.spans) == 1 and len(b.spans) == 1
+        obs.remove_sink(a)
+        obs.remove_sink(a)  # absent is fine
+        with obs.span("two"):
+            pass
+        assert len(a.spans) == 1 and len(b.spans) == 2
+        obs.clear_sinks()
+        with obs.span("three"):
+            pass
+        assert len(b.spans) == 2
