@@ -1,0 +1,199 @@
+"""Perf harness for the host-sharded feature-extraction engine.
+
+Times sequential extraction
+(:func:`repro.flows.metrics.extract_all_features`) against the
+:mod:`repro.flows.parallel` engine — in-process vectorized, and warm
+multi-process pools — over synthetic campus-shaped traffic at several
+scales, asserts every configuration's output is *bit-identical* to the
+sequential reference, and writes the measurements to
+``BENCH_extract.json`` at the repo root so successive PRs accumulate a
+perf trajectory.
+
+Warm-pool timings are the headline: the engine's design point is
+repeated extraction from a long-lived store (tumbling windows,
+threshold sweeps), where process start-up is paid once.  The one-off
+cold time (pool fork + columnar build included) is recorded alongside
+for transparency.
+
+Run directly (full sweep)::
+
+    PYTHONPATH=src python benchmarks/test_perf_extract.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_extract.py -q
+
+Environment knobs:
+
+* ``REPRO_BENCH_EXTRACT_HOSTS`` — comma-separated host counts
+  (default ``200,600,1500``); CI smoke runs set a small value.
+* ``REPRO_BENCH_EXTRACT_OUT`` — output path
+  (default ``<repo>/BENCH_extract.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.flows.metrics import extract_all_features
+from repro.flows.parallel import ParallelExtractor
+from repro.flows.record import FlowRecord, FlowState, Protocol
+from repro.flows.store import FlowStore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_HOST_COUNTS = (200, 600, 1500)
+FLOWS_PER_HOST = 150
+POOL_WORKERS = 4
+
+
+def synthesize_store(n_hosts: int, seed: int = 7) -> FlowStore:
+    """Campus-shaped traffic: mixed failure states, skewed host sizes,
+    revisited destinations (so the interstitial path does real work)."""
+    rng = random.Random(seed)
+    states = [
+        FlowState.ESTABLISHED,
+        FlowState.ESTABLISHED,
+        FlowState.ESTABLISHED,
+        FlowState.REJECTED,
+        FlowState.TIMEOUT,
+    ]
+    flows: List[FlowRecord] = []
+    for h in range(n_hosts):
+        src = f"10.{h // 65536}.{(h // 256) % 256}.{h % 256}"
+        t = rng.random() * 3600
+        # Lognormal-ish skew: a few busy hosts, many light ones.
+        n_flows = max(2, int(FLOWS_PER_HOST * rng.paretovariate(2.0) / 2))
+        n_flows = min(n_flows, FLOWS_PER_HOST * 4)
+        for i in range(n_flows):
+            t += rng.expovariate(1 / 45.0)
+            flows.append(
+                FlowRecord(
+                    src=src,
+                    dst=f"192.168.{rng.randrange(40)}.{rng.randrange(250)}",
+                    sport=1024 + i % 60000,
+                    dport=rng.choice((80, 443, 6881)),
+                    proto=Protocol.TCP,
+                    start=t,
+                    end=t + rng.random() * 5,
+                    src_bytes=rng.randrange(0, 20000),
+                    dst_bytes=rng.randrange(0, 5000),
+                    state=rng.choice(states),
+                )
+            )
+    rng.shuffle(flows)
+    store = FlowStore()
+    store.extend(flows)
+    return store
+
+
+def _best_of(fn, repeats: int) -> Dict[str, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return {"seconds": best, "result": result}
+
+
+def run_benchmark(
+    host_counts: Sequence[int],
+    out_path: Path,
+    repeats: int = 3,
+) -> dict:
+    """Time every mode at every scale and write the JSON report.
+
+    Equivalence with the sequential extractor is asserted for every
+    mode at every scale — a speedup that changed the features would
+    silently move the pipeline's percentile thresholds.
+    """
+    report = {
+        "benchmark": "host-sharded feature extraction engine",
+        "generated_by": "benchmarks/test_perf_extract.py",
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "cpu_count": os.cpu_count(),
+        "flows_per_host_base": FLOWS_PER_HOST,
+        "pool_workers": POOL_WORKERS,
+        "results": [],
+    }
+    for n_hosts in host_counts:
+        store = synthesize_store(n_hosts)
+        sequential = _best_of(lambda: extract_all_features(store), repeats)
+        reference = sequential["result"]
+
+        inproc = _best_of(lambda: ParallelExtractor(store, 0).extract(), repeats)
+
+        with ParallelExtractor(store, POOL_WORKERS) as engine:
+            cold = _best_of(engine.extract, 1)  # fork + columnar build
+            warm = _best_of(engine.extract, repeats)
+
+        entry = {
+            "n_hosts": n_hosts,
+            "n_flows": len(store),
+            "modes": {},
+        }
+        modes = (
+            ("sequential", sequential),
+            ("inprocess_vectorized", inproc),
+            (f"pool{POOL_WORKERS}_cold", cold),
+            (f"pool{POOL_WORKERS}_warm", warm),
+        )
+        for name, run in modes:
+            if run["result"] != reference:
+                raise AssertionError(
+                    f"{name} diverges from sequential at {n_hosts} hosts"
+                )
+            entry["modes"][name] = {
+                "seconds": run["seconds"],
+                "speedup_vs_sequential": sequential["seconds"]
+                / run["seconds"],
+            }
+        report["results"].append(entry)
+        inproc_x = sequential["seconds"] / inproc["seconds"]
+        warm_x = sequential["seconds"] / warm["seconds"]
+        print(
+            f"n_hosts={n_hosts:5d} flows={len(store):8d}  "
+            f"seq={sequential['seconds']:7.3f}s  "
+            f"inproc={inproc['seconds']:7.3f}s ({inproc_x:5.2f}x)  "
+            f"pool{POOL_WORKERS} warm={warm['seconds']:7.3f}s "
+            f"({warm_x:5.2f}x, cold {cold['seconds']:.3f}s)"
+        )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return report
+
+
+def _configured_host_counts() -> List[int]:
+    raw = os.environ.get("REPRO_BENCH_EXTRACT_HOSTS")
+    if not raw:
+        return list(DEFAULT_HOST_COUNTS)
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def _configured_out_path() -> Path:
+    return Path(
+        os.environ.get(
+            "REPRO_BENCH_EXTRACT_OUT", REPO_ROOT / "BENCH_extract.json"
+        )
+    )
+
+
+def test_perf_extract_engine():
+    """Benchmark entry point under pytest.
+
+    Mode equivalence is asserted inside :func:`run_benchmark` at every
+    scale; the speedups themselves are recorded, not asserted, so a
+    loaded CI machine cannot flake the suite.
+    """
+    report = run_benchmark(_configured_host_counts(), _configured_out_path())
+    assert report["results"], "benchmark produced no measurements"
+
+
+if __name__ == "__main__":
+    run_benchmark(_configured_host_counts(), _configured_out_path())

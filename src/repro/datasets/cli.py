@@ -19,7 +19,7 @@ import sys
 from pathlib import Path
 
 from ..flows.argus import read_flows
-from ..flows.metrics import extract_all_features
+from ..flows.parallel import extract_features_parallel
 from ..obs import configure_logging, get_logger
 from .campus import CampusConfig, build_campus_day
 from .groundtruth import identify_traders
@@ -61,8 +61,16 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_inspect(args) -> int:
+    if args.resume and not args.checkpoint_dir:
+        print("inspect: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     store = read_flows(args.trace)
-    features = extract_all_features(store)
+    features = extract_features_parallel(
+        store,
+        n_workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
     print(f"{args.trace}: {len(store):,} flows, {len(features)} initiators")
     header = (
         f"{'host':<18} {'flows':>7} {'avg B/flow':>11} {'fail%':>6} "
@@ -119,6 +127,22 @@ def main(argv=None) -> int:
     inspect = sub.add_parser("inspect", help="per-host features of a trace")
     inspect.add_argument("--trace", required=True, help="trace CSV path")
     inspect.add_argument("--top", type=int, default=20)
+    inspect.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for feature extraction (0 = in-process)",
+    )
+    inspect.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="persist per-shard extraction checkpoints to this directory",
+    )
+    inspect.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards whose checkpoint in --checkpoint-dir is intact",
+    )
     inspect.set_defaults(func=_cmd_inspect)
 
     label = sub.add_parser("label", help="apply Trader payload signatures")

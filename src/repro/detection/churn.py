@@ -11,9 +11,13 @@ Plotter-like.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set
+from typing import Dict, Iterable, Mapping, Optional, Set
 
-from ..flows.metrics import NEW_IP_GRACE_PERIOD, new_ip_fraction
+from ..flows.metrics import (
+    NEW_IP_GRACE_PERIOD,
+    HostFeatures,
+    new_ip_fraction,
+)
 from ..flows.store import FlowStore
 from ..stats.thresholds import percentile_threshold, select_below
 from .testbase import TestResult
@@ -25,9 +29,21 @@ def churn_metric(
     store: FlowStore,
     hosts: Iterable[str],
     grace_period: float = NEW_IP_GRACE_PERIOD,
+    features: Optional[Mapping[str, HostFeatures]] = None,
 ) -> Dict[str, float]:
-    """Fraction of newly contacted IPs per host."""
+    """Fraction of newly contacted IPs per host.
+
+    With ``features`` the metric is read off pre-extracted bundles —
+    the caller vouches the bundles were built with this
+    ``grace_period`` — instead of re-scanning the store.
+    """
     metric: Dict[str, float] = {}
+    if features is not None:
+        for host in hosts:
+            bundle = features.get(host)
+            if bundle is not None:
+                metric[host] = bundle.new_ip_fraction
+        return metric
     for host in hosts:
         flows = store.flows_from(host)
         if flows:
@@ -40,9 +56,10 @@ def theta_churn(
     hosts: Set[str],
     percentile: float = 50.0,
     grace_period: float = NEW_IP_GRACE_PERIOD,
+    features: Optional[Mapping[str, HostFeatures]] = None,
 ) -> TestResult:
     """Select hosts whose new-IP fraction is below τ_churn."""
-    metric = churn_metric(store, hosts, grace_period)
+    metric = churn_metric(store, hosts, grace_period, features)
     if not metric:
         return TestResult(name="churn", selected=frozenset(), threshold=0.0)
     threshold = percentile_threshold(list(metric.values()), percentile)

@@ -15,11 +15,11 @@ surviving clusters is returned.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..flows.metrics import interstitial_times
+from ..flows.metrics import HostFeatures, interstitial_times
 from ..flows.store import FlowStore
 from ..obs.tracing import span
 from ..stats.clustering import (
@@ -66,6 +66,7 @@ def host_histograms(
     hosts: Sequence[str],
     min_samples: int = MIN_SAMPLES,
     log_scale: bool = True,
+    features: Optional[Mapping[str, HostFeatures]] = None,
 ) -> Dict[str, Histogram]:
     """Interstitial-time histograms for hosts with enough samples.
 
@@ -81,10 +82,21 @@ def host_histograms(
     structure Figure 3 keys on; log space compares timing *patterns*
     across scales.  ``log_scale=False`` recovers the paper's literal
     construction (see the binning ablation benchmark).
+
+    With ``features`` the interstitial samples are read off
+    pre-extracted bundles (same samples, same order — the parallel
+    engine is pinned bit-identical to :func:`interstitial_times`)
+    instead of re-scanning the store.
     """
     histograms: Dict[str, Histogram] = {}
     for host in hosts:
-        samples = interstitial_times(store.flows_from(host))
+        if features is not None:
+            bundle = features.get(host)
+            samples: List[float] = (
+                list(bundle.interstitials) if bundle is not None else []
+            )
+        else:
+            samples = interstitial_times(store.flows_from(host))
         if len(samples) < min_samples:
             continue
         if log_scale:
@@ -170,14 +182,18 @@ def theta_hm(
     log_scale: bool = True,
     min_cluster_size: int = 2,
     backend: str = "auto",
+    features: Optional[Mapping[str, HostFeatures]] = None,
 ) -> TestResult:
     """Select hosts in timing clusters whose diameter is ≤ τ_hm.
 
     The returned :class:`~repro.detection.testbase.TestResult` metric
     maps each clustered host to the diameter of its cluster.
-    ``backend`` is forwarded to the pairwise-EMD engine.
+    ``backend`` is forwarded to the pairwise-EMD engine; ``features``
+    (pre-extracted bundles) to :func:`host_histograms`.
     """
-    histograms = host_histograms(store, sorted(hosts), min_samples, log_scale)
+    histograms = host_histograms(
+        store, sorted(hosts), min_samples, log_scale, features
+    )
     clustering = cluster_hosts(
         histograms, percentile, cut_fraction, min_cluster_size, backend=backend
     )

@@ -21,19 +21,23 @@ the reservoir grows.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
 from ..flows.record import FlowRecord
+from ..flows.store import FlowStore
 from ..flows.streaming import StreamingFeatureExtractor
 from ..obs import metrics as obs_metrics
 from ..obs.tracing import span
 from ..stats.histogram import Histogram, build_histogram
 from ..stats.thresholds import percentile_threshold, select_above, select_below
 from .humanmachine import MIN_SAMPLES, _LOG_FLOOR, cluster_hosts
-from .pipeline import PipelineConfig
+from .pipeline import PipelineConfig, PipelineResult, find_plotters
 
 __all__ = ["OnlineVerdict", "OnlineDetector"]
 
@@ -62,6 +66,11 @@ _TRACKED_HOSTS = obs_metrics.gauge(
     "repro_online_tracked_hosts",
     "Internal hosts with state in the current window (last evaluate)",
 )
+_VERDICT_CKPT = obs_metrics.counter(
+    "repro_online_verdict_checkpoint_total",
+    "Finalised-window verdicts persisted / restored",
+    labels=("result",),
+)
 
 
 @dataclass(frozen=True)
@@ -73,6 +82,30 @@ class OnlineVerdict:
     hosts_seen: int
     reduced: frozenset
     suspects: frozenset
+
+    def to_json(self) -> str:
+        """One-line JSON form, the verdict-log record format."""
+        return json.dumps(
+            {
+                "window_index": self.window_index,
+                "evaluated_at": self.evaluated_at,
+                "hosts_seen": self.hosts_seen,
+                "reduced": sorted(self.reduced),
+                "suspects": sorted(self.suspects),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "OnlineVerdict":
+        payload = json.loads(line)
+        return cls(
+            window_index=int(payload["window_index"]),
+            evaluated_at=float(payload["evaluated_at"]),
+            hosts_seen=int(payload["hosts_seen"]),
+            reduced=frozenset(payload["reduced"]),
+            suspects=frozenset(payload["suspects"]),
+        )
 
 
 class OnlineDetector:
@@ -87,6 +120,13 @@ class OnlineDetector:
         Window length in seconds (the paper's D; default six hours).
     config:
         Detection thresholds, shared with the batch pipeline.
+    checkpoint_dir:
+        Directory for the verdict log (``verdicts.jsonl``): every
+        finalised window's verdict is appended as one JSON line.  With
+        ``resume`` a restarted detector reloads the log, restoring
+        ``history`` and continuing from the next window index —
+        in-window streaming state is *not* checkpointed (its reservoirs
+        are cheap to refill), only completed-window conclusions.
     """
 
     def __init__(
@@ -96,23 +136,60 @@ class OnlineDetector:
         config: PipelineConfig = PipelineConfig(),
         reservoir_size: int = 4096,
         cache_histograms: bool = True,
+        checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
+        resume: bool = False,
     ) -> None:
         if window <= 0:
             raise ValueError("window length must be positive")
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
         self.internal_hosts = set(internal_hosts)
         self.window = window
         self.config = config
         self.reservoir_size = reservoir_size
         self.cache_histograms = cache_histograms
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
         self.history: List[OnlineVerdict] = []
         self._window_index = 0
         self._window_start: Optional[float] = None
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            if resume:
+                self._restore_verdicts()
         self._extractor = self._fresh_extractor()
         # host -> (reservoir version, histogram built at that version).
         # Valid only within the current window; cleared on tumble.
         self._hist_cache: Dict[str, Tuple[int, Histogram]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+
+    @property
+    def _verdict_log(self) -> Optional[Path]:
+        if self.checkpoint_dir is None:
+            return None
+        return self.checkpoint_dir / "verdicts.jsonl"
+
+    def _restore_verdicts(self) -> None:
+        """Reload finalised-window verdicts from the verdict log."""
+        log = self._verdict_log
+        if log is None or not log.exists():
+            return
+        for line in log.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                verdict = OnlineVerdict.from_json(line)
+            except (ValueError, KeyError):
+                # A torn final line from a killed writer: everything
+                # before it is intact, so keep what parsed.
+                break
+            self.history.append(verdict)
+            _VERDICT_CKPT.inc(result="restore")
+        if self.history:
+            self._window_index = self.history[-1].window_index + 1
 
     def _fresh_extractor(self) -> StreamingFeatureExtractor:
         return StreamingFeatureExtractor(
@@ -140,7 +217,13 @@ class OnlineDetector:
             self.ingest(flow)
 
     def _finalize(self, at: float) -> None:
-        self.history.append(self.evaluate(at))
+        verdict = self.evaluate(at)
+        self.history.append(verdict)
+        log = self._verdict_log
+        if log is not None:
+            with open(log, "a") as fh:
+                fh.write(verdict.to_json() + "\n")
+            _VERDICT_CKPT.inc(result="write")
         self._window_index += 1
         self._extractor = self._fresh_extractor()
         # The new window starts with empty reservoirs whose version
@@ -260,3 +343,20 @@ class OnlineDetector:
             reduced=frozenset(reduced),
             suspects=frozenset(suspects),
         )
+
+    # ------------------------------------------------------------------
+    # Batch rescoring
+    # ------------------------------------------------------------------
+    def rescore_window(self, store: FlowStore) -> PipelineResult:
+        """Re-run the exact batch pipeline over a retained window.
+
+        The online verdicts trade exactness for bounded memory (θ_hm
+        runs on reservoir samples).  When a window's raw flows are still
+        available — e.g. the collector retains the last day on disk —
+        this re-scores it with :func:`find_plotters` under this
+        detector's configuration, including its ``n_workers`` parallel
+        extraction, producing the exact batch result for comparison or
+        escalation.
+        """
+        candidates = self.internal_hosts & store.initiators
+        return find_plotters(store, candidates, self.config)

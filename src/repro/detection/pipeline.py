@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Set
 
+from ..flows.parallel import extract_features_parallel
 from ..flows.store import FlowStore
 from ..obs import metrics as obs_metrics
 from ..obs.tracing import span
@@ -78,6 +79,16 @@ class PipelineConfig:
     #: "parallel") — all backends yield the same distance matrix.
     hm_backend: str = "auto"
     apply_reduction: bool = True
+    #: Worker processes for feature extraction (0/1 = in-process
+    #: vectorized; >1 = multi-process via
+    #: :mod:`repro.flows.parallel`).  Every setting yields identical
+    #: features and hence identical suspects.
+    n_workers: int = 0
+    #: Directory for per-shard extraction checkpoints (None = no
+    #: checkpointing); with ``resume`` a restarted run skips shards
+    #: whose checkpoint is intact.
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         # Fail at construction, not deep inside pairwise_emd: a typo'd
@@ -88,6 +99,10 @@ class PipelineConfig:
                 f"unknown hm_backend {self.hm_backend!r}; expected one of "
                 f"{PAIRWISE_BACKENDS}"
             )
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
 
 
 @dataclass(frozen=True)
@@ -142,12 +157,30 @@ def find_plotters(
 
     with span("find_plotters", input_hosts=len(hosts)) as root:
         _RUNS.inc()
+
+        # Extract every per-host feature bundle once up front — sharded
+        # and optionally multi-process/checkpointed — then let each
+        # stage read its metric off the bundles instead of re-scanning
+        # the store four times.  The engine is pinned bit-identical to
+        # the sequential extractor, so thresholds and suspects are
+        # unchanged for every n_workers setting.
+        with span(
+            "extract_features", hosts=len(hosts), workers=config.n_workers
+        ):
+            features = extract_features_parallel(
+                store,
+                hosts,
+                n_workers=config.n_workers,
+                checkpoint_dir=config.checkpoint_dir,
+                resume=config.resume,
+            )
+
         reduction: Optional[TestResult] = None
         working = hosts
         if config.apply_reduction:
             with span("reduction", input_hosts=len(hosts)) as s:
                 reduction = initial_data_reduction(
-                    store, hosts, config.reduction_percentile
+                    store, hosts, config.reduction_percentile, features
                 )
                 working = reduction.selected_set
                 s.set(
@@ -159,7 +192,9 @@ def find_plotters(
             )
 
         with span("theta_vol", input_hosts=len(working)) as s:
-            volume = theta_vol(store, working, config.vol_percentile)
+            volume = theta_vol(
+                store, working, config.vol_percentile, features
+            )
             s.set(
                 surviving_hosts=len(volume.selected_set),
                 threshold=volume.threshold,
@@ -170,7 +205,9 @@ def find_plotters(
         )
 
         with span("theta_churn", input_hosts=len(working)) as s:
-            churn = theta_churn(store, working, config.churn_percentile)
+            churn = theta_churn(
+                store, working, config.churn_percentile, features=features
+            )
             s.set(
                 surviving_hosts=len(churn.selected_set),
                 threshold=churn.threshold,
@@ -191,6 +228,7 @@ def find_plotters(
                 cut_fraction=config.hm_cut_fraction,
                 log_scale=config.hm_log_scale,
                 backend=config.hm_backend,
+                features=features,
             )
             s.set(
                 surviving_hosts=len(hm.selected_set),

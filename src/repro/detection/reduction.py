@@ -11,9 +11,9 @@ P2P hosts.  The threshold is recomputed for every day of traffic.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, Mapping, Optional, Set
 
-from ..flows.metrics import failed_connection_rate
+from ..flows.metrics import HostFeatures, failed_connection_rate
 from ..flows.store import FlowStore
 from ..stats.thresholds import percentile_threshold, select_above
 from .testbase import TestResult
@@ -21,14 +21,26 @@ from .testbase import TestResult
 __all__ = ["failed_rates", "initial_data_reduction"]
 
 
-def failed_rates(store: FlowStore, hosts: Iterable[str]) -> Dict[str, float]:
+def failed_rates(
+    store: FlowStore,
+    hosts: Iterable[str],
+    features: Optional[Mapping[str, HostFeatures]] = None,
+) -> Dict[str, float]:
     """Failed-connection rate per host, for hosts with ≥1 successful flow.
 
     Hosts that never initiated a successful connection are excluded, as
     in the paper ("Only hosts that initiated successful connections
-    within that day were included").
+    within that day were included").  With ``features`` the rates are
+    read off pre-extracted bundles instead of re-scanning the store;
+    ``initiated_successful`` encodes the same exclusion.
     """
     rates: Dict[str, float] = {}
+    if features is not None:
+        for host in hosts:
+            bundle = features.get(host)
+            if bundle is not None and bundle.initiated_successful:
+                rates[host] = bundle.failed_conn_rate
+        return rates
     for host in hosts:
         flows = store.flows_from(host)
         if not flows:
@@ -43,6 +55,7 @@ def initial_data_reduction(
     store: FlowStore,
     hosts: Optional[Set[str]] = None,
     percentile: float = 50.0,
+    features: Optional[Mapping[str, HostFeatures]] = None,
 ) -> TestResult:
     """Keep hosts whose failed-connection rate exceeds the percentile.
 
@@ -58,7 +71,7 @@ def initial_data_reduction(
     """
     if hosts is None:
         hosts = store.initiators
-    rates = failed_rates(store, hosts)
+    rates = failed_rates(store, hosts, features)
     if not rates:
         return TestResult(
             name="reduction", selected=frozenset(), threshold=0.0, metric={}

@@ -19,6 +19,7 @@ written on exit.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import Callable, Dict
@@ -125,7 +126,28 @@ def main(argv=None) -> int:
         default="INFO",
         help="level for the repro.* diagnostic logger (default INFO)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "worker processes for pipeline feature extraction "
+            "(0 = in-process; results are identical for any setting)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="persist per-shard extraction checkpoints to this directory",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip extraction shards whose checkpoint is intact",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
     logger = obs.configure_logging(level=args.log_level).getChild("experiments")
 
     if args.list or not args.experiments:
@@ -150,6 +172,16 @@ def main(argv=None) -> int:
     config = (
         ExperimentConfig.paper() if args.scale == "paper" else ExperimentConfig.quick()
     )
+    if args.workers or args.checkpoint_dir:
+        config = dataclasses.replace(
+            config,
+            pipeline=dataclasses.replace(
+                config.pipeline,
+                n_workers=args.workers,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+            ),
+        )
     ctx = ExperimentContext(config)
     try:
         for name in names:

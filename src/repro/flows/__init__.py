@@ -14,9 +14,15 @@ from .metrics import (
     extract_all_features,
     extract_features,
     failed_connection_rate,
+    features_from_sorted_flows,
     interstitial_times,
     new_ip_fraction,
     new_ip_timeseries,
+)
+from .parallel import (
+    ShardExtractionError,
+    extract_features_parallel,
+    plan_shards,
 )
 from .filters import (
     active_hosts,
@@ -47,7 +53,11 @@ __all__ = [
     "new_ip_timeseries",
     "interstitial_times",
     "extract_features",
+    "features_from_sorted_flows",
     "extract_all_features",
+    "ShardExtractionError",
+    "extract_features_parallel",
+    "plan_shards",
     "active_hosts",
     "internal_initiators",
     "is_internal",

@@ -8,6 +8,14 @@ These are the exact quantities the paper's tests consume:
   host's activity in the window (§IV-B) — the churn test metric;
 * **per-destination flow interstitial times** (§IV-C) — the raw samples
   behind the human-vs-machine test.
+
+**Sorting invariant.**  Every helper accepts flows in *any* order and
+produces the paper's §IV definitions; the order-sensitive ones
+(:func:`new_ip_fraction`, :func:`interstitial_times`) take a
+``presorted`` flag so callers that already hold start-ordered flows —
+:meth:`repro.flows.store.FlowStore.flows_from` maintains that order at
+insertion — skip the redundant per-call sorts.  :func:`extract_features`
+sorts (at most) once and passes ``presorted=True`` throughout.
 """
 
 from __future__ import annotations
@@ -22,10 +30,12 @@ __all__ = [
     "HostFeatures",
     "average_flow_size",
     "failed_connection_rate",
+    "new_fraction_from_first_contacts",
     "new_ip_fraction",
     "new_ip_timeseries",
     "interstitial_times",
     "extract_features",
+    "features_from_sorted_flows",
     "extract_all_features",
 ]
 
@@ -90,8 +100,31 @@ def _first_contact_times(flows: Sequence[FlowRecord]) -> Dict[str, float]:
     return first
 
 
+def new_fraction_from_first_contacts(
+    first_contact: Dict[str, float],
+    activity_start: float,
+    grace_period: float = NEW_IP_GRACE_PERIOD,
+) -> float:
+    """§IV-B churn from a first-contact map and the host's first activity.
+
+    Shared by the batch path (:func:`new_ip_fraction`) and the streaming
+    extractor, so the paper's definition lives in exactly one place:
+    the fraction of contacted destinations whose first contact falls
+    *strictly after* ``activity_start + grace_period``.
+
+    Returns 0.0 when the host contacted no destinations.
+    """
+    if not first_contact:
+        return 0.0
+    cutoff = activity_start + grace_period
+    new = sum(1 for t in first_contact.values() if t > cutoff)
+    return new / len(first_contact)
+
+
 def new_ip_fraction(
-    flows: Sequence[FlowRecord], grace_period: float = NEW_IP_GRACE_PERIOD
+    flows: Sequence[FlowRecord],
+    grace_period: float = NEW_IP_GRACE_PERIOD,
+    presorted: bool = False,
 ) -> float:
     """Fraction of destinations first contacted after the grace period.
 
@@ -101,15 +134,21 @@ def new_ip_fraction(
     high value means high churn (Trader-like); a low value means the host
     keeps talking to the same peers (Plotter-like).
 
+    With ``presorted`` the caller asserts ``flows`` is start-ordered
+    (the :class:`~repro.flows.store.FlowStore` invariant), letting the
+    first-activity scan read ``flows[0]`` instead of a min pass; the
+    result is identical either way.
+
     Returns 0.0 when the host contacted no destinations.
     """
     first = _first_contact_times(flows)
     if not first:
         return 0.0
-    activity_start = min(f.start for f in flows)
-    cutoff = activity_start + grace_period
-    new = sum(1 for t in first.values() if t > cutoff)
-    return new / len(first)
+    if presorted:
+        activity_start = flows[0].start
+    else:
+        activity_start = min(f.start for f in flows)
+    return new_fraction_from_first_contacts(first, activity_start, grace_period)
 
 
 def new_ip_timeseries(
@@ -154,13 +193,20 @@ def new_ip_timeseries(
     return series
 
 
-def interstitial_times(flows: Sequence[FlowRecord]) -> List[float]:
+def interstitial_times(
+    flows: Sequence[FlowRecord], presorted: bool = False
+) -> List[float]:
     """Per-destination flow interstitial times for one host (§IV-C).
 
     For each destination the host contacts, compute the gaps between the
     start times of consecutive flows to that destination; the returned
     samples pool the gaps across *all* destinations, since the monitor does
-    not know which destinations are P2P peers.
+    not know which destinations are P2P peers.  Sample order: destinations
+    in order of first contact, gaps per destination in start order.
+
+    With ``presorted`` the caller asserts ``flows`` is start-ordered, so
+    the per-destination start lists are born sorted and the per-call
+    sorts are skipped; the samples are identical either way.
     """
     per_dest: Dict[str, List[float]] = {}
     for flow in flows:
@@ -169,7 +215,8 @@ def interstitial_times(flows: Sequence[FlowRecord]) -> List[float]:
     for starts in per_dest.values():
         if len(starts) < 2:
             continue
-        starts.sort()
+        if not presorted:
+            starts.sort()
         samples.extend(b - a for a, b in zip(starts, starts[1:]))
     return samples
 
@@ -177,17 +224,37 @@ def interstitial_times(flows: Sequence[FlowRecord]) -> List[float]:
 def extract_features(
     store: FlowStore, host: str, grace_period: float = NEW_IP_GRACE_PERIOD
 ) -> HostFeatures:
-    """Compute the full feature bundle for one host."""
+    """Compute the full feature bundle for one host.
+
+    ``store.flows_from`` returns start-ordered flows (the store's
+    sort-once invariant), so the order-sensitive metrics run with
+    ``presorted=True`` and nothing here re-sorts.
+    """
     flows = store.flows_from(host)
+    return features_from_sorted_flows(host, flows, grace_period)
+
+
+def features_from_sorted_flows(
+    host: str,
+    flows: Sequence[FlowRecord],
+    grace_period: float = NEW_IP_GRACE_PERIOD,
+) -> HostFeatures:
+    """Feature bundle from flows already sorted by start time.
+
+    This is the reference per-host extraction kernel: the parallel
+    engine's vectorized shard kernel
+    (:mod:`repro.flows.parallel`) is pinned bit-identical to it by the
+    equivalence test suite.  Callers must pass start-ordered flows.
+    """
     return HostFeatures(
         host=host,
         flow_count=len(flows),
         successful_flow_count=sum(1 for f in flows if not f.failed),
         avg_flow_size=average_flow_size(flows),
         failed_conn_rate=failed_connection_rate(flows),
-        new_ip_fraction=new_ip_fraction(flows, grace_period),
+        new_ip_fraction=new_ip_fraction(flows, grace_period, presorted=True),
         distinct_destinations=len({f.dst for f in flows}),
-        interstitials=tuple(interstitial_times(flows)),
+        interstitials=tuple(interstitial_times(flows, presorted=True)),
     )
 
 

@@ -1,0 +1,899 @@
+"""Host-sharded, multi-process feature extraction with checkpoint/resume.
+
+The paper's detector consumes border flow records at ~5000 flows/s over
+eight days (§V); per-host feature extraction is the pipeline's dominant
+cost before θ_hm.  This module decomposes it the same way the θ_hm
+distance engine was decomposed (PR 1): a **planner** partitions the
+host population into shards balanced by *flow count*, **workers** run
+the extraction kernel per shard (in-process, or across a
+``ProcessPoolExecutor``), and a **merge** step reassembles the per-host
+:class:`~repro.flows.metrics.HostFeatures` map deterministically.
+
+Every configuration — any worker count, any shard count, either kernel —
+produces results bit-identical to the sequential reference path
+(:func:`repro.flows.metrics.extract_all_features`); the equivalence is
+pinned by the test suite and re-asserted by the benchmark harness.
+
+Engine anatomy
+--------------
+:class:`ParallelExtractor` is the reusable engine: it publishes the
+store to a fork-inherited registry, builds the store's columnar
+snapshot once (:meth:`repro.flows.store.FlowStore.columnar`), and keeps
+a warm worker pool across :meth:`~ParallelExtractor.extract` calls —
+repeated extraction (tumbling windows, threshold sweeps, benchmarks)
+pays process start-up once.  Workers return compact columnar results
+(numpy arrays), and the parent assembles ``HostFeatures`` during the
+deterministic merge, so inter-process traffic stays small.  The pool is
+keyed to the store's mutation :attr:`~repro.flows.store.FlowStore.version`
+and is recreated if the store changed.  When the platform offers no
+``fork`` start method, shard flow lists are shipped to workers
+explicitly instead — slower, but identical results.
+
+:func:`extract_features_parallel` is the one-shot convenience wrapper
+(engine construction and teardown included).
+
+Checkpoint/resume
+-----------------
+With ``checkpoint_dir`` set, each completed shard's features are
+written to a versioned on-disk checkpoint keyed by a content hash of
+the shard's host set (with per-host flow counts) and the extraction
+parameters.  A killed run restarted with ``resume=True`` skips shards
+whose checkpoint loads and matches its key; anything else — missing
+file, truncated pickle, version or key mismatch — is recomputed.  A
+failed worker is retried up to ``max_retries`` times before the run
+aborts with a per-shard :class:`ShardExtractionError` report.
+
+Fault injection (testing only)
+------------------------------
+``REPRO_EXTRACT_FAIL_SHARDS`` (comma-separated shard indices) makes
+those shards raise in the worker; ``REPRO_EXTRACT_SHARD_DELAY``
+(seconds) slows every shard down so kill-and-resume tests can interrupt
+a run deterministically.  Both are read in the worker, never in
+production configuration.
+
+See ``docs/scaling.md`` for the shard planner, the checkpoint format,
+and resume semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+import json
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from ..obs import metrics as obs_metrics
+from ..obs.logconf import get_logger
+from ..obs.tracing import span
+from .metrics import (
+    NEW_IP_GRACE_PERIOD,
+    HostFeatures,
+    features_from_sorted_flows,
+)
+from .record import FlowRecord, FlowState
+from .store import ColumnarFlows, FlowStore
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "PARALLEL_KERNELS",
+    "ParallelExtractor",
+    "Shard",
+    "ShardFailure",
+    "ShardExtractionError",
+    "plan_shards",
+    "shard_checkpoint_key",
+    "extract_features_parallel",
+]
+
+#: Bump when the checkpoint payload layout (or the meaning of the
+#: features it stores) changes; checkpoints from other versions are
+#: ignored on resume and recomputed.
+CHECKPOINT_VERSION = 1
+
+#: Shard kernels: ``vectorized`` (numpy group-by over the store's
+#: columnar snapshot, the default) and ``reference`` (the per-host
+#: pure-Python path) — bit-identical outputs.
+PARALLEL_KERNELS = ("vectorized", "reference")
+
+#: Shards per worker when ``n_shards`` is not given: small enough that
+#: per-shard overhead stays negligible, large enough that LPT balancing
+#: absorbs skewed hosts and checkpoints are usefully fine-grained.
+SHARDS_PER_WORKER = 4
+
+logger = get_logger("flows.parallel")
+
+_SHARDS = obs_metrics.counter(
+    "repro_extract_shards_total",
+    "Extraction shards by outcome",
+    labels=("result",),
+)
+_RETRIES = obs_metrics.counter(
+    "repro_extract_shard_retries_total",
+    "Shard attempts that failed and were retried",
+)
+_CHECKPOINT = obs_metrics.counter(
+    "repro_extract_checkpoint_total",
+    "Shard checkpoint lookups and writes by outcome",
+    labels=("result",),
+)
+_SHARD_SECONDS = obs_metrics.histogram(
+    "repro_extract_shard_seconds",
+    "Per-shard extraction wall time (measured in the worker)",
+)
+_WORKERS_GAUGE = obs_metrics.gauge(
+    "repro_extract_workers", "Worker processes of the last extraction run"
+)
+_HOSTS_GAUGE = obs_metrics.gauge(
+    "repro_extract_hosts", "Hosts covered by the last extraction run"
+)
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Shard:
+    """One planned unit of extraction work."""
+
+    index: int
+    hosts: Tuple[str, ...]
+    flow_count: int
+    #: Content hash identifying this shard's checkpoint; empty when the
+    #: run is not checkpointed.
+    key: str = ""
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """Diagnostic record of one shard that exhausted its retries."""
+
+    index: int
+    host_count: int
+    attempts: int
+    errors: Tuple[str, ...]
+
+
+class ShardExtractionError(RuntimeError):
+    """Raised when shards still fail after ``max_retries`` retries."""
+
+    def __init__(self, failures: Sequence[ShardFailure]) -> None:
+        self.failures = tuple(failures)
+        lines = [f"{len(self.failures)} shard(s) failed after retries:"]
+        for failure in self.failures:
+            last = failure.errors[-1] if failure.errors else "unknown error"
+            lines.append(
+                f"  shard {failure.index} ({failure.host_count} hosts, "
+                f"{failure.attempts} attempts): {last}"
+            )
+        super().__init__("\n".join(lines))
+
+
+def plan_shards(
+    flow_counts: Mapping[str, int], n_shards: int
+) -> List[Tuple[str, ...]]:
+    """Partition hosts into ``n_shards`` shards balanced by flow count.
+
+    Longest-processing-time greedy: hosts are placed heaviest-first onto
+    the least-loaded shard, so a handful of busy hosts cannot serialise
+    the run the way a host-count split would.  Deterministic — ties
+    break on host name and shard index — and empty shards are dropped.
+    """
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    buckets: List[List[str]] = [[] for _ in range(n_shards)]
+    heap = [(0, index) for index in range(n_shards)]
+    heapq.heapify(heap)
+    ordered = sorted(flow_counts, key=lambda h: (-flow_counts[h], h))
+    for host in ordered:
+        load, index = heapq.heappop(heap)
+        buckets[index].append(host)
+        heapq.heappush(heap, (load + flow_counts[host], index))
+    return [tuple(sorted(bucket)) for bucket in buckets if bucket]
+
+
+def shard_checkpoint_key(
+    hosts: Sequence[str],
+    flow_counts: Mapping[str, int],
+    grace_period: float,
+) -> str:
+    """Content hash of a shard: host set, per-host flow counts, params.
+
+    Including the flow counts means a checkpoint is only reused when the
+    shard's *input* is plausibly unchanged, not merely its host names;
+    including :data:`CHECKPOINT_VERSION` and the extraction parameters
+    invalidates checkpoints across format or semantic changes.
+    """
+    payload = json.dumps(
+        {
+            "version": CHECKPOINT_VERSION,
+            "grace_period": grace_period,
+            "hosts": [[host, int(flow_counts[host])] for host in sorted(hosts)],
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Checkpoint I/O
+# ----------------------------------------------------------------------
+def _checkpoint_path(directory: Path, key: str) -> Path:
+    return directory / f"shard-{key[:24]}.ckpt"
+
+
+def _load_checkpoint(path: Path, key: str) -> Optional[Dict[str, HostFeatures]]:
+    """The checkpointed features, or ``None`` if absent/stale/corrupt."""
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("version") != CHECKPOINT_VERSION or payload.get("key") != key:
+        return None
+    features = payload.get("features")
+    if not isinstance(features, dict) or not all(
+        isinstance(value, HostFeatures) for value in features.values()
+    ):
+        return None
+    return features
+
+
+def _write_checkpoint(
+    path: Path, key: str, features: Dict[str, HostFeatures]
+) -> None:
+    """Atomically persist one shard's features (write-temp + rename)."""
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "key": key,
+        "features": features,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+def _write_manifest(
+    directory: Path,
+    shards: Sequence[Shard],
+    grace_period: float,
+    kernel: str,
+) -> None:
+    """Human-readable run manifest, for debugging interrupted runs."""
+    manifest = {
+        "version": CHECKPOINT_VERSION,
+        "grace_period": grace_period,
+        "kernel": kernel,
+        "shards": [
+            {
+                "index": shard.index,
+                "hosts": len(shard.hosts),
+                "flows": shard.flow_count,
+                "key": shard.key,
+            }
+            for shard in shards
+        ],
+    }
+    tmp = directory / "manifest.json.tmp"
+    tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+    os.replace(tmp, directory / "manifest.json")
+
+
+# ----------------------------------------------------------------------
+# Shard kernels
+# ----------------------------------------------------------------------
+@dataclass
+class _ShardColumns:
+    """Columnar per-host results of one shard, pre-assembly.
+
+    This is the worker → parent transport format: plain numpy arrays
+    pickle as raw buffers, an order of magnitude cheaper than a map of
+    ``HostFeatures`` objects with per-host interstitial tuples.  The
+    parent assembles ``HostFeatures`` during the merge.
+    """
+
+    hosts: List[str]
+    flow_counts: np.ndarray
+    success_counts: np.ndarray
+    byte_sums: np.ndarray
+    dest_counts: np.ndarray
+    new_counts: np.ndarray
+    gaps: np.ndarray
+    gap_offsets: np.ndarray
+
+
+def _columns_core(
+    hosts: List[str],
+    counts_arr: np.ndarray,
+    starts: np.ndarray,
+    src_bytes: np.ndarray,
+    success: np.ndarray,
+    dst_codes: np.ndarray,
+    n_destinations: int,
+    grace_period: float,
+) -> _ShardColumns:
+    """Vectorized group-by over one shard's columnar flows.
+
+    Inputs are grouped by host (in ``hosts`` order) and start-ordered
+    within each host — the store's sort-once invariant, preserved by
+    both gather paths.  All derived quantities match the reference
+    kernel bit for bit: ratios divide Python ints and interstitial gaps
+    are the same IEEE subtractions in the same order.
+    """
+    total = len(starts)
+    n_hosts = len(hosts)
+    offsets = np.zeros(n_hosts + 1, dtype=np.int64)
+    np.cumsum(counts_arr, out=offsets[1:])
+    host_idx = np.repeat(np.arange(n_hosts, dtype=np.int64), counts_arr)
+
+    success_counts = np.add.reduceat(success, offsets[:-1])
+    byte_sums = np.add.reduceat(src_bytes, offsets[:-1])
+
+    # (host, destination) pairs: group flows per pair while preserving
+    # the per-host start order.
+    pair = host_idx * np.int64(n_destinations) + dst_codes
+    order = np.argsort(pair, kind="stable")
+    pair_sorted = pair[order]
+    first_mask = np.ones(total, dtype=bool)
+    first_mask[1:] = pair_sorted[1:] != pair_sorted[:-1]
+    first_orig_idx = order[first_mask]
+    pair_host = host_idx[order][first_mask]
+    first_contact = starts[order][first_mask]
+
+    dest_counts = np.bincount(pair_host, minlength=n_hosts)
+    activity_start = starts[offsets[:-1]]
+    cutoff = activity_start + grace_period
+    is_new = first_contact > cutoff[pair_host]
+    new_counts = np.bincount(pair_host[is_new], minlength=n_hosts)
+
+    # Interstitials in the reference order: destinations by first
+    # appearance, gaps within a destination by start time.  Keying each
+    # flow by the index of its pair's first flow sorts into exactly
+    # that order.
+    pair_rank = np.cumsum(first_mask) - 1
+    key = np.empty(total, dtype=np.int64)
+    key[order] = first_orig_idx[pair_rank]
+    order2 = np.argsort(key, kind="stable")
+    key2 = key[order2]
+    starts2 = starts[order2]
+    same_pair = key2[1:] == key2[:-1]
+    gaps = (starts2[1:] - starts2[:-1])[same_pair]
+    gap_host = host_idx[order2][1:][same_pair]
+    gap_counts = np.bincount(gap_host, minlength=n_hosts)
+    gap_offsets = np.zeros(n_hosts + 1, dtype=np.int64)
+    np.cumsum(gap_counts, out=gap_offsets[1:])
+
+    return _ShardColumns(
+        hosts=hosts,
+        flow_counts=counts_arr,
+        success_counts=success_counts,
+        byte_sums=byte_sums,
+        dest_counts=dest_counts,
+        new_counts=new_counts,
+        gaps=gaps,
+        gap_offsets=gap_offsets,
+    )
+
+
+def _assemble(columns: _ShardColumns) -> Dict[str, HostFeatures]:
+    """``HostFeatures`` from one shard's columnar results.
+
+    The divisions happen here, on Python ints, exactly as the reference
+    kernel computes them.
+    """
+    gap_values = columns.gaps.tolist()
+    gap_offsets = columns.gap_offsets.tolist()
+    out: Dict[str, HostFeatures] = {}
+    for i, host in enumerate(columns.hosts):
+        flow_count = int(columns.flow_counts[i])
+        successful = int(columns.success_counts[i])
+        dests = int(columns.dest_counts[i])
+        out[host] = HostFeatures(
+            host=host,
+            flow_count=flow_count,
+            successful_flow_count=successful,
+            avg_flow_size=int(columns.byte_sums[i]) / flow_count,
+            failed_conn_rate=(flow_count - successful) / flow_count,
+            new_ip_fraction=int(columns.new_counts[i]) / dests,
+            distinct_destinations=dests,
+            interstitials=tuple(gap_values[gap_offsets[i] : gap_offsets[i + 1]]),
+        )
+    return out
+
+
+def _shard_columns_from_snapshot(
+    snapshot: ColumnarFlows, hosts: Tuple[str, ...], grace_period: float
+) -> _ShardColumns:
+    """Gather a shard's rows from the store snapshot and run the kernel."""
+    indices = [snapshot.index_of[host] for host in hosts]
+    offsets = snapshot.host_offsets
+    selection = np.concatenate([np.arange(offsets[i], offsets[i + 1]) for i in indices])
+    counts_arr = np.array(
+        [int(offsets[i + 1] - offsets[i]) for i in indices], dtype=np.int64
+    )
+    return _columns_core(
+        list(hosts),
+        counts_arr,
+        snapshot.starts[selection],
+        snapshot.src_bytes[selection],
+        snapshot.success[selection],
+        snapshot.dst_codes[selection],
+        snapshot.n_destinations,
+        grace_period,
+    )
+
+
+def _shard_columns_from_flows(
+    hosts: Tuple[str, ...],
+    flows_of: Callable[[str], List[FlowRecord]],
+    grace_period: float,
+) -> _ShardColumns:
+    """Build shard columns straight from flow objects (no snapshot)."""
+    kept_hosts: List[str] = []
+    counts: List[int] = []
+    all_flows: List[FlowRecord] = []
+    for host in hosts:
+        flows = flows_of(host)
+        if not flows:
+            continue
+        kept_hosts.append(host)
+        counts.append(len(flows))
+        all_flows.extend(flows)
+    established = FlowState.ESTABLISHED
+    codes: Dict[str, int] = {}
+    total = len(all_flows)
+    return _columns_core(
+        kept_hosts,
+        np.asarray(counts, dtype=np.int64),
+        np.array([f.start for f in all_flows], dtype=np.float64),
+        np.array([f.src_bytes for f in all_flows], dtype=np.int64),
+        np.array([f.state is established for f in all_flows], dtype=np.int64),
+        np.fromiter(
+            (codes.setdefault(f.dst, len(codes)) for f in all_flows),
+            dtype=np.int64,
+            count=total,
+        ),
+        len(codes),
+        grace_period,
+    )
+
+
+def _extract_shard_reference(
+    hosts: Sequence[str],
+    flows_of: Callable[[str], List[FlowRecord]],
+    grace_period: float,
+) -> Dict[str, HostFeatures]:
+    """Per-host reference kernel (the sequential path, host by host)."""
+    return {
+        host: features_from_sorted_flows(host, flows_of(host), grace_period)
+        for host in hosts
+    }
+
+
+# ----------------------------------------------------------------------
+# Worker plumbing
+# ----------------------------------------------------------------------
+#: Stores published for fork inheritance, keyed by engine token.  A
+#: worker forked while an engine is alive sees that engine's store under
+#: its token; tokens are never reused, so concurrent engines (even on
+#: different stores) cannot cross wires.  Under a ``spawn`` start method
+#: the registry is not inherited and shard payloads are shipped instead.
+_PARENT_STORES: Dict[int, FlowStore] = {}
+_TOKENS = itertools.count(1)
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or ``None`` if unavailable."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def _inject_faults(index: int) -> None:
+    """Honour the documented fault-injection environment knobs."""
+    delay = os.environ.get("REPRO_EXTRACT_SHARD_DELAY")
+    if delay:
+        time.sleep(float(delay))
+    fail = os.environ.get("REPRO_EXTRACT_FAIL_SHARDS")
+    if fail and index in {int(part) for part in fail.split(",") if part.strip()}:
+        raise RuntimeError(f"injected fault in shard {index}")
+
+
+def _run_shard(
+    token: int,
+    index: int,
+    hosts: Tuple[str, ...],
+    grace_period: float,
+    kernel: str,
+    payload: Optional[Dict[str, List[FlowRecord]]],
+):
+    """Worker entry: extract one shard, returning (index, result, secs).
+
+    ``result`` is a ``_ShardColumns`` for the vectorized kernel (the
+    parent assembles features) or a ready ``{host: HostFeatures}`` map
+    for the reference kernel.
+    """
+    t0 = time.perf_counter()
+    _inject_faults(index)
+    if payload is not None:
+        if kernel == "vectorized":
+            result = _shard_columns_from_flows(hosts, payload.__getitem__, grace_period)
+        else:
+            result = _extract_shard_reference(hosts, payload.__getitem__, grace_period)
+    else:
+        store = _PARENT_STORES.get(token)
+        if store is None:
+            raise RuntimeError("worker has no inherited store and no shard payload")
+        if kernel == "vectorized":
+            result = _shard_columns_from_snapshot(store.columnar(), hosts, grace_period)
+        else:
+            result = _extract_shard_reference(hosts, store.flows_from, grace_period)
+    return index, result, time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class ParallelExtractor:
+    """Reusable sharded extraction engine bound to one :class:`FlowStore`.
+
+    Keeps a warm worker pool (and the store's columnar snapshot) across
+    :meth:`extract` calls, so repeated extraction — tumbling windows,
+    threshold sweeps, benchmark repeats — pays process start-up once.
+    The pool is keyed to the store's mutation version and transparently
+    recreated when the store changes.  Use as a context manager, or
+    call :meth:`close` explicitly; the one-shot wrapper
+    :func:`extract_features_parallel` does both for you.
+    """
+
+    def __init__(
+        self,
+        store: FlowStore,
+        n_workers: Optional[int] = None,
+        *,
+        kernel: str = "vectorized",
+        max_retries: int = 2,
+    ) -> None:
+        if kernel not in PARALLEL_KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {PARALLEL_KERNELS}"
+            )
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        workers = int(n_workers or 1)
+        if workers < 1:
+            raise ValueError("n_workers must be >= 0")
+        self.store = store
+        self.n_workers = workers
+        self.kernel = kernel
+        self.max_retries = max_retries
+        self._token = next(_TOKENS)
+        self._context = _fork_context()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_version: Optional[int] = None
+        if self._context is not None and workers > 1:
+            _PARENT_STORES[self._token] = store
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool and unpublish the store."""
+        self._teardown_pool()
+        _PARENT_STORES.pop(self._token, None)
+
+    def __enter__(self) -> "ParallelExtractor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _teardown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._pool_version = None
+
+    def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
+        """A pool whose forked workers snapshot the *current* store."""
+        if self._pool is not None and self._pool_version != self.store.version:
+            # The store mutated since the workers forked; their snapshot
+            # is stale and silently wrong — recreate.
+            self._teardown_pool()
+        if self._pool is None:
+            if self.kernel == "vectorized" and self._context is not None:
+                # Build the columnar snapshot in the parent before the
+                # fork so every worker inherits it already built.
+                self.store.columnar()
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=self._context
+            )
+            self._pool_version = self.store.version
+        return self._pool
+
+    # -- extraction -----------------------------------------------------
+    def extract(
+        self,
+        hosts: Optional[Iterable[str]] = None,
+        *,
+        grace_period: float = NEW_IP_GRACE_PERIOD,
+        checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
+        resume: bool = False,
+        n_shards: Optional[int] = None,
+    ) -> Dict[str, HostFeatures]:
+        """Extract features for ``hosts`` (default: every initiator).
+
+        Hosts without any initiated flow are omitted from the result,
+        matching :func:`~repro.flows.metrics.extract_all_features`,
+        whose output this reproduces bit-for-bit.
+        """
+        counts_all = self.store.flow_counts()
+        if hosts is None:
+            wanted = counts_all
+        else:
+            wanted = {h: counts_all[h] for h in hosts if h in counts_all}
+        if not wanted:
+            return {}
+
+        if n_shards is None:
+            n_shards = self.n_workers * SHARDS_PER_WORKER
+        n_shards = max(1, min(n_shards, len(wanted)))
+        workers = min(self.n_workers, n_shards)
+
+        directory = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        planned = plan_shards(wanted, n_shards)
+        shards = [
+            Shard(
+                index=index,
+                hosts=shard_hosts,
+                flow_count=sum(wanted[h] for h in shard_hosts),
+                key=(
+                    shard_checkpoint_key(shard_hosts, wanted, grace_period)
+                    if directory is not None
+                    else ""
+                ),
+            )
+            for index, shard_hosts in enumerate(planned)
+        ]
+
+        with span(
+            "extract_parallel",
+            hosts=len(wanted),
+            shards=len(shards),
+            workers=workers,
+            kernel=self.kernel,
+        ) as root:
+            if obs_metrics.is_enabled():
+                _WORKERS_GAUGE.set(workers)
+                _HOSTS_GAUGE.set(len(wanted))
+
+            results: Dict[int, Dict[str, HostFeatures]] = {}
+            pending: List[Shard] = []
+            checkpoint_hits = 0
+            if directory is not None:
+                directory.mkdir(parents=True, exist_ok=True)
+                _write_manifest(directory, shards, grace_period, self.kernel)
+            for shard in shards:
+                restored = None
+                if directory is not None and resume:
+                    restored = _load_checkpoint(
+                        _checkpoint_path(directory, shard.key), shard.key
+                    )
+                    _CHECKPOINT.inc(result="hit" if restored is not None else "miss")
+                if restored is not None:
+                    results[shard.index] = restored
+                    checkpoint_hits += 1
+                else:
+                    pending.append(shard)
+            if checkpoint_hits:
+                logger.info(
+                    "resume: %d/%d shards restored from %s",
+                    checkpoint_hits,
+                    len(shards),
+                    directory,
+                )
+
+            def complete(shard: Shard, result, elapsed: float) -> None:
+                features = result if isinstance(result, dict) else _assemble(result)
+                results[shard.index] = features
+                _SHARDS.inc(result="ok")
+                _SHARD_SECONDS.observe(elapsed)
+                if directory is not None:
+                    _write_checkpoint(
+                        _checkpoint_path(directory, shard.key),
+                        shard.key,
+                        features,
+                    )
+                    _CHECKPOINT.inc(result="write")
+
+            if workers <= 1:
+                self._run_inprocess(pending, grace_period, complete)
+            else:
+                self._run_pooled(pending, grace_period, workers, complete)
+            root.set(computed_shards=len(pending), checkpoint_hits=checkpoint_hits)
+
+        merged: Dict[str, HostFeatures] = {}
+        for shard in shards:
+            merged.update(results[shard.index])
+        return merged
+
+    def _run_inprocess(
+        self,
+        pending: Sequence[Shard],
+        grace_period: float,
+        complete: Callable[[Shard, object, float], None],
+    ) -> None:
+        """Sequential execution with the same retry/checkpoint semantics."""
+        snapshot = self.store.columnar() if self.kernel == "vectorized" else None
+        for shard in pending:
+            errors: List[str] = []
+            for attempt in range(self.max_retries + 1):
+                try:
+                    t0 = time.perf_counter()
+                    _inject_faults(shard.index)
+                    if snapshot is not None:
+                        result = _shard_columns_from_snapshot(
+                            snapshot, shard.hosts, grace_period
+                        )
+                    else:
+                        result = _extract_shard_reference(
+                            shard.hosts, self.store.flows_from, grace_period
+                        )
+                    elapsed = time.perf_counter() - t0
+                except Exception as exc:  # noqa: BLE001 - reported per shard
+                    errors.append(f"{type(exc).__name__}: {exc}")
+                    if attempt < self.max_retries:
+                        _RETRIES.inc()
+                        _SHARDS.inc(result="retried")
+                else:
+                    complete(shard, result, elapsed)
+                    break
+            else:
+                _SHARDS.inc(result="failed")
+                raise ShardExtractionError(
+                    [
+                        ShardFailure(
+                            index=shard.index,
+                            host_count=len(shard.hosts),
+                            attempts=self.max_retries + 1,
+                            errors=tuple(errors),
+                        )
+                    ]
+                )
+
+    def _run_pooled(
+        self,
+        pending: Sequence[Shard],
+        grace_period: float,
+        workers: int,
+        complete: Callable[[Shard, object, float], None],
+    ) -> None:
+        """Chunked pool execution in retry waves.
+
+        Shards are submitted as independent tasks; any that fail (worker
+        exception or a broken pool) are collected and resubmitted to a
+        fresh pool, up to ``max_retries`` extra waves.  A broken pool
+        poisons every still-pending future in its wave, so wave
+        granularity — rather than per-future retry against a
+        possibly-dead executor — is what makes worker crashes
+        recoverable.
+        """
+        remaining = list(pending)
+        attempts: Dict[int, int] = {shard.index: 0 for shard in pending}
+        errors: Dict[int, List[str]] = {shard.index: [] for shard in pending}
+        while remaining:
+            pool = self._ensure_pool(workers)
+            failed_wave: List[Shard] = []
+            pool_broken = False
+            futures = {}
+            for shard in remaining:
+                payload = None
+                if self._context is None:
+                    payload = {h: self.store.flows_from(h) for h in shard.hosts}
+                futures[
+                    pool.submit(
+                        _run_shard,
+                        self._token,
+                        shard.index,
+                        shard.hosts,
+                        grace_period,
+                        self.kernel,
+                        payload,
+                    )
+                ] = shard
+            for future, shard in futures.items():
+                try:
+                    _, result, elapsed = future.result()
+                except Exception as exc:  # noqa: BLE001 - retried below
+                    attempts[shard.index] += 1
+                    errors[shard.index].append(f"{type(exc).__name__}: {exc}")
+                    failed_wave.append(shard)
+                    if isinstance(exc, BaseException) and (
+                        "BrokenProcessPool" in type(exc).__name__
+                    ):
+                        pool_broken = True
+                else:
+                    complete(shard, result, elapsed)
+            if pool_broken:
+                self._teardown_pool()
+            fatal = [
+                shard
+                for shard in failed_wave
+                if attempts[shard.index] > self.max_retries
+            ]
+            if fatal:
+                for _ in fatal:
+                    _SHARDS.inc(result="failed")
+                raise ShardExtractionError(
+                    [
+                        ShardFailure(
+                            index=shard.index,
+                            host_count=len(shard.hosts),
+                            attempts=attempts[shard.index],
+                            errors=tuple(errors[shard.index]),
+                        )
+                        for shard in sorted(fatal, key=lambda s: s.index)
+                    ]
+                )
+            for shard in failed_wave:
+                _RETRIES.inc()
+                _SHARDS.inc(result="retried")
+                logger.warning(
+                    "shard %d failed (attempt %d/%d): %s — retrying",
+                    shard.index,
+                    attempts[shard.index],
+                    self.max_retries + 1,
+                    errors[shard.index][-1],
+                )
+            remaining = failed_wave
+
+
+def extract_features_parallel(
+    store: FlowStore,
+    hosts: Optional[Iterable[str]] = None,
+    *,
+    n_workers: Optional[int] = None,
+    grace_period: float = NEW_IP_GRACE_PERIOD,
+    checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
+    resume: bool = False,
+    max_retries: int = 2,
+    n_shards: Optional[int] = None,
+    kernel: str = "vectorized",
+) -> Dict[str, HostFeatures]:
+    """One-shot sharded (optionally multi-process) feature extraction.
+
+    Convenience wrapper: builds a :class:`ParallelExtractor`, runs one
+    :meth:`~ParallelExtractor.extract`, and tears the engine down.
+    Callers that extract repeatedly from the same store should hold a
+    :class:`ParallelExtractor` instead and reuse its warm pool.
+    """
+    with ParallelExtractor(
+        store, n_workers, kernel=kernel, max_retries=max_retries
+    ) as engine:
+        return engine.extract(
+            hosts,
+            grace_period=grace_period,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            n_shards=n_shards,
+        )

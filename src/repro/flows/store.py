@@ -9,11 +9,71 @@ per-initiator index so per-host feature extraction is cheap.
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-from .record import FlowRecord
+import numpy as np
 
-__all__ = ["FlowStore"]
+from .record import FlowRecord, FlowState
+
+__all__ = ["ColumnarFlows", "FlowStore"]
+
+
+@dataclass(frozen=True)
+class ColumnarFlows:
+    """Immutable columnar snapshot of a store's per-initiator flows.
+
+    Flows are grouped by initiator (hosts in sorted order) and kept in
+    start-time order within each group — host ``hosts[i]``'s flows live
+    at ``starts[host_offsets[i]:host_offsets[i + 1]]`` and friends.
+    Destinations are factorized into dense integer codes so group-by
+    kernels (:mod:`repro.flows.parallel`) never touch flow *objects*:
+    one attribute-access pass at build time buys array-speed extraction
+    for every engine run until the store mutates.
+    """
+
+    hosts: Tuple[str, ...]
+    index_of: Dict[str, int]
+    host_offsets: np.ndarray
+    starts: np.ndarray
+    src_bytes: np.ndarray
+    success: np.ndarray
+    dst_codes: np.ndarray
+    n_destinations: int
+
+    @property
+    def n_flows(self) -> int:
+        """Total flows in the snapshot."""
+        return int(self.host_offsets[-1])
+
+
+def _build_columnar(by_src: Dict[str, List[FlowRecord]]) -> ColumnarFlows:
+    hosts = tuple(sorted(by_src))
+    counts = np.array([len(by_src[host]) for host in hosts], dtype=np.int64)
+    host_offsets = np.zeros(len(hosts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=host_offsets[1:])
+    total = int(host_offsets[-1])
+    all_flows: List[FlowRecord] = []
+    for host in hosts:
+        all_flows.extend(by_src[host])
+    established = FlowState.ESTABLISHED
+    codes: Dict[str, int] = {}
+    return ColumnarFlows(
+        hosts=hosts,
+        index_of={host: i for i, host in enumerate(hosts)},
+        host_offsets=host_offsets,
+        starts=np.array([f.start for f in all_flows], dtype=np.float64),
+        src_bytes=np.array([f.src_bytes for f in all_flows], dtype=np.int64),
+        success=np.array(
+            [f.state is established for f in all_flows], dtype=np.int64
+        ),
+        dst_codes=np.fromiter(
+            (codes.setdefault(f.dst, len(codes)) for f in all_flows),
+            dtype=np.int64,
+            count=total,
+        ),
+        n_destinations=len(codes),
+    )
 
 
 class FlowStore:
@@ -24,12 +84,21 @@ class FlowStore:
     *initiator* address because every per-host feature in the paper is
     computed over the flows a host initiates (uploads, contacted
     destinations, connection attempts).
+
+    **Sort-once invariant:** the per-initiator index is maintained in
+    start-time order at insertion, so :meth:`flows_from` never re-sorts.
+    Feature extraction (:mod:`repro.flows.metrics`,
+    :mod:`repro.flows.parallel`) relies on this invariant and passes
+    ``presorted=True`` to the per-metric helpers.
     """
 
     def __init__(self, flows: Optional[Iterable[FlowRecord]] = None) -> None:
         self._flows: List[FlowRecord] = []
         self._starts: List[float] = []
         self._by_src: Dict[str, List[FlowRecord]] = {}
+        self._version = 0
+        self._columnar: Optional[ColumnarFlows] = None
+        self._columnar_version = -1
         if flows is not None:
             self.extend(flows)
 
@@ -38,16 +107,24 @@ class FlowStore:
     # ------------------------------------------------------------------
     def add(self, flow: FlowRecord) -> None:
         """Insert one flow, keeping start-time order."""
+        self._version += 1
         idx = bisect.bisect_right(self._starts, flow.start)
         self._flows.insert(idx, flow)
         self._starts.insert(idx, flow.start)
-        self._by_src.setdefault(flow.src, []).append(flow)
+        per_src = self._by_src.setdefault(flow.src, [])
+        per_src.append(flow)
+        # Keep the per-initiator index start-ordered at insertion time
+        # (the sort-once invariant flows_from() relies on).  Appends in
+        # time order — the common case — never trigger the sort.
+        if len(per_src) > 1 and per_src[-2].start > flow.start:
+            per_src.sort(key=lambda f: f.start)
 
     def extend(self, flows: Iterable[FlowRecord]) -> None:
         """Insert many flows (more efficient than repeated :meth:`add`)."""
         incoming = list(flows)
         if not incoming:
             return
+        self._version += 1
         self._flows.extend(incoming)
         self._flows.sort(key=lambda f: f.start)
         self._starts = [f.start for f in self._flows]
@@ -83,8 +160,41 @@ class FlowStore:
         return max(f.end for f in self._flows) - self._starts[0]
 
     def flows_from(self, host: str) -> List[FlowRecord]:
-        """Flows initiated by ``host``, in start-time order."""
-        return sorted(self._by_src.get(host, []), key=lambda f: f.start)
+        """Flows initiated by ``host``, in start-time order.
+
+        The per-initiator index is kept start-ordered at insertion, so
+        this is a plain copy — no per-call sort.
+        """
+        return list(self._by_src.get(host, []))
+
+    def flow_counts(self) -> Dict[str, int]:
+        """Number of initiated flows per initiator (no list copies).
+
+        The shard planner (:func:`repro.flows.parallel.plan_shards`)
+        balances shards by this map.
+        """
+        return {host: len(flows) for host, flows in self._by_src.items()}
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on every :meth:`add` / :meth:`extend`.
+
+        Engines that snapshot the store (worker pools, the columnar
+        view) key their caches on this to detect staleness.
+        """
+        return self._version
+
+    def columnar(self) -> ColumnarFlows:
+        """The cached columnar snapshot, rebuilt after mutations.
+
+        Building it costs one pass over the flow objects; every
+        subsequent vectorized-extraction run on the unchanged store
+        reuses the arrays for free.
+        """
+        if self._columnar is None or self._columnar_version != self._version:
+            self._columnar = _build_columnar(self._by_src)
+            self._columnar_version = self._version
+        return self._columnar
 
     def flows_involving(self, host: str) -> List[FlowRecord]:
         """Flows where ``host`` is either endpoint, in start-time order."""

@@ -24,7 +24,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..obs import metrics as obs_metrics
-from .metrics import NEW_IP_GRACE_PERIOD, HostFeatures
+from .metrics import (
+    NEW_IP_GRACE_PERIOD,
+    HostFeatures,
+    new_fraction_from_first_contacts,
+)
 from .record import FlowRecord
 
 __all__ = ["StreamingHostState", "StreamingFeatureExtractor"]
@@ -157,10 +161,12 @@ class StreamingFeatureExtractor:
         """
         state = self._hosts[host]
         dests = len(state.first_contact)
-        if dests and state.first_activity is not None:
-            cutoff = state.first_activity + self.grace_period
-            new = sum(1 for t in state.first_contact.values() if t > cutoff)
-            new_fraction = new / dests
+        if state.first_activity is not None:
+            # One definition of the §IV-B churn metric, shared with the
+            # batch extractor.
+            new_fraction = new_fraction_from_first_contacts(
+                state.first_contact, state.first_activity, self.grace_period
+            )
         else:
             new_fraction = 0.0
         return HostFeatures(
