@@ -18,9 +18,10 @@ import argparse
 import sys
 from pathlib import Path
 
-from ..flows.argus import read_flows
+from ..flows.argus import PARSE_ERROR_MODES, read_flows_report
 from ..flows.parallel import extract_features_parallel
 from ..obs import configure_logging, get_logger
+from ..resilience import RetryError, StageGuard
 from .campus import CampusConfig, build_campus_day
 from .groundtruth import identify_traders
 from .honeynet import capture_nugache_trace, capture_storm_trace
@@ -60,17 +61,49 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _read_trace(args):
+    """Load the trace under the CLI's parse-error policy; log fallout."""
+    store, report = read_flows_report(
+        args.trace,
+        errors=args.on_parse_error,
+        dead_letter=args.dead_letter,
+    )
+    if report.rows_bad:
+        logger.warning("%s", report.describe())
+        for sample in report.error_samples[:5]:
+            logger.warning("  %s", sample)
+    return store
+
+
 def _cmd_inspect(args) -> int:
     if args.resume and not args.checkpoint_dir:
         print("inspect: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
-    store = read_flows(args.trace)
-    features = extract_features_parallel(
-        store,
-        n_workers=args.workers,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
-    )
+    store = _read_trace(args)
+    guard = StageGuard(enabled=not args.no_degrade, name="inspect")
+
+    def parallel_extract():
+        return extract_features_parallel(
+            store,
+            n_workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            on_degrade=guard.note,
+        )
+
+    def sequential_extract():
+        return extract_features_parallel(store, n_workers=0)
+
+    attempts = [(f"parallel[{args.workers}]", parallel_extract)]
+    if args.workers > 1 or args.checkpoint_dir:
+        attempts.append(("sequential", sequential_extract))
+    try:
+        features = guard.run("extract_features", attempts)
+    except (RetryError, OSError) as exc:
+        print(f"inspect: extraction failed: {exc}", file=sys.stderr)
+        return 1
+    for event in guard.degradations:
+        logger.warning("%s", event.describe())
     print(f"{args.trace}: {len(store):,} flows, {len(features)} initiators")
     header = (
         f"{'host':<18} {'flows':>7} {'avg B/flow':>11} {'fail%':>6} "
@@ -93,7 +126,7 @@ def _cmd_inspect(args) -> int:
 
 
 def _cmd_label(args) -> int:
-    store = read_flows(args.trace)
+    store = _read_trace(args)
     labels = identify_traders(store)
     if not labels:
         print("no hosts matched the Trader payload signatures")
@@ -124,8 +157,24 @@ def main(argv=None) -> int:
     generate.add_argument("--seed", type=int, default=2007)
     generate.set_defaults(func=_cmd_generate)
 
+    def add_ingest_flags(cmd):
+        cmd.add_argument("--trace", required=True, help="trace CSV path")
+        cmd.add_argument(
+            "--on-parse-error",
+            choices=PARSE_ERROR_MODES,
+            default="strict",
+            help="malformed-row policy: abort, drop, or divert to a "
+            "dead-letter CSV (default strict)",
+        )
+        cmd.add_argument(
+            "--dead-letter",
+            metavar="PATH",
+            help="dead-letter CSV for --on-parse-error=quarantine "
+            "(default: <trace>.deadletter.csv)",
+        )
+
     inspect = sub.add_parser("inspect", help="per-host features of a trace")
-    inspect.add_argument("--trace", required=True, help="trace CSV path")
+    add_ingest_flags(inspect)
     inspect.add_argument("--top", type=int, default=20)
     inspect.add_argument(
         "--workers",
@@ -143,10 +192,16 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip shards whose checkpoint in --checkpoint-dir is intact",
     )
+    inspect.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="make stage failures fatal instead of stepping down the "
+        "fallback ladder",
+    )
     inspect.set_defaults(func=_cmd_inspect)
 
     label = sub.add_parser("label", help="apply Trader payload signatures")
-    label.add_argument("--trace", required=True, help="trace CSV path")
+    add_ingest_flags(label)
     label.set_defaults(func=_cmd_label)
 
     args = parser.parse_args(argv)

@@ -34,6 +34,13 @@ from ..flows.store import FlowStore
 from ..flows.streaming import StreamingFeatureExtractor
 from ..obs import metrics as obs_metrics
 from ..obs.tracing import span
+from ..resilience import (
+    Degradation,
+    StageGuard,
+    atomic_write_text,
+    hm_backend_ladder,
+)
+from ..resilience.faults import io_point
 from ..stats.histogram import Histogram, build_histogram
 from ..stats.thresholds import percentile_threshold, select_above, select_below
 from .humanmachine import MIN_SAMPLES, _LOG_FLOOR, cluster_hosts
@@ -127,6 +134,14 @@ class OnlineDetector:
         ``history`` and continuing from the next window index —
         in-window streaming state is *not* checkpointed (its reservoirs
         are cheap to refill), only completed-window conclusions.
+
+    Graceful degradation (honouring ``config.degrade``): a verdict-log
+    write failure disables the log for the rest of the run instead of
+    killing a detector that has days of in-memory state, and a θ_hm
+    backend failure during evaluation steps down the backend ladder to
+    ``loop``.  Every such step is recorded on :attr:`guard` (and hence
+    in :attr:`degradations`), logged, counted and span-emitted — the
+    detector never falls back silently.
     """
 
     def __init__(
@@ -152,12 +167,25 @@ class OnlineDetector:
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
         self.history: List[OnlineVerdict] = []
+        self.guard = StageGuard(enabled=config.degrade, name="online_detector")
+        self._verdict_log_disabled = False
         self._window_index = 0
         self._window_start: Optional[float] = None
         if self.checkpoint_dir is not None:
-            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
-            if resume:
-                self._restore_verdicts()
+            try:
+                self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+                if resume:
+                    self._restore_verdicts()
+            except OSError as exc:
+                if not config.degrade:
+                    raise
+                self._verdict_log_disabled = True
+                self.guard.note(
+                    "verdict_log",
+                    "checkpointed",
+                    "no-checkpoint",
+                    f"{type(exc).__name__}: {exc}",
+                )
         self._extractor = self._fresh_extractor()
         # host -> (reservoir version, histogram built at that version).
         # Valid only within the current window; cleared on tumble.
@@ -166,8 +194,13 @@ class OnlineDetector:
         self.cache_misses = 0
 
     @property
+    def degradations(self) -> "Tuple[Degradation, ...]":
+        """Every degradation of this detector's lifetime, in order."""
+        return self.guard.degradations
+
+    @property
     def _verdict_log(self) -> Optional[Path]:
-        if self.checkpoint_dir is None:
+        if self.checkpoint_dir is None or self._verdict_log_disabled:
             return None
         return self.checkpoint_dir / "verdicts.jsonl"
 
@@ -176,18 +209,31 @@ class OnlineDetector:
         log = self._verdict_log
         if log is None or not log.exists():
             return
-        for line in log.read_text().splitlines():
-            line = line.strip()
-            if not line:
+        lines = log.read_text().splitlines()
+        intact: List[str] = []
+        torn = False
+        for line in lines:
+            stripped = line.strip()
+            if not stripped:
                 continue
             try:
-                verdict = OnlineVerdict.from_json(line)
+                verdict = OnlineVerdict.from_json(stripped)
             except (ValueError, KeyError):
                 # A torn final line from a killed writer: everything
                 # before it is intact, so keep what parsed.
+                torn = True
                 break
+            intact.append(stripped)
             self.history.append(verdict)
             _VERDICT_CKPT.inc(result="restore")
+        if torn:
+            # Truncate the tear away so later appends start on a fresh
+            # line — otherwise the fragment and the next verdict would
+            # merge into one unparseable line, losing both.
+            atomic_write_text(
+                log, "".join(line + "\n" for line in intact)
+            )
+            _VERDICT_CKPT.inc(result="truncated")
         if self.history:
             self._window_index = self.history[-1].window_index + 1
 
@@ -221,9 +267,25 @@ class OnlineDetector:
         self.history.append(verdict)
         log = self._verdict_log
         if log is not None:
-            with open(log, "a") as fh:
-                fh.write(verdict.to_json() + "\n")
-            _VERDICT_CKPT.inc(result="write")
+            try:
+                io_point("verdict-log")
+                with open(log, "a") as fh:
+                    fh.write(verdict.to_json() + "\n")
+            except OSError as exc:
+                # Never kill a detector holding days of window state
+                # over a full disk: degrade to unlogged operation
+                # (loudly) and keep tumbling.
+                if not self.config.degrade:
+                    raise
+                self._verdict_log_disabled = True
+                self.guard.note(
+                    "verdict_log",
+                    "checkpointed",
+                    "no-checkpoint",
+                    f"{type(exc).__name__}: {exc}",
+                )
+            else:
+                _VERDICT_CKPT.inc(result="write")
         self._window_index += 1
         self._extractor = self._fresh_extractor()
         # The new window starts with empty reservoirs whose version
@@ -328,11 +390,26 @@ class OnlineDetector:
                 hist = self._host_histogram(host, features[host].interstitials)
                 if hist is not None:
                     histograms[host] = hist
-            clustering = cluster_hosts(
-                histograms,
-                self.config.hm_percentile,
-                self.config.hm_cut_fraction,
-                backend=self.config.hm_backend,
+            # Backend ladder as in the batch pipeline: every backend
+            # yields the same distance matrix, so stepping down changes
+            # speed, never verdicts.
+            def cluster_with(backend):
+                def run():
+                    return cluster_hosts(
+                        histograms,
+                        self.config.hm_percentile,
+                        self.config.hm_cut_fraction,
+                        backend=backend,
+                    )
+
+                return run
+
+            clustering = self.guard.run(
+                "theta_hm",
+                [
+                    (b, cluster_with(b))
+                    for b in hm_backend_ladder(self.config.hm_backend)
+                ],
             )
             suspects = {h for cluster in clustering.kept for h in cluster}
 

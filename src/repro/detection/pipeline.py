@@ -14,12 +14,14 @@ intermediate set so the Figure 9 funnel can be reproduced.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import Optional, Set, Tuple
 
+from ..flows.metrics import extract_all_features
 from ..flows.parallel import extract_features_parallel
 from ..flows.store import FlowStore
 from ..obs import metrics as obs_metrics
 from ..obs.tracing import span
+from ..resilience import Degradation, StageGuard, hm_backend_ladder
 from ..stats.emd import PAIRWISE_BACKENDS
 from .churn import theta_churn
 from .humanmachine import theta_hm
@@ -89,6 +91,14 @@ class PipelineConfig:
     #: whose checkpoint is intact.
     checkpoint_dir: Optional[str] = None
     resume: bool = False
+    #: Graceful degradation: when True (the default) a
+    #: :class:`~repro.resilience.StageGuard` steps failed stages down
+    #: their declared fallback ladder (parallel extraction → sequential,
+    #: vectorized θ_hm backends → ``loop``, checkpointing → none)
+    #: instead of aborting the run; every step is recorded in
+    #: :attr:`PipelineResult.degradations`.  ``False`` (the CLI's
+    #: ``--no-degrade``) makes the first stage failure fatal.
+    degrade: bool = True
 
     def __post_init__(self) -> None:
         # Fail at construction, not deep inside pairwise_emd: a typo'd
@@ -114,6 +124,17 @@ class PipelineResult:
     volume: TestResult
     churn: TestResult
     hm: TestResult
+    #: Every graceful-degradation event of the run (empty on a clean
+    #: run) — the resilience part of the run summary.  Silent fallback
+    #: is impossible: anything here was also logged at WARNING, counted
+    #: in ``repro_stage_degradations_total`` and emitted as a
+    #: ``degradation`` span event.
+    degradations: Tuple[Degradation, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any stage ran in a fallback mode."""
+        return bool(self.degradations)
 
     @property
     def reduced_hosts(self) -> Set[str]:
@@ -133,10 +154,55 @@ class PipelineResult:
         return self.hm.selected_set
 
 
+def _extract_attempts(store, hosts, config, guard):
+    """The extraction fallback ladder, as (mode, thunk) pairs.
+
+    The primary mode is whatever the config asked for (the parallel
+    engine already warm-restarts a broken pool between its retry waves
+    and steps down to no-checkpoint on checkpoint-dir I/O errors,
+    reporting both through the guard).  If the engine still fails —
+    workers dying faster than the retry policy tolerates — the ladder
+    falls back to in-process sharded extraction, and finally to the
+    pure-Python reference extractor, which shares no numpy kernel or
+    pool machinery with the primary path.  All three produce
+    bit-identical features, so degrading changes wall time, never
+    suspects.
+    """
+    primary_mode = (
+        f"parallel[{config.n_workers}]" if config.n_workers > 1 else "in-process"
+    )
+
+    def primary():
+        return extract_features_parallel(
+            store,
+            hosts,
+            n_workers=config.n_workers,
+            checkpoint_dir=config.checkpoint_dir,
+            resume=config.resume,
+            on_degrade=guard.note,
+        )
+
+    def sequential():
+        return extract_features_parallel(
+            store, hosts, n_workers=0, on_degrade=guard.note
+        )
+
+    def reference():
+        all_features = extract_all_features(store)
+        return {h: f for h, f in all_features.items() if h in hosts}
+
+    attempts = [(primary_mode, primary)]
+    if config.n_workers > 1 or config.checkpoint_dir is not None:
+        attempts.append(("sequential", sequential))
+    attempts.append(("reference", reference))
+    return attempts
+
+
 def find_plotters(
     store: FlowStore,
     hosts: Optional[Set[str]] = None,
     config: PipelineConfig = PipelineConfig(),
+    guard: Optional[StageGuard] = None,
 ) -> PipelineResult:
     """Run the full detection pipeline over one window of traffic.
 
@@ -150,10 +216,18 @@ def find_plotters(
         never candidates).
     config:
         Threshold percentiles; see :class:`PipelineConfig`.
+    guard:
+        Stage supervisor to record degradations on (default: a fresh
+        :class:`~repro.resilience.StageGuard`, enabled per
+        ``config.degrade``).  Pass a shared guard to accumulate one
+        resilience summary across several runs.
     """
     if hosts is None:
         hosts = store.initiators
     hosts = set(hosts)
+    if guard is None:
+        guard = StageGuard(enabled=config.degrade, name="find_plotters")
+    degradations_before = len(guard.degradations)
 
     with span("find_plotters", input_hosts=len(hosts)) as root:
         _RUNS.inc()
@@ -163,16 +237,14 @@ def find_plotters(
         # stage read its metric off the bundles instead of re-scanning
         # the store four times.  The engine is pinned bit-identical to
         # the sequential extractor, so thresholds and suspects are
-        # unchanged for every n_workers setting.
+        # unchanged for every n_workers setting.  Stage failures walk
+        # the fallback ladder under the guard.
         with span(
             "extract_features", hosts=len(hosts), workers=config.n_workers
         ):
-            features = extract_features_parallel(
-                store,
-                hosts,
-                n_workers=config.n_workers,
-                checkpoint_dir=config.checkpoint_dir,
-                resume=config.resume,
+            features = guard.run(
+                "extract_features",
+                _extract_attempts(store, hosts, config, guard),
             )
 
         reduction: Optional[TestResult] = None
@@ -221,14 +293,26 @@ def find_plotters(
         with span(
             "theta_hm", input_hosts=len(union), backend=config.hm_backend
         ) as s:
-            hm = theta_hm(
-                store,
-                union,
-                percentile=config.hm_percentile,
-                cut_fraction=config.hm_cut_fraction,
-                log_scale=config.hm_log_scale,
-                backend=config.hm_backend,
-                features=features,
+            # Backend ladder: every backend yields the same distance
+            # matrix, so stepping down (parallel → vectorized → loop)
+            # under the guard changes speed, never suspects.
+            def hm_with(backend):
+                def run():
+                    return theta_hm(
+                        store,
+                        union,
+                        percentile=config.hm_percentile,
+                        cut_fraction=config.hm_cut_fraction,
+                        log_scale=config.hm_log_scale,
+                        backend=backend,
+                        features=features,
+                    )
+
+                return run
+
+            hm = guard.run(
+                "theta_hm",
+                [(b, hm_with(b)) for b in hm_backend_ladder(config.hm_backend)],
             )
             s.set(
                 surviving_hosts=len(hm.selected_set),
@@ -237,11 +321,13 @@ def find_plotters(
         _record_stage(
             "theta_hm", len(union), len(hm.selected_set), hm.threshold
         )
-        root.set(suspects=len(hm.selected_set))
+        degradations = guard.degradations[degradations_before:]
+        root.set(suspects=len(hm.selected_set), degradations=len(degradations))
     return PipelineResult(
         input_hosts=frozenset(hosts),
         reduction=reduction,
         volume=volume,
         churn=churn,
         hm=hm,
+        degradations=degradations,
     )

@@ -145,6 +145,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip extraction shards whose checkpoint is intact",
     )
+    parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help=(
+            "make pipeline stage failures fatal instead of stepping "
+            "down the fallback ladder (parallel extraction -> "
+            "sequential, vectorized theta_hm -> loop)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
@@ -172,7 +181,7 @@ def main(argv=None) -> int:
     config = (
         ExperimentConfig.paper() if args.scale == "paper" else ExperimentConfig.quick()
     )
-    if args.workers or args.checkpoint_dir:
+    if args.workers or args.checkpoint_dir or args.no_degrade:
         config = dataclasses.replace(
             config,
             pipeline=dataclasses.replace(
@@ -180,6 +189,7 @@ def main(argv=None) -> int:
                 n_workers=args.workers,
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
+                degrade=not args.no_degrade,
             ),
         )
     ctx = ExperimentContext(config)

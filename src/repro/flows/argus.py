@@ -6,26 +6,57 @@ can be captured once and replayed across experiments.  The column set
 mirrors the fields the paper lists: addressing, protocol, timestamps,
 per-direction packet/byte counts, connection state, and the 64-byte payload
 snippet (hex-encoded).
+
+Fault-tolerant ingest
+---------------------
+An eight-day border trace is millions of rows from a real collector —
+some of them torn, truncated, or mis-encoded.  :func:`read_flows` and
+:func:`loads` therefore take an ``errors`` policy:
+
+* ``"strict"`` (the default) — the first malformed row raises
+  ``ValueError`` with ``path:lineno`` context, exactly as before;
+* ``"skip"`` — malformed rows are counted, logged, and dropped;
+* ``"quarantine"`` — as ``skip``, but each bad row is also appended to
+  a *dead-letter CSV* (the same columns plus an ``error`` column) so
+  it can be inspected or replayed after the collector bug is fixed.
+
+:func:`read_flows_report` returns the :class:`IngestReport` alongside
+the store; the ``repro_ingest_rows_{ok,skipped,quarantined}_total``
+counters feed the metrics registry.  Writes go through the crash-safe
+atomic writer (:mod:`repro.resilience.io`), so a killed
+:func:`write_flows` never leaves a half-written trace where a complete
+one stood.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
+from ..obs import metrics as obs_metrics
+from ..obs.logconf import get_logger
+from ..resilience import faults
+from ..resilience.io import atomic_write
 from .record import FlowRecord, FlowState, Protocol
 from .store import FlowStore
 
 __all__ = [
     "ARGUS_COLUMNS",
+    "DEAD_LETTER_COLUMNS",
+    "PARSE_ERROR_MODES",
+    "IngestReport",
     "flow_to_row",
     "row_to_flow",
     "write_flows",
     "read_flows",
+    "read_flows_report",
+    "default_dead_letter_path",
     "dumps",
     "loads",
+    "loads_report",
 ]
 
 #: Column order of the Argus-like CSV format.
@@ -43,6 +74,30 @@ ARGUS_COLUMNS = (
     "dst_bytes",
     "state",
     "payload_hex",
+)
+
+#: Dead-letter files carry the raw fields plus the parse error.
+DEAD_LETTER_COLUMNS = ARGUS_COLUMNS + ("error",)
+
+#: Recognised malformed-row policies.
+PARSE_ERROR_MODES = ("strict", "skip", "quarantine")
+
+#: Cap on per-report retained error messages/rows — enough to debug,
+#: bounded so a 99%-corrupt file cannot balloon the report.
+_REPORT_ERROR_CAP = 32
+
+logger = get_logger("flows.argus")
+
+_ROWS_OK = obs_metrics.counter(
+    "repro_ingest_rows_ok_total", "Trace rows parsed into flow records"
+)
+_ROWS_SKIPPED = obs_metrics.counter(
+    "repro_ingest_rows_skipped_total",
+    "Malformed trace rows dropped under errors='skip'",
+)
+_ROWS_QUARANTINED = obs_metrics.counter(
+    "repro_ingest_rows_quarantined_total",
+    "Malformed trace rows diverted to a dead-letter file",
 )
 
 
@@ -101,10 +156,13 @@ def row_to_flow(row: List[str]) -> FlowRecord:
 def write_flows(path: Union[str, Path], flows: Iterable[FlowRecord]) -> int:
     """Write flows to ``path`` in Argus-like CSV format.
 
-    Returns the number of records written.
+    The write is crash-safe: rows land in a temp file beside ``path``
+    which is fsync'd and atomically renamed into place, so a reader
+    (or a killed writer) never observes a truncated trace.  Returns
+    the number of records written.
     """
     count = 0
-    with open(path, "w", newline="") as handle:
+    with atomic_write(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(ARGUS_COLUMNS)
         for flow in flows:
@@ -113,21 +171,204 @@ def write_flows(path: Union[str, Path], flows: Iterable[FlowRecord]) -> int:
     return count
 
 
-def _read_rows(handle: Iterator[List[str]]) -> Iterator[FlowRecord]:
-    header = next(handle, None)
+# ----------------------------------------------------------------------
+# Fault-tolerant reading
+# ----------------------------------------------------------------------
+@dataclass
+class IngestReport:
+    """Outcome counts (and sampled errors) of one trace read."""
+
+    source: str
+    errors_mode: str = "strict"
+    rows_ok: int = 0
+    rows_skipped: int = 0
+    rows_quarantined: int = 0
+    dead_letter: Optional[str] = None
+    #: First few ``source:lineno: message`` strings, capped.
+    error_samples: List[str] = field(default_factory=list)
+
+    @property
+    def rows_bad(self) -> int:
+        """Malformed rows encountered, regardless of policy."""
+        return self.rows_skipped + self.rows_quarantined
+
+    def describe(self) -> str:
+        out = (
+            f"{self.source}: {self.rows_ok} rows ok, "
+            f"{self.rows_bad} malformed ({self.errors_mode})"
+        )
+        if self.dead_letter is not None and self.rows_quarantined:
+            out += f"; dead-letter: {self.dead_letter}"
+        return out
+
+    def _note_error(self, message: str) -> None:
+        if len(self.error_samples) < _REPORT_ERROR_CAP:
+            self.error_samples.append(message)
+
+
+def default_dead_letter_path(path: Union[str, Path]) -> Path:
+    """Where quarantined rows go when no explicit path is given."""
+    path = Path(path)
+    return path.with_name(path.name + ".deadletter.csv")
+
+
+class _DeadLetterWriter:
+    """Appends quarantined rows (raw fields + error) to a CSV file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self._writer = None
+
+    def _open(self):
+        if self._writer is None:
+            faults.io_point("dead-letter")
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._handle = open(self.path, "a", newline="")
+            self._writer = csv.writer(self._handle)
+            if fresh:
+                self._writer.writerow(DEAD_LETTER_COLUMNS)
+        return self._writer
+
+    def append(self, row: List[str], error: str) -> None:
+        width = len(ARGUS_COLUMNS)
+        padded = (list(row) + [""] * width)[:width]
+        self._open().writerow(padded + [error])
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+            self._writer = None
+
+
+def _strip_bom(cell: str) -> str:
+    return cell.lstrip("﻿")
+
+
+def _parse_rows(
+    rows: Iterator[List[str]],
+    *,
+    source: str,
+    errors: str,
+    report: IngestReport,
+    dead_letter: Optional[_DeadLetterWriter],
+) -> Iterator[FlowRecord]:
+    """Parse CSV rows under the given malformed-row policy.
+
+    ``rows`` must be a ``csv.reader`` (its ``line_num`` attribute
+    provides the physical line for error context).  A UTF-8 BOM on the
+    header row is tolerated — collectors on Windows prepend one.
+    """
+    header = next(rows, None)
     if header is None:
         return
+    if header:
+        header = [_strip_bom(header[0])] + list(header[1:])
     if tuple(header) != ARGUS_COLUMNS:
-        raise ValueError(f"unrecognised trace header: {header!r}")
-    for row in handle:
-        if row:
-            yield row_to_flow(row)
+        raise ValueError(f"{source}: unrecognised trace header: {header!r}")
+    corrupt = faults.parse_corruptor()
+    for row in rows:
+        if not row:
+            continue
+        if corrupt is not None:
+            row = corrupt(row)
+        try:
+            flow = row_to_flow(row)
+        except ValueError as exc:
+            lineno = getattr(rows, "line_num", "?")
+            message = f"{source}:{lineno}: {exc}"
+            if errors == "strict":
+                raise ValueError(message) from exc
+            report._note_error(message)
+            if errors == "quarantine":
+                report.rows_quarantined += 1
+                _ROWS_QUARANTINED.inc()
+                if dead_letter is not None:
+                    dead_letter.append(row, str(exc))
+            else:
+                report.rows_skipped += 1
+                _ROWS_SKIPPED.inc()
+            continue
+        report.rows_ok += 1
+        yield flow
+    _ROWS_OK.inc(report.rows_ok)
+    if report.rows_bad:
+        logger.warning(
+            "%s: %d malformed row(s) %s (first: %s)",
+            source,
+            report.rows_bad,
+            "quarantined" if errors == "quarantine" else "skipped",
+            report.error_samples[0] if report.error_samples else "?",
+        )
 
 
-def read_flows(path: Union[str, Path]) -> FlowStore:
-    """Read a trace written by :func:`write_flows` into a store."""
-    with open(path, newline="") as handle:
-        return FlowStore(_read_rows(csv.reader(handle)))
+def _check_errors_mode(errors: str) -> None:
+    if errors not in PARSE_ERROR_MODES:
+        raise ValueError(
+            f"unknown errors mode {errors!r}; expected one of {PARSE_ERROR_MODES}"
+        )
+
+
+def read_flows_report(
+    path: Union[str, Path],
+    *,
+    errors: str = "strict",
+    dead_letter: Optional[Union[str, Path]] = None,
+) -> Tuple[FlowStore, IngestReport]:
+    """Read a trace and return ``(store, ingest report)``.
+
+    In ``quarantine`` mode malformed rows are appended to
+    ``dead_letter`` (default: ``<path>.deadletter.csv`` beside the
+    trace).  The dead-letter file is append-mode, so repeated partial
+    loads accumulate rather than overwrite.
+    """
+    _check_errors_mode(errors)
+    report = IngestReport(source=str(path), errors_mode=errors)
+    sink: Optional[_DeadLetterWriter] = None
+    if errors == "quarantine":
+        target = (
+            Path(dead_letter)
+            if dead_letter is not None
+            else default_dead_letter_path(path)
+        )
+        report.dead_letter = str(target)
+        sink = _DeadLetterWriter(target)
+    try:
+        # utf-8-sig transparently strips a leading BOM; BOM-free files
+        # read identically.
+        with open(path, newline="", encoding="utf-8-sig") as handle:
+            store = FlowStore(
+                _parse_rows(
+                    csv.reader(handle),
+                    source=str(path),
+                    errors=errors,
+                    report=report,
+                    dead_letter=sink,
+                )
+            )
+    finally:
+        if sink is not None:
+            sink.close()
+    return store, report
+
+
+def read_flows(
+    path: Union[str, Path],
+    *,
+    errors: str = "strict",
+    dead_letter: Optional[Union[str, Path]] = None,
+) -> FlowStore:
+    """Read a trace written by :func:`write_flows` into a store.
+
+    ``errors`` selects the malformed-row policy (see the module
+    docstring); the default ``"strict"`` raises on the first bad row,
+    with ``path:lineno`` context, preserving the original behaviour.
+    Use :func:`read_flows_report` when the outcome counts are needed.
+    """
+    store, _ = read_flows_report(path, errors=errors, dead_letter=dead_letter)
+    return store
 
 
 def dumps(flows: Iterable[FlowRecord]) -> str:
@@ -140,6 +381,46 @@ def dumps(flows: Iterable[FlowRecord]) -> str:
     return buffer.getvalue()
 
 
-def loads(text: str) -> FlowStore:
+def loads_report(
+    text: str,
+    *,
+    errors: str = "strict",
+    dead_letter: Optional[Union[str, Path]] = None,
+) -> Tuple[FlowStore, IngestReport]:
+    """Parse a CSV string and return ``(store, ingest report)``.
+
+    Without a ``dead_letter`` path, quarantine mode still counts and
+    samples the bad rows in the report — there is just no file to
+    append them to.
+    """
+    _check_errors_mode(errors)
+    report = IngestReport(source="<string>", errors_mode=errors)
+    sink: Optional[_DeadLetterWriter] = None
+    if errors == "quarantine" and dead_letter is not None:
+        report.dead_letter = str(dead_letter)
+        sink = _DeadLetterWriter(dead_letter)
+    try:
+        store = FlowStore(
+            _parse_rows(
+                csv.reader(io.StringIO(text.lstrip("﻿"))),
+                source="<string>",
+                errors=errors,
+                report=report,
+                dead_letter=sink,
+            )
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    return store, report
+
+
+def loads(
+    text: str,
+    *,
+    errors: str = "strict",
+    dead_letter: Optional[Union[str, Path]] = None,
+) -> FlowStore:
     """Parse a CSV string produced by :func:`dumps`."""
-    return FlowStore(_read_rows(csv.reader(io.StringIO(text))))
+    store, _ = loads_report(text, errors=errors, dead_letter=dead_letter)
+    return store

@@ -43,16 +43,32 @@ file, truncated pickle, version or key mismatch — is recomputed.  A
 failed worker is retried up to ``max_retries`` times before the run
 aborts with a per-shard :class:`ShardExtractionError` report.
 
+Failure handling
+----------------
+Per-shard retry runs under a :class:`repro.resilience.RetryPolicy`
+(jittered exponential backoff between attempts/waves); a failed worker
+is retried until the policy is exhausted, then the run aborts with a
+per-shard :class:`ShardExtractionError` report.  Checkpoint-directory
+I/O errors never abort a run: the first one disables checkpointing for
+the rest of the run, reported through the ``on_degrade`` callback (the
+pipeline's :class:`~repro.resilience.StageGuard` wires it into the run
+summary).  A broken worker pool is warm-restarted between retry waves
+and the restart reported the same way.
+
 Fault injection (testing only)
 ------------------------------
-``REPRO_EXTRACT_FAIL_SHARDS`` (comma-separated shard indices) makes
-those shards raise in the worker; ``REPRO_EXTRACT_SHARD_DELAY``
-(seconds) slows every shard down so kill-and-resume tests can interrupt
-a run deterministically.  Both are read in the worker, never in
-production configuration.
+The unified knobs live in :mod:`repro.resilience.faults`:
+``REPRO_FAULT_EXTRACT_FAIL_SHARDS`` (comma-separated shard indices that
+raise in the worker), ``REPRO_FAULT_EXTRACT_SHARD_DELAY`` (seconds of
+per-shard latency so kill-and-resume tests can interrupt a run
+deterministically) and ``REPRO_FAULT_EXTRACT_KILL_ONCE`` (sentinel file
+whose claimer hard-exits, breaking the pool exactly once).  The legacy
+``REPRO_EXTRACT_*`` names keep working as aliases.  All are read in the
+worker, never in production configuration.
 
 See ``docs/scaling.md`` for the shard planner, the checkpoint format,
-and resume semantics.
+and resume semantics; ``docs/resilience.md`` for the degradation
+ladder and fault knobs.
 """
 
 from __future__ import annotations
@@ -66,7 +82,7 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from pathlib import Path
 from typing import (
     Callable,
@@ -85,6 +101,9 @@ import numpy as np
 from ..obs import metrics as obs_metrics
 from ..obs.logconf import get_logger
 from ..obs.tracing import span
+from ..resilience import faults
+from ..resilience.io import atomic_write
+from ..resilience.retry import RetryError, RetryPolicy
 from .metrics import (
     NEW_IP_GRACE_PERIOD,
     HostFeatures,
@@ -92,6 +111,12 @@ from .metrics import (
 )
 from .record import FlowRecord, FlowState
 from .store import ColumnarFlows, FlowStore
+
+#: Callback signature for degradations the extractor handles itself
+#: (checkpointing disabled after an I/O error, pool warm-restart):
+#: ``on_degrade(stage, from_mode, to_mode, error)`` — matches
+#: :meth:`repro.resilience.StageGuard.note`.
+OnDegrade = Callable[[str, str, str, str], None]
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -263,16 +288,15 @@ def _load_checkpoint(path: Path, key: str) -> Optional[Dict[str, HostFeatures]]:
 def _write_checkpoint(
     path: Path, key: str, features: Dict[str, HostFeatures]
 ) -> None:
-    """Atomically persist one shard's features (write-temp + rename)."""
+    """Crash-safely persist one shard's features (temp + fsync + rename)."""
+    faults.io_point("checkpoint")
     payload = {
         "version": CHECKPOINT_VERSION,
         "key": key,
         "features": features,
     }
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as fh:
+    with atomic_write(path, "wb") as fh:
         pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(tmp, path)
 
 
 def _write_manifest(
@@ -282,6 +306,7 @@ def _write_manifest(
     kernel: str,
 ) -> None:
     """Human-readable run manifest, for debugging interrupted runs."""
+    faults.io_point("manifest")
     manifest = {
         "version": CHECKPOINT_VERSION,
         "grace_period": grace_period,
@@ -296,9 +321,67 @@ def _write_manifest(
             for shard in shards
         ],
     }
-    tmp = directory / "manifest.json.tmp"
-    tmp.write_text(json.dumps(manifest, indent=2) + "\n")
-    os.replace(tmp, directory / "manifest.json")
+    with atomic_write(directory / "manifest.json", "w") as fh:
+        fh.write(json.dumps(manifest, indent=2) + "\n")
+
+
+class _Checkpointing:
+    """Checkpoint I/O that degrades to no-op instead of killing the run.
+
+    The first ``OSError`` from the checkpoint directory (read-only
+    mount, disk full, NFS flap) disables further checkpoint *writes*
+    for the rest of the run, reports the degradation once through
+    ``on_degrade``, and counts it — the run then completes without
+    checkpointing rather than dying million of flows in.
+    """
+
+    def __init__(self, directory: Path, on_degrade: Optional[OnDegrade]) -> None:
+        self.directory = directory
+        self.on_degrade = on_degrade
+        self.disabled = False
+
+    def _degrade(self, exc: OSError) -> None:
+        if self.disabled:
+            return
+        self.disabled = True
+        error = f"{type(exc).__name__}: {exc}"
+        logger.warning(
+            "checkpoint directory %s failed (%s); continuing without "
+            "checkpointing",
+            self.directory,
+            error,
+        )
+        _CHECKPOINT.inc(result="io-error")
+        if self.on_degrade is not None:
+            self.on_degrade(
+                "extract_checkpoint", "checkpointed", "no-checkpoint", error
+            )
+
+    def prepare(self, shards: Sequence[Shard], grace_period: float, kernel: str) -> None:
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            _write_manifest(self.directory, shards, grace_period, kernel)
+        except OSError as exc:
+            self._degrade(exc)
+
+    def load(self, shard: Shard) -> Optional[Dict[str, HostFeatures]]:
+        if self.disabled:
+            return None
+        return _load_checkpoint(
+            _checkpoint_path(self.directory, shard.key), shard.key
+        )
+
+    def write(self, shard: Shard, features: Dict[str, HostFeatures]) -> None:
+        if self.disabled:
+            return
+        try:
+            _write_checkpoint(
+                _checkpoint_path(self.directory, shard.key), shard.key, features
+            )
+        except OSError as exc:
+            self._degrade(exc)
+        else:
+            _CHECKPOINT.inc(result="write")
 
 
 # ----------------------------------------------------------------------
@@ -512,13 +595,14 @@ def _fork_context():
 
 
 def _inject_faults(index: int) -> None:
-    """Honour the documented fault-injection environment knobs."""
-    delay = os.environ.get("REPRO_EXTRACT_SHARD_DELAY")
+    """Honour the documented fault-injection knobs (see
+    :mod:`repro.resilience.faults`; legacy ``REPRO_EXTRACT_*`` names
+    remain as aliases)."""
+    delay = faults.extract_shard_delay()
     if delay:
-        time.sleep(float(delay))
-    fail = os.environ.get("REPRO_EXTRACT_FAIL_SHARDS")
-    if fail and index in {int(part) for part in fail.split(",") if part.strip()}:
-        raise RuntimeError(f"injected fault in shard {index}")
+        time.sleep(delay)
+    faults.extract_kill_once()
+    faults.extract_fail(index)
 
 
 def _run_shard(
@@ -575,6 +659,8 @@ class ParallelExtractor:
         *,
         kernel: str = "vectorized",
         max_retries: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+        on_degrade: Optional[OnDegrade] = None,
     ) -> None:
         if kernel not in PARALLEL_KERNELS:
             raise ValueError(
@@ -588,7 +674,15 @@ class ParallelExtractor:
         self.store = store
         self.n_workers = workers
         self.kernel = kernel
-        self.max_retries = max_retries
+        # ``retry_policy`` wins when given; ``max_retries`` remains the
+        # simple knob (N extra attempts, short capped backoff).
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=max_retries + 1,
+            base_delay=0.05,
+            max_delay=2.0,
+        )
+        self.max_retries = self.retry_policy.max_attempts - 1
+        self.on_degrade = on_degrade
         self._token = next(_TOKENS)
         self._context = _fork_context()
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -690,15 +784,14 @@ class ParallelExtractor:
             results: Dict[int, Dict[str, HostFeatures]] = {}
             pending: List[Shard] = []
             checkpoint_hits = 0
+            ckpt: Optional[_Checkpointing] = None
             if directory is not None:
-                directory.mkdir(parents=True, exist_ok=True)
-                _write_manifest(directory, shards, grace_period, self.kernel)
+                ckpt = _Checkpointing(directory, self.on_degrade)
+                ckpt.prepare(shards, grace_period, self.kernel)
             for shard in shards:
                 restored = None
-                if directory is not None and resume:
-                    restored = _load_checkpoint(
-                        _checkpoint_path(directory, shard.key), shard.key
-                    )
+                if ckpt is not None and resume:
+                    restored = ckpt.load(shard)
                     _CHECKPOINT.inc(result="hit" if restored is not None else "miss")
                 if restored is not None:
                     results[shard.index] = restored
@@ -718,13 +811,8 @@ class ParallelExtractor:
                 results[shard.index] = features
                 _SHARDS.inc(result="ok")
                 _SHARD_SECONDS.observe(elapsed)
-                if directory is not None:
-                    _write_checkpoint(
-                        _checkpoint_path(directory, shard.key),
-                        shard.key,
-                        features,
-                    )
-                    _CHECKPOINT.inc(result="write")
+                if ckpt is not None:
+                    ckpt.write(shard, features)
 
             if workers <= 1:
                 self._run_inprocess(pending, grace_period, complete)
@@ -743,43 +831,51 @@ class ParallelExtractor:
         grace_period: float,
         complete: Callable[[Shard, object, float], None],
     ) -> None:
-        """Sequential execution with the same retry/checkpoint semantics."""
+        """Sequential execution with the same retry/checkpoint semantics.
+
+        Per-shard retry runs under :attr:`retry_policy` (jittered
+        exponential backoff between attempts); exhaustion surfaces as a
+        :class:`ShardExtractionError` carrying the policy's error
+        history.
+        """
         snapshot = self.store.columnar() if self.kernel == "vectorized" else None
-        for shard in pending:
-            errors: List[str] = []
-            for attempt in range(self.max_retries + 1):
-                try:
-                    t0 = time.perf_counter()
-                    _inject_faults(shard.index)
-                    if snapshot is not None:
-                        result = _shard_columns_from_snapshot(
-                            snapshot, shard.hosts, grace_period
-                        )
-                    else:
-                        result = _extract_shard_reference(
-                            shard.hosts, self.store.flows_from, grace_period
-                        )
-                    elapsed = time.perf_counter() - t0
-                except Exception as exc:  # noqa: BLE001 - reported per shard
-                    errors.append(f"{type(exc).__name__}: {exc}")
-                    if attempt < self.max_retries:
-                        _RETRIES.inc()
-                        _SHARDS.inc(result="retried")
-                else:
-                    complete(shard, result, elapsed)
-                    break
+
+        def run_shard(shard: Shard) -> Tuple[object, float]:
+            t0 = time.perf_counter()
+            _inject_faults(shard.index)
+            if snapshot is not None:
+                result = _shard_columns_from_snapshot(
+                    snapshot, shard.hosts, grace_period
+                )
             else:
+                result = _extract_shard_reference(
+                    shard.hosts, self.store.flows_from, grace_period
+                )
+            return result, time.perf_counter() - t0
+
+        def note_retry(exc: BaseException, attempt: int) -> None:
+            _RETRIES.inc()
+            _SHARDS.inc(result="retried")
+
+        policy = dataclass_replace(self.retry_policy, on_retry=note_retry)
+        for shard in pending:
+            try:
+                result, elapsed = policy.call(
+                    run_shard, shard, name=f"extract_shard[{shard.index}]"
+                )
+            except RetryError as err:
                 _SHARDS.inc(result="failed")
                 raise ShardExtractionError(
                     [
                         ShardFailure(
                             index=shard.index,
                             host_count=len(shard.hosts),
-                            attempts=self.max_retries + 1,
-                            errors=tuple(errors),
+                            attempts=err.attempts,
+                            errors=err.errors,
                         )
                     ]
-                )
+                ) from err
+            complete(shard, result, elapsed)
 
     def _run_pooled(
         self,
@@ -792,16 +888,24 @@ class ParallelExtractor:
 
         Shards are submitted as independent tasks; any that fail (worker
         exception or a broken pool) are collected and resubmitted to a
-        fresh pool, up to ``max_retries`` extra waves.  A broken pool
-        poisons every still-pending future in its wave, so wave
+        fresh pool, up to the retry policy's extra attempts.  A broken
+        pool poisons every still-pending future in its wave, so wave
         granularity — rather than per-future retry against a
         possibly-dead executor — is what makes worker crashes
-        recoverable.
+        recoverable.  The policy's backoff runs between waves, and a
+        pool warm-restart is reported through ``on_degrade`` so the run
+        summary shows it.
         """
         remaining = list(pending)
         attempts: Dict[int, int] = {shard.index: 0 for shard in pending}
         errors: Dict[int, List[str]] = {shard.index: [] for shard in pending}
+        wave = 0
         while remaining:
+            if wave:
+                delay = self.retry_policy.delay(wave)
+                if delay > 0:
+                    self.retry_policy.sleep(delay)
+            wave += 1
             pool = self._ensure_pool(workers)
             failed_wave: List[Shard] = []
             pool_broken = False
@@ -836,6 +940,17 @@ class ParallelExtractor:
                     complete(shard, result, elapsed)
             if pool_broken:
                 self._teardown_pool()
+                logger.warning(
+                    "worker pool broke mid-wave; warm-restarting for the "
+                    "retry wave"
+                )
+                if self.on_degrade is not None:
+                    self.on_degrade(
+                        "extract_pool",
+                        "pool",
+                        "pool-restart",
+                        "BrokenProcessPool: worker died mid-wave",
+                    )
             fatal = [
                 shard
                 for shard in failed_wave
@@ -879,6 +994,8 @@ def extract_features_parallel(
     max_retries: int = 2,
     n_shards: Optional[int] = None,
     kernel: str = "vectorized",
+    retry_policy: Optional[RetryPolicy] = None,
+    on_degrade: Optional[OnDegrade] = None,
 ) -> Dict[str, HostFeatures]:
     """One-shot sharded (optionally multi-process) feature extraction.
 
@@ -888,7 +1005,12 @@ def extract_features_parallel(
     :class:`ParallelExtractor` instead and reuse its warm pool.
     """
     with ParallelExtractor(
-        store, n_workers, kernel=kernel, max_retries=max_retries
+        store,
+        n_workers,
+        kernel=kernel,
+        max_retries=max_retries,
+        retry_policy=retry_policy,
+        on_degrade=on_degrade,
     ) as engine:
         return engine.extract(
             hosts,

@@ -1,0 +1,294 @@
+"""Unified fault injection for chaos testing the pipeline.
+
+Every deliberate failure the test suite and the CI chaos-smoke job can
+inject lives here, behind one environment-variable namespace
+(``REPRO_FAULT_*``) and one programmatic entry point
+(:func:`injected`).  Production code never *sets* these knobs; it only
+calls the tiny check helpers (:func:`extract_fail`,
+:func:`parse_corruptor`, :func:`stage_call`, :func:`io_point`) at the
+points where real-world faults would strike, so chaos tests exercise
+the exact degradation paths an operator would hit.
+
+Environment knobs (all unset by default — zero injected faults):
+
+``REPRO_FAULT_EXTRACT_FAIL_SHARDS``
+    Comma-separated shard indices that raise inside the extraction
+    worker on every attempt.  (Alias: ``REPRO_EXTRACT_FAIL_SHARDS``.)
+``REPRO_FAULT_EXTRACT_SHARD_DELAY``
+    Seconds each extraction shard sleeps before computing, so
+    kill-and-resume tests can interrupt a run deterministically.
+    (Alias: ``REPRO_EXTRACT_SHARD_DELAY``.)
+``REPRO_FAULT_EXTRACT_KILL_ONCE``
+    Path to a sentinel file.  The first extraction worker to claim the
+    sentinel (atomically, by deleting it) hard-exits its process —
+    simulating an OOM-kill that breaks the whole pool.  Exactly one
+    kill per sentinel, so retried waves then succeed.
+``REPRO_FAULT_PARSE_CORRUPT_RATE``
+    Probability in [0, 1] that a CSV row read by
+    :func:`repro.flows.argus.read_flows` is mangled before parsing.
+``REPRO_FAULT_PARSE_SEED``
+    RNG seed for the corruption choice (default 0, deterministic).
+``REPRO_FAULT_STAGE_FAIL``
+    ``stage:N[,stage:N…]`` — the Nth guarded call of that stage raises
+    :class:`InjectedFault` (1-based, counted process-wide; see
+    :func:`stage_call`).  Because the counter keeps advancing, a
+    declared fallback retrying the stage succeeds — failures are
+    one-shot per N.
+``REPRO_FAULT_IO_ERRORS``
+    Comma-separated I/O tags (``checkpoint``, ``manifest``,
+    ``dead-letter``, ``verdict-log``) whose writes raise ``OSError``.
+``REPRO_FAULT_IO_DELAY``
+    Seconds of added latency at every tagged I/O point.
+
+The old ``REPRO_EXTRACT_*`` names from the first parallel-extraction
+release keep working as documented aliases; the ``REPRO_FAULT_*`` name
+wins when both are set.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "InjectedFault",
+    "extract_fail_shards",
+    "extract_shard_delay",
+    "extract_fail",
+    "extract_kill_once",
+    "parse_corrupt_rate",
+    "parse_corruptor",
+    "stage_call",
+    "reset_stage_calls",
+    "io_point",
+    "injected",
+]
+
+#: (canonical name, legacy alias or None) for every knob.
+_ALIASES: Mapping[str, Optional[str]] = {
+    "REPRO_FAULT_EXTRACT_FAIL_SHARDS": "REPRO_EXTRACT_FAIL_SHARDS",
+    "REPRO_FAULT_EXTRACT_SHARD_DELAY": "REPRO_EXTRACT_SHARD_DELAY",
+    "REPRO_FAULT_EXTRACT_KILL_ONCE": None,
+    "REPRO_FAULT_PARSE_CORRUPT_RATE": None,
+    "REPRO_FAULT_PARSE_SEED": None,
+    "REPRO_FAULT_STAGE_FAIL": None,
+    "REPRO_FAULT_IO_ERRORS": None,
+    "REPRO_FAULT_IO_DELAY": None,
+}
+
+
+class InjectedFault(RuntimeError):
+    """An error raised on purpose by the fault-injection layer."""
+
+
+def _get(name: str) -> Optional[str]:
+    """The knob's value, honouring the legacy alias."""
+    value = os.environ.get(name)
+    if value:
+        return value
+    alias = _ALIASES.get(name)
+    if alias:
+        value = os.environ.get(alias)
+        if value:
+            return value
+    return None
+
+
+# ----------------------------------------------------------------------
+# Extraction faults (read in the worker process)
+# ----------------------------------------------------------------------
+def extract_fail_shards() -> frozenset:
+    """Shard indices configured to fail, as a frozen set of ints."""
+    raw = _get("REPRO_FAULT_EXTRACT_FAIL_SHARDS")
+    if not raw:
+        return frozenset()
+    return frozenset(int(part) for part in raw.split(",") if part.strip())
+
+
+def extract_shard_delay() -> float:
+    """Per-shard injected latency in seconds (0.0 = none)."""
+    raw = _get("REPRO_FAULT_EXTRACT_SHARD_DELAY")
+    return float(raw) if raw else 0.0
+
+
+def extract_fail(index: int) -> None:
+    """Raise :class:`InjectedFault` if shard ``index`` is marked to fail."""
+    if index in extract_fail_shards():
+        raise InjectedFault(f"injected fault in shard {index}")
+
+
+def extract_kill_once() -> None:
+    """Hard-exit this process if the kill-once sentinel can be claimed.
+
+    The sentinel file is deleted *before* exiting, so among racing
+    workers exactly one dies — the others find the sentinel gone.
+    ``os._exit`` (not ``sys.exit``) models a SIGKILL/OOM death: no
+    cleanup handlers run and the pool sees a broken worker.
+    """
+    sentinel = _get("REPRO_FAULT_EXTRACT_KILL_ONCE")
+    if not sentinel:
+        return
+    try:
+        os.remove(sentinel)
+    except OSError:
+        return  # already claimed (or never created): nobody else dies
+    os._exit(1)
+
+
+# ----------------------------------------------------------------------
+# Parse corruption
+# ----------------------------------------------------------------------
+def parse_corrupt_rate() -> float:
+    """Configured row-corruption probability (0.0 = off)."""
+    raw = _get("REPRO_FAULT_PARSE_CORRUPT_RATE")
+    return float(raw) if raw else 0.0
+
+
+def parse_corruptor() -> Optional[Callable[[List[str]], List[str]]]:
+    """A row-mangling callable, or ``None`` when corruption is off.
+
+    Call once per read session: the returned closure owns a seeded RNG
+    so repeated reads corrupt the same rows the same way (deterministic
+    chaos runs).  Mangling alternates between truncating the row and
+    poisoning a numeric field — both must land in the quarantine path.
+    """
+    rate = parse_corrupt_rate()
+    if rate <= 0.0:
+        return None
+    seed = int(_get("REPRO_FAULT_PARSE_SEED") or 0)
+    rng = random.Random(seed)
+
+    def corrupt(row: List[str]) -> List[str]:
+        if rng.random() >= rate:
+            return row
+        if rng.random() < 0.5:
+            return row[: max(1, len(row) // 2)]
+        mangled = list(row)
+        mangled[min(4, len(mangled) - 1)] = "\x00garbage"
+        return mangled
+
+    return corrupt
+
+
+# ----------------------------------------------------------------------
+# Stage failures
+# ----------------------------------------------------------------------
+_STAGE_LOCK = threading.Lock()
+_STAGE_CALLS: Dict[str, int] = {}
+
+
+def _stage_fail_plan() -> Dict[str, int]:
+    raw = _get("REPRO_FAULT_STAGE_FAIL")
+    if not raw:
+        return {}
+    plan: Dict[str, int] = {}
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        stage, _, nth = part.partition(":")
+        plan[stage] = int(nth) if nth else 1
+    return plan
+
+
+def stage_call(stage: str) -> None:
+    """Count one guarded call of ``stage``; raise if this is the Nth.
+
+    The counter advances on every call, so after the injected failure
+    the *next* attempt of the same stage (a declared fallback, a
+    retry) passes — injected stage faults are transient by
+    construction, which is exactly the failure mode graceful
+    degradation is for.
+    """
+    plan = _stage_fail_plan()
+    if not plan:
+        return
+    with _STAGE_LOCK:
+        _STAGE_CALLS[stage] = _STAGE_CALLS.get(stage, 0) + 1
+        count = _STAGE_CALLS[stage]
+    if plan.get(stage) == count:
+        raise InjectedFault(f"injected failure in stage {stage!r} (call {count})")
+
+
+def reset_stage_calls() -> None:
+    """Zero the per-stage call counters (test isolation)."""
+    with _STAGE_LOCK:
+        _STAGE_CALLS.clear()
+
+
+# ----------------------------------------------------------------------
+# I/O faults
+# ----------------------------------------------------------------------
+def io_point(tag: str) -> None:
+    """Apply configured latency/errors at a tagged I/O site.
+
+    Raises ``OSError`` (not :class:`InjectedFault`) when the tag is in
+    ``REPRO_FAULT_IO_ERRORS``, so callers exercise the same handling
+    path a real disk failure would take.
+    """
+    delay = _get("REPRO_FAULT_IO_DELAY")
+    if delay:
+        import time
+
+        time.sleep(float(delay))
+    raw = _get("REPRO_FAULT_IO_ERRORS")
+    if raw and tag in {part.strip() for part in raw.split(",") if part.strip()}:
+        raise OSError(f"injected I/O error at {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Programmatic installation
+# ----------------------------------------------------------------------
+_KNOB_FOR_KWARG: Mapping[str, str] = {
+    "extract_fail_shards": "REPRO_FAULT_EXTRACT_FAIL_SHARDS",
+    "extract_shard_delay": "REPRO_FAULT_EXTRACT_SHARD_DELAY",
+    "extract_kill_once": "REPRO_FAULT_EXTRACT_KILL_ONCE",
+    "parse_corrupt_rate": "REPRO_FAULT_PARSE_CORRUPT_RATE",
+    "parse_seed": "REPRO_FAULT_PARSE_SEED",
+    "stage_fail": "REPRO_FAULT_STAGE_FAIL",
+    "io_errors": "REPRO_FAULT_IO_ERRORS",
+    "io_delay": "REPRO_FAULT_IO_DELAY",
+}
+
+
+def _encode(value: object) -> str:
+    if isinstance(value, Mapping):
+        return ",".join(f"{k}:{v}" for k, v in sorted(value.items()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return ",".join(str(v) for v in sorted(value))
+    return str(value)
+
+
+@contextmanager
+def injected(**knobs: object):
+    """Install faults for the duration of a ``with`` block.
+
+    Keyword names mirror the env knobs (``extract_fail_shards=[1, 3]``,
+    ``parse_corrupt_rate=0.01``, ``stage_fail={"theta_hm": 1}``,
+    ``io_errors=["checkpoint"]``, …).  Values are written to the
+    canonical ``REPRO_FAULT_*`` environment variables — the environment
+    is the one channel that reaches forked *and* spawned worker
+    processes alike — and restored on exit.  Stage-call counters are
+    reset on entry and exit so every block starts from call zero.
+    """
+    unknown = set(knobs) - set(_KNOB_FOR_KWARG)
+    if unknown:
+        raise TypeError(f"unknown fault knobs: {sorted(unknown)}")
+    saved: List[Tuple[str, Optional[str]]] = []
+    reset_stage_calls()
+    try:
+        for kwarg, value in knobs.items():
+            name = _KNOB_FOR_KWARG[kwarg]
+            saved.append((name, os.environ.get(name)))
+            os.environ[name] = _encode(value)
+        yield
+    finally:
+        for name, previous in reversed(saved):
+            if previous is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = previous
+        reset_stage_calls()

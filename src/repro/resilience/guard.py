@@ -1,0 +1,159 @@
+"""Stage supervision with declared, loudly-reported degradation.
+
+A long detection run should survive the failure of an *optimisation* —
+a crashed worker pool, a vectorized kernel hitting a pathological
+input, a checkpoint directory going read-only — by stepping down to a
+slower-but-equivalent mode, never by silently producing different
+results and never by dying.  :class:`StageGuard` encodes that policy:
+each guarded stage declares an ordered ladder of modes, the guard runs
+them first-to-last, and every step down is recorded as a
+:class:`Degradation` and emitted three ways at once (a WARNING log
+line, the ``repro_stage_degradations_total`` counter, and a structured
+``degradation`` span event for JSONL sinks) so a fallback can never
+pass unnoticed.
+
+With ``enabled=False`` (the ``--no-degrade`` CLI flag) the guard is a
+transparent pass-through: the first failure propagates, which is what
+you want under a debugger or in a correctness bisect.
+
+The θ_hm backend ladder used by both the batch pipeline and the online
+detector lives here too (:func:`hm_backend_ladder`): ``parallel``
+steps down through ``vectorized`` to ``loop``; ``auto`` and
+``vectorized`` step straight to ``loop`` — the backend of last resort
+with no pool and no numpy broadcasting to fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+
+from ..obs import metrics as obs_metrics
+from ..obs.logconf import get_logger
+from ..obs.tracing import span
+from . import faults
+
+__all__ = ["Degradation", "StageGuard", "hm_backend_ladder"]
+
+T = TypeVar("T")
+
+logger = get_logger("resilience.guard")
+
+_DEGRADATIONS = obs_metrics.counter(
+    "repro_stage_degradations_total",
+    "Stage fallbacks applied by StageGuard",
+    labels=("stage", "to_mode"),
+)
+
+#: θ_hm pairwise-EMD backend step-downs (every backend yields the same
+#: distance matrix, so stepping down changes speed, never suspects).
+_HM_STEP_DOWN: Dict[str, str] = {
+    "parallel": "vectorized",
+    "vectorized": "loop",
+    "auto": "loop",
+}
+
+
+def hm_backend_ladder(backend: str) -> Tuple[str, ...]:
+    """The configured backend followed by its fallbacks, best first."""
+    ladder = [backend]
+    while backend in _HM_STEP_DOWN:
+        backend = _HM_STEP_DOWN[backend]
+        ladder.append(backend)
+    return tuple(ladder)
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """One recorded step down a stage's fallback ladder."""
+
+    stage: str
+    from_mode: str
+    to_mode: str
+    error: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.stage}: {self.from_mode} failed "
+            f"({self.error}); degraded to {self.to_mode}"
+        )
+
+
+class StageGuard:
+    """Run pipeline stages down a declared fallback ladder.
+
+    One guard instance accompanies one run (a ``find_plotters`` call,
+    an :class:`~repro.detection.incremental.OnlineDetector` lifetime);
+    its :attr:`degradations` list *is* the run's resilience summary.
+    """
+
+    def __init__(self, *, enabled: bool = True, name: str = "pipeline") -> None:
+        self.enabled = enabled
+        self.name = name
+        self._degradations: List[Degradation] = []
+
+    @property
+    def degradations(self) -> Tuple[Degradation, ...]:
+        """Every degradation recorded so far, in order."""
+        return tuple(self._degradations)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self._degradations)
+
+    def note(self, stage: str, from_mode: str, to_mode: str, error: str) -> None:
+        """Record one degradation and report it on every channel.
+
+        Also the callback hook for components that degrade internally
+        (e.g. the parallel extractor disabling a failing checkpoint
+        directory) — they report here so the run summary stays
+        complete.
+        """
+        event = Degradation(
+            stage=stage, from_mode=from_mode, to_mode=to_mode, error=error
+        )
+        self._degradations.append(event)
+        logger.warning("DEGRADED %s", event.describe())
+        _DEGRADATIONS.inc(stage=stage, to_mode=to_mode)
+        # A zero-duration span is the structured-event form: it reaches
+        # every registered JSONL sink with no extra export machinery.
+        with span("degradation", **asdict(event)):
+            pass
+
+    def run(
+        self,
+        stage: str,
+        attempts: Sequence[Tuple[str, Callable[[], T]]],
+    ) -> T:
+        """Run ``stage`` through its ladder of ``(mode, thunk)`` attempts.
+
+        Returns the first thunk's result that succeeds.  A failure with
+        a next rung available is recorded via :meth:`note` and the
+        ladder continues; the last rung's failure (or any failure while
+        the guard is disabled) propagates.  Each attempt passes through
+        :func:`repro.resilience.faults.stage_call`, the chaos-test
+        injection point for stage failures.
+        """
+        if not attempts:
+            raise ValueError(f"stage {stage!r} declared no attempts")
+        last = len(attempts) - 1
+        for position, (mode, thunk) in enumerate(attempts):
+            try:
+                faults.stage_call(stage)
+                return thunk()
+            except Exception as exc:
+                if not self.enabled or position == last:
+                    raise
+                next_mode = attempts[position + 1][0]
+                self.note(
+                    stage, mode, next_mode, f"{type(exc).__name__}: {exc}"
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def summary(self) -> Dict[str, object]:
+        """Plain-dict run summary, embeddable in reports and JSONL."""
+        return {
+            "name": self.name,
+            "degraded": self.degraded,
+            "degradations": [asdict(d) for d in self._degradations],
+        }

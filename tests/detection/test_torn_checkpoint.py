@@ -1,0 +1,168 @@
+"""Torn verdict-log recovery, exhaustively.
+
+A detector killed mid-append leaves ``verdicts.jsonl`` truncated at an
+arbitrary byte.  These tests cut the log at *every* offset inside the
+last record and assert the restore contract at each: the intact prefix
+is restored verbatim, the tear is physically truncated away, and a
+continued run converges to the uninterrupted one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detection.incremental import OnlineDetector
+from repro.detection.pipeline import PipelineConfig
+from repro.flows import FlowRecord, FlowState, Protocol
+
+#: Permissive thresholds so several hosts survive to θ_hm.
+CONFIG = PipelineConfig(reduction_percentile=10.0, vol_percentile=90.0)
+WINDOW = 1000.0
+HOSTS = {f"bot{b}" for b in range(3)} | {f"human{h}" for h in range(3)}
+
+
+def flow(src, dst="d", start=0.0, src_bytes=100, failed=False):
+    return FlowRecord(
+        src=src, dst=dst, sport=1, dport=2, proto=Protocol.TCP,
+        start=start, end=start + 1, src_bytes=src_bytes,
+        state=FlowState.TIMEOUT if failed else FlowState.ESTABLISHED,
+    )
+
+
+def window_flows(index):
+    """One window of mixed timer-bot and irregular-host traffic."""
+    rng = np.random.default_rng(1000 + index)
+    base = index * WINDOW
+    flows = []
+    for b in range(3):
+        period = 8.0 + b * 0.01
+        flows.extend(
+            flow(f"bot{b}", dst="peer", start=base + k * period,
+                 src_bytes=40 + 3 * b, failed=(k % (3 + b) == 0))
+            for k in range(60)
+        )
+    for h in range(3):
+        start = base
+        for k in range(60):
+            start += float(rng.uniform(2.0, 5.0))
+            flows.append(
+                flow(f"human{h}", dst="site", start=start,
+                     src_bytes=200 + 10 * h, failed=(k % 20 == 0))
+            )
+    return sorted(flows, key=lambda f: f.start)
+
+
+def run_detector(tmp_dir, n_windows):
+    detector = OnlineDetector(
+        HOSTS, window=WINDOW, config=CONFIG, checkpoint_dir=tmp_dir
+    )
+    for w in range(n_windows):
+        detector.ingest_many(window_flows(w))
+    detector.ingest(flow("bot0", start=n_windows * WINDOW + 1.0))
+    return detector
+
+
+@pytest.fixture(scope="module")
+def finished_run(tmp_path_factory):
+    """A 3-window run and its pristine verdict log bytes."""
+    tmp_dir = tmp_path_factory.mktemp("torn")
+    detector = run_detector(tmp_dir, 3)
+    log = tmp_dir / "verdicts.jsonl"
+    return detector, log.read_bytes()
+
+
+class TestEveryByteOffset:
+    def test_restore_at_every_offset_of_last_line(
+        self, finished_run, tmp_path
+    ):
+        detector, pristine = finished_run
+        assert len(detector.history) == 3
+        body = pristine[:-1]  # strip trailing newline
+        last_line_start = body.rfind(b"\n") + 1
+
+        log = tmp_path / "verdicts.jsonl"
+        for offset in range(last_line_start, len(pristine)):
+            log.write_bytes(pristine[:offset])
+            restored = OnlineDetector(
+                HOSTS, window=WINDOW, config=CONFIG,
+                checkpoint_dir=tmp_path, resume=True,
+            )
+            # Whatever parsed is an exact prefix of the true history.
+            n = len(restored.history)
+            assert restored.history == detector.history[:n]
+            assert n >= 2  # the two complete lines always survive
+            assert restored._window_index == n
+            # The tear is physically gone: the log now holds exactly
+            # the restored records, each on its own intact line.
+            kept = log.read_text().splitlines()
+            assert len(kept) == n
+
+    def test_restore_of_intact_log_is_lossless(self, finished_run, tmp_path):
+        detector, pristine = finished_run
+        log = tmp_path / "verdicts.jsonl"
+        log.write_bytes(pristine)
+        restored = OnlineDetector(
+            HOSTS, window=WINDOW, config=CONFIG,
+            checkpoint_dir=tmp_path, resume=True,
+        )
+        assert restored.history == detector.history
+        assert log.read_bytes() == pristine  # no gratuitous rewrite
+
+
+class TestContinuationAfterTear:
+    def test_torn_run_converges_with_uninterrupted_run(
+        self, finished_run, tmp_path
+    ):
+        """Kill mid-append after window 1, resume, finish: verdicts for
+        the windows processed after the tear match the clean run's."""
+        detector, pristine = finished_run
+        body = pristine[:-1]
+        last_line_start = body.rfind(b"\n") + 1
+        tear = last_line_start + (len(pristine) - last_line_start) // 2
+
+        log = tmp_path / "verdicts.jsonl"
+        log.write_bytes(pristine[:tear])
+        resumed = OnlineDetector(
+            HOSTS, window=WINDOW, config=CONFIG,
+            checkpoint_dir=tmp_path, resume=True,
+        )
+        assert len(resumed.history) == 2
+        # Replay the window whose verdict was torn, then one more.
+        for w in (2, 3):
+            resumed.ingest_many(window_flows(w))
+        resumed.ingest(flow("bot0", start=5 * WINDOW + 1.0))
+
+        # The replayed window's verdict matches the clean run record
+        # for record (the extractor is reseeded by window index).
+        clean = detector.history[2]
+        replayed = resumed.history[2]
+        assert replayed.window_index == clean.window_index == 2
+        assert replayed.reduced == clean.reduced
+        assert replayed.suspects == clean.suspects
+
+        # And the log on disk is parseable end to end — the tear did
+        # not poison subsequent appends.
+        fresh = OnlineDetector(
+            HOSTS, window=WINDOW, config=CONFIG,
+            checkpoint_dir=tmp_path, resume=True,
+        )
+        assert fresh.history == resumed.history
+        assert [v.window_index for v in fresh.history] == [0, 1, 2, 3]
+
+    def test_append_after_tear_starts_on_fresh_line(
+        self, finished_run, tmp_path
+    ):
+        detector, pristine = finished_run
+        log = tmp_path / "verdicts.jsonl"
+        log.write_bytes(pristine[:-4])  # tear inside the final record
+        resumed = OnlineDetector(
+            HOSTS, window=WINDOW, config=CONFIG,
+            checkpoint_dir=tmp_path, resume=True,
+        )
+        resumed.ingest_many(window_flows(2))
+        resumed.ingest(flow("bot0", start=4 * WINDOW + 1.0))
+        lines = log.read_text().splitlines()
+        assert len(lines) == len(resumed.history)
+        import json
+
+        for line in lines:
+            json.loads(line)  # every line individually parseable

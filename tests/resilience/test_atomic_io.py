@@ -1,0 +1,100 @@
+"""Atomic write helpers: all-or-nothing replacement, no leftover temps."""
+
+import os
+
+import pytest
+
+from repro.resilience import (
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_directory,
+)
+
+
+class TestAtomicWrite:
+    def test_creates_file_with_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_failure_preserves_old_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as handle:
+                handle.write("half-writ")
+                raise RuntimeError("writer crashed")
+        assert target.read_text() == "precious"
+
+    def test_failure_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as handle:
+                handle.write("x")
+                raise RuntimeError("crash")
+        assert os.listdir(tmp_path) == []
+
+    def test_success_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_bytes_round_trip(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        payload = bytes(range(256))
+        atomic_write_bytes(target, payload)
+        assert target.read_bytes() == payload
+
+    def test_newline_passthrough_for_csv(self, tmp_path):
+        target = tmp_path / "rows.csv"
+        with atomic_write(target, "w", newline="") as handle:
+            handle.write("a,b\r\n")
+        assert target.read_bytes() == b"a,b\r\n"
+
+    def test_nonexistent_directory_raises_and_writes_nothing(self, tmp_path):
+        target = tmp_path / "missing" / "out.txt"
+        with pytest.raises(OSError):
+            with atomic_write(target) as handle:
+                handle.write("x")
+        assert not target.exists()
+
+
+class TestFsyncDirectory:
+    def test_best_effort_on_real_directory(self, tmp_path):
+        fsync_directory(tmp_path)  # must not raise
+
+    def test_best_effort_on_missing_directory(self, tmp_path):
+        fsync_directory(tmp_path / "nope")  # silently skipped
+
+
+class TestDurableCallSites:
+    """The artifacts the pipeline persists all go through atomic_write."""
+
+    def test_write_flows_is_atomic_on_error(self, tmp_path, monkeypatch):
+        from repro.flows import FlowRecord, Protocol
+        from repro.flows.argus import read_flows, write_flows
+
+        flow = FlowRecord(
+            src="10.0.0.1", dst="8.8.8.8", sport=1, dport=53,
+            proto=Protocol.UDP, start=0.0, end=1.0,
+        )
+        target = tmp_path / "trace.csv"
+        write_flows(target, [flow])
+        before = target.read_bytes()
+
+        def exploding(_):
+            raise RuntimeError("mid-serialization crash")
+            yield  # pragma: no cover
+
+        with pytest.raises(RuntimeError):
+            write_flows(target, exploding(None))
+        assert target.read_bytes() == before
+        assert [f.src for f in read_flows(target)] == ["10.0.0.1"]
+        assert os.listdir(tmp_path) == ["trace.csv"]

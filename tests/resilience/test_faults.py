@@ -1,0 +1,156 @@
+"""Fault-injection layer: knobs, aliases, determinism, restoration."""
+
+import os
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import (
+    InjectedFault,
+    extract_fail,
+    extract_fail_shards,
+    extract_shard_delay,
+    injected,
+    io_point,
+    parse_corrupt_rate,
+    parse_corruptor,
+    reset_stage_calls,
+    stage_call,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_counters():
+    reset_stage_calls()
+    yield
+    reset_stage_calls()
+
+
+class TestDefaults:
+    def test_everything_off_by_default(self):
+        assert extract_fail_shards() == frozenset()
+        assert extract_shard_delay() == 0.0
+        assert parse_corrupt_rate() == 0.0
+        assert parse_corruptor() is None
+        extract_fail(0)  # no-op
+        stage_call("anything")  # no-op
+        io_point("checkpoint")  # no-op
+
+
+class TestInjectedContext:
+    def test_sets_and_restores_environment(self):
+        name = "REPRO_FAULT_EXTRACT_FAIL_SHARDS"
+        assert name not in os.environ
+        with injected(extract_fail_shards=[1, 3]):
+            assert os.environ[name] == "1,3"
+            assert extract_fail_shards() == frozenset({1, 3})
+        assert name not in os.environ
+        assert extract_fail_shards() == frozenset()
+
+    def test_restores_preexisting_value(self, monkeypatch):
+        name = "REPRO_FAULT_IO_DELAY"
+        monkeypatch.setenv(name, "0.25")
+        with injected(io_delay=0.5):
+            assert os.environ[name] == "0.5"
+        assert os.environ[name] == "0.25"
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(TypeError, match="unknown fault knobs"):
+            with injected(bogus=True):
+                pass
+
+    def test_mapping_knob_encoding(self):
+        with injected(stage_fail={"theta_hm": 2, "extract_features": 1}):
+            value = os.environ["REPRO_FAULT_STAGE_FAIL"]
+        assert value == "extract_features:1,theta_hm:2"
+
+
+class TestAliases:
+    def test_legacy_extract_env_names_still_work(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXTRACT_FAIL_SHARDS", "2")
+        monkeypatch.setenv("REPRO_EXTRACT_SHARD_DELAY", "0.75")
+        assert extract_fail_shards() == frozenset({2})
+        assert extract_shard_delay() == 0.75
+
+    def test_canonical_name_wins_over_alias(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXTRACT_FAIL_SHARDS", "2")
+        monkeypatch.setenv("REPRO_FAULT_EXTRACT_FAIL_SHARDS", "5")
+        assert extract_fail_shards() == frozenset({5})
+
+
+class TestExtractFaults:
+    def test_marked_shard_raises(self):
+        with injected(extract_fail_shards=[7]):
+            extract_fail(3)  # unmarked: fine
+            with pytest.raises(InjectedFault, match="shard 7"):
+                extract_fail(7)
+
+
+class TestParseCorruption:
+    def test_corruptor_is_deterministic_per_seed(self):
+        row = ["0.0", "1.0", "tcp", "10.0.0.1", "1", "8.8.8.8", "53",
+               "1", "1", "10", "10", "est", ""]
+        with injected(parse_corrupt_rate=0.5, parse_seed=42):
+            first = [parse_corruptor()(list(row)) for _ in range(50)]
+            second = [parse_corruptor()(list(row)) for _ in range(50)]
+        assert first == second
+
+    def test_corruption_rate_roughly_honoured(self):
+        row = ["0.0", "1.0", "tcp", "10.0.0.1", "1", "8.8.8.8", "53",
+               "1", "1", "10", "10", "est", ""]
+        with injected(parse_corrupt_rate=0.3, parse_seed=7):
+            corrupt = parse_corruptor()
+            mangled = sum(corrupt(list(row)) != row for _ in range(1000))
+        assert 200 < mangled < 400
+
+    def test_mangled_rows_fail_row_parsing(self):
+        from repro.flows.argus import row_to_flow
+
+        row = ["0.0", "1.0", "tcp", "10.0.0.1", "1", "8.8.8.8", "53",
+               "1", "1", "10", "10", "est", ""]
+        with injected(parse_corrupt_rate=1.0, parse_seed=0):
+            corrupt = parse_corruptor()
+            for _ in range(20):
+                with pytest.raises(ValueError):
+                    row_to_flow(corrupt(list(row)))
+
+
+class TestStageFaults:
+    def test_nth_call_raises_once(self):
+        with injected(stage_fail={"s": 2}):
+            stage_call("s")  # call 1: fine
+            with pytest.raises(InjectedFault, match="call 2"):
+                stage_call("s")
+            stage_call("s")  # call 3: fine — faults are one-shot
+            stage_call("other")  # other stages unaffected
+
+    def test_reset_restarts_counting(self):
+        with injected(stage_fail={"s": 1}):
+            with pytest.raises(InjectedFault):
+                stage_call("s")
+            reset_stage_calls()
+            with pytest.raises(InjectedFault):
+                stage_call("s")
+
+
+class TestIoFaults:
+    def test_matching_tag_raises_oserror(self):
+        with injected(io_errors=["checkpoint", "manifest"]):
+            io_point("verdict-log")  # untagged: fine
+            with pytest.raises(OSError, match="checkpoint"):
+                io_point("checkpoint")
+            with pytest.raises(OSError, match="manifest"):
+                io_point("manifest")
+
+    def test_oserror_not_injectedfault(self):
+        # Callers must exercise the same handler a real disk error hits.
+        with injected(io_errors=["checkpoint"]):
+            try:
+                io_point("checkpoint")
+            except OSError as exc:
+                assert not isinstance(exc, InjectedFault)
+
+
+class TestModuleSurface:
+    def test_all_knobs_have_alias_entries(self):
+        assert set(faults._KNOB_FOR_KWARG.values()) == set(faults._ALIASES)

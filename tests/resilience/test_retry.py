@@ -1,0 +1,201 @@
+"""RetryPolicy: schedules, outcomes, and all three call forms."""
+
+import pytest
+
+from repro.resilience import RetryError, RetryPolicy
+
+
+def no_sleep_policy(**overrides):
+    """A policy whose backoff records instead of sleeping."""
+    slept = []
+    defaults = dict(max_attempts=3, base_delay=0.1, jitter=0.0, sleep=slept.append)
+    defaults.update(overrides)
+    return RetryPolicy(**defaults), slept
+
+
+class TestCallForm:
+    def test_first_try_success_runs_once(self):
+        policy, slept = no_sleep_policy()
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return "ok"
+
+        assert policy.call(fn) == "ok"
+        assert len(calls) == 1
+        assert slept == []
+
+    def test_retries_until_success(self):
+        policy, slept = no_sleep_policy(max_attempts=4)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ValueError(f"boom {len(calls)}")
+            return 42
+
+        assert policy.call(flaky) == 42
+        assert len(calls) == 3
+        # Backoff after failures 1 and 2: 0.1, 0.2 (jitter disabled).
+        assert slept == pytest.approx([0.1, 0.2])
+
+    def test_exhaustion_raises_retry_error_with_history(self):
+        policy, _ = no_sleep_policy(max_attempts=3)
+
+        def always():
+            raise ValueError("nope")
+
+        with pytest.raises(RetryError) as info:
+            policy.call(always, name="doomed")
+        err = info.value
+        assert err.name == "doomed"
+        assert err.attempts == 3
+        assert err.errors == ("ValueError: nope",) * 3
+        assert isinstance(err.__cause__, ValueError)
+        assert "doomed" in str(err) and "3 attempt(s)" in str(err)
+
+    def test_non_retryable_propagates_unwrapped_on_first_failure(self):
+        policy, slept = no_sleep_policy(
+            retryable=lambda exc: not isinstance(exc, KeyError)
+        )
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise KeyError("fatal")
+
+        with pytest.raises(KeyError):
+            policy.call(fn)
+        assert len(calls) == 1
+        assert slept == []
+
+    def test_keyboard_interrupt_never_retried_by_default(self):
+        policy, _ = no_sleep_policy()
+
+        def fn():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            policy.call(fn)
+
+    def test_single_attempt_policy(self):
+        policy, _ = no_sleep_policy(max_attempts=1)
+
+        def fn():
+            raise ValueError("x")
+
+        with pytest.raises(RetryError) as info:
+            policy.call(fn)
+        assert info.value.attempts == 1
+
+    def test_on_retry_hook_sees_exception_and_attempt_number(self):
+        seen = []
+        policy, _ = no_sleep_policy(
+            max_attempts=3, on_retry=lambda exc, n: seen.append((str(exc), n))
+        )
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ValueError("transient")
+            return None
+
+        policy.call(flaky)
+        assert seen == [("transient", 1), ("transient", 2)]
+
+
+class TestDecoratorForm:
+    def test_decorated_function_retries(self):
+        policy, _ = no_sleep_policy()
+        calls = []
+
+        @policy.retrying("decorated")
+        def flaky(x):
+            """docs survive"""
+            calls.append(x)
+            if len(calls) < 2:
+                raise ValueError("transient")
+            return x * 2
+
+        assert flaky(21) == 42
+        assert calls == [21, 21]
+        assert flaky.__doc__ == "docs survive"
+        assert flaky.__wrapped__ is not None
+
+
+class TestAttemptsForm:
+    def test_loop_body_form(self):
+        policy, _ = no_sleep_policy()
+        tries = []
+        for attempt in policy.attempts("loop"):
+            with attempt:
+                tries.append(attempt.number)
+                if attempt.number < 2:
+                    raise ValueError("again")
+        assert tries == [1, 2]
+
+    def test_attempt_exposes_advisory_timeout(self):
+        policy, _ = no_sleep_policy(attempt_timeout=7.5)
+        for attempt in policy.attempts():
+            with attempt:
+                assert attempt.timeout == 7.5
+
+    def test_is_last_flag(self):
+        policy, _ = no_sleep_policy(max_attempts=2)
+        flags = []
+        for attempt in policy.attempts():
+            flags.append(attempt.is_last)
+            with attempt:
+                pass
+            break
+        assert flags == [False]
+
+
+class TestBackoffSchedule:
+    def test_deterministic_exponential_capped(self):
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_delay=1.0,
+            multiplier=2.0,
+            max_delay=5.0,
+            jitter=0.0,
+        )
+        assert [policy.delay(n) for n in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 5.0]
+
+    def test_jitter_bounds_and_seeded_determinism(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.5, seed=99)
+        d = policy.delay(1)
+        assert 0.5 <= d <= 1.0
+        assert policy.delay(1) == d  # seeded → reproducible
+
+    def test_zero_base_delay_never_sleeps(self):
+        policy, slept = no_sleep_policy(base_delay=0.0)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise ValueError("x")
+
+        policy.call(flaky)
+        assert slept == []
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"max_delay": -0.1},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+            {"multiplier": 0.5},
+        ],
+    )
+    def test_bad_configuration_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
