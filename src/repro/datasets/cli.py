@@ -67,6 +67,8 @@ def _read_trace(args):
         args.trace,
         errors=args.on_parse_error,
         dead_letter=args.dead_letter,
+        to_store=getattr(args, "store_dir", None),
+        segment_rows=getattr(args, "segment_rows", None),
     )
     if report.rows_bad:
         logger.warning("%s", report.describe())
@@ -126,6 +128,15 @@ def _cmd_inspect(args) -> int:
 
 
 def _cmd_label(args) -> int:
+    if args.store_dir:
+        # The storage plane projects flows down to the feature-bearing
+        # fields; payload signatures need the full records.
+        print(
+            "label: --store-dir is not supported (ground-truth labelling "
+            "needs flow payloads, which the segment store does not keep)",
+            file=sys.stderr,
+        )
+        return 2
     store = _read_trace(args)
     labels = identify_traders(store)
     if not labels:
@@ -171,6 +182,19 @@ def main(argv=None) -> int:
             metavar="PATH",
             help="dead-letter CSV for --on-parse-error=quarantine "
             "(default: <trace>.deadletter.csv)",
+        )
+        cmd.add_argument(
+            "--store-dir",
+            metavar="DIR",
+            help="spill parsed rows to a segment store at DIR and run "
+            "from disk instead of materialising the trace in memory",
+        )
+        cmd.add_argument(
+            "--segment-rows",
+            type=int,
+            metavar="N",
+            help="segment cut threshold for --store-dir "
+            "(default 262144 rows)",
         )
 
     inspect = sub.add_parser("inspect", help="per-host features of a trace")

@@ -134,6 +134,16 @@ class OnlineDetector:
         ``history`` and continuing from the next window index —
         in-window streaming state is *not* checkpointed (its reservoirs
         are cheap to refill), only completed-window conclusions.
+    spool_dir:
+        Segment-store directory to spool ingested flows into
+        (:mod:`repro.storage`).  Each tumbled window is cut as its own
+        segment(s), so the raw rows of any finalised window can be
+        re-scored exactly with the batch pipeline
+        (:meth:`rescore_window_from_spool`) — the unbounded
+        alternative to keeping reservoir samples only.  ``segment_rows``
+        caps the rows buffered between cuts.  Spool write failures
+        degrade to unspooled operation under the guard (the online
+        verdicts never depended on the spool).
 
     Graceful degradation (honouring ``config.degrade``): a verdict-log
     write failure disables the log for the rest of the run instead of
@@ -153,11 +163,15 @@ class OnlineDetector:
         cache_histograms: bool = True,
         checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
         resume: bool = False,
+        spool_dir: Optional[Union[str, os.PathLike]] = None,
+        segment_rows: Optional[int] = None,
     ) -> None:
         if window <= 0:
             raise ValueError("window length must be positive")
         if resume and checkpoint_dir is None:
             raise ValueError("resume=True requires checkpoint_dir")
+        if segment_rows is not None and segment_rows < 1:
+            raise ValueError("segment_rows must be >= 1")
         self.internal_hosts = set(internal_hosts)
         self.window = window
         self.config = config
@@ -184,6 +198,34 @@ class OnlineDetector:
                     "verdict_log",
                     "checkpointed",
                     "no-checkpoint",
+                    f"{type(exc).__name__}: {exc}",
+                )
+        self._spool_writer = None
+        self._spool_disabled = False
+        #: Window index -> (start, end) of every window finalised in
+        #: this detector's lifetime — the time ranges
+        #: :meth:`rescore_window_from_spool` replays via zone maps.
+        self._window_bounds: Dict[int, Tuple[float, float]] = {}
+        if spool_dir is not None:
+            try:
+                from ..storage import SegmentStore, fresh_store
+                from ..storage.writer import DEFAULT_SEGMENT_ROWS
+
+                if resume:
+                    spool_store = SegmentStore.create(spool_dir, exist_ok=True)
+                else:
+                    spool_store = fresh_store(spool_dir)
+                self._spool_writer = spool_store.writer(
+                    segment_rows=segment_rows or DEFAULT_SEGMENT_ROWS
+                )
+            except (OSError, RuntimeError) as exc:
+                if not config.degrade:
+                    raise
+                self._spool_disabled = True
+                self.guard.note(
+                    "window_spool",
+                    "spooled",
+                    "no-spool",
                     f"{type(exc).__name__}: {exc}",
                 )
         self._extractor = self._fresh_extractor()
@@ -255,12 +297,35 @@ class OnlineDetector:
             # Advance by whole windows so a long gap skips empty ones.
             while flow.start >= self._window_start + self.window:
                 self._window_start += self.window
+        if self._spool_writer is not None:
+            try:
+                self._spool_writer.add(flow)
+            except OSError as exc:
+                if not self.config.degrade:
+                    raise
+                self._disable_spool(exc)
         self._extractor.update(flow)
 
     def ingest_many(self, flows) -> None:
         """Feed an iterable of flows (must be roughly time-ordered)."""
         for flow in flows:
             self.ingest(flow)
+
+    def _disable_spool(self, exc: BaseException) -> None:
+        """Degrade to unspooled operation after a storage write failure.
+
+        Mirrors the verdict-log ladder: the online verdicts never
+        depended on the spool, so losing it costs only the ability to
+        batch-rescore later windows — degrade loudly, keep tumbling.
+        """
+        self._spool_writer = None
+        self._spool_disabled = True
+        self.guard.note(
+            "window_spool",
+            "spooled",
+            "no-spool",
+            f"{type(exc).__name__}: {exc}",
+        )
 
     def _finalize(self, at: float) -> None:
         verdict = self.evaluate(at)
@@ -286,6 +351,19 @@ class OnlineDetector:
                 )
             else:
                 _VERDICT_CKPT.inc(result="write")
+        if self._spool_writer is not None:
+            # Cut at the tumble so segment time ranges align with
+            # windows — rescoring a window then prunes to exactly its
+            # segments via the zone maps.
+            try:
+                self._spool_writer.cut()
+            except OSError as exc:
+                if not self.config.degrade:
+                    raise
+                self._disable_spool(exc)
+            else:
+                start = self._window_start if self._window_start is not None else at
+                self._window_bounds[self._window_index] = (start, at)
         self._window_index += 1
         self._extractor = self._fresh_extractor()
         # The new window starts with empty reservoirs whose version
@@ -437,3 +515,41 @@ class OnlineDetector:
         """
         candidates = self.internal_hosts & store.initiators
         return find_plotters(store, candidates, self.config)
+
+    @property
+    def spooled_windows(self) -> Tuple[int, ...]:
+        """Indices of finalised windows whose rows are in the spool."""
+        return tuple(sorted(self._window_bounds))
+
+    def rescore_window_from_spool(
+        self, window_index: Optional[int] = None
+    ) -> PipelineResult:
+        """Batch-rescore a finalised window straight from the spool.
+
+        Like :meth:`rescore_window`, but the raw flows come from the
+        detector's own segment spool (``spool_dir``) instead of an
+        externally retained :class:`FlowStore`: a time-restricted
+        :class:`~repro.storage.view.StoreView` over the window's bounds
+        is handed to :func:`find_plotters`, so only that window's
+        segments are read (zone-map pruned) and the result is exactly
+        the batch pipeline's.  Defaults to the most recently finalised
+        window.
+        """
+        if self._spool_writer is None:
+            raise RuntimeError(
+                "no active spool (spool_dir not set, or spooling degraded)"
+            )
+        if not self._window_bounds:
+            raise ValueError("no window has been finalised into the spool yet")
+        if window_index is None:
+            window_index = max(self._window_bounds)
+        try:
+            t0, t1 = self._window_bounds[window_index]
+        except KeyError:
+            raise ValueError(
+                f"window {window_index} is not in the spool "
+                f"(have {sorted(self._window_bounds)})"
+            ) from None
+        view = self._spool_writer.store.view(t0=t0, t1=t1)
+        candidates = self.internal_hosts & view.initiators
+        return find_plotters(view, candidates, self.config)

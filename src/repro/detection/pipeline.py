@@ -91,6 +91,18 @@ class PipelineConfig:
     #: whose checkpoint is intact.
     checkpoint_dir: Optional[str] = None
     resume: bool = False
+    #: Segment-store directory for out-of-core extraction (None = stay
+    #: in memory).  When set and the pipeline is handed an in-memory
+    #: store, its rows are spooled into segments there once and
+    #: extraction runs store-backed — per-shard memory-mapped gathers
+    #: instead of a whole-trace snapshot.  A pipeline handed a
+    #: :class:`repro.storage.StoreView` is store-backed regardless.
+    #: Either way the features, thresholds, and suspects are
+    #: bit-identical to the in-memory run; storage failures degrade
+    #: back to the in-memory ladder under the stage guard.
+    store_dir: Optional[str] = None
+    #: Segment cut threshold (rows) used when spooling to ``store_dir``.
+    segment_rows: int = 262_144
     #: Graceful degradation: when True (the default) a
     #: :class:`~repro.resilience.StageGuard` steps failed stages down
     #: their declared fallback ladder (parallel extraction → sequential,
@@ -113,6 +125,8 @@ class PipelineConfig:
             raise ValueError("n_workers must be >= 0")
         if self.resume and self.checkpoint_dir is None:
             raise ValueError("resume=True requires checkpoint_dir")
+        if self.segment_rows < 1:
+            raise ValueError("segment_rows must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -164,36 +178,72 @@ def _extract_attempts(store, hosts, config, guard):
     workers dying faster than the retry policy tolerates — the ladder
     falls back to in-process sharded extraction, and finally to the
     pure-Python reference extractor, which shares no numpy kernel or
-    pool machinery with the primary path.  All three produce
+    pool machinery with the primary path.  All rungs produce
     bit-identical features, so degrading changes wall time, never
     suspects.
+
+    **Storage rungs.**  A store exposing ``parallel_spec`` (a
+    :class:`repro.storage.StoreView`) runs the same ladder against the
+    segment plane — store-backed workers, then store-backed in-process,
+    then the reference extractor over synthetic records.  An in-memory
+    store with ``config.store_dir`` set gets a leading *spool* rung
+    (spill to segments, extract store-backed); any storage failure
+    there — unwritable directory, torn segment, gather over the memory
+    budget — steps down to the ordinary in-memory ladder, since the
+    trace demonstrably fits in RAM.
     """
     primary_mode = (
         f"parallel[{config.n_workers}]" if config.n_workers > 1 else "in-process"
     )
+    store_backed = getattr(store, "parallel_spec", None) is not None
 
-    def primary():
-        return extract_features_parallel(
-            store,
-            hosts,
-            n_workers=config.n_workers,
-            checkpoint_dir=config.checkpoint_dir,
-            resume=config.resume,
-            on_degrade=guard.note,
-        )
+    def engine_on(target):
+        def run():
+            return extract_features_parallel(
+                target,
+                hosts,
+                n_workers=config.n_workers,
+                checkpoint_dir=config.checkpoint_dir,
+                resume=config.resume,
+                on_degrade=guard.note,
+            )
 
-    def sequential():
-        return extract_features_parallel(
-            store, hosts, n_workers=0, on_degrade=guard.note
-        )
+        return run
+
+    def sequential_on(target):
+        def run():
+            return extract_features_parallel(
+                target, hosts, n_workers=0, on_degrade=guard.note
+            )
+
+        return run
 
     def reference():
         all_features = extract_all_features(store)
         return {h: f for h, f in all_features.items() if h in hosts}
 
-    attempts = [(primary_mode, primary)]
+    if store_backed:
+        attempts = [(f"store-{primary_mode}", engine_on(store))]
+        if config.n_workers > 1 or config.checkpoint_dir is not None:
+            attempts.append(("store-sequential", sequential_on(store)))
+        attempts.append(("store-reference", reference))
+        return attempts
+
+    attempts = []
+    if config.store_dir is not None:
+
+        def spooled():
+            from ..storage import spool_flow_store
+
+            view = spool_flow_store(
+                store, config.store_dir, segment_rows=config.segment_rows
+            )
+            return engine_on(view)()
+
+        attempts.append((f"store-{primary_mode}", spooled))
+    attempts.append((primary_mode, engine_on(store)))
     if config.n_workers > 1 or config.checkpoint_dir is not None:
-        attempts.append(("sequential", sequential))
+        attempts.append(("sequential", sequential_on(store)))
     attempts.append(("reference", reference))
     return attempts
 

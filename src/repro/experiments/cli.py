@@ -154,9 +154,26 @@ def main(argv=None) -> int:
             "sequential, vectorized theta_hm -> loop)"
         ),
     )
+    parser.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        help=(
+            "spool each pipeline run's flows into a segment store under "
+            "DIR and extract features from disk (bounded memory; "
+            "identical results)"
+        ),
+    )
+    parser.add_argument(
+        "--segment-rows",
+        type=int,
+        metavar="N",
+        help="segment cut threshold for --store-dir (default 262144 rows)",
+    )
     args = parser.parse_args(argv)
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
+    if args.segment_rows is not None and args.segment_rows < 1:
+        parser.error("--segment-rows must be >= 1")
     logger = obs.configure_logging(level=args.log_level).getChild("experiments")
 
     if args.list or not args.experiments:
@@ -181,16 +198,19 @@ def main(argv=None) -> int:
     config = (
         ExperimentConfig.paper() if args.scale == "paper" else ExperimentConfig.quick()
     )
-    if args.workers or args.checkpoint_dir or args.no_degrade:
+    if args.workers or args.checkpoint_dir or args.no_degrade or args.store_dir:
+        overrides = dict(
+            n_workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            degrade=not args.no_degrade,
+            store_dir=args.store_dir,
+        )
+        if args.segment_rows is not None:
+            overrides["segment_rows"] = args.segment_rows
         config = dataclasses.replace(
             config,
-            pipeline=dataclasses.replace(
-                config.pipeline,
-                n_workers=args.workers,
-                checkpoint_dir=args.checkpoint_dir,
-                resume=args.resume,
-                degrade=not args.no_degrade,
-            ),
+            pipeline=dataclasses.replace(config.pipeline, **overrides),
         )
     ctx = ExperimentContext(config)
     try:

@@ -26,6 +26,17 @@ counters feed the metrics registry.  Writes go through the crash-safe
 atomic writer (:mod:`repro.resilience.io`), so a killed
 :func:`write_flows` never leaves a half-written trace where a complete
 one stood.
+
+Out-of-core ingest
+------------------
+With ``to_store=`` the parsed rows are streamed straight into a
+:class:`repro.storage.SegmentStore` at that directory — at no point is
+the full trace materialised in memory; only one segment's buffer
+(``segment_rows`` rows) is ever held.  The return value is then a
+:class:`repro.storage.StoreView` (FlowStore-shaped, bit-identical
+features) instead of a :class:`FlowStore`.  The error policies compose
+unchanged: quarantined rows still land in the dead-letter CSV while
+good rows land in segments.
 """
 
 from __future__ import annotations
@@ -34,7 +45,15 @@ import csv
 import io
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..obs import metrics as obs_metrics
 from ..obs.logconf import get_logger
@@ -42,6 +61,9 @@ from ..resilience import faults
 from ..resilience.io import atomic_write
 from .record import FlowRecord, FlowState, Protocol
 from .store import FlowStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (lazy at runtime)
+    from ..storage.view import StoreView
 
 __all__ = [
     "ARGUS_COLUMNS",
@@ -311,18 +333,50 @@ def _check_errors_mode(errors: str) -> None:
         )
 
 
+def _spill_to_store(
+    flows: Iterator[FlowRecord],
+    to_store: Union[str, Path],
+    segment_rows: Optional[int],
+):
+    """Stream parsed flows into a fresh segment store; return its view.
+
+    Imported lazily — :mod:`repro.storage` builds on the flows package,
+    so the dependency must stay call-time-only, and readers that never
+    spill never pay for it.
+    """
+    from ..storage import StoreView, fresh_store
+    from ..storage.writer import DEFAULT_SEGMENT_ROWS
+
+    store = fresh_store(to_store)
+    with store.writer(
+        segment_rows=segment_rows or DEFAULT_SEGMENT_ROWS
+    ) as writer:
+        for flow in flows:
+            writer.add(flow)
+    return StoreView(store)
+
+
 def read_flows_report(
     path: Union[str, Path],
     *,
     errors: str = "strict",
     dead_letter: Optional[Union[str, Path]] = None,
-) -> Tuple[FlowStore, IngestReport]:
+    to_store: Optional[Union[str, Path]] = None,
+    segment_rows: Optional[int] = None,
+) -> Tuple[Union[FlowStore, "StoreView"], IngestReport]:
     """Read a trace and return ``(store, ingest report)``.
 
     In ``quarantine`` mode malformed rows are appended to
     ``dead_letter`` (default: ``<path>.deadletter.csv`` beside the
     trace).  The dead-letter file is append-mode, so repeated partial
     loads accumulate rather than overwrite.
+
+    With ``to_store`` the rows are spilled to a segment store at that
+    directory as they parse — the full trace is never held in memory —
+    and the first element of the return value is a
+    :class:`repro.storage.StoreView` over it.  ``segment_rows``
+    controls the cut threshold (default
+    :data:`repro.storage.DEFAULT_SEGMENT_ROWS`).
     """
     _check_errors_mode(errors)
     report = IngestReport(source=str(path), errors_mode=errors)
@@ -339,15 +393,17 @@ def read_flows_report(
         # utf-8-sig transparently strips a leading BOM; BOM-free files
         # read identically.
         with open(path, newline="", encoding="utf-8-sig") as handle:
-            store = FlowStore(
-                _parse_rows(
-                    csv.reader(handle),
-                    source=str(path),
-                    errors=errors,
-                    report=report,
-                    dead_letter=sink,
-                )
+            flows = _parse_rows(
+                csv.reader(handle),
+                source=str(path),
+                errors=errors,
+                report=report,
+                dead_letter=sink,
             )
+            if to_store is not None:
+                store = _spill_to_store(flows, to_store, segment_rows)
+            else:
+                store = FlowStore(flows)
     finally:
         if sink is not None:
             sink.close()
@@ -359,15 +415,25 @@ def read_flows(
     *,
     errors: str = "strict",
     dead_letter: Optional[Union[str, Path]] = None,
-) -> FlowStore:
+    to_store: Optional[Union[str, Path]] = None,
+    segment_rows: Optional[int] = None,
+) -> Union[FlowStore, "StoreView"]:
     """Read a trace written by :func:`write_flows` into a store.
 
     ``errors`` selects the malformed-row policy (see the module
     docstring); the default ``"strict"`` raises on the first bad row,
     with ``path:lineno`` context, preserving the original behaviour.
-    Use :func:`read_flows_report` when the outcome counts are needed.
+    ``to_store`` spills rows to a segment store instead of memory (see
+    :func:`read_flows_report`).  Use :func:`read_flows_report` when the
+    outcome counts are needed.
     """
-    store, _ = read_flows_report(path, errors=errors, dead_letter=dead_letter)
+    store, _ = read_flows_report(
+        path,
+        errors=errors,
+        dead_letter=dead_letter,
+        to_store=to_store,
+        segment_rows=segment_rows,
+    )
     return store
 
 

@@ -32,6 +32,16 @@ explicitly instead — slower, but identical results.
 :func:`extract_features_parallel` is the one-shot convenience wrapper
 (engine construction and teardown included).
 
+**Segment-backed stores.**  A store exposing a ``parallel_spec``
+attribute (a :class:`repro.storage.view.StoreView`) switches the
+engine to its out-of-core mode: instead of forking a snapshot or
+shipping flow lists, the spec — a small tuple naming the store
+directory and catalog generation — is sent to each worker, which
+re-opens the store and memory-maps its shards independently.  Works
+identically under ``fork`` and ``spawn``, and the parent process never
+materialises the trace.  Results remain bit-identical to every other
+configuration.
+
 Checkpoint/resume
 -----------------
 With ``checkpoint_dir`` set, each completed shard's features are
@@ -586,6 +596,29 @@ def _extract_shard_reference(
 _PARENT_STORES: Dict[int, FlowStore] = {}
 _TOKENS = itertools.count(1)
 
+#: Process-local cache of segment-store views opened from shipped
+#: specs, keyed by the spec tuple itself (which embeds the catalog
+#: generation, so a mutated store never hits a stale view).  Workers in
+#: a warm pool open each store once and reuse the memory maps across
+#: every shard they run.
+_WORKER_VIEWS: Dict[Tuple, object] = {}
+
+
+def _view_from_spec(spec: Tuple):
+    """The (cached) segment-store view a ``parallel_spec`` describes.
+
+    Imported lazily: :mod:`repro.storage` depends on this module's
+    kernel, so the import must happen at call time, and only processes
+    actually running store-backed shards pay for it.
+    """
+    view = _WORKER_VIEWS.get(spec)
+    if view is None:
+        from ..storage.view import StoreView
+
+        view = StoreView.from_parallel_spec(spec)
+        _WORKER_VIEWS[spec] = view
+    return view
+
 
 def _fork_context():
     """The ``fork`` multiprocessing context, or ``None`` if unavailable."""
@@ -612,16 +645,28 @@ def _run_shard(
     grace_period: float,
     kernel: str,
     payload: Optional[Dict[str, List[FlowRecord]]],
+    store_spec: Optional[Tuple] = None,
 ):
     """Worker entry: extract one shard, returning (index, result, secs).
 
     ``result`` is a ``_ShardColumns`` for the vectorized kernel (the
     parent assembles features) or a ready ``{host: HostFeatures}`` map
-    for the reference kernel.
+    for the reference kernel.  With ``store_spec`` the shard is
+    segment-backed: the worker opens the segment store itself and
+    memory-maps just this shard's rows — no snapshot was forked or
+    shipped, so the parent's address space never holds the trace.
     """
     t0 = time.perf_counter()
     _inject_faults(index)
-    if payload is not None:
+    if store_spec is not None:
+        view = _view_from_spec(store_spec)
+        if kernel == "vectorized":
+            result = view.shard_columns(hosts, grace_period)
+        else:
+            result = _extract_shard_reference(
+                hosts, view.flows_from, grace_period
+            )
+    elif payload is not None:
         if kernel == "vectorized":
             result = _shard_columns_from_flows(hosts, payload.__getitem__, grace_period)
         else:
@@ -687,7 +732,18 @@ class ParallelExtractor:
         self._context = _fork_context()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_version: Optional[int] = None
-        if self._context is not None and workers > 1:
+        # A store exposing ``parallel_spec`` (a segment-store view) is
+        # segment-backed: workers re-open it from the spec and mmap
+        # independently, so it is never published for fork inheritance
+        # and no snapshot is built or shipped.
+        self._store_spec: Optional[Tuple] = getattr(
+            store, "parallel_spec", None
+        )
+        if (
+            self._store_spec is None
+            and self._context is not None
+            and workers > 1
+        ):
             _PARENT_STORES[self._token] = store
 
     # -- lifecycle ------------------------------------------------------
@@ -715,9 +771,15 @@ class ParallelExtractor:
             # is stale and silently wrong — recreate.
             self._teardown_pool()
         if self._pool is None:
-            if self.kernel == "vectorized" and self._context is not None:
+            if (
+                self.kernel == "vectorized"
+                and self._context is not None
+                and self._store_spec is None
+            ):
                 # Build the columnar snapshot in the parent before the
-                # fork so every worker inherits it already built.
+                # fork so every worker inherits it already built.  A
+                # segment-backed store skips this: materialising the
+                # full trace in the parent is exactly what it avoids.
                 self.store.columnar()
             self._pool = ProcessPoolExecutor(
                 max_workers=workers, mp_context=self._context
@@ -838,12 +900,22 @@ class ParallelExtractor:
         :class:`ShardExtractionError` carrying the policy's error
         history.
         """
-        snapshot = self.store.columnar() if self.kernel == "vectorized" else None
+        store_backed = self._store_spec is not None
+        snapshot = (
+            self.store.columnar()
+            if self.kernel == "vectorized" and not store_backed
+            else None
+        )
 
         def run_shard(shard: Shard) -> Tuple[object, float]:
             t0 = time.perf_counter()
             _inject_faults(shard.index)
-            if snapshot is not None:
+            if store_backed and self.kernel == "vectorized":
+                # Per-shard gathers: only one shard's rows are ever
+                # materialised at a time, which is what bounds peak
+                # memory on traces larger than RAM.
+                result = self.store.shard_columns(shard.hosts, grace_period)
+            elif snapshot is not None:
                 result = _shard_columns_from_snapshot(
                     snapshot, shard.hosts, grace_period
                 )
@@ -912,7 +984,7 @@ class ParallelExtractor:
             futures = {}
             for shard in remaining:
                 payload = None
-                if self._context is None:
+                if self._context is None and self._store_spec is None:
                     payload = {h: self.store.flows_from(h) for h in shard.hosts}
                 futures[
                     pool.submit(
@@ -923,6 +995,7 @@ class ParallelExtractor:
                         grace_period,
                         self.kernel,
                         payload,
+                        self._store_spec,
                     )
                 ] = shard
             for future, shard in futures.items():

@@ -36,7 +36,8 @@ Environment knobs (all unset by default — zero injected faults):
     one-shot per N.
 ``REPRO_FAULT_IO_ERRORS``
     Comma-separated I/O tags (``checkpoint``, ``manifest``,
-    ``dead-letter``, ``verdict-log``) whose writes raise ``OSError``.
+    ``dead-letter``, ``verdict-log``, ``segment``, ``store-manifest``,
+    ``store-read``) whose I/O raises ``OSError``.
 ``REPRO_FAULT_IO_DELAY``
     Seconds of added latency at every tagged I/O point.
 

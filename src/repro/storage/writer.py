@@ -1,0 +1,173 @@
+"""Buffered, threshold-cut segment writing.
+
+:class:`SegmentWriter` is the one producer-side object: callers push
+flow rows (or :class:`~repro.flows.record.FlowRecord` objects) in
+arrival order and the writer factorises addresses, buffers columns,
+and cuts a finished segment into its :class:`~repro.storage.store.SegmentStore`
+whenever the buffer crosses the row or byte threshold.  Cut boundaries
+never change results — the store's gather re-establishes the global
+per-host order — so thresholds are purely a memory/efficiency knob:
+
+* ``segment_rows`` bounds rows buffered in RAM (and therefore the
+  ingest path's peak memory);
+* ``segment_bytes`` approximates the on-disk size so zone maps stay
+  selective (one giant segment can never be pruned).
+
+Callers that partition time themselves (the online detector spooling
+tumbled windows) call :meth:`~SegmentWriter.cut` at each boundary to
+get window-aligned segments, which is what makes time-range pruning
+surgical on replay.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["DEFAULT_SEGMENT_ROWS", "DEFAULT_SEGMENT_BYTES", "SegmentWriter"]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..flows.record import FlowRecord
+    from .store import SegmentStore
+
+#: Default segment cut thresholds: 256k rows is a few MB per column —
+#: big enough to amortise footer overhead, small enough that zone maps
+#: prune usefully and ingest's buffered tail stays modest.
+DEFAULT_SEGMENT_ROWS = 262_144
+DEFAULT_SEGMENT_BYTES = 64 * 1024 * 1024
+
+#: Approximate per-row cost used for the byte threshold: the five
+#: fixed-width columns (8 + 8 + 1 + 4 + 4) rounded up for string-table
+#: amortisation.
+_ROW_OVERHEAD = 32
+
+
+class SegmentWriter:
+    """Buffer rows in arrival order; cut segments into a store.
+
+    Usable as a context manager — exiting flushes the tail buffer as a
+    final (possibly small) segment:
+
+    >>> with store.writer(segment_rows=100_000) as writer:   # doctest: +SKIP
+    ...     for flow in flows:
+    ...         writer.add(flow)
+    """
+
+    def __init__(
+        self,
+        store: "SegmentStore",
+        *,
+        segment_rows: int = DEFAULT_SEGMENT_ROWS,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> None:
+        if segment_rows < 1:
+            raise ValueError("segment_rows must be >= 1")
+        if segment_bytes < 1:
+            raise ValueError("segment_bytes must be >= 1")
+        self.store = store
+        self.segment_rows = int(segment_rows)
+        self.segment_bytes = int(segment_bytes)
+        self.rows_written = 0
+        self.segments_cut = 0
+        self._starts: List[float] = []
+        self._src_bytes: List[int] = []
+        self._success: List[int] = []
+        self._src_codes: List[int] = []
+        self._dst_codes: List[int] = []
+        self._hosts: List[str] = []
+        self._host_code: Dict[str, int] = {}
+        self._dsts: List[str] = []
+        self._dst_code: Dict[str, int] = {}
+        self._approx_bytes = 0
+
+    # -- producing ------------------------------------------------------
+    def append(
+        self, src: str, dst: str, start: float, src_bytes: int, success: bool
+    ) -> None:
+        """Buffer one flow row (must arrive in ingest order)."""
+        code = self._host_code.get(src)
+        if code is None:
+            code = self._host_code[src] = len(self._hosts)
+            self._hosts.append(src)
+        dcode = self._dst_code.get(dst)
+        if dcode is None:
+            dcode = self._dst_code[dst] = len(self._dsts)
+            self._dsts.append(dst)
+        self._starts.append(float(start))
+        self._src_bytes.append(int(src_bytes))
+        self._success.append(1 if success else 0)
+        self._src_codes.append(code)
+        self._dst_codes.append(dcode)
+        self._approx_bytes += _ROW_OVERHEAD
+        if (
+            len(self._starts) >= self.segment_rows
+            or self._approx_bytes >= self.segment_bytes
+        ):
+            self.cut()
+
+    def add(self, flow: "FlowRecord") -> None:
+        """Buffer one :class:`~repro.flows.record.FlowRecord`.
+
+        Only the feature-bearing fields survive (start, uploaded bytes,
+        success, endpoints) — the storage plane is a projection of the
+        flow model onto exactly what the detector consumes.
+        """
+        self.append(
+            flow.src,
+            flow.dst,
+            flow.start,
+            flow.src_bytes,
+            not flow.state.failed,
+        )
+
+    @property
+    def buffered_rows(self) -> int:
+        """Rows currently buffered (not yet in any segment)."""
+        return len(self._starts)
+
+    # -- cutting --------------------------------------------------------
+    def cut(self) -> bool:
+        """Flush the buffer as one segment; ``False`` if it was empty.
+
+        Explicit cuts let a caller align segment boundaries with
+        semantic ones (tumbling windows, trace days) so time-range
+        pruning later skips whole segments.
+        """
+        if not self._starts:
+            return False
+        self.store.append_segment(
+            starts=np.asarray(self._starts, dtype=np.float64),
+            src_bytes=np.asarray(self._src_bytes, dtype=np.int64),
+            success=np.asarray(self._success, dtype=np.uint8),
+            src_codes=np.asarray(self._src_codes, dtype=np.int32),
+            dst_codes=np.asarray(self._dst_codes, dtype=np.int32),
+            hosts=self._hosts,
+            dsts=self._dsts,
+        )
+        self.rows_written += len(self._starts)
+        self.segments_cut += 1
+        self._starts.clear()
+        self._src_bytes.clear()
+        self._success.clear()
+        self._src_codes.clear()
+        self._dst_codes.clear()
+        self._hosts = []
+        self._host_code = {}
+        self._dsts = []
+        self._dst_code = {}
+        self._approx_bytes = 0
+        return True
+
+    def close(self) -> None:
+        """Flush any buffered tail rows as a final segment."""
+        self.cut()
+
+    def __enter__(self) -> "SegmentWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Flush only on clean exit: an exception mid-ingest must not
+        # commit a half-consumed trace tail as if it were complete.
+        if exc_type is None:
+            self.close()

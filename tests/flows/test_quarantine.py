@@ -179,6 +179,63 @@ class TestQuarantine:
         assert len(store) == 6
 
 
+class TestDeadLetterOpenContract:
+    """The dead-letter CSV is opened lazily, at most once per read call.
+
+    Every physical open passes through the ``dead-letter`` fault point,
+    so counting its hits counts opens exactly.  A regression to
+    per-batch reopening would multiply the count (and the header-write
+    races that come with it); this pins it at one."""
+
+    def test_one_open_per_read_despite_many_bad_rows(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.resilience import faults as faults_module
+
+        text, _ = corpus_text()
+        trace = tmp_path / "trace.csv"
+        trace.write_text(text)
+
+        opens = []
+        real_io_point = faults_module.io_point
+
+        def counting_io_point(tag):
+            if tag == "dead-letter":
+                opens.append(tag)
+            return real_io_point(tag)
+
+        monkeypatch.setattr(faults_module, "io_point", counting_io_point)
+        _, report = read_flows_report(
+            trace, errors="quarantine", dead_letter=tmp_path / "dead.csv"
+        )
+        assert report.rows_quarantined == 5
+        assert len(opens) == 1
+
+    def test_second_read_opens_again_and_appends(self, tmp_path, monkeypatch):
+        from repro.resilience import faults as faults_module
+
+        text, _ = corpus_text()
+        trace = tmp_path / "trace.csv"
+        trace.write_text(text)
+        dead = tmp_path / "dead.csv"
+
+        opens = []
+        real_io_point = faults_module.io_point
+
+        def counting_io_point(tag):
+            if tag == "dead-letter":
+                opens.append(tag)
+            return real_io_point(tag)
+
+        monkeypatch.setattr(faults_module, "io_point", counting_io_point)
+        read_flows_report(trace, errors="quarantine", dead_letter=dead)
+        read_flows_report(trace, errors="quarantine", dead_letter=dead)
+        assert len(opens) == 2  # one open per call, not per bad row
+        with open(dead, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert len(rows) == 1 + 10  # single header, appended rows
+
+
 class TestBomTolerance:
     def test_loads_with_leading_bom(self):
         text, _ = corpus_text()

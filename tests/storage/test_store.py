@@ -1,0 +1,299 @@
+"""SegmentStore catalog behaviour: manifest, pruning, budget, compaction.
+
+These pin the store's *mechanics* — how many segments a gather touches,
+what the budget refuses, what compaction rewrites — while
+``test_equivalence.py`` pins that none of those mechanics ever change a
+result.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.storage import (
+    MANIFEST_NAME,
+    SegmentStore,
+    StorageBudgetError,
+    StorageError,
+    StorageVersionError,
+    spool_flow_store,
+)
+from repro.flows import FlowRecord, FlowState, FlowStore, Protocol
+
+
+def flow(src="h", dst="d", start=0.0, src_bytes=100, failed=False):
+    return FlowRecord(
+        src=src, dst=dst, sport=1, dport=2, proto=Protocol.TCP,
+        start=start, end=start + 1.0, src_bytes=src_bytes,
+        state=FlowState.TIMEOUT if failed else FlowState.ESTABLISHED,
+    )
+
+
+def windowed_store(tmp_path, n_windows=4, rows_per_window=6):
+    """One segment per 100s window, hosts 'a'/'b' alternating rows."""
+    store = SegmentStore.create(tmp_path / "store")
+    writer = store.writer(segment_rows=10**6)
+    for w in range(n_windows):
+        for i in range(rows_per_window):
+            writer.append(
+                "a" if i % 2 == 0 else "b",
+                f"d{i}",
+                w * 100.0 + i,
+                10 * (i + 1),
+                i % 3 != 0,
+            )
+        writer.cut()
+    return store
+
+
+class TestManifest:
+    def test_roundtrip_across_open(self, tmp_path):
+        store = windowed_store(tmp_path)
+        reopened = SegmentStore.open(store.directory)
+        assert reopened.total_rows == store.total_rows == 24
+        assert reopened.n_segments == 4
+        assert [m.to_json() for m in reopened.metas] == [
+            m.to_json() for m in store.metas
+        ]
+        assert reopened.generation == store.generation
+
+    def test_create_refuses_existing_without_exist_ok(self, tmp_path):
+        store = windowed_store(tmp_path)
+        with pytest.raises(StorageError, match="already exists"):
+            SegmentStore.create(store.directory)
+        again = SegmentStore.create(store.directory, exist_ok=True)
+        assert again.total_rows == 24
+
+    def test_open_refuses_non_store_directory(self, tmp_path):
+        with pytest.raises(StorageError, match="not a segment store"):
+            SegmentStore.open(tmp_path)
+
+    def test_open_refuses_future_manifest_version(self, tmp_path):
+        store = windowed_store(tmp_path)
+        manifest_path = store.directory / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StorageVersionError, match="version 99"):
+            SegmentStore.open(store.directory)
+
+    def test_open_refuses_foreign_manifest(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text('{"format": "something-else"}')
+        with pytest.raises(StorageError, match="not a segment-store"):
+            SegmentStore.open(tmp_path)
+
+    def test_time_extent_tracks_segments(self, tmp_path):
+        store = windowed_store(tmp_path)
+        assert store.t_min == 0.0
+        assert store.t_max == 305.0
+
+
+class TestWriterThresholds:
+    def test_row_threshold_cuts(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "store")
+        with store.writer(segment_rows=10) as writer:
+            for i in range(35):
+                writer.append("h", "d", float(i), 1, True)
+        assert store.n_segments == 4  # 10+10+10 cuts + 5-row tail flush
+        assert [m.rows for m in store.metas] == [10, 10, 10, 5]
+        assert store.total_rows == 35
+
+    def test_byte_threshold_cuts(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "store")
+        with store.writer(segment_rows=10**9, segment_bytes=64) as writer:
+            for i in range(7):
+                writer.append("h", "d", float(i), 1, True)
+        assert store.n_segments > 1
+
+    def test_exception_does_not_flush_tail(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "store")
+        with pytest.raises(RuntimeError, match="mid-ingest"):
+            with store.writer(segment_rows=10) as writer:
+                for i in range(15):
+                    writer.append("h", "d", float(i), 1, True)
+                raise RuntimeError("mid-ingest")
+        # The complete first cut survives; the 5 buffered rows do not.
+        assert store.total_rows == 10
+
+    def test_empty_cut_is_a_noop(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "store")
+        writer = store.writer()
+        assert writer.cut() is False
+        assert store.n_segments == 0
+
+
+class TestGather:
+    def test_host_grouped_and_start_ordered(self, tmp_path):
+        store = windowed_store(tmp_path)
+        gathered = store.gather(["a", "b"])
+        assert gathered.hosts == ("a", "b")
+        np.testing.assert_array_equal(gathered.counts, [12, 12])
+        # Within each host block, starts ascend.
+        a_starts = gathered.starts[:12]
+        b_starts = gathered.starts[12:]
+        assert (np.diff(a_starts) >= 0).all()
+        assert (np.diff(b_starts) >= 0).all()
+        assert gathered.success.dtype == np.int64
+
+    def test_host_pruning_skips_whole_segments(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "store")
+        writer = store.writer()
+        writer.append("only-a", "d", 0.0, 1, True)
+        writer.cut()
+        writer.append("only-b", "d", 1.0, 1, True)
+        writer.cut()
+        gathered = store.gather(["only-a"])
+        assert gathered.segments_read == 1
+        assert gathered.segments_pruned_host == 1
+        assert gathered.hosts == ("only-a",)
+
+    def test_time_pruning_skips_whole_segments(self, tmp_path):
+        store = windowed_store(tmp_path)  # windows at 0,100,200,300
+        gathered = store.gather(t0=100.0, t1=200.0)
+        assert gathered.segments_read == 1
+        assert gathered.segments_pruned_time == 3
+        assert gathered.n_rows == 6
+        assert (gathered.starts >= 100.0).all()
+        assert (gathered.starts < 200.0).all()
+
+    def test_prune_false_reads_everything_identically(self, tmp_path):
+        store = windowed_store(tmp_path)
+        pruned = store.gather(["a"], t0=100.0, t1=300.0)
+        full = store.gather(["a"], t0=100.0, t1=300.0, prune=False)
+        assert full.segments_pruned_time == 0
+        assert full.segments_pruned_host == 0
+        # Without pruning every segment is scanned; ``segments_read``
+        # still counts only the ones that contributed rows.
+        assert full.segments_read == 2
+        assert pruned.segments_pruned_time > 0
+        assert pruned.hosts == full.hosts
+        np.testing.assert_array_equal(pruned.starts, full.starts)
+        np.testing.assert_array_equal(pruned.src_bytes, full.src_bytes)
+        np.testing.assert_array_equal(pruned.success, full.success)
+
+    def test_unknown_host_gathers_empty(self, tmp_path):
+        store = windowed_store(tmp_path)
+        gathered = store.gather(["nobody"])
+        assert gathered.n_rows == 0
+        assert gathered.hosts == ()
+
+    def test_host_counts_and_hosts(self, tmp_path):
+        store = windowed_store(tmp_path)
+        assert store.hosts() == ["a", "b"]
+        assert store.host_counts() == {"a": 12, "b": 12}
+        # A window that splits a segment forces a column scan but stays
+        # exact.
+        assert store.host_counts(t0=100.0, t1=103.0) == {"a": 2, "b": 1}
+
+
+class TestBudget:
+    def test_precheck_refuses_oversized_gather(self, tmp_path):
+        store = windowed_store(tmp_path)
+        with pytest.raises(StorageBudgetError, match="over the budget"):
+            store.gather(max_rows=10)
+
+    def test_running_check_refuses_with_time_window(self, tmp_path):
+        store = windowed_store(tmp_path)
+        with pytest.raises(StorageBudgetError):
+            store.gather(t0=0.0, t1=400.0, max_rows=10)
+
+    def test_budget_large_enough_passes(self, tmp_path):
+        store = windowed_store(tmp_path)
+        assert store.gather(max_rows=24).n_rows == 24
+
+
+class TestCompaction:
+    def test_small_segments_merge_without_changing_results(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "store")
+        with store.writer(segment_rows=2) as writer:
+            for i in range(11):
+                writer.append(f"h{i % 3}", f"d{i % 5}", float(i), i, i % 2 == 0)
+        assert store.n_segments == 6
+        before = store.gather()
+        generation = store.generation
+
+        removed = store.compact(min_rows=4, target_rows=8)
+        assert removed > 0
+        assert store.n_segments < 6
+        assert store.generation > generation
+        assert store.total_rows == 11
+
+        after = store.gather()
+        assert after.hosts == before.hosts
+        np.testing.assert_array_equal(after.counts, before.counts)
+        np.testing.assert_array_equal(after.starts, before.starts)
+        np.testing.assert_array_equal(after.src_bytes, before.src_bytes)
+        np.testing.assert_array_equal(after.success, before.success)
+        # Old files are gone from disk and the catalog agrees with a
+        # fresh open.
+        reopened = SegmentStore.open(store.directory)
+        assert reopened.total_rows == 11
+        on_disk = sorted(
+            p.name for p in store.directory.glob("*.rseg")
+        )
+        assert on_disk == sorted(m.name for m in store.metas)
+
+    def test_large_segments_left_alone(self, tmp_path):
+        store = windowed_store(tmp_path)
+        assert store.compact(min_rows=2) == 0
+        assert store.n_segments == 4
+
+
+class TestSpoolReuse:
+    def make_flowstore(self):
+        return FlowStore(
+            flow(src=f"h{i % 4}", dst=f"d{i % 3}", start=float(i), src_bytes=i)
+            for i in range(20)
+        )
+
+    def test_same_store_reuses_spool(self, tmp_path):
+        mem = self.make_flowstore()
+        view1 = spool_flow_store(mem, tmp_path / "spool", segment_rows=6)
+        generation = view1.version
+        view2 = spool_flow_store(mem, tmp_path / "spool", segment_rows=6)
+        assert view2.version == generation  # no rewrite happened
+
+    def test_mutated_store_respools(self, tmp_path):
+        mem = self.make_flowstore()
+        view1 = spool_flow_store(mem, tmp_path / "spool", segment_rows=6)
+        assert len(view1) == 20
+        mem.add(flow(src="new", start=99.0))
+        view2 = spool_flow_store(mem, tmp_path / "spool", segment_rows=6)
+        assert len(view2) == 21
+        assert "new" in view2.initiators
+
+
+class TestStorageMetrics:
+    def test_counters_track_write_and_read(self, tmp_path):
+        obs.clear_sinks()
+        obs.get_registry().reset()
+        obs.enable()
+        try:
+            store = windowed_store(tmp_path)
+            store.gather(["a"], t0=100.0, t1=200.0)
+            registry = obs.get_registry()
+            assert registry.counter(
+                "repro_storage_segments_written_total"
+            ).value() == 4.0
+            assert registry.counter(
+                "repro_storage_rows_spooled_total"
+            ).value() == 24.0
+            assert registry.counter(
+                "repro_storage_gathers_total"
+            ).value() == 1.0
+            scans = registry.counter(
+                "repro_storage_segment_scans_total", labels=("result",)
+            )
+            assert scans.value(result="read") == 1.0
+            assert scans.value(result="pruned-time") == 3.0
+            assert registry.counter(
+                "repro_storage_rows_read_total"
+            ).value() == 3.0
+            assert registry.gauge("repro_storage_segments").value() == 4.0
+            assert registry.gauge("repro_storage_rows").value() == 24.0
+        finally:
+            obs.disable()
+            obs.get_registry().reset()
+            obs.clear_sinks()
