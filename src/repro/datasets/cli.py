@@ -1,15 +1,18 @@
-"""Dataset command line: synthesize, inspect and label traces on disk.
+"""Dataset command line: synthesize, inspect, label and detect on disk.
 
 Usage::
 
     repro-datasets generate --out traces/ --days 2 --scale 0.5 --seed 7
     repro-datasets inspect  --trace traces/campus-day0.flows.csv --top 10
     repro-datasets label    --trace traces/campus-day0.flows.csv
+    repro-datasets detect   --trace traces/campus-day0.flows.csv \
+        --hm-backend pruned
 
 ``generate`` writes campus days plus the Storm and Nugache honeynet
 traces in the Argus-like CSV format; ``inspect`` prints per-host
 features of any trace (the detector's view of it); ``label`` applies
-the payload ground-truth rules.
+the payload ground-truth rules; ``detect`` runs the full FindPlotters
+pipeline over a trace and prints the suspect set.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from ..flows.argus import PARSE_ERROR_MODES, read_flows_report
 from ..flows.parallel import extract_features_parallel
 from ..obs import configure_logging, get_logger
 from ..resilience import RetryError, StageGuard
+from ..stats.emd import PAIRWISE_BACKENDS
 from .campus import CampusConfig, build_campus_day
 from .groundtruth import identify_traders
 from .honeynet import capture_nugache_trace, capture_storm_trace
@@ -127,6 +131,31 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_detect(args) -> int:
+    from ..detection.pipeline import PipelineConfig, find_plotters
+
+    store = _read_trace(args)
+    config = PipelineConfig(
+        hm_backend=args.hm_backend,
+        hm_exact=args.hm_exact,
+        n_workers=args.workers,
+        degrade=not args.no_degrade,
+    )
+    result = find_plotters(store, config=config)
+    for event in result.degradations:
+        logger.warning("%s", event.describe())
+    funnel = [
+        ("input", len(result.input_hosts)),
+        ("reduced", len(result.reduced_hosts)),
+        ("vol∪churn", len(result.union_vol_churn)),
+        ("suspects", len(result.suspects)),
+    ]
+    print(" -> ".join(f"{stage}:{count}" for stage, count in funnel))
+    for host in sorted(result.suspects):
+        print(host)
+    return 0
+
+
 def _cmd_label(args) -> int:
     if args.store_dir:
         # The storage plane projects flows down to the feature-bearing
@@ -227,6 +256,36 @@ def main(argv=None) -> int:
     label = sub.add_parser("label", help="apply Trader payload signatures")
     add_ingest_flags(label)
     label.set_defaults(func=_cmd_label)
+
+    detect = sub.add_parser(
+        "detect", help="run the FindPlotters pipeline over a trace"
+    )
+    add_ingest_flags(detect)
+    detect.add_argument(
+        "--hm-backend",
+        choices=PAIRWISE_BACKENDS,
+        default="auto",
+        help="pairwise-EMD engine for theta_hm (default auto; all "
+        "engines yield identical suspects)",
+    )
+    detect.add_argument(
+        "--hm-exact",
+        action="store_true",
+        help="forbid the pruned theta_hm engine (exactness escape hatch)",
+    )
+    detect.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for feature extraction (0 = in-process)",
+    )
+    detect.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="make stage failures fatal instead of stepping down the "
+        "fallback ladder",
+    )
+    detect.set_defaults(func=_cmd_detect)
 
     args = parser.parse_args(argv)
     configure_logging(level=args.log_level)

@@ -28,7 +28,7 @@ from ..stats.clustering import (
     cluster_diameters,
     cut_top_links,
 )
-from ..stats.emd import pairwise_emd
+from ..stats.emd import pairwise_emd, resolve_backend
 from ..stats.histogram import Histogram, build_histogram
 from ..stats.thresholds import percentile_threshold
 from .testbase import TestResult
@@ -52,6 +52,9 @@ class HmClustering:
 
     Carries the clusters, their diameters, and the applied threshold so
     the evaluation (and the evasion study) can see how hosts grouped.
+    ``backend`` is the *resolved* pairwise-EMD engine that actually ran
+    (never ``"auto"``), so callers and tests can observe which rung of
+    the escalation ladder a given population landed on.
     """
 
     hosts: Tuple[str, ...]
@@ -59,6 +62,7 @@ class HmClustering:
     diameters: Tuple[float, ...]
     threshold: float
     kept: Tuple[Tuple[str, ...], ...]
+    backend: str = "loop"
 
 
 def host_histograms(
@@ -111,6 +115,7 @@ def cluster_hosts(
     cut_fraction: float = DEFAULT_CUT_FRACTION,
     min_cluster_size: int = 2,
     backend: str = "auto",
+    exact: bool = False,
 ) -> HmClustering:
     """Cluster hosts by EMD and keep tight clusters.
 
@@ -120,10 +125,14 @@ def cluster_hosts(
     kept: the test's evidence is *similarity between hosts* (bots of one
     botnet share binary timers), and a singleton exhibits none.
 
-    ``backend`` selects the :func:`repro.stats.emd.pairwise_emd` engine
-    used for the distance matrix; every backend produces the same matrix
-    (pinned to atol=1e-12 by the test suite), so clustering results do
-    not depend on the choice.
+    ``backend`` selects the :func:`repro.stats.emd.pairwise_emd` engine;
+    every backend produces the same clusters, diameters, τ_hm and kept
+    set (pinned to atol=1e-12 by the equivalence suite), so results do
+    not depend on the choice.  The ``"pruned"`` backend skips provably
+    irrelevant host pairs via :mod:`repro.stats.emdindex`; ``exact=True``
+    is the escape hatch that forbids it (``"auto"`` then stops
+    escalating at ``"parallel"``).  The engine that actually ran is
+    reported on the result's ``backend`` field and the span.
     """
     hosts = tuple(sorted(histograms))
     if not hosts:
@@ -141,20 +150,39 @@ def cluster_hosts(
             kept=kept_single,
         )
     n = len(hosts)
+    resolved = resolve_backend(backend, n, exact=exact)
     with span(
-        "cluster_hosts", hosts=n, pairs=n * (n - 1) // 2, backend=backend
+        "cluster_hosts",
+        hosts=n,
+        pairs=n * (n - 1) // 2,
+        backend=backend,
+        resolved_backend=resolved,
     ) as s:
-        with span("emd_matrix", hosts=n, backend=backend):
-            distance = pairwise_emd(
-                [histograms[h] for h in hosts], backend=backend
-            )
-        with span("linkage", hosts=n):
-            dendrogram = average_linkage(distance)
-            member_lists = cut_top_links(dendrogram, cut_fraction)
+        if resolved == "pruned":
+            from ..stats.emdindex import pruned_partition
+
+            with span("emd_pruned_partition", hosts=n) as ps:
+                member_lists, diameters, report = pruned_partition(
+                    [histograms[h] for h in hosts], cut_fraction
+                )
+                ps.set(
+                    certified=report.certified,
+                    groups=report.groups,
+                    pairs_pruned=report.pairs_pruned,
+                    fallback_reason=report.fallback_reason,
+                )
+        else:
+            with span("emd_matrix", hosts=n, backend=resolved):
+                distance = pairwise_emd(
+                    [histograms[h] for h in hosts], backend=resolved
+                )
+            with span("linkage", hosts=n):
+                dendrogram = average_linkage(distance)
+                member_lists = cut_top_links(dendrogram, cut_fraction)
+            diameters = cluster_diameters(distance, member_lists)
         clusters = tuple(
             tuple(hosts[i] for i in members) for members in member_lists
         )
-        diameters = cluster_diameters(distance, member_lists)
         threshold = percentile_threshold(list(diameters), percentile)
         # The tolerance absorbs float dust when many diameters tie (e.g.
         # several exactly-zero bot clusters and an interpolated percentile).
@@ -167,9 +195,10 @@ def cluster_hosts(
     return HmClustering(
         hosts=hosts,
         clusters=clusters,
-        diameters=diameters,
+        diameters=tuple(diameters),
         threshold=threshold,
         kept=kept,
+        backend=resolved,
     )
 
 
@@ -182,20 +211,26 @@ def theta_hm(
     log_scale: bool = True,
     min_cluster_size: int = 2,
     backend: str = "auto",
+    exact: bool = False,
     features: Optional[Mapping[str, HostFeatures]] = None,
 ) -> TestResult:
     """Select hosts in timing clusters whose diameter is ≤ τ_hm.
 
     The returned :class:`~repro.detection.testbase.TestResult` metric
     maps each clustered host to the diameter of its cluster.
-    ``backend`` is forwarded to the pairwise-EMD engine; ``features``
-    (pre-extracted bundles) to :func:`host_histograms`.
+    ``backend`` and ``exact`` are forwarded to the pairwise-EMD engine;
+    ``features`` (pre-extracted bundles) to :func:`host_histograms`.
     """
     histograms = host_histograms(
         store, sorted(hosts), min_samples, log_scale, features
     )
     clustering = cluster_hosts(
-        histograms, percentile, cut_fraction, min_cluster_size, backend=backend
+        histograms,
+        percentile,
+        cut_fraction,
+        min_cluster_size,
+        backend=backend,
+        exact=exact,
     )
     selected = {host for cluster in clustering.kept for host in cluster}
     metric: Dict[str, float] = {}

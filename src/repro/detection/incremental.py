@@ -469,8 +469,8 @@ class OnlineDetector:
                 if hist is not None:
                     histograms[host] = hist
             # Backend ladder as in the batch pipeline: every backend
-            # yields the same distance matrix, so stepping down changes
-            # speed, never verdicts.
+            # yields the same clustering result, so stepping down
+            # changes speed, never verdicts.
             def cluster_with(backend):
                 def run():
                     return cluster_hosts(
@@ -478,6 +478,7 @@ class OnlineDetector:
                         self.config.hm_percentile,
                         self.config.hm_cut_fraction,
                         backend=backend,
+                        exact=self.config.hm_exact,
                     )
 
                 return run

@@ -78,8 +78,15 @@ class PipelineConfig:
     hm_cut_fraction: float = 0.05
     hm_log_scale: bool = True
     #: Pairwise-EMD engine for θ_hm ("auto", "loop", "vectorized",
-    #: "parallel") — all backends yield the same distance matrix.
+    #: "parallel", "pruned") — all backends yield the same clustering
+    #: result; "pruned" skips provably irrelevant host pairs (see
+    #: :mod:`repro.stats.emdindex`) and "auto" escalates to it on large
+    #: populations unless ``hm_exact`` forbids that.
     hm_backend: str = "auto"
+    #: Escape hatch: force the exact (non-pruned) engines for θ_hm.
+    #: With ``hm_backend="auto"`` escalation then stops at "parallel";
+    #: an explicit ``hm_backend="pruned"`` is resolved as "auto".
+    hm_exact: bool = False
     apply_reduction: bool = True
     #: Worker processes for feature extraction (0/1 = in-process
     #: vectorized; >1 = multi-process via
@@ -343,9 +350,9 @@ def find_plotters(
         with span(
             "theta_hm", input_hosts=len(union), backend=config.hm_backend
         ) as s:
-            # Backend ladder: every backend yields the same distance
-            # matrix, so stepping down (parallel → vectorized → loop)
-            # under the guard changes speed, never suspects.
+            # Backend ladder: every backend yields the same clustering
+            # result, so stepping down (pruned → parallel → vectorized
+            # → loop) under the guard changes speed, never suspects.
             def hm_with(backend):
                 def run():
                     return theta_hm(
@@ -355,6 +362,7 @@ def find_plotters(
                         cut_fraction=config.hm_cut_fraction,
                         log_scale=config.hm_log_scale,
                         backend=backend,
+                        exact=config.hm_exact,
                         features=features,
                     )
 

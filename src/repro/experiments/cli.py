@@ -25,6 +25,7 @@ import time
 from typing import Callable, Dict
 
 from .. import obs
+from ..stats.emd import PAIRWISE_BACKENDS
 
 from .ablations import (
     run_ablation_binning,
@@ -151,7 +152,25 @@ def main(argv=None) -> int:
         help=(
             "make pipeline stage failures fatal instead of stepping "
             "down the fallback ladder (parallel extraction -> "
-            "sequential, vectorized theta_hm -> loop)"
+            "sequential, pruned/vectorized theta_hm -> loop)"
+        ),
+    )
+    parser.add_argument(
+        "--hm-backend",
+        choices=PAIRWISE_BACKENDS,
+        default=None,
+        help=(
+            "pairwise-EMD engine for theta_hm (default auto, which "
+            "escalates loop -> vectorized -> parallel -> pruned by "
+            "population size; all engines yield identical suspects)"
+        ),
+    )
+    parser.add_argument(
+        "--hm-exact",
+        action="store_true",
+        help=(
+            "forbid the pruned theta_hm engine (auto then stops "
+            "escalating at parallel) — the exactness escape hatch"
         ),
     )
     parser.add_argument(
@@ -198,14 +217,24 @@ def main(argv=None) -> int:
     config = (
         ExperimentConfig.paper() if args.scale == "paper" else ExperimentConfig.quick()
     )
-    if args.workers or args.checkpoint_dir or args.no_degrade or args.store_dir:
+    if (
+        args.workers
+        or args.checkpoint_dir
+        or args.no_degrade
+        or args.store_dir
+        or args.hm_backend
+        or args.hm_exact
+    ):
         overrides = dict(
             n_workers=args.workers,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             degrade=not args.no_degrade,
             store_dir=args.store_dir,
+            hm_exact=args.hm_exact,
         )
+        if args.hm_backend is not None:
+            overrides["hm_backend"] = args.hm_backend
         if args.segment_rows is not None:
             overrides["segment_rows"] = args.segment_rows
         config = dataclasses.replace(

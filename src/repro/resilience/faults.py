@@ -38,6 +38,11 @@ Environment knobs (all unset by default — zero injected faults):
     Comma-separated I/O tags (``checkpoint``, ``manifest``,
     ``dead-letter``, ``verdict-log``, ``segment``, ``store-manifest``,
     ``store-read``) whose I/O raises ``OSError``.
+``REPRO_FAULT_EMD_PRUNE_FAIL``
+    Any truthy value makes every build of the θ_hm candidate-pruning
+    index (:mod:`repro.stats.emdindex`) raise :class:`InjectedFault`,
+    so chaos tests exercise the ``pruned`` → ``parallel`` rung of the
+    θ_hm backend ladder.
 ``REPRO_FAULT_IO_DELAY``
     Seconds of added latency at every tagged I/O point.
 
@@ -65,6 +70,7 @@ __all__ = [
     "stage_call",
     "reset_stage_calls",
     "io_point",
+    "prune_point",
     "injected",
 ]
 
@@ -78,6 +84,7 @@ _ALIASES: Mapping[str, Optional[str]] = {
     "REPRO_FAULT_STAGE_FAIL": None,
     "REPRO_FAULT_IO_ERRORS": None,
     "REPRO_FAULT_IO_DELAY": None,
+    "REPRO_FAULT_EMD_PRUNE_FAIL": None,
 }
 
 
@@ -241,6 +248,24 @@ def io_point(tag: str) -> None:
 
 
 # ----------------------------------------------------------------------
+# θ_hm pruning-index faults
+# ----------------------------------------------------------------------
+def prune_point() -> None:
+    """Raise :class:`InjectedFault` if the pruning index is marked to fail.
+
+    Called at the top of every candidate-pruning index build
+    (:mod:`repro.stats.emdindex`), before any bound is computed — the
+    place a real-world pathology (a degenerate embedding grid, an
+    adversarial population) would surface.  The failure propagates out
+    of the pruned θ_hm backend so the StageGuard ladder steps down to
+    ``parallel``; it is *not* absorbed by the index's own
+    certification fallback, which only handles declared conditions.
+    """
+    if _get("REPRO_FAULT_EMD_PRUNE_FAIL"):
+        raise InjectedFault("injected fault in the EMD pruning index")
+
+
+# ----------------------------------------------------------------------
 # Programmatic installation
 # ----------------------------------------------------------------------
 _KNOB_FOR_KWARG: Mapping[str, str] = {
@@ -252,6 +277,7 @@ _KNOB_FOR_KWARG: Mapping[str, str] = {
     "stage_fail": "REPRO_FAULT_STAGE_FAIL",
     "io_errors": "REPRO_FAULT_IO_ERRORS",
     "io_delay": "REPRO_FAULT_IO_DELAY",
+    "emd_prune_fail": "REPRO_FAULT_EMD_PRUNE_FAIL",
 }
 
 

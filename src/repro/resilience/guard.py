@@ -17,10 +17,10 @@ transparent pass-through: the first failure propagates, which is what
 you want under a debugger or in a correctness bisect.
 
 The θ_hm backend ladder used by both the batch pipeline and the online
-detector lives here too (:func:`hm_backend_ladder`): ``parallel``
-steps down through ``vectorized`` to ``loop``; ``auto`` and
+detector lives here too (:func:`hm_backend_ladder`): ``pruned`` steps
+down through ``parallel`` and ``vectorized`` to ``loop``; ``auto`` and
 ``vectorized`` step straight to ``loop`` — the backend of last resort
-with no pool and no numpy broadcasting to fail.
+with no pruning index, no pool and no numpy broadcasting to fail.
 """
 
 from __future__ import annotations
@@ -46,8 +46,9 @@ _DEGRADATIONS = obs_metrics.counter(
 )
 
 #: θ_hm pairwise-EMD backend step-downs (every backend yields the same
-#: distance matrix, so stepping down changes speed, never suspects).
+#: clustering result, so stepping down changes speed, never suspects).
 _HM_STEP_DOWN: Dict[str, str] = {
+    "pruned": "parallel",
     "parallel": "vectorized",
     "vectorized": "loop",
     "auto": "loop",

@@ -3,11 +3,22 @@
 from .histogram import Histogram, build_histogram, freedman_diaconis_width
 from .emd import (
     PAIRWISE_BACKENDS,
+    PARALLEL_MIN_HOSTS,
+    PRUNED_MIN_HOSTS,
+    VECTORIZED_MIN_HOSTS,
     emd,
     emd_1d,
     emd_transport,
     pairwise_emd,
+    resolve_backend,
     signature_arrays,
+)
+from .emdindex import (
+    EmdIndex,
+    PruneReport,
+    build_index,
+    pruned_matrix,
+    pruned_partition,
 )
 from .clustering import (
     DEFAULT_CUT_FRACTION,
@@ -48,8 +59,17 @@ __all__ = [
     "emd_1d",
     "emd_transport",
     "pairwise_emd",
+    "resolve_backend",
     "signature_arrays",
     "PAIRWISE_BACKENDS",
+    "VECTORIZED_MIN_HOSTS",
+    "PARALLEL_MIN_HOSTS",
+    "PRUNED_MIN_HOSTS",
+    "EmdIndex",
+    "PruneReport",
+    "build_index",
+    "pruned_matrix",
+    "pruned_partition",
     "DEFAULT_CUT_FRACTION",
     "Dendrogram",
     "Merge",

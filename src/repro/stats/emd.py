@@ -26,12 +26,22 @@ pipeline's hot path.  :func:`pairwise_emd` dispatches between backends:
 * ``"parallel"`` — the vectorized kernel fanned out over a
   ``multiprocessing`` pool in chunks of pairs, for host populations
   large enough to amortise worker startup;
-* ``"auto"`` (default) — vectorized, escalating to parallel for very
-  large populations on multi-core machines.
+* ``"pruned"`` — candidate-pruned: pairs whose exact EMD is derivable
+  without the kernel (disjoint-support pairs, where 1-D EMD collapses
+  to the difference of means) are filled from the closed form and only
+  the surviving overlapping pairs go through the cache-blocked kernel
+  (see :mod:`repro.stats.emdindex`; θ_hm additionally uses the index's
+  certified group decomposition, which skips inter-group pairs
+  entirely);
+* ``"auto"`` (default) — escalates loop → vectorized → parallel →
+  pruned by population size (see :func:`resolve_backend`).
 
-All backends integrate the same merged CDF, differing only in summation
-order (float dust at the 1e-15 scale); equivalence is pinned by the
-test suite at ``atol=1e-12``.
+All backends produce the exact distance — they integrate the same
+merged CDF (or an algebraically equal closed form), differing only in
+summation order (float dust at the 1e-15 scale); equivalence is pinned
+by the test suite at ``atol=1e-12``.  ``exact=True`` is the escape
+hatch that forbids the pruned engine (resolving it to the best
+non-pruned backend) for correctness bisects.
 """
 
 from __future__ import annotations
@@ -52,16 +62,29 @@ __all__ = [
     "emd_transport",
     "emd",
     "pairwise_emd",
+    "resolve_backend",
     "signature_arrays",
     "PAIRWISE_BACKENDS",
+    "VECTORIZED_MIN_HOSTS",
+    "PARALLEL_MIN_HOSTS",
+    "PRUNED_MIN_HOSTS",
 ]
 
 #: Backends accepted by :func:`pairwise_emd`.
-PAIRWISE_BACKENDS = ("auto", "loop", "vectorized", "parallel")
+PAIRWISE_BACKENDS = ("auto", "loop", "vectorized", "parallel", "pruned")
 
-#: ``"auto"`` escalates to the parallel backend at or above this host
-#: count — below it, pool startup outweighs the O(n²) work split.
-_PARALLEL_MIN_HOSTS = 1500
+#: ``"auto"`` escalation boundaries, in host counts.  Below
+#: ``VECTORIZED_MIN_HOSTS`` the per-pair Python loop wins (dense
+#: packing and scratch allocation outweigh a handful of pairs); from
+#: ``PARALLEL_MIN_HOSTS`` a multi-core machine amortises pool startup
+#: over the O(n²) work split; from ``PRUNED_MIN_HOSTS`` the
+#: candidate-pruning index amortises its O(n·bins) build cost.
+VECTORIZED_MIN_HOSTS = 4
+PARALLEL_MIN_HOSTS = 1500
+PRUNED_MIN_HOSTS = 4000
+
+# Backwards-compatible private alias (pre-pruning releases named it so).
+_PARALLEL_MIN_HOSTS = PARALLEL_MIN_HOSTS
 
 #: Target float64 elements per vectorized block.  Chosen so one block's
 #: working set (~6 arrays of this size) stays cache-resident: larger
@@ -288,6 +311,29 @@ def _sorted_signatures(
     return order, positions, weights, bins[order]
 
 
+def condensed_for_pairs(
+    histograms: Sequence[Histogram],
+    rows: np.ndarray,
+    cols: np.ndarray,
+) -> np.ndarray:
+    """Exact EMDs for an explicit pair list, via the blocked kernel.
+
+    The entry point the candidate-pruning index uses: after bounds
+    analysis decides which pairs survive, only those ``(rows[k],
+    cols[k])`` pairs are evaluated — with exactly the same merged-CDF
+    kernel as the full backends.  Hosts are packed densely in caller
+    order; orderings that keep consecutive pairs at similar signature
+    widths get the best block truncation.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if len(rows) == 0:
+        return np.zeros(0, dtype=float)
+    positions, weights = signature_arrays(histograms)
+    bins = np.array([len(h.centers) for h in histograms], dtype=np.int64)
+    return _condensed_blocks(positions, weights, bins, rows, cols)
+
+
 def _pairwise_vectorized(histograms: Sequence[Histogram]) -> np.ndarray:
     n = len(histograms)
     matrix = np.zeros((n, n), dtype=float)
@@ -371,30 +417,62 @@ def _pairwise_parallel(
     return matrix
 
 
-def pairwise_emd(
-    histograms: Sequence[Histogram],
-    backend: str = "auto",
-    n_workers: Optional[int] = None,
-) -> np.ndarray:
-    """Symmetric matrix of EMDs between all pairs of histograms.
+def resolve_backend(
+    backend: str,
+    n_hosts: int,
+    cores: Optional[int] = None,
+    exact: bool = False,
+) -> str:
+    """The concrete engine ``pairwise_emd`` will run for this request.
 
-    ``backend`` selects the engine (see module docstring): ``"loop"``
-    is the per-pair reference, ``"vectorized"`` the batched merged-CDF
-    kernel, ``"parallel"`` the multiprocessing fan-out, and ``"auto"``
-    picks vectorized — escalating to parallel when the population
-    reaches ``_PARALLEL_MIN_HOSTS`` on a multi-core machine.
-    ``n_workers`` caps the pool for the parallel backend.
+    Resolution is a pure function of the request — host count, core
+    count, the ``exact`` escape hatch — so callers (``cluster_hosts``,
+    the benchmarks, the boundary unit tests) can observe and pin the
+    escalation instead of inferring it from counters.  ``"auto"``
+    escalates loop → vectorized → parallel → pruned at
+    ``VECTORIZED_MIN_HOSTS`` / ``PARALLEL_MIN_HOSTS`` /
+    ``PRUNED_MIN_HOSTS``; parallel additionally needs more than one
+    core.  ``exact=True`` forbids the pruned engine: an explicit or
+    escalated ``"pruned"`` resolves to the best non-pruned backend for
+    the same population instead.
     """
     if backend not in PAIRWISE_BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {PAIRWISE_BACKENDS}"
         )
-    if backend == "auto":
+    if cores is None:
         cores = os.cpu_count() or 1
-        if len(histograms) >= _PARALLEL_MIN_HOSTS and cores > 1:
-            backend = "parallel"
-        else:
-            backend = "vectorized"
+    if exact and backend == "pruned":
+        backend = "auto"
+    if backend != "auto":
+        return backend
+    if not exact and n_hosts >= PRUNED_MIN_HOSTS:
+        return "pruned"
+    if n_hosts >= PARALLEL_MIN_HOSTS and cores > 1:
+        return "parallel"
+    if n_hosts >= VECTORIZED_MIN_HOSTS:
+        return "vectorized"
+    return "loop"
+
+
+def pairwise_emd(
+    histograms: Sequence[Histogram],
+    backend: str = "auto",
+    n_workers: Optional[int] = None,
+    exact: bool = False,
+) -> np.ndarray:
+    """Symmetric matrix of EMDs between all pairs of histograms.
+
+    ``backend`` selects the engine (see module docstring): ``"loop"``
+    is the per-pair reference, ``"vectorized"`` the batched merged-CDF
+    kernel, ``"parallel"`` the multiprocessing fan-out, ``"pruned"``
+    the candidate-pruned engine (closed-form fill for disjoint-support
+    pairs, kernel for the rest), and ``"auto"`` escalates between them
+    by population size (see :func:`resolve_backend`).  Every backend
+    returns the exact matrix.  ``n_workers`` caps the pool for the
+    parallel backend; ``exact=True`` forbids the pruned engine.
+    """
+    backend = resolve_backend(backend, len(histograms), exact=exact)
     n = len(histograms)
     _BACKEND_SELECTED.inc(backend=backend)
     _PAIRS_TOTAL.inc(n * (n - 1) // 2, backend=backend)
@@ -402,4 +480,8 @@ def pairwise_emd(
         return _pairwise_loop(histograms)
     if backend == "vectorized":
         return _pairwise_vectorized(histograms)
+    if backend == "pruned":
+        from .emdindex import pruned_matrix
+
+        return pruned_matrix(histograms)
     return _pairwise_parallel(histograms, n_workers=n_workers)

@@ -128,6 +128,7 @@ class TestHmLadder:
     @pytest.mark.parametrize(
         "backend, expected",
         [
+            ("pruned", ("pruned", "parallel", "vectorized", "loop")),
             ("parallel", ("parallel", "vectorized", "loop")),
             ("vectorized", ("vectorized", "loop")),
             ("auto", ("auto", "loop")),
@@ -138,5 +139,5 @@ class TestHmLadder:
         assert hm_backend_ladder(backend) == expected
 
     def test_ladder_terminates_at_loop(self):
-        for backend in ("parallel", "vectorized", "auto", "loop"):
+        for backend in ("pruned", "parallel", "vectorized", "auto", "loop"):
             assert hm_backend_ladder(backend)[-1] == "loop"

@@ -1,0 +1,124 @@
+"""Fault injection for the EMD pruning index: pruned → parallel ladder.
+
+``REPRO_FAULT_EMD_PRUNE_FAIL`` makes every pruning-index entry point
+raise :class:`InjectedFault`.  Under the StageGuard ladder that must
+surface as a recorded ``pruned → parallel`` degradation — never a
+changed suspect set, never a silent swallow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detection.humanmachine import cluster_hosts
+from repro.resilience import StageGuard, hm_backend_ladder
+from repro.resilience.faults import InjectedFault, injected
+from repro.stats.emdindex import build_index, pruned_matrix, pruned_partition
+from repro.stats.histogram import build_histogram
+
+
+def timer_population(n_hosts=40, n_modes=2, seed=3):
+    rng = np.random.default_rng(seed)
+    hists = []
+    for k in range(n_hosts):
+        samples = rng.normal(1.5 * (k % n_modes), 0.02, 150)
+        hists.append(build_histogram(samples.tolist()))
+    return hists
+
+
+class TestPrunePoint:
+    """Every entry point into the index honours the knob."""
+
+    def test_build_index_raises(self):
+        hists = timer_population(8)
+        with injected(emd_prune_fail=1):
+            with pytest.raises(InjectedFault, match="pruning index"):
+                build_index(hists)
+
+    def test_pruned_matrix_raises(self):
+        hists = timer_population(8)
+        with injected(emd_prune_fail=1):
+            with pytest.raises(InjectedFault, match="pruning index"):
+                pruned_matrix(hists)
+
+    def test_pruned_partition_raises_even_below_prune_floor(self):
+        # Small populations would normally fall back before touching
+        # the index; the fault still fires so the ladder is exercised
+        # at every population size.
+        hists = timer_population(6)
+        with injected(emd_prune_fail=1):
+            with pytest.raises(InjectedFault, match="pruning index"):
+                pruned_partition(hists, 0.05)
+
+    def test_off_by_default(self):
+        hists = timer_population(8)
+        build_index(hists)
+        pruned_matrix(hists)
+        pruned_partition(hists, 0.05)  # no raise
+
+
+class TestLadderDegradation:
+    """The pipeline's guard wiring: pruned fails, parallel answers."""
+
+    @staticmethod
+    def _guarded_clustering(histograms, guard):
+        # Mirrors find_plotters' theta_hm guard block: one rung per
+        # ladder backend, each running the same clustering call.
+        def with_backend(backend):
+            return lambda: cluster_hosts(histograms, 70.0, backend=backend)
+
+        return guard.run(
+            "theta_hm",
+            [(b, with_backend(b)) for b in hm_backend_ladder("pruned")],
+        )
+
+    def test_pruned_fault_steps_down_to_parallel(self):
+        histograms = {
+            f"h{i:03d}": h for i, h in enumerate(timer_population(40))
+        }
+        baseline = cluster_hosts(histograms, 70.0, backend="pruned")
+
+        guard = StageGuard()
+        with injected(emd_prune_fail=1):
+            degraded = self._guarded_clustering(histograms, guard)
+
+        (event,) = guard.degradations
+        assert event.stage == "theta_hm"
+        assert event.from_mode == "pruned"
+        assert event.to_mode == "parallel"
+        assert "InjectedFault" in event.error
+        assert degraded.backend == "parallel"
+        # Degradation changes speed, never results.
+        assert degraded.kept == baseline.kept
+        assert degraded.clusters == baseline.clusters
+        np.testing.assert_allclose(
+            degraded.diameters, baseline.diameters, atol=1e-12, rtol=0.0
+        )
+        assert degraded.threshold == pytest.approx(
+            baseline.threshold, abs=1e-12
+        )
+
+    def test_degradation_report_describes_the_fall(self):
+        histograms = {
+            f"h{i:03d}": h for i, h in enumerate(timer_population(36))
+        }
+        guard = StageGuard(name="prune-fault")
+        with injected(emd_prune_fail=1):
+            self._guarded_clustering(histograms, guard)
+        summary = guard.summary()
+        assert summary["degraded"] is True
+        (record,) = summary["degradations"]
+        assert record["stage"] == "theta_hm"
+        assert record["from_mode"] == "pruned"
+        assert record["to_mode"] == "parallel"
+        text = guard.degradations[0].describe()
+        assert "pruned" in text and "parallel" in text
+
+    def test_disabled_guard_makes_the_fault_fatal(self):
+        histograms = {
+            f"h{i:03d}": h for i, h in enumerate(timer_population(36))
+        }
+        guard = StageGuard(enabled=False)
+        with injected(emd_prune_fail=1):
+            with pytest.raises(InjectedFault):
+                self._guarded_clustering(histograms, guard)
+        assert guard.degradations == ()
