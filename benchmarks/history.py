@@ -1,0 +1,100 @@
+"""Append-only perf history shared by every benchmark suite.
+
+``BENCH_hm.json`` / ``BENCH_extract.json`` / ``BENCH_storage.json``
+each hold only the *latest* report — useful for inspecting a run,
+useless for spotting a slow drift.  Every perf suite therefore also
+appends one dated line to ``BENCH_HISTORY.jsonl`` (override with
+``REPRO_BENCH_HISTORY_OUT``)::
+
+    {"history_version": 1, "suite": "hm_distance",
+     "recorded_at": "2026-…", "cpu_count": 8,
+     "metrics": {"vectorized_seconds@n200": 0.041, …}}
+
+Metric names carry their polarity as a suffix — ``…_seconds`` /
+``…_s`` mean *higher is worse*, ``…_per_s`` / ``…_per_second`` mean
+*lower is worse* — and pin their scale with ``@n<hosts>``, so entries
+from a small CI smoke and a full local sweep never compare against
+each other.  ``scripts/check_bench_regression.py`` reads the file back
+and flags the latest entry of any (suite, metric) series that moved
+>25% against its trailing median.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+HISTORY_ENV = "REPRO_BENCH_HISTORY_OUT"
+HISTORY_VERSION = 1
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def default_history_path() -> Path:
+    return Path(
+        os.environ.get(HISTORY_ENV, _REPO_ROOT / "BENCH_HISTORY.jsonl")
+    )
+
+
+def append_history(
+    suite: str,
+    metrics: Dict[str, float],
+    out_path: Optional[Union[str, Path]] = None,
+) -> Dict:
+    """Append one dated entry for ``suite`` and return it.
+
+    ``metrics`` must be flat ``{name: number}``; non-finite or
+    non-numeric values are dropped rather than poisoning the median.
+    """
+    clean: Dict[str, float] = {}
+    for name, value in metrics.items():
+        try:
+            number = float(value)
+        except (TypeError, ValueError):
+            continue
+        if number != number or number in (float("inf"), float("-inf")):
+            continue
+        clean[str(name)] = number
+    entry = {
+        "history_version": HISTORY_VERSION,
+        "suite": suite,
+        "recorded_at": datetime.now(timezone.utc).isoformat(),
+        "cpu_count": os.cpu_count(),
+        "metrics": clean,
+    }
+    path = Path(out_path) if out_path is not None else default_history_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # A crashed writer can leave a torn final line with no newline; start
+    # on a fresh line so this entry never glues onto the fragment.
+    needs_newline = False
+    if path.exists() and path.stat().st_size > 0:
+        with open(path, "rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            needs_newline = fh.read(1) != b"\n"
+    with open(path, "a", encoding="utf-8") as fh:
+        if needs_newline:
+            fh.write("\n")
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(path: Optional[Union[str, Path]] = None) -> list:
+    """Every readable entry of the history file, oldest first."""
+    path = Path(path) if path is not None else default_history_path()
+    if not path.is_file():
+        return []
+    entries = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue  # a torn append must not hide the rest
+        if isinstance(entry, dict) and isinstance(entry.get("metrics"), dict):
+            entries.append(entry)
+    return entries

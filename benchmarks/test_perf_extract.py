@@ -41,6 +41,8 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Sequence
 
+from history import append_history
+
 from repro.flows.metrics import extract_all_features
 from repro.flows.parallel import ParallelExtractor
 from repro.flows.record import FlowRecord, FlowState, Protocol
@@ -166,6 +168,14 @@ def run_benchmark(
         )
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
+    append_history(
+        "extract_engine",
+        {
+            f"{mode}_seconds@n{entry['n_hosts']}": timing["seconds"]
+            for entry in report["results"]
+            for mode, timing in entry["modes"].items()
+        },
+    )
     return report
 
 

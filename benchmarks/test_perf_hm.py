@@ -48,6 +48,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from history import append_history
+
 from repro import obs
 from repro.detection.humanmachine import cluster_hosts
 from repro.stats.emd import pairwise_emd
@@ -229,6 +231,14 @@ def run_benchmark(
             f"{o['enabled_overhead_vs_disabled']:.2f}x]"
         )
     _merge_report(out_path, report, section_keys={"results"})
+    append_history(
+        "hm_distance",
+        {
+            f"{backend}_seconds@n{entry['n_hosts']}": timing["seconds"]
+            for entry in report["results"]
+            for backend, timing in entry["backends"].items()
+        },
+    )
     return report
 
 
@@ -304,6 +314,13 @@ def run_pruned_benchmark(
             f"rounds={prune_report.rounds}"
         )
     _merge_report(out_path, report, section_keys={"pruned_clustering"})
+    append_history(
+        "hm_pruned_clustering",
+        {
+            f"pruned_seconds@n{entry['n_hosts']}": entry["pruned_seconds"]
+            for entry in report["pruned_clustering"]
+        },
+    )
     return report
 
 

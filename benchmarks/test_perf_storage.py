@@ -56,6 +56,7 @@ if SRC not in sys.path:
 from repro.storage import SegmentStore, StoreView  # noqa: E402
 
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+from history import append_history  # noqa: E402
 from test_perf_extract import synthesize_store  # noqa: E402
 
 DEFAULT_HOST_COUNTS = (100, 300, 800)
@@ -259,6 +260,20 @@ def run_benchmark(
         )
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
+    history_metrics = {}
+    for entry in report["results"]:
+        n = entry["n_hosts"]
+        history_metrics[f"ingest_seconds@n{n}"] = entry["ingest"]["seconds"]
+        history_metrics[f"ingest_rows_per_s@n{n}"] = entry["ingest"][
+            "rows_per_second"
+        ]
+        history_metrics[f"pruned_gather_seconds@n{n}"] = entry["pruning"][
+            "pruned_seconds"
+        ]
+        history_metrics[f"full_scan_seconds@n{n}"] = entry["pruning"][
+            "full_scan_seconds"
+        ]
+    append_history("storage_plane", history_metrics)
     return report
 
 

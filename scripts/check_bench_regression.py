@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Flag perf regressions against the trailing BENCH_HISTORY.jsonl median.
+
+Every perf suite appends dated entries to ``BENCH_HISTORY.jsonl`` (see
+``benchmarks/history.py``).  This gate reads them back and, for each
+(suite, metric) series, compares the *latest* value against the median
+of up to the preceding ``--window`` values:
+
+* metrics named ``…_s`` / ``…_seconds`` regress when the latest value
+  is more than ``--threshold`` (default 25%) *above* the median;
+* metrics named ``…_per_s`` / ``…_per_second`` regress when it falls
+  more than ``--threshold`` *below* the median;
+* any other name carries no polarity and is recorded, never gated.
+
+A series needs at least ``--min-prior`` (default 2) earlier samples
+before it can fail the gate — a fresh metric, or a history with a
+single entry, is always green.  The scale suffix (``@n<hosts>``) keys
+series separately, so a small CI smoke never compares against a full
+local sweep.
+
+Exit status: 0 when green, 1 when any series regressed, 2 on usage
+errors.  ``--json`` emits the full verdict for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from history import default_history_path, load_history  # noqa: E402
+
+
+def metric_polarity(name: str) -> Optional[str]:
+    """``"higher_is_worse"`` / ``"lower_is_worse"`` / ``None`` (ungated)."""
+    base = name.split("@", 1)[0]
+    if base.endswith("_per_s") or base.endswith("_per_second"):
+        return "lower_is_worse"
+    if base.endswith("_s") or base.endswith("_seconds"):
+        return "higher_is_worse"
+    return None
+
+
+def check_history(
+    entries: List[Dict],
+    threshold: float = 0.25,
+    window: int = 5,
+    min_prior: int = 2,
+) -> Dict:
+    """The verdict dict behind the CLI: per-series status + regressions."""
+    series: Dict[tuple, List[float]] = {}
+    for entry in entries:
+        suite = entry.get("suite", "?")
+        for name, value in entry["metrics"].items():
+            series.setdefault((suite, name), []).append(float(value))
+    checks = []
+    for (suite, name), values in sorted(series.items()):
+        latest = values[-1]
+        prior = values[:-1][-window:]
+        polarity = metric_polarity(name)
+        check = {
+            "suite": suite,
+            "metric": name,
+            "latest": latest,
+            "n_prior": len(prior),
+            "polarity": polarity,
+            "status": "ok",
+        }
+        if polarity is None:
+            check["status"] = "ungated"
+        elif len(prior) < min_prior:
+            check["status"] = "insufficient_history"
+        else:
+            median = statistics.median(prior)
+            check["trailing_median"] = median
+            if median > 0:
+                change = latest / median - 1.0
+                check["change"] = change
+                worse = (
+                    change > threshold
+                    if polarity == "higher_is_worse"
+                    else change < -threshold
+                )
+                if worse:
+                    check["status"] = "regression"
+        checks.append(check)
+    regressions = [c for c in checks if c["status"] == "regression"]
+    return {
+        "threshold": threshold,
+        "window": window,
+        "min_prior": min_prior,
+        "n_entries": len(entries),
+        "checks": checks,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        help="history file (default: $REPRO_BENCH_HISTORY_OUT or "
+        "BENCH_HISTORY.jsonl at the repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional slowdown that fails the gate (default 0.25)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="trailing samples the median is taken over (default 5)",
+    )
+    parser.add_argument(
+        "--min-prior",
+        type=int,
+        default=2,
+        help="prior samples required before a series can fail (default 2)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON verdict")
+    args = parser.parse_args(argv)
+
+    path = args.history or default_history_path()
+    entries = load_history(path)
+    verdict = check_history(
+        entries,
+        threshold=args.threshold,
+        window=args.window,
+        min_prior=args.min_prior,
+    )
+    if args.json:
+        print(json.dumps(verdict, indent=2, sort_keys=True))
+    else:
+        gated = [c for c in verdict["checks"] if c["status"] != "ungated"]
+        print(
+            f"bench-regression: {len(entries)} history entries, "
+            f"{len(gated)} gated series, "
+            f"{len(verdict['regressions'])} regression(s) "
+            f"(threshold {args.threshold:.0%} vs trailing median "
+            f"of {args.window})"
+        )
+        for check in verdict["checks"]:
+            if check["status"] == "regression":
+                print(
+                    f"  REGRESSION {check['suite']}/{check['metric']}: "
+                    f"{check['latest']:.6g} vs median "
+                    f"{check['trailing_median']:.6g} "
+                    f"({check['change']:+.1%})"
+                )
+        if verdict["ok"]:
+            print("  OK — no gated series moved past the threshold")
+    return 0 if verdict["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

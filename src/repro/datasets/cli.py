@@ -13,6 +13,12 @@ traces in the Argus-like CSV format; ``inspect`` prints per-host
 features of any trace (the detector's view of it); ``label`` applies
 the payload ground-truth rules; ``detect`` runs the full FindPlotters
 pipeline over a trace and prints the suspect set.
+
+Every subcommand accepts the same telemetry flags as
+``repro-experiments`` (:func:`repro.obs.add_observability_args`):
+``--metrics-out``, ``--prom-out``, ``--prom-port`` and
+``--ledger-dir``.  A ``detect --ledger-dir runs/`` run records its
+funnel and suspect set into the ledger for later ``repro-obs diff``.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from pathlib import Path
 
 from ..flows.argus import PARSE_ERROR_MODES, read_flows_report
 from ..flows.parallel import extract_features_parallel
-from ..obs import configure_logging, get_logger
+from ..obs import ObsSession, add_observability_args, configure_logging, get_logger
 from ..resilience import RetryError, StageGuard
 from ..stats.emd import PAIRWISE_BACKENDS
 from .campus import CampusConfig, build_campus_day
@@ -144,6 +150,10 @@ def _cmd_detect(args) -> int:
     result = find_plotters(store, config=config)
     for event in result.degradations:
         logger.warning("%s", event.describe())
+    session = getattr(args, "obs_session", None)
+    if session is not None:
+        session.record_result(result)
+        session.annotate(trace=args.trace)
     funnel = [
         ("input", len(result.input_hosts)),
         ("reduced", len(result.reduced_hosts)),
@@ -195,9 +205,11 @@ def main(argv=None) -> int:
     generate.add_argument("--days", type=int, default=1)
     generate.add_argument("--scale", type=float, default=0.25)
     generate.add_argument("--seed", type=int, default=2007)
+    add_observability_args(generate)
     generate.set_defaults(func=_cmd_generate)
 
     def add_ingest_flags(cmd):
+        add_observability_args(cmd)
         cmd.add_argument("--trace", required=True, help="trace CSV path")
         cmd.add_argument(
             "--on-parse-error",
@@ -289,7 +301,19 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     configure_logging(level=args.log_level)
-    return args.func(args)
+    # Same telemetry lifecycle as repro-experiments: outputs requested
+    # via the shared flags are flushed (and the ledger entry written)
+    # even when the subcommand raises.
+    session = ObsSession.from_args(
+        args,
+        kind=f"datasets-{args.command}",
+        command=["repro-datasets", *(sys.argv[1:] if argv is None else argv)],
+    )
+    args.obs_session = session if session.active else None
+    with session:
+        rc = args.func(args)
+        session.annotate(exit_code=rc)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

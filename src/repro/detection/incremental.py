@@ -44,7 +44,12 @@ from ..resilience.faults import io_point
 from ..stats.histogram import Histogram, build_histogram
 from ..stats.thresholds import percentile_threshold, select_above, select_below
 from .humanmachine import MIN_SAMPLES, _LOG_FLOOR, cluster_hosts
-from .pipeline import PipelineConfig, PipelineResult, find_plotters
+from .pipeline import (
+    PipelineConfig,
+    PipelineResult,
+    _record_stage,
+    find_plotters,
+)
 
 __all__ = ["OnlineVerdict", "OnlineDetector"]
 
@@ -134,6 +139,15 @@ class OnlineDetector:
         ``history`` and continuing from the next window index —
         in-window streaming state is *not* checkpointed (its reservoirs
         are cheap to refill), only completed-window conclusions.
+    prom_port:
+        Serve live ``/metrics``, ``/healthz`` and ``/summary``
+        (:class:`repro.obs.MetricsServer`) on this port for the
+        detector's lifetime (``0`` = ephemeral; read
+        ``detector.metrics_server.port``).  Setting it enables metric
+        recording, so a tumbling run can be scraped while a window
+        fills — each evaluation refreshes the ``repro_stage_*`` funnel
+        gauges.  Stop the server with :meth:`close` (the detector is
+        also a context manager).
     spool_dir:
         Segment-store directory to spool ingested flows into
         (:mod:`repro.storage`).  Each tumbled window is cut as its own
@@ -165,6 +179,7 @@ class OnlineDetector:
         resume: bool = False,
         spool_dir: Optional[Union[str, os.PathLike]] = None,
         segment_rows: Optional[int] = None,
+        prom_port: Optional[int] = None,
     ) -> None:
         if window <= 0:
             raise ValueError("window length must be positive")
@@ -234,6 +249,38 @@ class OnlineDetector:
         self._hist_cache: Dict[str, Tuple[int, Histogram]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        #: The live telemetry endpoint, when ``prom_port`` was given.
+        self.metrics_server = None
+        if prom_port is not None:
+            from ..obs.http import MetricsServer
+
+            obs_metrics.enable()
+            self.metrics_server = MetricsServer(
+                port=prom_port, extra_summary=self._summary_state
+            )
+
+    def _summary_state(self) -> Dict[str, object]:
+        """Detector state merged into the ``/summary`` endpoint."""
+        return {
+            "window_index": self._window_index,
+            "window_start": self._window_start,
+            "window_seconds": self.window,
+            "finalised_windows": len(self.history),
+            "tracked_hosts": len(self.internal_hosts),
+            "degradations": len(self.guard.degradations),
+        }
+
+    def close(self) -> None:
+        """Release the live metrics endpoint, if any (idempotent)."""
+        if self.metrics_server is not None:
+            self.metrics_server.close()
+            self.metrics_server = None
+
+    def __enter__(self) -> "OnlineDetector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def degradations(self) -> "Tuple[Degradation, ...]":
@@ -447,6 +494,12 @@ class OnlineDetector:
             list(rates.values()), self.config.reduction_percentile
         )
         reduced = select_above(rates, reduction_threshold)
+        # Refresh the shared stage-funnel gauges so a live /metrics
+        # scrape mid-window shows the same repro_stage_* series as a
+        # batch run (the values describe this evaluation).
+        _record_stage(
+            "reduction", len(rates), len(reduced), reduction_threshold
+        )
 
         # θ_vol and θ_churn from the streamed features.
         vol_metric = {h: features[h].avg_flow_size for h in reduced}
@@ -459,9 +512,16 @@ class OnlineDetector:
             churn_threshold = percentile_threshold(
                 list(churn_metric.values()), self.config.churn_percentile
             )
-            union = select_below(vol_metric, vol_threshold) | select_below(
-                churn_metric, churn_threshold
+            vol_selected = select_below(vol_metric, vol_threshold)
+            churn_selected = select_below(churn_metric, churn_threshold)
+            _record_stage(
+                "theta_vol", len(reduced), len(vol_selected), vol_threshold
             )
+            _record_stage(
+                "theta_churn", len(reduced), len(churn_selected),
+                churn_threshold,
+            )
+            union = vol_selected | churn_selected
             # θ_hm over reservoir-sampled interstitials.
             histograms: Dict[str, Histogram] = {}
             for host in sorted(union):
@@ -491,6 +551,9 @@ class OnlineDetector:
                 ],
             )
             suspects = {h for cluster in clustering.kept for h in cluster}
+            _record_stage(
+                "theta_hm", len(union), len(suspects), clustering.threshold
+            )
 
         return OnlineVerdict(
             window_index=self._window_index,

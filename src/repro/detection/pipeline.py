@@ -174,6 +174,32 @@ class PipelineResult:
         """S_hm — the hosts FindPlotters reports as likely Plotters."""
         return self.hm.selected_set
 
+    def funnel(self):
+        """The per-stage attrition of this run as a list of dicts.
+
+        Same shape as :func:`repro.obs.export.funnel_snapshot`
+        (``stage`` / ``input_hosts`` / ``surviving_hosts`` /
+        ``threshold``) but read off the result itself, so it is exact
+        per-run even when several runs share one metrics registry —
+        this is what the run ledger records.
+        """
+        stages = []
+        if self.reduction is not None:
+            stages.append(("reduction", len(self.input_hosts), self.reduction))
+        n_reduced = len(self.reduced_hosts)
+        stages.append(("theta_vol", n_reduced, self.volume))
+        stages.append(("theta_churn", n_reduced, self.churn))
+        stages.append(("theta_hm", len(self.union_vol_churn), self.hm))
+        return [
+            {
+                "stage": stage,
+                "input_hosts": n_in,
+                "surviving_hosts": len(result.selected_set),
+                "threshold": result.threshold,
+            }
+            for stage, n_in, result in stages
+        ]
+
 
 def _extract_attempts(store, hosts, config, guard):
     """The extraction fallback ladder, as (mode, thunk) pairs.

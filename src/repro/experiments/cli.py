@@ -7,13 +7,17 @@ Usage::
     repro-experiments fig6 fig7 fig8 --scale paper
     repro-experiments all --scale quick
     repro-experiments fig9 --metrics-out metrics.jsonl --prom-out metrics.prom
+    repro-experiments fig9 --prom-port 9109 --ledger-dir runs/
 
 Result tables go to stdout; progress diagnostics go to the namespaced
 ``repro.experiments`` logger on stderr (``--log-level`` adjusts it).
-``--metrics-out`` / ``--prom-out`` switch the observability layer on
-for the run: spans stream to the JSONL file as they finish, and a
-final registry snapshot (JSONL) plus a Prometheus text file are
-written on exit.
+The shared telemetry flags (:func:`repro.obs.add_observability_args`)
+switch the observability layer on for the run: ``--metrics-out``
+streams spans as JSONL, ``--prom-out`` writes a Prometheus text file,
+``--prom-port`` serves live ``/metrics`` while experiments run, and
+``--ledger-dir`` records the run into the persistent ledger
+(``repro-obs`` inspects it).  All outputs are flushed even when an
+experiment crashes — the ledger then carries ``status="error"``.
 """
 
 from __future__ import annotations
@@ -112,16 +116,7 @@ def main(argv=None) -> int:
         action="store_true",
         help="also render an ASCII figure where the result supports one",
     )
-    parser.add_argument(
-        "--metrics-out",
-        metavar="PATH",
-        help="enable observability; stream span/metric events to this JSONL file",
-    )
-    parser.add_argument(
-        "--prom-out",
-        metavar="PATH",
-        help="enable observability; write Prometheus text format here on exit",
-    )
+    obs.add_observability_args(parser)
     parser.add_argument(
         "--log-level",
         default="INFO",
@@ -205,15 +200,6 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
-    observing = bool(args.metrics_out or args.prom_out)
-    jsonl_sink = None
-    if observing:
-        obs.enable()
-        if args.metrics_out:
-            jsonl_sink = obs.JsonlSink(args.metrics_out)
-            obs.add_sink(jsonl_sink)
-            logger.info("streaming span events to %s", args.metrics_out)
-
     config = (
         ExperimentConfig.paper() if args.scale == "paper" else ExperimentConfig.quick()
     )
@@ -242,13 +228,26 @@ def main(argv=None) -> int:
             pipeline=dataclasses.replace(config.pipeline, **overrides),
         )
     ctx = ExperimentContext(config)
-    try:
+    # One ObsSession owns every telemetry output; its __exit__ runs on
+    # success *and* on a crashed experiment, so --metrics-out/--prom-out
+    # files and the ledger entry survive failures.
+    session = obs.ObsSession.from_args(
+        args,
+        kind="experiments",
+        config=config.pipeline,
+        command=["repro-experiments", *(sys.argv[1:] if argv is None else argv)],
+    )
+    if args.metrics_out:
+        logger.info("streaming span events to %s", args.metrics_out)
+    timings = {}
+    with session:
         for name in names:
             logger.info("running %s at scale=%s", name, args.scale)
             started = time.time()
             with obs.span("experiment", experiment=name, scale=args.scale):
                 result = EXPERIMENTS[name](ctx)
             elapsed = time.time() - started
+            timings[name] = round(elapsed, 3)
             print(result.table)
             if args.plot:
                 figure = _ascii_figure(name, result)
@@ -257,16 +256,11 @@ def main(argv=None) -> int:
                     print(figure)
             print(f"[{name} completed in {elapsed:.1f}s at scale={args.scale}]")
             print()
-    finally:
-        if observing:
-            if jsonl_sink is not None:
-                jsonl_sink.write_event(obs.metrics_event())
-                obs.remove_sink(jsonl_sink)
-                jsonl_sink.close()
-            if args.prom_out:
-                obs.write_prom(args.prom_out)
-                logger.info("wrote Prometheus exposition to %s", args.prom_out)
-            obs.disable()
+        session.annotate(
+            experiments=names, scale=args.scale, timings_seconds=timings
+        )
+    if args.prom_out:
+        logger.info("wrote Prometheus exposition to %s", args.prom_out)
     return 0
 
 

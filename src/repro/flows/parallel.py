@@ -65,6 +65,19 @@ pipeline's :class:`~repro.resilience.StageGuard` wires it into the run
 summary).  A broken worker pool is warm-restarted between retry waves
 and the restart reported the same way.
 
+Telemetry
+---------
+When the parent has :mod:`repro.obs` enabled, each pooled shard runs
+with worker-side recording armed: the worker snapshots its registry at
+shard start, and ships the metrics *delta* (plus its finished span
+dicts) back alongside the shard payload.  The parent merges every
+delta (:meth:`~repro.obs.metrics.MetricsRegistry.merge_delta`) and
+replays the spans to its sinks, so ``repro_extract_*`` /
+``repro_storage_*`` counters and kernel histograms incremented inside
+workers are no longer lost with the pool — a merged parallel run's
+counter totals are bit-equal to a sequential run's (pinned by
+``tests/flows/test_parallel_obs_merge.py``).
+
 Fault injection (testing only)
 ------------------------------
 The unified knobs live in :mod:`repro.resilience.faults`:
@@ -109,11 +122,13 @@ from typing import (
 import numpy as np
 
 from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
+from ..obs.export import InMemorySink
 from ..obs.logconf import get_logger
 from ..obs.tracing import span
 from ..resilience import faults
 from ..resilience.io import atomic_write
-from ..resilience.retry import RetryError, RetryPolicy
+from ..resilience.retry import RetryError, RetryPolicy, record_attempt
 from .metrics import (
     NEW_IP_GRACE_PERIOD,
     HostFeatures,
@@ -638,6 +653,37 @@ def _inject_faults(index: int) -> None:
     faults.extract_fail(index)
 
 
+def _worker_obs_begin():
+    """Arm per-shard telemetry collection inside a pool worker.
+
+    Under ``fork`` the child inherited the parent's live registry
+    (non-zero values) and sink list (shared file handles); under
+    ``spawn`` it starts disabled and empty.  Both cases normalise to
+    the same protocol: drop inherited sinks (the parent replays our
+    spans itself — writing through a forked JSONL handle would
+    double-log), capture our finished spans locally, switch recording
+    on, and snapshot the registry so only *this shard's* increments
+    ship home.
+    """
+    obs_tracing.clear_sinks()
+    sink = InMemorySink()
+    obs_tracing.add_sink(sink)
+    obs_metrics.enable()
+    return sink, obs_metrics.get_registry().state()
+
+
+def _worker_obs_delta(sink: InMemorySink, baseline) -> Dict:
+    """The shard's telemetry delta: metric diffs plus finished spans."""
+    delta = obs_metrics.get_registry().delta_since(baseline)
+    obs_tracing.clear_sinks()
+    spans = []
+    for record in sink.spans:
+        record = dict(record)
+        record["process"] = "worker"
+        spans.append(record)
+    return {"metrics": delta, "spans": spans, "pid": os.getpid()}
+
+
 def _run_shard(
     token: int,
     index: int,
@@ -646,8 +692,9 @@ def _run_shard(
     kernel: str,
     payload: Optional[Dict[str, List[FlowRecord]]],
     store_spec: Optional[Tuple] = None,
+    collect_obs: bool = False,
 ):
-    """Worker entry: extract one shard, returning (index, result, secs).
+    """Worker entry: extract one shard → (index, result, secs, obs).
 
     ``result`` is a ``_ShardColumns`` for the vectorized kernel (the
     parent assembles features) or a ready ``{host: HostFeatures}`` map
@@ -655,8 +702,17 @@ def _run_shard(
     segment-backed: the worker opens the segment store itself and
     memory-maps just this shard's rows — no snapshot was forked or
     shipped, so the parent's address space never holds the trace.
+
+    ``collect_obs`` (set when the parent has observability enabled)
+    makes the worker record its own metrics/spans for the duration of
+    the shard and return the delta as the fourth tuple element; the
+    parent merges it, so worker-side counters (``repro_storage_*``,
+    kernel histograms) no longer die with the pool.  A shard that
+    *raises* ships nothing — its partial increments are lost with the
+    attempt, and the retry's delta stands alone.
     """
     t0 = time.perf_counter()
+    obs_state = _worker_obs_begin() if collect_obs else None
     _inject_faults(index)
     if store_spec is not None:
         view = _view_from_spec(store_spec)
@@ -679,7 +735,10 @@ def _run_shard(
             result = _shard_columns_from_snapshot(store.columnar(), hosts, grace_period)
         else:
             result = _extract_shard_reference(hosts, store.flows_from, grace_period)
-    return index, result, time.perf_counter() - t0
+    obs_delta = (
+        _worker_obs_delta(*obs_state) if obs_state is not None else None
+    )
+    return index, result, time.perf_counter() - t0, obs_delta
 
 
 # ----------------------------------------------------------------------
@@ -981,6 +1040,7 @@ class ParallelExtractor:
             pool = self._ensure_pool(workers)
             failed_wave: List[Shard] = []
             pool_broken = False
+            collect_obs = obs_metrics.is_enabled()
             futures = {}
             for shard in remaining:
                 payload = None
@@ -996,11 +1056,12 @@ class ParallelExtractor:
                         self.kernel,
                         payload,
                         self._store_spec,
+                        collect_obs,
                     )
                 ] = shard
             for future, shard in futures.items():
                 try:
-                    _, result, elapsed = future.result()
+                    _, result, elapsed, obs_delta = future.result()
                 except Exception as exc:  # noqa: BLE001 - retried below
                     attempts[shard.index] += 1
                     errors[shard.index].append(f"{type(exc).__name__}: {exc}")
@@ -1010,6 +1071,19 @@ class ParallelExtractor:
                     ):
                         pool_broken = True
                 else:
+                    if obs_delta is not None:
+                        # Fold the worker's shard-scoped telemetry into
+                        # the parent registry and replay its spans to
+                        # our sinks — the cross-process half of the
+                        # "merged parallel ≡ sequential" contract.
+                        obs_metrics.get_registry().merge_delta(
+                            obs_delta["metrics"]
+                        )
+                        obs_tracing.replay_span_records(obs_delta["spans"])
+                    # Same attempt series RetryPolicy.call emits on the
+                    # sequential path — pooled and in-process runs must
+                    # report identical counter totals.
+                    record_attempt(f"extract_shard[{shard.index}]", "ok")
                     complete(shard, result, elapsed)
             if pool_broken:
                 self._teardown_pool()
@@ -1030,8 +1104,9 @@ class ParallelExtractor:
                 if attempts[shard.index] > self.max_retries
             ]
             if fatal:
-                for _ in fatal:
+                for shard in fatal:
                     _SHARDS.inc(result="failed")
+                    record_attempt(f"extract_shard[{shard.index}]", "giveup")
                 raise ShardExtractionError(
                     [
                         ShardFailure(
@@ -1046,6 +1121,7 @@ class ParallelExtractor:
             for shard in failed_wave:
                 _RETRIES.inc()
                 _SHARDS.inc(result="retried")
+                record_attempt(f"extract_shard[{shard.index}]", "retried")
                 logger.warning(
                     "shard %d failed (attempt %d/%d): %s — retrying",
                     shard.index,

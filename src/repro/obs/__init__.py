@@ -9,35 +9,48 @@ One import point for the three concerns:
   (``with span("theta_hm", hosts=n):``) delivered to pluggable sinks.
 * **Export** (:mod:`repro.obs.export`) — JSONL event files, Prometheus
   text exposition, and plain-dict summaries for tests.
+* **Live endpoint** (:mod:`repro.obs.http`) — a background-thread HTTP
+  server exposing ``/metrics``, ``/healthz`` and ``/summary`` mid-run.
+* **Run ledger** (:mod:`repro.obs.ledger`) — one atomic directory per
+  run (manifest, spans, final metrics); inspected with ``repro-obs``.
+* **Session** (:mod:`repro.obs.session`) — :class:`ObsSession`, the
+  crash-safe lifecycle behind the CLIs' shared telemetry flags.
+
+Metrics are also *cross-process*: the registry is delta-serializable,
+and pool workers ship their deltas home with each shard result (see
+:mod:`repro.flows.parallel`), so parallel runs report the same totals
+as sequential ones.
 
 Everything is off by default and costs one boolean check per
 instrumented site; a typical opt-in looks like::
 
     from repro import obs
 
-    obs.enable()
-    sink = obs.JsonlSink("metrics.jsonl")
-    obs.add_sink(sink)
-    try:
+    with obs.ObsSession(
+        metrics_out="metrics.jsonl",
+        prom_out="metrics.prom",
+        ledger_dir="runs/",
+        kind="adhoc",
+    ) as session:
         result = find_plotters(store, hosts)
-    finally:
-        sink.write_event(obs.metrics_event())
-        obs.write_prom("metrics.prom")
-        obs.remove_sink(sink)
-        sink.close()
-        obs.disable()
+        session.record_result(result)
 
 See ``docs/observability.md`` for the metric and span inventory.
 """
 
 from .export import (
+    FUNNEL_STAGES,
     InMemorySink,
     JsonlSink,
+    funnel_snapshot,
     metrics_event,
+    parse_prom,
     render_prom,
     summary,
     write_prom,
 )
+from .http import MetricsServer
+from .ledger import RunLedger, RunRecorder, diff_runs
 from .logconf import configure_logging, get_logger
 from .metrics import (
     Counter,
@@ -52,12 +65,14 @@ from .metrics import (
     histogram,
     is_enabled,
 )
+from .session import ObsSession, add_observability_args
 from .tracing import (
     Span,
     add_sink,
     clear_sinks,
     current_span,
     remove_sink,
+    replay_span_records,
     span,
 )
 
@@ -82,13 +97,24 @@ __all__ = [
     "add_sink",
     "remove_sink",
     "clear_sinks",
+    "replay_span_records",
     # export
     "JsonlSink",
     "InMemorySink",
     "render_prom",
     "write_prom",
+    "parse_prom",
     "summary",
     "metrics_event",
+    "funnel_snapshot",
+    "FUNNEL_STAGES",
+    # live endpoint / ledger / session
+    "MetricsServer",
+    "RunLedger",
+    "RunRecorder",
+    "diff_runs",
+    "ObsSession",
+    "add_observability_args",
     # logging
     "configure_logging",
     "get_logger",

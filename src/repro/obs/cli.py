@@ -1,0 +1,222 @@
+"""``repro-obs`` — inspect the persistent run ledger.
+
+Answers the operational questions an eight-day deployment raises
+without re-reading any flow data, straight from the manifests that
+``--ledger-dir`` runs leave behind:
+
+* ``repro-obs list`` — every recorded run: id, kind, status, duration,
+  suspect count.
+* ``repro-obs show <run>`` — one run's full manifest (config snapshot,
+  environment, degradations, suspects).
+* ``repro-obs diff <run-a> <run-b>`` — what changed between two runs:
+  suspect-set additions/removals, per-stage funnel deltas, changed
+  config keys.
+* ``repro-obs funnel <run>`` — the per-stage attrition table
+  (Figure 9's shape) of one run.
+
+Run references are forgiving: a full run id, a unique prefix, or a
+negative index (``-1`` = most recent).  The ledger directory comes
+from ``--ledger-dir`` or the ``REPRO_LEDGER_DIR`` environment
+variable.  ``--json`` on any subcommand emits the machine-readable
+form for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .ledger import LEDGER_ENV, RunLedger, diff_runs
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect the persistent run ledger written by "
+        "--ledger-dir runs.",
+    )
+    parser.add_argument(
+        "--ledger-dir",
+        metavar="DIR",
+        default=None,
+        help=f"ledger directory (default: ${LEDGER_ENV})",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of tables",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list recorded runs, oldest first")
+
+    p_show = sub.add_parser("show", help="print one run's full manifest")
+    p_show.add_argument("run", help="run id, unique prefix, or index (-1)")
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two runs' suspects, funnel and config"
+    )
+    p_diff.add_argument("run_a", help="baseline run reference")
+    p_diff.add_argument("run_b", help="comparison run reference")
+
+    p_funnel = sub.add_parser(
+        "funnel", help="print one run's per-stage attrition table"
+    )
+    p_funnel.add_argument("run", help="run id, unique prefix, or index (-1)")
+    return parser
+
+
+def _open_ledger(args) -> RunLedger:
+    import os
+
+    root = args.ledger_dir or os.environ.get(LEDGER_ENV)
+    if not root:
+        raise SystemExit(
+            f"repro-obs: no ledger directory (use --ledger-dir or ${LEDGER_ENV})"
+        )
+    return RunLedger(root)
+
+
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    return f"{seconds:.2f}s" if seconds < 120 else f"{seconds / 60:.1f}m"
+
+
+def _cmd_list(ledger: RunLedger, args) -> int:
+    runs = ledger.runs()
+    if args.json:
+        print(json.dumps(runs, indent=2, sort_keys=True))
+        return 0
+    if not runs:
+        print(f"no runs recorded under {ledger.root}")
+        return 0
+    header = f"{'run':<36} {'kind':<12} {'status':<7} {'time':>8} {'suspects':>8}"
+    print(header)
+    print("-" * len(header))
+    for run in runs:
+        n_susp = run.get("n_suspects")
+        print(
+            f"{run.get('run_id', '?'):<36} "
+            f"{run.get('kind', '?'):<12} "
+            f"{run.get('status', '?'):<7} "
+            f"{_fmt_duration(run.get('duration_seconds')):>8} "
+            f"{n_susp if n_susp is not None else '-':>8}"
+        )
+    return 0
+
+
+def _cmd_show(ledger: RunLedger, args) -> int:
+    manifest = ledger.load(args.run)
+    print(json.dumps(manifest, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_diff(ledger: RunLedger, args) -> int:
+    delta = diff_runs(ledger.load(args.run_a), ledger.load(args.run_b))
+    if args.json:
+        print(json.dumps(delta, indent=2, sort_keys=True))
+        return 0
+    print(f"diff {delta['a']} -> {delta['b']}")
+    status = delta["status"]
+    print(f"  status:   {status['a']} -> {status['b']}")
+    dur = delta["duration_seconds"]
+    print(
+        f"  duration: {_fmt_duration(dur['a'])} -> {_fmt_duration(dur['b'])}"
+    )
+    susp = delta["suspects"]
+    print(
+        f"  suspects: {susp['common']} common, "
+        f"+{len(susp['added'])} added, -{len(susp['removed'])} removed"
+        + ("  (checksums equal)" if susp["checksum_equal"] else "")
+    )
+    for host in susp["added"]:
+        print(f"    + {host}")
+    for host in susp["removed"]:
+        print(f"    - {host}")
+    if delta["funnel"]:
+        print("  funnel (surviving hosts, a -> b):")
+        for stage in delta["funnel"]:
+            surv = stage["surviving_hosts"]
+            move = (
+                f" ({surv['delta']:+g})"
+                if surv.get("delta") not in (None, 0)
+                else ""
+            )
+            print(
+                f"    {stage['stage']:<12} "
+                f"{surv['a']} -> {surv['b']}{move}"
+            )
+    if delta["config_changes"]:
+        print("  config changes:")
+        for key, (va, vb) in sorted(delta["config_changes"].items()):
+            print(f"    {key}: {va!r} -> {vb!r}")
+    deg = delta["degradations"]
+    if deg["a"] or deg["b"]:
+        print(f"  degradations: {deg['a']} -> {deg['b']}")
+    return 0
+
+
+def _cmd_funnel(ledger: RunLedger, args) -> int:
+    manifest = ledger.load(args.run)
+    funnel = manifest.get("funnel") or []
+    if args.json:
+        print(json.dumps(funnel, indent=2, sort_keys=True))
+        return 0
+    if not funnel:
+        print(f"run {manifest.get('run_id')} recorded no funnel")
+        return 0
+    print(f"funnel for {manifest.get('run_id')}:")
+    header = f"{'stage':<12} {'in':>8} {'out':>8} {'kept':>7} {'threshold':>12}"
+    print(header)
+    print("-" * len(header))
+    for stage in funnel:
+        n_in = stage.get("input_hosts")
+        n_out = stage.get("surviving_hosts")
+        kept = (
+            f"{100.0 * n_out / n_in:.1f}%"
+            if n_in not in (None, 0) and n_out is not None
+            else "-"
+        )
+        threshold = stage.get("threshold")
+        print(
+            f"{stage['stage']:<12} "
+            f"{n_in if n_in is not None else '-':>8} "
+            f"{n_out if n_out is not None else '-':>8} "
+            f"{kept:>7} "
+            f"{threshold if threshold is not None else '-':>12}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "show": _cmd_show,
+    "diff": _cmd_diff,
+    "funnel": _cmd_funnel,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    ledger = _open_ledger(args)
+    try:
+        return _COMMANDS[args.command](ledger, args)
+    except KeyError as exc:
+        print(f"repro-obs: {exc.args[0]}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,8 +35,11 @@ __all__ = [
     "InMemorySink",
     "render_prom",
     "write_prom",
+    "parse_prom",
     "summary",
     "metrics_event",
+    "funnel_snapshot",
+    "FUNNEL_STAGES",
 ]
 
 
@@ -90,8 +93,45 @@ class JsonlSink:
 # Prometheus text exposition
 # ----------------------------------------------------------------------
 def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition spec (v0.0.4).
+
+    Backslash, double-quote and line feed are the three characters the
+    spec requires escaping — and host labels sourced from quarantined
+    ingest can contain all of them (arbitrary bytes survive the CSV
+    dead-letter path).  Carriage returns would also tear the line
+    grammar, so they are normalised into the ``\\n`` escape as well.
+    """
     return (
-        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\r\n", "\n")
+        .replace("\r", "\n")
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and line feed (not double-quote)."""
+    return (
+        text.replace("\\", "\\\\")
+        .replace("\r\n", "\n")
+        .replace("\r", "\n")
+        .replace("\n", "\\n")
     )
 
 
@@ -117,7 +157,7 @@ def render_prom(registry: Optional[MetricsRegistry] = None) -> str:
     registry = registry or get_registry()
     lines: List[str] = []
     for metric in registry.instruments():
-        lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
         names = metric.label_names
         if isinstance(metric, (Counter, Gauge)):
@@ -150,6 +190,63 @@ def write_prom(
     path = Path(path)
     path.write_text(render_prom(registry), encoding="utf-8")
     return path
+
+
+def _parse_labels(body: str) -> Dict[str, str]:
+    """The label dict of one ``{name="value",...}`` sample section."""
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        name = body[i:eq].lstrip(",").strip()
+        if body[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {body!r}")
+        j = eq + 2
+        raw: List[str] = []
+        while True:
+            ch = body[j]
+            if ch == "\\":
+                raw.append(body[j : j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        labels[name] = _unescape_label_value("".join(raw))
+        i = j + 1
+    return labels
+
+
+def parse_prom(text: str) -> Dict[str, Dict]:
+    """Parse text-exposition samples back into nested dicts.
+
+    Returns ``{sample_name: {label_items: value}}`` where
+    ``label_items`` is the sorted ``(name, value)`` tuple of the
+    sample's labels (``()`` for unlabelled samples).  Histogram
+    ``_bucket``/``_sum``/``_count`` samples appear under those expanded
+    names.  This is the inverse of :func:`render_prom` for counters and
+    gauges — the escaping round-trip test and the live-scrape validator
+    are its consumers; it is deliberately strict and raises
+    ``ValueError`` on lines it cannot parse.
+    """
+    out: Dict[str, Dict] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line or line.startswith("#"):
+            continue
+        try:
+            if "{" in line:
+                name, rest = line.split("{", 1)
+                body, value_part = rest.rsplit("}", 1)
+                labels = _parse_labels(body)
+            else:
+                name, value_part = line.split(" ", 1)
+                labels = {}
+            value = float(value_part.strip())
+        except (ValueError, IndexError) as exc:
+            raise ValueError(f"line {lineno}: cannot parse {line!r}") from exc
+        out.setdefault(name, {})[tuple(sorted(labels.items()))] = value
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -199,3 +296,34 @@ def metrics_event(registry: Optional[MetricsRegistry] = None) -> Dict:
         "time": time.time(),
         "metrics": summary(registry),
     }
+
+
+#: Canonical stage order of the detection funnel (Figure 9).
+FUNNEL_STAGES = ("reduction", "theta_vol", "theta_churn", "theta_hm")
+
+_FUNNEL_GAUGES = (
+    ("repro_stage_input_hosts", "input_hosts"),
+    ("repro_stage_surviving_hosts", "surviving_hosts"),
+    ("repro_stage_threshold", "threshold"),
+)
+
+
+def funnel_snapshot(registry: Optional[MetricsRegistry] = None) -> List[Dict]:
+    """The current stage-funnel state as a list of per-stage dicts.
+
+    Reads the ``repro_stage_*`` gauges (set by both the batch pipeline
+    and the online detector's evaluations) and returns
+    ``[{"stage", "input_hosts", "surviving_hosts", "threshold"}, ...]``
+    in canonical funnel order; stages never recorded are omitted.  The
+    ``/summary`` HTTP endpoint and the run ledger both serve this.
+    """
+    flat = summary(registry)
+    stages: Dict[str, Dict] = {}
+    for metric, field in _FUNNEL_GAUGES:
+        for key, value in flat.get(metric, {}).items():
+            if not key.startswith("stage="):
+                continue
+            stages.setdefault(key[len("stage=") :], {})[field] = value
+    known = [s for s in FUNNEL_STAGES if s in stages]
+    extra = sorted(s for s in stages if s not in FUNNEL_STAGES)
+    return [{"stage": s, **stages[s]} for s in known + extra]

@@ -1,0 +1,179 @@
+"""Live telemetry endpoint: a background-thread HTTP metrics server.
+
+One :class:`MetricsServer` exposes the process's observability state
+over three read-only endpoints while a run is in flight:
+
+* ``GET /metrics`` — the registry in Prometheus text exposition format
+  (version 0.0.4, via :func:`repro.obs.export.render_prom`), ready for
+  a Prometheus scrape job;
+* ``GET /healthz`` — a small JSON liveness document (status, uptime,
+  whether recording is enabled);
+* ``GET /summary`` — the flattened registry
+  (:func:`repro.obs.export.summary`) plus the current stage-funnel
+  snapshot (:func:`repro.obs.export.funnel_snapshot`) and any extra
+  state the embedding component contributes — the JSON face of the
+  same telemetry, for dashboards and scripts.
+
+The server runs on a daemon thread (one per instance) and binds
+``127.0.0.1`` by default — it is an introspection port, not a public
+API.  ``port=0`` asks the OS for an ephemeral port; the bound port is
+readable from :attr:`MetricsServer.port` and the full base URL from
+:attr:`MetricsServer.url`.  Handlers only *read* registry snapshots,
+so scraping mid-run never blocks or perturbs detection beyond the
+instruments' own per-series locks.
+
+Both CLIs expose this as ``--prom-port``; ``OnlineDetector`` accepts a
+``prom_port=`` argument so a tumbling-window run can be scraped while
+it fills.  Use as a context manager or call :meth:`close`::
+
+    with MetricsServer(port=0) as server:
+        print(server.url)          # http://127.0.0.1:49512
+        run_long_pipeline()        # scrape /metrics at any moment
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from . import metrics as _metrics
+from .export import funnel_snapshot, render_prom, summary
+from .logconf import get_logger
+
+__all__ = ["MetricsServer", "PROM_CONTENT_TYPE"]
+
+#: Content type of the text exposition format, version 0.0.4.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+logger = get_logger("obs.http")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to one :class:`MetricsServer` instance."""
+
+    # Set per-server via the type() call in MetricsServer.__init__.
+    server_ref: "MetricsServer"
+
+    protocol_version = "HTTP/1.1"
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, payload: Dict, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        self._send(status, "application/json; charset=utf-8", body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        server = self.server_ref
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                body = render_prom(server.registry).encode("utf-8")
+                self._send(200, PROM_CONTENT_TYPE, body)
+            elif path == "/healthz":
+                self._send_json(server.health())
+            elif path in ("/summary", "/"):
+                self._send_json(server.summary())
+            else:
+                self._send_json({"error": f"unknown path {path}"}, status=404)
+        except Exception as exc:  # telemetry must never take down a run
+            logger.warning("metrics endpoint %s failed: %s", path, exc)
+            try:
+                self._send_json({"error": str(exc)}, status=500)
+            except OSError:
+                pass  # client hung up mid-error; nothing left to say
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("%s %s", self.address_string(), format % args)
+
+
+class MetricsServer:
+    """Serve ``/metrics``, ``/healthz`` and ``/summary`` from a thread.
+
+    Parameters
+    ----------
+    port:
+        TCP port to bind (``0`` = ephemeral, read :attr:`port` after).
+    host:
+        Bind address (default loopback).
+    registry:
+        Metrics registry to expose (default: the process registry).
+    extra_summary:
+        Optional zero-argument callable whose dict return value is
+        merged into the ``/summary`` document under ``"state"`` — how
+        the online detector publishes its window index and history
+        depth without the server knowing detector internals.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[_metrics.MetricsRegistry] = None,
+        extra_summary: Optional[Callable[[], Dict]] = None,
+    ) -> None:
+        self.registry = registry or _metrics.get_registry()
+        self.extra_summary = extra_summary
+        self.started_at = time.time()
+        handler = type("_BoundHandler", (_Handler,), {"server_ref": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-metrics-server:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("serving telemetry on %s", self.url)
+
+    # -- documents ------------------------------------------------------
+    def health(self) -> Dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "recording": _metrics.is_enabled(),
+        }
+
+    def summary(self) -> Dict:
+        doc = {
+            "metrics": summary(self.registry),
+            "funnel": funnel_snapshot(self.registry),
+            "recording": _metrics.is_enabled(),
+        }
+        if self.extra_summary is not None:
+            try:
+                doc["state"] = dict(self.extra_summary())
+            except Exception as exc:  # never fail the scrape over extras
+                doc["state"] = {"error": str(exc)}
+        return doc
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._thread.join(timeout=5.0)
+            self._httpd = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,427 @@
+"""Persistent run ledger: one atomic directory per pipeline run.
+
+An eight-day deployment produces hundreds of windows and dozens of
+configuration tweaks; reconstructing *why* run A flagged host H while
+run B did not must not require re-reading a single flow.  The ledger
+records every run's conclusions durably:
+
+``<ledger_dir>/<run_id>/``
+    ``run.json``      — the manifest: run id, kind, status (ok/error
+                        with the exception summary), wall time, config
+                        snapshot, environment, stage-funnel counts,
+                        sorted suspect list + SHA-256 checksum,
+                        degradation report, extra result fields.
+    ``spans.jsonl``   — every finished span of the run (the full tree,
+                        worker spans included), one JSON dict per line.
+    ``metrics.json``  — the final registry summary
+                        (:func:`repro.obs.export.summary` form).
+    ``metrics.prom``  — the same registry in Prometheus text format.
+
+Atomicity: a run records into a hidden staging directory
+(``.staging-<run_id>``) that is ``os.rename``'d to its final name only
+once every file is written — readers never observe a half-written run,
+and a crash leaves only a staging directory that the next
+:class:`RunLedger` construction sweeps away.
+
+Failures are first-class: the recorder is a context manager, and a run
+body that raises is recorded with ``status="error"`` and the exception
+type/message before the exception propagates — a crashed run is
+exactly the run you want a ledger entry for.
+
+The read side (:meth:`RunLedger.runs`, :meth:`RunLedger.load`,
+:func:`diff_runs`) powers the ``repro-obs`` CLI: ``list`` / ``show`` /
+``diff`` / ``funnel`` answer suspect-set and per-stage-attrition
+questions across runs from the manifests alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict, is_dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from . import metrics as _metrics
+from . import tracing as _tracing
+from .export import InMemorySink, funnel_snapshot, render_prom, summary
+from .logconf import get_logger
+
+__all__ = ["LEDGER_ENV", "RunLedger", "RunRecorder", "diff_runs"]
+
+#: Environment fallback for ``--ledger-dir`` (both CLIs honour it).
+LEDGER_ENV = "REPRO_LEDGER_DIR"
+
+MANIFEST_NAME = "run.json"
+SPANS_NAME = "spans.jsonl"
+METRICS_NAME = "metrics.json"
+PROM_NAME = "metrics.prom"
+_STAGING_PREFIX = ".staging-"
+
+logger = get_logger("obs.ledger")
+
+
+def _utcnow() -> datetime:
+    return datetime.now(timezone.utc)
+
+
+def _environment() -> Dict:
+    """The run's provenance: interpreter, platform, process, argv."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "pid": os.getpid(),
+        "argv": list(sys.argv),
+    }
+
+
+def suspects_checksum(suspects: Iterable[str]) -> str:
+    """Order-independent SHA-256 of a suspect set (its canonical JSON)."""
+    canonical = json.dumps(sorted(str(s) for s in suspects))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _jsonable(value):
+    """Best-effort plain-data coercion for config/degradation objects."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_jsonable(v) for v in value]
+        return sorted(items, key=str) if isinstance(value, (set, frozenset)) else items
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class RunRecorder:
+    """Record one run; write its ledger directory atomically on exit.
+
+    Created by :meth:`RunLedger.record`.  While the context is open the
+    recorder collects every finished span through a private sink;
+    :meth:`set_funnel`, :meth:`set_suspects`, :meth:`set_degradations`
+    and :meth:`annotate` attach the run's conclusions.  On exit —
+    normal or exceptional — the final registry snapshot is taken, the
+    staging directory is populated and renamed into place, and (only
+    then) any exception propagates.
+    """
+
+    def __init__(
+        self,
+        ledger: "RunLedger",
+        kind: str,
+        config: Optional[object] = None,
+        command: Optional[Sequence[str]] = None,
+        registry: Optional[_metrics.MetricsRegistry] = None,
+    ) -> None:
+        self.ledger = ledger
+        self.kind = kind
+        self.config = config
+        self.command = list(command) if command is not None else None
+        self.registry = registry or _metrics.get_registry()
+        started = _utcnow()
+        self.started_at = started
+        self.run_id = (
+            f"{started.strftime('%Y%m%dT%H%M%S')}-{kind}-{os.getpid()}"
+        )
+        self._t0 = time.perf_counter()
+        self._sink = InMemorySink()
+        self._funnel: Optional[List[Dict]] = None
+        self._suspects: Optional[List[str]] = None
+        self._degradations: List[Dict] = []
+        self._extra: Dict[str, object] = {}
+        self._closed = False
+
+    # -- annotation API -------------------------------------------------
+    def set_funnel(self, funnel: Sequence[Dict]) -> None:
+        """Record explicit per-stage funnel counts (else gauges are read)."""
+        self._funnel = [dict(stage) for stage in funnel]
+
+    def set_suspects(self, suspects: Iterable[str]) -> None:
+        """Record the run's final suspect set (sorted + checksummed)."""
+        self._suspects = sorted(str(s) for s in suspects)
+
+    def set_degradations(self, degradations: Iterable[object]) -> None:
+        """Record the run's resilience summary (Degradation objects/dicts)."""
+        self._degradations = [_jsonable(d) for d in degradations]
+
+    def record_pipeline_result(self, result) -> None:
+        """Convenience: funnel + suspects + degradations from a
+        :class:`~repro.detection.pipeline.PipelineResult`."""
+        self.set_funnel(result.funnel())
+        self.set_suspects(result.suspects)
+        self.set_degradations(result.degradations)
+
+    def annotate(self, **fields: object) -> None:
+        """Attach arbitrary result fields to the manifest (``result`` key)."""
+        for key, value in fields.items():
+            self._extra[key] = _jsonable(value)
+
+    # -- context protocol -----------------------------------------------
+    def __enter__(self) -> "RunRecorder":
+        _tracing.add_sink(self._sink)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _tracing.remove_sink(self._sink)
+        status = "ok" if exc_type is None else "error"
+        error = None if exc is None else f"{exc_type.__name__}: {exc}"
+        try:
+            self._write(status, error)
+        except OSError:
+            if exc_type is None:
+                raise
+            # The run is already failing; losing its ledger entry to a
+            # second I/O failure must not mask the original exception.
+            logger.warning(
+                "could not write ledger entry for failed run %s",
+                self.run_id,
+                exc_info=True,
+            )
+
+    # -- persistence ----------------------------------------------------
+    def _manifest(self, status: str, error: Optional[str]) -> Dict:
+        finished = _utcnow()
+        funnel = (
+            self._funnel
+            if self._funnel is not None
+            else funnel_snapshot(self.registry)
+        )
+        manifest = {
+            "ledger_version": 1,
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "status": status,
+            "error": error,
+            "started": self.started_at.isoformat(),
+            "finished": finished.isoformat(),
+            "duration_seconds": time.perf_counter() - self._t0,
+            "command": self.command,
+            "config": _jsonable(self.config),
+            "environment": _environment(),
+            "funnel": funnel,
+            "degradations": self._degradations,
+            "n_spans": len(self._sink.spans),
+            "result": self._extra,
+        }
+        if self._suspects is not None:
+            manifest["suspects"] = self._suspects
+            manifest["n_suspects"] = len(self._suspects)
+            manifest["suspects_sha256"] = suspects_checksum(self._suspects)
+        return manifest
+
+    def _write(self, status: str, error: Optional[str]) -> Path:
+        if self._closed:
+            raise RuntimeError(f"run {self.run_id} already recorded")
+        self._closed = True
+        root = self.ledger.root
+        root.mkdir(parents=True, exist_ok=True)
+        final = root / self.run_id
+        seq = 0
+        while final.exists():  # same second + same pid: disambiguate
+            seq += 1
+            final = root / f"{self.run_id}.{seq}"
+        staging = root / f"{_STAGING_PREFIX}{final.name}"
+        if staging.exists():
+            _remove_tree(staging)
+        staging.mkdir(parents=True)
+        manifest = self._manifest(status, error)
+        manifest["run_id"] = final.name
+        with open(staging / SPANS_NAME, "w", encoding="utf-8") as fh:
+            for record in self._sink.spans:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        (staging / METRICS_NAME).write_text(
+            json.dumps(summary(self.registry), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        (staging / PROM_NAME).write_text(
+            render_prom(self.registry), encoding="utf-8"
+        )
+        (staging / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.rename(staging, final)  # the atomic publish
+        self.run_id = final.name
+        logger.info("ledger: recorded run %s (%s)", final.name, status)
+        return final
+
+
+def _remove_tree(path: Path) -> None:
+    for child in sorted(path.rglob("*"), reverse=True):
+        if child.is_dir():
+            child.rmdir()
+        else:
+            child.unlink()
+    path.rmdir()
+
+
+class RunLedger:
+    """The on-disk collection of recorded runs under one directory."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+        self._sweep_staging()
+
+    def _sweep_staging(self) -> None:
+        """Remove half-written staging directories from crashed runs."""
+        if not self.root.is_dir():
+            return
+        for entry in self.root.iterdir():
+            if entry.name.startswith(_STAGING_PREFIX) and entry.is_dir():
+                logger.warning(
+                    "ledger: sweeping crashed staging dir %s", entry.name
+                )
+                _remove_tree(entry)
+
+    # -- write side -----------------------------------------------------
+    def record(
+        self,
+        kind: str,
+        config: Optional[object] = None,
+        command: Optional[Sequence[str]] = None,
+        registry: Optional[_metrics.MetricsRegistry] = None,
+    ) -> RunRecorder:
+        """A context-managed recorder for one run of the given kind."""
+        return RunRecorder(self, kind, config, command, registry)
+
+    # -- read side ------------------------------------------------------
+    def run_ids(self) -> List[str]:
+        """Recorded run ids, oldest first (ids sort chronologically)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir()
+            and not entry.name.startswith(_STAGING_PREFIX)
+            and (entry / MANIFEST_NAME).is_file()
+        )
+
+    def resolve(self, ref: str) -> str:
+        """A full run id from an exact id, unique prefix, or negative
+        index (``-1`` = most recent)."""
+        ids = self.run_ids()
+        if ref in ids:
+            return ref
+        try:
+            index = int(ref)
+        except ValueError:
+            pass
+        else:
+            if -len(ids) <= index < len(ids):
+                return ids[index]
+            raise KeyError(f"run index {ref} out of range ({len(ids)} runs)")
+        matches = [run_id for run_id in ids if run_id.startswith(ref)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise KeyError(f"no run matches {ref!r}")
+        raise KeyError(f"ambiguous run ref {ref!r}: {matches}")
+
+    def load(self, ref: str) -> Dict:
+        """The manifest of one run (``ref`` as in :meth:`resolve`)."""
+        run_id = self.resolve(ref)
+        path = self.root / run_id / MANIFEST_NAME
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def load_spans(self, ref: str) -> List[Dict]:
+        """Every recorded span dict of one run, in finish order."""
+        run_id = self.resolve(ref)
+        path = self.root / run_id / SPANS_NAME
+        if not path.is_file():
+            return []
+        return [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+
+    def load_metrics(self, ref: str) -> Dict:
+        """The final registry summary of one run."""
+        run_id = self.resolve(ref)
+        path = self.root / run_id / METRICS_NAME
+        if not path.is_file():
+            return {}
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def runs(self) -> List[Dict]:
+        """All manifests, oldest first (skipping unreadable entries)."""
+        out = []
+        for run_id in self.run_ids():
+            try:
+                out.append(self.load(run_id))
+            except (OSError, ValueError):
+                logger.warning("ledger: unreadable manifest for %s", run_id)
+        return out
+
+
+def diff_runs(a: Dict, b: Dict) -> Dict:
+    """Structured comparison of two run manifests (no flow data read).
+
+    Returns suspect-set delta (added/removed/common counts), per-stage
+    funnel deltas, changed config keys, status/duration movement — the
+    payload behind ``repro-obs diff``.
+    """
+    suspects_a = set(a.get("suspects") or ())
+    suspects_b = set(b.get("suspects") or ())
+    funnel_a = {s["stage"]: s for s in a.get("funnel") or ()}
+    funnel_b = {s["stage"]: s for s in b.get("funnel") or ()}
+    stages = list(funnel_a) + [s for s in funnel_b if s not in funnel_a]
+    funnel_delta = []
+    for stage in stages:
+        sa, sb = funnel_a.get(stage, {}), funnel_b.get(stage, {})
+        entry = {"stage": stage}
+        for field in ("input_hosts", "surviving_hosts", "threshold"):
+            va, vb = sa.get(field), sb.get(field)
+            entry[field] = {
+                "a": va,
+                "b": vb,
+                "delta": (vb - va) if va is not None and vb is not None else None,
+            }
+        funnel_delta.append(entry)
+    config_a = a.get("config") or {}
+    config_b = b.get("config") or {}
+    if not isinstance(config_a, dict) or not isinstance(config_b, dict):
+        config_changes = {} if config_a == config_b else {"config": [config_a, config_b]}
+    else:
+        config_changes = {
+            key: [config_a.get(key), config_b.get(key)]
+            for key in sorted(set(config_a) | set(config_b))
+            if config_a.get(key) != config_b.get(key)
+        }
+    return {
+        "a": a.get("run_id"),
+        "b": b.get("run_id"),
+        "status": {"a": a.get("status"), "b": b.get("status")},
+        "duration_seconds": {
+            "a": a.get("duration_seconds"),
+            "b": b.get("duration_seconds"),
+        },
+        "suspects": {
+            "added": sorted(suspects_b - suspects_a),
+            "removed": sorted(suspects_a - suspects_b),
+            "common": len(suspects_a & suspects_b),
+            "checksum_equal": (
+                a.get("suspects_sha256") is not None
+                and a.get("suspects_sha256") == b.get("suspects_sha256")
+            ),
+        },
+        "funnel": funnel_delta,
+        "config_changes": config_changes,
+        "degradations": {
+            "a": len(a.get("degradations") or ()),
+            "b": len(b.get("degradations") or ()),
+        },
+    }

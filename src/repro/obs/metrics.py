@@ -23,10 +23,18 @@ addressed by keyword arguments on the mutation methods::
     pairs.value(backend="vectorized")  # 1225.0
 
 All mutations are thread-safe (one lock per instrument).  Metrics are
-**process-local**: the parallel EMD backend's worker processes keep
-their own registries, whose values die with the pool — by design, the
-parent records the coarse facts (backend, pair count, wall time) and
-workers are not expected to report back.
+*recorded* process-locally, but the registry is **delta-serializable**:
+:meth:`MetricsRegistry.state` snapshots every series into plain
+picklable containers, :meth:`MetricsRegistry.delta_since` subtracts a
+baseline snapshot from the current values, and
+:meth:`MetricsRegistry.merge_delta` folds such a delta into another
+process's registry.  The multi-process extraction engine
+(:mod:`repro.flows.parallel`) uses exactly this loop: each worker
+snapshots its registry at shard start, ships the delta back with the
+shard payload, and the parent merges — so worker-side counters
+(``repro_storage_*``, kernel histograms) survive the pool instead of
+dying with it, and a merged parallel run's counter totals are
+bit-equal to a sequential run's.
 
 The module-level :func:`counter` / :func:`gauge` / :func:`histogram`
 helpers create instruments in the default registry, which
@@ -121,6 +129,23 @@ class _Instrument:
         with self._lock:
             return sorted(self._children.items())
 
+    # -- delta serialization -------------------------------------------
+    def _spec(self) -> Dict[str, object]:
+        """The instrument's identity as plain picklable data."""
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "labels": list(self.label_names),
+        }
+
+    def _series_state(self) -> Dict[Tuple[str, ...], object]:
+        """``{label_values: plain-value}`` for every child series."""
+        raise NotImplementedError
+
+    def _apply_delta(self, key: Tuple[str, ...], value: object) -> None:
+        """Fold one serialized series delta into this instrument."""
+        raise NotImplementedError
+
 
 class Counter(_Instrument):
     """A monotonically increasing total."""
@@ -139,6 +164,14 @@ class Counter(_Instrument):
     def value(self, **labels: object) -> float:
         with self._lock:
             return float(self._children.get(self._key(labels), 0.0))
+
+    def _series_state(self) -> Dict[Tuple[str, ...], object]:
+        with self._lock:
+            return {key: float(value) for key, value in self._children.items()}
+
+    def _apply_delta(self, key: Tuple[str, ...], value: object) -> None:
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + float(value)
 
 
 class Gauge(_Instrument):
@@ -165,6 +198,17 @@ class Gauge(_Instrument):
     def value(self, **labels: object) -> float:
         with self._lock:
             return float(self._children.get(self._key(labels), 0.0))
+
+    def _series_state(self) -> Dict[Tuple[str, ...], object]:
+        with self._lock:
+            return {key: float(value) for key, value in self._children.items()}
+
+    def _apply_delta(self, key: Tuple[str, ...], value: object) -> None:
+        # Gauges describe a current level, not a flow: the shipped
+        # value overwrites (last writer wins), exactly as a local
+        # ``set`` would.
+        with self._lock:
+            self._children[key] = float(value)
 
 
 class _HistogramSeries:
@@ -227,6 +271,72 @@ class HistogramMetric(_Instrument):
                 "sum": series.sum,
                 "buckets": cumulative,
             }
+
+    def _spec(self) -> Dict[str, object]:
+        spec = super()._spec()
+        spec["buckets"] = list(self.buckets)
+        return spec
+
+    def _series_state(self) -> Dict[Tuple[str, ...], object]:
+        with self._lock:
+            return {
+                key: {
+                    "counts": list(series.counts),
+                    "sum": series.sum,
+                    "count": series.count,
+                }
+                for key, series in self._children.items()
+            }
+
+    def _apply_delta(self, key: Tuple[str, ...], value: object) -> None:
+        counts = value["counts"]
+        with self._lock:
+            series = self._child(
+                {n: v for n, v in zip(self.label_names, key)},
+                lambda: _HistogramSeries(len(self.buckets) + 1),
+            )
+            if len(counts) != len(series.counts):
+                raise ValueError(
+                    f"histogram {self.name!r}: delta has {len(counts)} "
+                    f"buckets, instrument has {len(series.counts)}"
+                )
+            for i, c in enumerate(counts):
+                series.counts[i] += int(c)
+            series.sum += float(value["sum"])
+            series.count += int(value["count"])
+
+
+def _series_delta(kind: str, current, baseline):
+    """The serialized difference of one series since ``baseline``."""
+    if kind == "counter":
+        diff = float(current) - float(baseline or 0.0)
+        return diff if diff != 0.0 else None
+    if kind == "gauge":
+        if baseline is not None and float(current) == float(baseline):
+            return None
+        return float(current)
+    # histogram
+    if baseline is None:
+        base_counts: Sequence[int] = ()
+        base_sum, base_count = 0.0, 0
+    else:
+        base_counts = baseline["counts"]
+        base_sum, base_count = baseline["sum"], baseline["count"]
+    counts = [
+        int(c) - int(b)
+        for c, b in zip(
+            current["counts"],
+            list(base_counts) + [0] * len(current["counts"]),
+        )
+    ]
+    delta = {
+        "counts": counts,
+        "sum": float(current["sum"]) - float(base_sum),
+        "count": int(current["count"]) - int(base_count),
+    }
+    if delta["count"] == 0 and delta["sum"] == 0.0:
+        return None
+    return delta
 
 
 class MetricsRegistry:
@@ -292,6 +402,72 @@ class MetricsRegistry:
         """
         for instrument in self.instruments():
             instrument.clear()
+
+    # -- cross-process aggregation -------------------------------------
+    def state(self) -> Dict[str, Dict]:
+        """A full, picklable snapshot of every instrument and series.
+
+        ``{name: {"kind", "help", "labels", ["buckets"], "series"}}``
+        where ``series`` maps label-value tuples to floats (counters,
+        gauges) or ``{"counts", "sum", "count"}`` dicts (histograms).
+        Plain builtins only, so the snapshot crosses process boundaries
+        through pickle (process pools) or JSON (after key flattening).
+        """
+        out: Dict[str, Dict] = {}
+        for instrument in self.instruments():
+            spec = instrument._spec()
+            spec["series"] = instrument._series_state()
+            out[instrument.name] = spec
+        return out
+
+    def delta_since(self, baseline: Optional[Dict[str, Dict]]) -> Dict[str, Dict]:
+        """What changed since a :meth:`state` snapshot, same shape.
+
+        Counters and histograms subtract (per series, per bucket);
+        gauges are included at their current value when it differs from
+        the baseline.  Unchanged series — and instruments with no
+        changed series — are omitted, so a quiet worker ships an empty
+        dict.  ``baseline=None`` means "everything" (a fresh process).
+        """
+        baseline = baseline or {}
+        delta: Dict[str, Dict] = {}
+        for name, spec in self.state().items():
+            base_series = baseline.get(name, {}).get("series", {})
+            changed = {}
+            for key, value in spec["series"].items():
+                diff = _series_delta(spec["kind"], value, base_series.get(key))
+                if diff is not None:
+                    changed[key] = diff
+            if changed:
+                spec["series"] = changed
+                delta[name] = spec
+        return delta
+
+    def merge_delta(self, delta: Dict[str, Dict]) -> None:
+        """Fold a :meth:`delta_since` payload into this registry.
+
+        Instruments are get-or-created with the shipped kind/help/
+        labels (and buckets), so a metric that only exists worker-side
+        still lands here; a name already registered with a different
+        shape raises ``ValueError``, exactly as local creation would.
+        Merging is an explicit aggregation API: it applies regardless
+        of the :func:`enable` switch, since the delta was necessarily
+        recorded while a producer had observability on.
+        """
+        for name, spec in delta.items():
+            kind = spec["kind"]
+            if kind == "counter":
+                instrument = self.counter(name, spec["help"], spec["labels"])
+            elif kind == "gauge":
+                instrument = self.gauge(name, spec["help"], spec["labels"])
+            elif kind == "histogram":
+                instrument = self.histogram(
+                    name, spec["help"], spec["labels"], spec["buckets"]
+                )
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r} in delta")
+            for key, value in spec["series"].items():
+                instrument._apply_delta(tuple(key), value)
 
 
 #: The default registry; the module-level helpers and the exporters in

@@ -1,0 +1,221 @@
+"""One observability lifecycle shared by every CLI entry point.
+
+Both ``repro-experiments`` and ``repro-datasets`` accept the same four
+telemetry flags (``--metrics-out``, ``--prom-out``, ``--prom-port``,
+``--ledger-dir``); :class:`ObsSession` is the single implementation
+behind them, so the CLIs cannot drift apart and neither has to
+re-derive the failure semantics:
+
+* requesting *any* output enables recording for the duration of the
+  session and disables it again on exit;
+* ``--metrics-out`` streams spans to a :class:`~repro.obs.export.JsonlSink`
+  as they finish and appends a final registry snapshot;
+* ``--prom-out`` writes the Prometheus text file;
+* ``--prom-port`` serves ``/metrics`` / ``/healthz`` / ``/summary``
+  live for the duration of the run;
+* ``--ledger-dir`` records the run into a
+  :class:`~repro.obs.ledger.RunLedger` directory.
+
+**Crash safety is the point.**  Exports happen in ``__exit__``, which
+runs whether the body returned or raised: a run that dies mid-pipeline
+still flushes its JSONL trace, its ``.prom`` snapshot, and a ledger
+entry with ``status="error"`` and the exception summary — the runs you
+most need telemetry for are the ones that crash.  The exception itself
+always propagates; telemetry never swallows failures.
+
+Usage::
+
+    session = ObsSession.from_args(args, kind="fig9", config=cfg)
+    with session:
+        result = run_pipeline()
+        session.record_result(result)
+    # JSONL/prom/ledger are on disk here, success or not.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from . import metrics as _metrics
+from . import tracing as _tracing
+from .export import JsonlSink, metrics_event, write_prom
+from .http import MetricsServer
+from .ledger import LEDGER_ENV, RunLedger, RunRecorder
+from .logconf import get_logger
+
+__all__ = ["ObsSession", "add_observability_args"]
+
+logger = get_logger("obs.session")
+
+
+def add_observability_args(parser) -> None:
+    """Install the four shared telemetry flags on an argparse parser.
+
+    Both CLIs call this (``repro-datasets`` on every subcommand), which
+    is what keeps their observability surface identical.
+    """
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write spans + a final metrics snapshot as JSONL to PATH",
+    )
+    parser.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        default=None,
+        help="write final metrics in Prometheus text format to PATH",
+    )
+    parser.add_argument(
+        "--prom-port",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="serve live /metrics, /healthz and /summary on PORT "
+        "for the duration of the run (0 = ephemeral port)",
+    )
+    parser.add_argument(
+        "--ledger-dir",
+        metavar="DIR",
+        default=None,
+        help="record this run into the persistent run ledger at DIR "
+        f"(default: ${LEDGER_ENV} if set); inspect with repro-obs",
+    )
+
+
+class ObsSession:
+    """Context manager owning a run's telemetry outputs end to end."""
+
+    def __init__(
+        self,
+        metrics_out: Optional[Union[str, Path]] = None,
+        prom_out: Optional[Union[str, Path]] = None,
+        prom_port: Optional[int] = None,
+        ledger_dir: Optional[Union[str, Path]] = None,
+        kind: str = "run",
+        config: Optional[object] = None,
+        command: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.metrics_out = metrics_out
+        self.prom_out = prom_out
+        self.prom_port = prom_port
+        self.ledger_dir = ledger_dir or os.environ.get(LEDGER_ENV)
+        self.kind = kind
+        self.config = config
+        self.command = command
+        self.sink: Optional[JsonlSink] = None
+        self.server: Optional[MetricsServer] = None
+        self.recorder: Optional[RunRecorder] = None
+        self._was_enabled = False
+
+    @classmethod
+    def from_args(
+        cls,
+        args,
+        kind: str,
+        config: Optional[object] = None,
+        command: Optional[Sequence[str]] = None,
+    ) -> "ObsSession":
+        """Build a session from parsed :func:`add_observability_args` flags."""
+        return cls(
+            metrics_out=args.metrics_out,
+            prom_out=args.prom_out,
+            prom_port=args.prom_port,
+            ledger_dir=args.ledger_dir,
+            kind=kind,
+            config=config,
+            command=command,
+        )
+
+    @property
+    def active(self) -> bool:
+        """Whether any telemetry output was requested."""
+        return any(
+            value is not None
+            for value in (
+                self.metrics_out,
+                self.prom_out,
+                self.prom_port,
+                self.ledger_dir,
+            )
+        )
+
+    # -- result annotation (forwarded to the ledger when present) -------
+    def record_result(self, result) -> None:
+        """Attach a PipelineResult's funnel/suspects/degradations."""
+        if self.recorder is not None:
+            self.recorder.record_pipeline_result(result)
+
+    def set_funnel(self, funnel: Sequence[Dict]) -> None:
+        if self.recorder is not None:
+            self.recorder.set_funnel(funnel)
+
+    def set_suspects(self, suspects) -> None:
+        if self.recorder is not None:
+            self.recorder.set_suspects(suspects)
+
+    def set_degradations(self, degradations) -> None:
+        if self.recorder is not None:
+            self.recorder.set_degradations(degradations)
+
+    def annotate(self, **fields: object) -> None:
+        if self.recorder is not None:
+            self.recorder.annotate(**fields)
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "ObsSession":
+        if not self.active:
+            return self
+        self._was_enabled = _metrics.is_enabled()
+        _metrics.enable()
+        if self.metrics_out is not None:
+            self.sink = JsonlSink(self.metrics_out)
+            _tracing.add_sink(self.sink)
+        if self.prom_port is not None:
+            # MetricsServer logs the bound URL; stdout stays data-only.
+            self.server = MetricsServer(port=self.prom_port)
+        if self.ledger_dir is not None:
+            ledger = RunLedger(self.ledger_dir)
+            self.recorder = ledger.record(
+                self.kind, config=self.config, command=self.command
+            )
+            self.recorder.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.active:
+            return
+        # Flush order: JSONL snapshot and prom file first (cheap, local),
+        # then the ledger (which also snapshots the registry), then tear
+        # down the live server and the enable switch.  Every step runs
+        # even when an earlier one — or the run body — raised.
+        try:
+            if self.sink is not None:
+                try:
+                    self.sink.write_event(metrics_event())
+                finally:
+                    _tracing.remove_sink(self.sink)
+                    self.sink.close()
+        except OSError:
+            logger.warning("could not flush --metrics-out", exc_info=True)
+            if exc_type is None:
+                raise
+        finally:
+            try:
+                if self.prom_out is not None:
+                    write_prom(self.prom_out)
+            except OSError:
+                logger.warning("could not write --prom-out", exc_info=True)
+                if exc_type is None:
+                    raise
+            finally:
+                try:
+                    if self.recorder is not None:
+                        self.recorder.__exit__(exc_type, exc, tb)
+                finally:
+                    if self.server is not None:
+                        self.server.close()
+                    if not self._was_enabled:
+                        _metrics.disable()

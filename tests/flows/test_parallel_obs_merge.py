@@ -1,0 +1,231 @@
+"""Cross-process telemetry merge: parallel counters ≡ sequential.
+
+PR 6 pinned the *feature* equivalence of every extraction
+configuration; this suite pins the *telemetry* equivalence that the
+worker delta-shipping protocol (``_worker_obs_begin`` /
+``_worker_obs_delta`` in :mod:`repro.flows.parallel`) buys: with the
+same pinned shard plan, a pooled run's merged counter totals are
+bit-equal to the sequential run's, for the in-memory and the
+segment-backed extraction paths alike.
+
+Only *counters* (and histogram observation counts) are compared —
+timing histograms' sums and bucket spreads legitimately differ between
+processes, and gauges like ``repro_extract_workers`` are *supposed* to
+differ by configuration.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flows import FlowRecord, FlowState, FlowStore, Protocol
+from repro.flows.parallel import extract_features_parallel
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.export import InMemorySink
+
+
+def flow(src="h", dst="d", start=0.0, src_bytes=100, failed=False):
+    return FlowRecord(
+        src=src,
+        dst=dst,
+        sport=1,
+        dport=2,
+        proto=Protocol.TCP,
+        start=start,
+        end=start + 1.0,
+        src_bytes=src_bytes,
+        dst_bytes=0,
+        state=FlowState.TIMEOUT if failed else FlowState.ESTABLISHED,
+    )
+
+
+def random_store(n_hosts=24, max_flows=20, seed=0):
+    rng = random.Random(seed)
+    flows = []
+    for h in range(n_hosts):
+        t = rng.random() * 100
+        for _ in range(rng.randint(1, max_flows)):
+            t += rng.expovariate(1 / 40.0)
+            flows.append(
+                flow(
+                    src=f"10.0.0.{h}",
+                    dst=f"d{rng.randrange(8)}",
+                    start=t,
+                    src_bytes=rng.randrange(0, 5000),
+                    failed=rng.random() < 0.3,
+                )
+            )
+    rng.shuffle(flows)
+    return FlowStore(flows)
+
+
+def counter_totals(registry):
+    """Every counter series, bit-exact, plus histogram observation
+    counts (bucket spreads and sums are timing-dependent)."""
+    totals = {}
+    for name, spec in registry.state().items():
+        if not spec["series"]:
+            continue  # instrument registered but never touched
+        if spec["kind"] == "counter":
+            totals[name] = dict(spec["series"])
+        elif spec["kind"] == "histogram":
+            totals[name] = {
+                key: value["count"] for key, value in spec["series"].items()
+            }
+    return totals
+
+
+def run_and_snapshot(store, n_workers, n_shards, reset_first=True):
+    """Extract under a zeroed, enabled registry; return counter totals."""
+    registry = obs_metrics.get_registry()
+    if reset_first:
+        registry.reset()
+    obs_metrics.enable()
+    try:
+        features = extract_features_parallel(
+            store, n_workers=n_workers, n_shards=n_shards
+        )
+    finally:
+        obs_metrics.disable()
+    return features, counter_totals(registry)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    obs_metrics.disable()
+    obs_tracing.clear_sinks()
+    obs_metrics.get_registry().reset()
+    yield
+    obs_metrics.disable()
+    obs_tracing.clear_sinks()
+    obs_metrics.get_registry().reset()
+
+
+@st.composite
+def flow_batches(draw):
+    n_hosts = draw(st.integers(1, 6))
+    flows = []
+    for h in range(n_hosts):
+        for _ in range(draw(st.integers(1, 10))):
+            flows.append(
+                flow(
+                    src=f"h{h}",
+                    dst=draw(st.sampled_from(["x", "y", "z"])),
+                    start=draw(
+                        st.floats(0, 1e5, allow_nan=False, allow_infinity=False)
+                    ),
+                    src_bytes=draw(st.integers(0, 10**6)),
+                    failed=draw(st.booleans()),
+                )
+            )
+    return flows
+
+
+class TestMergedCountersEqualSequential:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        flows=flow_batches(),
+        n_shards=st.integers(1, 6),
+    )
+    def test_pooled_merge_is_bit_equal(self, flows, n_shards):
+        """The headline contract: same shard plan, same counter totals."""
+        store = FlowStore(flows)
+        seq_features, seq_counters = run_and_snapshot(
+            store, n_workers=0, n_shards=n_shards
+        )
+        par_features, par_counters = run_and_snapshot(
+            store, n_workers=2, n_shards=n_shards
+        )
+        assert par_features == seq_features
+        assert par_counters == seq_counters
+
+    def test_store_backed_counters_survive_the_pool(self, tmp_path):
+        """Segment gathers run *inside workers*; without the delta
+        merge the parent would report zero ``repro_storage_*`` traffic
+        for a pooled run."""
+        from repro.storage import spool_flow_store
+
+        store = random_store(seed=3)
+        view_seq = spool_flow_store(store, tmp_path / "seq")
+        _, seq_counters = run_and_snapshot(view_seq, n_workers=0, n_shards=4)
+        view_par = spool_flow_store(store, tmp_path / "par")
+        _, par_counters = run_and_snapshot(view_par, n_workers=2, n_shards=4)
+        assert "repro_storage_gathers_total" in seq_counters
+        assert any(
+            total > 0
+            for totals in seq_counters["repro_storage_gathers_total"].values()
+            for total in [totals]
+        )
+        assert par_counters == seq_counters
+
+    def test_shard_and_kernel_counters_merge(self):
+        store = random_store(seed=7)
+        _, seq = run_and_snapshot(store, n_workers=0, n_shards=5)
+        _, par = run_and_snapshot(store, n_workers=3, n_shards=5)
+        assert par["repro_extract_shards_total"][("ok",)] == 5.0
+        assert par == seq
+        # The per-shard timing histogram is observed parent-side in
+        # both modes (the worker measures, the parent records), and the
+        # worker-side span histogram arrives through the delta.
+        assert par["repro_extract_shard_seconds"][()] == 5
+
+
+class TestDeltaProtocol:
+    def test_disabled_parent_ships_no_delta(self):
+        """collect_obs follows the parent switch: with recording off,
+        workers stay dark and the registry stays zeroed."""
+        store = random_store(n_hosts=8, seed=9)
+        registry = obs_metrics.get_registry()
+        registry.reset()
+        extract_features_parallel(store, n_workers=2, n_shards=3)
+        assert counter_totals(registry) == {}
+
+    def test_worker_spans_are_replayed_to_parent_sinks(self):
+        """Span records shipped in a delta reach the parent's sinks
+        exactly once, marked with their origin process."""
+        records = [
+            {
+                "type": "span",
+                "name": "storage_gather",
+                "wall_seconds": 0.01,
+                "process": "worker",
+            }
+        ]
+        sink = InMemorySink()
+        obs_tracing.add_sink(sink)
+        obs_tracing.replay_span_records(records)
+        assert sink.spans == records
+        # Replay is sink-only: the worker already observed the span
+        # into its own repro_span_seconds (shipped via the metrics
+        # delta), so replay must not re-observe.
+        span_hist = obs_metrics.get_registry().state().get("repro_span_seconds")
+        assert span_hist is None or span_hist["series"] == {}
+
+    def test_sink_failures_do_not_break_replay(self):
+        class Broken:
+            def on_span(self, record):
+                raise RuntimeError("sink down")
+
+        good = InMemorySink()
+        obs_tracing.add_sink(Broken())
+        obs_tracing.add_sink(good)
+        obs_tracing.replay_span_records([{"name": "s", "type": "span"}])
+        assert len(good.spans) == 1
+
+    def test_parent_sink_sees_pooled_run_without_duplicates(self):
+        """A forked worker inherits the parent's sink list; the worker
+        protocol must drop it (the parent replays instead), so the
+        parent-side JSONL trace never double-logs."""
+        store = random_store(n_hosts=10, seed=5)
+        sink = InMemorySink()
+        obs_metrics.enable()
+        obs_tracing.add_sink(sink)
+        try:
+            extract_features_parallel(store, n_workers=2, n_shards=3)
+        finally:
+            obs_metrics.disable()
+            obs_tracing.clear_sinks()
+        parents = [s for s in sink.spans if s["name"] == "extract_parallel"]
+        assert len(parents) == 1

@@ -1,0 +1,216 @@
+"""Bench history (BENCH_HISTORY.jsonl) and the regression gate over it."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load(name, path):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+history = _load("bench_history", REPO_ROOT / "benchmarks" / "history.py")
+gate = _load(
+    "bench_regression_gate", REPO_ROOT / "scripts" / "check_bench_regression.py"
+)
+
+
+class TestAppendHistory:
+    def test_appends_dated_jsonl_entries(self, tmp_path):
+        out = tmp_path / "hist.jsonl"
+        history.append_history("suite_a", {"kernel_seconds@n50": 0.5}, out)
+        history.append_history("suite_a", {"kernel_seconds@n50": 0.6}, out)
+        entries = history.load_history(out)
+        assert [e["suite"] for e in entries] == ["suite_a", "suite_a"]
+        assert entries[0]["history_version"] == 1
+        assert entries[0]["recorded_at"] < entries[1]["recorded_at"] or True
+        assert entries[1]["metrics"] == {"kernel_seconds@n50": 0.6}
+
+    def test_drops_non_finite_and_non_numeric(self, tmp_path):
+        out = tmp_path / "hist.jsonl"
+        entry = history.append_history(
+            "s",
+            {
+                "ok_seconds": 1.0,
+                "nan_seconds": float("nan"),
+                "inf_seconds": float("inf"),
+                "text": "not a number",
+            },
+            out,
+        )
+        assert entry["metrics"] == {"ok_seconds": 1.0}
+
+    def test_creates_parent_directories(self, tmp_path):
+        out = tmp_path / "deep" / "er" / "hist.jsonl"
+        history.append_history("s", {"x_seconds": 1.0}, out)
+        assert history.load_history(out)
+
+    def test_env_override_sets_default_path(self, tmp_path, monkeypatch):
+        out = tmp_path / "env.jsonl"
+        monkeypatch.setenv(history.HISTORY_ENV, str(out))
+        history.append_history("s", {"x_seconds": 1.0})
+        assert history.default_history_path() == out
+        assert len(history.load_history()) == 1
+
+    def test_torn_lines_do_not_hide_the_rest(self, tmp_path):
+        out = tmp_path / "hist.jsonl"
+        history.append_history("s", {"x_seconds": 1.0}, out)
+        with open(out, "a") as fh:
+            fh.write('{"torn": ')
+        history.append_history("s", {"x_seconds": 2.0}, out)
+        # The torn middle line is skipped, both good entries survive.
+        assert len(history.load_history(out)) == 2
+
+
+def entries(*metric_rows, suite="s"):
+    return [{"suite": suite, "metrics": dict(row)} for row in metric_rows]
+
+
+class TestPolarity:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("kernel_seconds", "higher_is_worse"),
+            ("warm_s", "higher_is_worse"),
+            ("kernel_seconds@n500", "higher_is_worse"),
+            ("ingest_rows_per_s", "lower_is_worse"),
+            ("ingest_rows_per_second@n50", "lower_is_worse"),
+            ("prune_fraction", None),
+            ("rss_kb", None),
+        ],
+    )
+    def test_suffix_polarity(self, name, expected):
+        assert gate.metric_polarity(name) == expected
+
+
+class TestCheckHistory:
+    def test_green_with_insufficient_history(self):
+        verdict = gate.check_history(
+            entries({"x_seconds": 1.0}, {"x_seconds": 10.0})
+        )
+        assert verdict["ok"]
+        assert verdict["checks"][0]["status"] == "insufficient_history"
+
+    def test_flags_slowdown_past_threshold(self):
+        verdict = gate.check_history(
+            entries(
+                {"x_seconds": 1.0},
+                {"x_seconds": 1.0},
+                {"x_seconds": 1.0},
+                {"x_seconds": 1.3},
+            )
+        )
+        assert not verdict["ok"]
+        (reg,) = verdict["regressions"]
+        assert reg["metric"] == "x_seconds"
+        assert reg["trailing_median"] == 1.0
+        assert reg["change"] == pytest.approx(0.3)
+
+    def test_within_threshold_is_green(self):
+        verdict = gate.check_history(
+            entries(
+                {"x_seconds": 1.0}, {"x_seconds": 1.0}, {"x_seconds": 1.2}
+            )
+        )
+        assert verdict["ok"]
+
+    def test_speedup_is_never_a_regression(self):
+        verdict = gate.check_history(
+            entries(
+                {"x_seconds": 1.0}, {"x_seconds": 1.0}, {"x_seconds": 0.2}
+            )
+        )
+        assert verdict["ok"]
+
+    def test_throughput_drop_flags_lower_is_worse(self):
+        verdict = gate.check_history(
+            entries(
+                {"ingest_rows_per_s": 1000.0},
+                {"ingest_rows_per_s": 1000.0},
+                {"ingest_rows_per_s": 500.0},
+            )
+        )
+        assert not verdict["ok"]
+        assert verdict["regressions"][0]["metric"] == "ingest_rows_per_s"
+
+    def test_throughput_gain_is_green(self):
+        verdict = gate.check_history(
+            entries(
+                {"ingest_rows_per_s": 1000.0},
+                {"ingest_rows_per_s": 1000.0},
+                {"ingest_rows_per_s": 2000.0},
+            )
+        )
+        assert verdict["ok"]
+
+    def test_unknown_suffix_is_recorded_not_gated(self):
+        verdict = gate.check_history(
+            entries(
+                {"prune_fraction": 0.9},
+                {"prune_fraction": 0.9},
+                {"prune_fraction": 0.0},
+            )
+        )
+        assert verdict["ok"]
+        assert verdict["checks"][0]["status"] == "ungated"
+
+    def test_scales_are_separate_series(self):
+        """A CI smoke at n20 must not regress against a local n1000 run."""
+        verdict = gate.check_history(
+            entries(
+                {"x_seconds@n1000": 60.0},
+                {"x_seconds@n1000": 60.0},
+                {"x_seconds@n20": 0.1},
+                {"x_seconds@n20": 0.1},
+                {"x_seconds@n20": 0.1},
+            )
+        )
+        assert verdict["ok"]
+        by_metric = {c["metric"]: c for c in verdict["checks"]}
+        assert by_metric["x_seconds@n20"]["status"] == "ok"
+        assert (
+            by_metric["x_seconds@n1000"]["status"] == "insufficient_history"
+        )
+
+    def test_median_window_bounds_lookback(self):
+        """Only the trailing ``window`` samples feed the median, so one
+        ancient fast run cannot fail every future entry."""
+        rows = [{"x_seconds": 0.1}] + [{"x_seconds": 1.0}] * 6
+        verdict = gate.check_history(entries(*rows), window=5)
+        assert verdict["ok"]
+
+    def test_suites_do_not_mix(self):
+        fast = entries({"x_seconds": 1.0}, {"x_seconds": 1.0}, suite="a")
+        slow = entries({"x_seconds": 99.0}, suite="b")
+        verdict = gate.check_history(fast + slow)
+        assert verdict["ok"]
+
+
+class TestGateCli:
+    def test_exit_codes_and_report(self, tmp_path, capsys):
+        out = tmp_path / "hist.jsonl"
+        for value in (1.0, 1.0, 1.0):
+            history.append_history("s", {"x_seconds": value}, out)
+        assert gate.main(["--history", str(out)]) == 0
+        assert "OK" in capsys.readouterr().out
+        history.append_history("s", {"x_seconds": 2.0}, out)
+        assert gate.main(["--history", str(out)]) == 1
+        assert "REGRESSION s/x_seconds" in capsys.readouterr().out
+
+    def test_json_verdict(self, tmp_path, capsys):
+        out = tmp_path / "hist.jsonl"
+        history.append_history("s", {"x_seconds": 1.0}, out)
+        assert gate.main(["--history", str(out), "--json"]) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["ok"] is True
+        assert verdict["n_entries"] == 1
+
+    def test_empty_history_is_green(self, tmp_path, capsys):
+        assert gate.main(["--history", str(tmp_path / "missing.jsonl")]) == 0

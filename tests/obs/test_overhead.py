@@ -1,0 +1,80 @@
+"""Disabled-path cost contract for counter/span call sites.
+
+``BENCH_hm.json`` *samples* ``enabled_overhead_vs_disabled`` at kernel
+scale; this tier-1 suite pins the structural half of that contract so a
+regression cannot hide behind timing noise: while recording is
+disabled, every instrument method returns before touching its child
+map (no series allocation, no dict churn, no lock acquisition visible
+as state), and ``span()`` yields one shared inert object instead of
+allocating a live span or growing the context stack.
+"""
+
+from repro import obs
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.export import InMemorySink
+
+
+class TestDisabledInstrumentsAllocateNothing:
+    def test_counter_inc_leaves_no_series(self, clean_obs):
+        c = obs.counter("overhead_counter_total", "", labels=("shard",))
+        for i in range(100):
+            c.inc(shard=str(i))
+        assert c._series_state() == {}
+        assert obs_metrics.get_registry().state()[
+            "overhead_counter_total"
+        ]["series"] == {}
+
+    def test_gauge_set_inc_dec_leave_no_series(self, clean_obs):
+        g = obs.gauge("overhead_gauge", "", labels=("stage",))
+        g.set(1.0, stage="a")
+        g.inc(stage="b")
+        g.dec(stage="c")
+        assert g._series_state() == {}
+
+    def test_histogram_observe_leaves_no_series(self, clean_obs):
+        h = obs.histogram("overhead_seconds", "")
+        for _ in range(50):
+            h.observe(0.01)
+        assert h._series_state() == {}
+
+    def test_disabled_calls_do_not_validate_amount(self, clean_obs):
+        """The disabled path is a single boolean check — it returns
+        before even the cheap argument validation runs."""
+        c = obs.counter("overhead_validation_total", "")
+        c.inc(-5)  # would raise ValueError while enabled
+
+    def test_enabled_calls_do_allocate(self, clean_obs):
+        """The control: the same call sites create series once enabled,
+        so the assertions above are meaningful."""
+        obs_metrics.enable()
+        c = obs.counter("overhead_control_total", "", labels=("shard",))
+        c.inc(shard="0")
+        assert c._series_state() == {("0",): 1.0}
+
+
+class TestDisabledSpansShareOneNoop:
+    def test_span_yields_shared_noop_identity(self, clean_obs):
+        with obs.span("outer") as a:
+            with obs.span("inner") as b:
+                pass
+        assert a is b
+        assert a is obs_tracing._NOOP
+
+    def test_noop_span_absorbs_annotation(self, clean_obs):
+        with obs.span("anywhere") as sp:
+            sp.set(k="v")  # must not raise or store
+        assert sp.attrs == {}
+
+    def test_disabled_span_does_not_grow_the_stack(self, clean_obs):
+        with obs.span("outer"):
+            assert obs_tracing.current_span() is None
+
+    def test_disabled_span_reaches_no_sink_and_no_histogram(self, clean_obs):
+        sink = InMemorySink()
+        obs_tracing.add_sink(sink)
+        with obs.span("silent"):
+            pass
+        assert sink.spans == []
+        state = obs_metrics.get_registry().state().get("repro_span_seconds")
+        assert state is None or state["series"] == {}

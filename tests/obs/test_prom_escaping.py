@@ -1,0 +1,103 @@
+"""Label-value escaping per the Prometheus text exposition spec.
+
+Host labels can carry arbitrary bytes (the quarantined-ingest CSV
+dead-letter path preserves them verbatim), so ``render_prom`` must
+escape backslash, double-quote and line feed in label values — and
+``parse_prom`` must invert it exactly, or a hostile host name tears
+the exposition line grammar and silently corrupts neighbouring series.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import obs
+from repro.obs.export import (
+    _escape_help,
+    _escape_label_value,
+    _unescape_label_value,
+    parse_prom,
+    render_prom,
+)
+
+AWKWARD = [
+    'quote"inside',
+    "back\\slash",
+    "new\nline",
+    "crlf\r\nline",
+    "bare\rcr",
+    'all\\three"\nat once',
+    "trailing backslash\\",
+    '\\"',
+    "",
+    "plain.host-1:443",
+]
+
+
+class TestEscapeHelpers:
+    @pytest.mark.parametrize("value", AWKWARD)
+    def test_label_value_round_trips(self, value):
+        escaped = _escape_label_value(value)
+        # Escaped form is line-grammar safe: no raw newline or quote.
+        assert "\n" not in escaped and "\r" not in escaped
+        assert '"' not in escaped.replace('\\"', "")
+        # CRs are normalised to LF before escaping, so the round trip
+        # is exact up to that normalisation.
+        normalised = value.replace("\r\n", "\n").replace("\r", "\n")
+        assert _unescape_label_value(escaped) == normalised
+
+    def test_spec_escapes_exactly(self):
+        assert _escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_help_escapes_backslash_and_newline_only(self):
+        # Per spec, HELP text escapes backslash and line feed but NOT
+        # the double quote.
+        assert _escape_help('say "hi"\\now\n') == 'say "hi"\\\\now\\n'
+
+    @given(st.text(max_size=40))
+    def test_label_round_trip_property(self, value):
+        normalised = value.replace("\r\n", "\n").replace("\r", "\n")
+        assert (
+            _unescape_label_value(_escape_label_value(value)) == normalised
+        )
+
+
+class TestRenderParseRoundTrip:
+    def test_awkward_labels_survive_render_and_parse(self, enabled_obs):
+        c = obs.counter("escape_test_total", "", labels=("host",))
+        for i, host in enumerate(AWKWARD):
+            if "\r" in host:
+                continue  # CRs normalise; exact keys asserted below
+            c.inc(i + 1, host=host)
+        parsed = parse_prom(render_prom())
+        series = parsed["escape_test_total"]
+        for i, host in enumerate(AWKWARD):
+            if "\r" in host:
+                continue
+            assert series[(("host", host),)] == float(i + 1)
+
+    def test_each_series_is_one_line(self, enabled_obs):
+        obs.counter("oneline_total", "", labels=("host",)).inc(
+            host='evil\n"host\\'
+        )
+        text = render_prom()
+        sample_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("oneline_total")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_help_with_newline_stays_one_line(self, enabled_obs):
+        obs.counter("helpful_total", "first\nsecond").inc()
+        text = render_prom()
+        help_lines = [
+            line for line in text.splitlines() if line.startswith("# HELP helpful_total")
+        ]
+        assert help_lines == ["# HELP helpful_total first\\nsecond"]
+
+    def test_histogram_labels_escape_too(self, enabled_obs):
+        h = obs.histogram("esc_seconds", "", labels=("name",))
+        h.observe(0.01, name='a"b')
+        parsed = parse_prom(render_prom())
+        count_series = parsed["esc_seconds_count"]
+        assert count_series[(("name", 'a"b'),)] == 1.0

@@ -1,0 +1,156 @@
+"""ObsSession: the shared CLI telemetry lifecycle, crash paths included."""
+
+import argparse
+import json
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics as obs_metrics
+from repro.obs.ledger import RunLedger
+from repro.obs.session import ObsSession, add_observability_args
+
+
+def parse(argv):
+    parser = argparse.ArgumentParser()
+    add_observability_args(parser)
+    return parser.parse_args(argv)
+
+
+class TestFlagSurface:
+    def test_all_four_flags_installed(self):
+        args = parse(
+            [
+                "--metrics-out", "m.jsonl",
+                "--prom-out", "m.prom",
+                "--prom-port", "0",
+                "--ledger-dir", "runs",
+            ]
+        )
+        session = ObsSession.from_args(args, kind="t")
+        assert session.active
+
+    def test_inactive_without_flags(self, clean_obs):
+        session = ObsSession.from_args(parse([]), kind="t")
+        assert not session.active
+        with session:
+            assert not obs_metrics.is_enabled()
+        # Annotation calls are harmless no-ops when inactive.
+        session.annotate(exit_code=0)
+        session.set_suspects(["h"])
+
+    def test_ledger_dir_env_fallback(self, tmp_path, clean_obs, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path))
+        session = ObsSession.from_args(parse([]), kind="envkind")
+        assert session.active
+        with session:
+            pass
+        assert RunLedger(tmp_path).load("-1")["kind"] == "envkind"
+
+
+class TestHappyPath:
+    def test_all_outputs_written(self, tmp_path, clean_obs):
+        metrics_out = tmp_path / "m.jsonl"
+        prom_out = tmp_path / "m.prom"
+        ledger_dir = tmp_path / "runs"
+        session = ObsSession(
+            metrics_out=metrics_out,
+            prom_out=prom_out,
+            prom_port=0,
+            ledger_dir=ledger_dir,
+            kind="happy",
+            config={"p": 1},
+            command=["repro-test"],
+        )
+        with session:
+            assert obs_metrics.is_enabled()
+            obs.counter("session_test_total", "").inc(2)
+            with obs.span("session_stage"):
+                pass
+            # The live endpoint serves while the body runs.
+            with urllib.request.urlopen(
+                session.server.url + "/metrics", timeout=5
+            ) as resp:
+                live = resp.read().decode()
+            session.set_suspects(["h1"])
+        assert not obs_metrics.is_enabled()
+        assert "session_test_total 2" in live
+        events = [
+            json.loads(line) for line in metrics_out.read_text().splitlines()
+        ]
+        assert [e for e in events if e.get("type") == "span"]
+        assert events[-1]["type"] == "metrics"
+        parsed = obs.parse_prom(prom_out.read_text())
+        assert parsed["session_test_total"][()] == 2.0
+        manifest = RunLedger(ledger_dir).load("-1")
+        assert manifest["status"] == "ok"
+        assert manifest["suspects"] == ["h1"]
+        assert manifest["config"] == {"p": 1}
+        assert manifest["command"] == ["repro-test"]
+
+    def test_previously_enabled_registry_stays_enabled(
+        self, tmp_path, clean_obs
+    ):
+        obs_metrics.enable()
+        with ObsSession(prom_out=tmp_path / "m.prom"):
+            pass
+        assert obs_metrics.is_enabled()
+
+
+class TestCrashSafety:
+    """Satellite (a): a run that dies mid-pipeline keeps its telemetry."""
+
+    def test_outputs_flushed_when_body_raises(self, tmp_path, clean_obs):
+        metrics_out = tmp_path / "m.jsonl"
+        prom_out = tmp_path / "m.prom"
+        ledger_dir = tmp_path / "runs"
+        session = ObsSession(
+            metrics_out=metrics_out,
+            prom_out=prom_out,
+            ledger_dir=ledger_dir,
+            kind="crash",
+        )
+        with pytest.raises(RuntimeError, match="pipeline died"):
+            with session:
+                obs.counter("crash_test_total", "").inc(7)
+                raise RuntimeError("pipeline died")
+        # Every export still landed.
+        parsed = obs.parse_prom(prom_out.read_text())
+        assert parsed["crash_test_total"][()] == 7.0
+        events = [
+            json.loads(line) for line in metrics_out.read_text().splitlines()
+        ]
+        assert events[-1]["type"] == "metrics"
+        manifest = RunLedger(ledger_dir).load("-1")
+        assert manifest["status"] == "error"
+        assert manifest["error"] == "RuntimeError: pipeline died"
+        # And the switch was restored.
+        assert not obs_metrics.is_enabled()
+
+    def test_server_closed_even_on_crash(self, tmp_path, clean_obs):
+        session = ObsSession(prom_port=0, ledger_dir=tmp_path / "runs")
+        with pytest.raises(ValueError):
+            with session:
+                url = session.server.url
+                raise ValueError("boom")
+        with pytest.raises(Exception):
+            urllib.request.urlopen(url + "/healthz", timeout=2)
+
+    def test_export_failure_propagates_on_success(self, tmp_path, clean_obs):
+        """A successful run must not silently lose its telemetry: an
+        unwritable --prom-out is an error the caller hears about."""
+        unwritable = tmp_path / "missing-dir" / "deep" / "m.prom"
+        with pytest.raises(OSError):
+            with ObsSession(prom_out=unwritable):
+                pass
+
+    def test_export_failure_does_not_mask_run_failure(
+        self, tmp_path, clean_obs
+    ):
+        """When the body raised, a second failure in the exporter is
+        logged, not raised — the original exception wins."""
+        unwritable = tmp_path / "missing-dir" / "deep" / "m.prom"
+        with pytest.raises(RuntimeError, match="original"):
+            with ObsSession(prom_out=unwritable):
+                raise RuntimeError("original")
