@@ -1,0 +1,158 @@
+"""Tiny shared runner for the ``scripts/check_*.py`` CI smoke checks.
+
+Every check used to hand-roll the same four things slightly
+differently: ``sys.path`` bootstrap, ``REPRO_*`` env plumbing, elapsed
+times, and what a failure looks like (bare traceback vs ``SystemExit``
+string vs ``AssertionError``).  This module pins one contract so a red
+CI job names the failing check and phase instead of dumping a stack:
+
+* :func:`bootstrap` — put repo subdirs (``src``, ``scripts`` by
+  default) on ``sys.path``, idempotently;
+* :func:`phase` — a context manager that prints
+  ``<check>: <phase> OK (1.23s)`` on success and tags the phase name
+  onto any failure;
+* :func:`run` — the ``__main__`` wrapper.  Maps outcomes onto fixed
+  exit codes (see below), prints the active ``REPRO_*`` knobs up front
+  (so a log always shows which faults/tunings shaped the run), and
+  ends with ``<check>: PASSED (12.3s)`` / ``<check>: FAILED — reason``;
+* :func:`env_str` / :func:`env_int` / :func:`env_float` — typed
+  readers for ``REPRO_*`` knobs with defaults.
+
+Exit codes: ``0`` passed · ``1`` a check assertion failed · ``2``
+usage error (argparse) · ``3`` unexpected exception (a bug in the
+check or the code under test; the traceback is preserved).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+import traceback
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Dict, Iterator, Optional
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_FAILED",
+    "EXIT_USAGE",
+    "EXIT_ERROR",
+    "CheckFailure",
+    "bootstrap",
+    "repro_env",
+    "env_str",
+    "env_int",
+    "env_float",
+    "phase",
+    "run",
+]
+
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_USAGE = 2
+EXIT_ERROR = 3
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class CheckFailure(AssertionError):
+    """An assertion that already carries its phase context."""
+
+
+def bootstrap(*extra: str) -> None:
+    """Put ``src/`` and ``scripts/`` (plus ``extra`` repo subdirs) on
+    ``sys.path``.  Safe to call repeatedly."""
+    for sub in ("src", "scripts", *extra):
+        path = str(REPO_ROOT / sub)
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+def repro_env() -> Dict[str, str]:
+    """The ``REPRO_*`` environment shaping this run, sorted."""
+    return {
+        key: value
+        for key, value in sorted(os.environ.items())
+        if key.startswith("REPRO_")
+    }
+
+
+def env_str(name: str, default: Optional[str] = None) -> Optional[str]:
+    """Read knob ``name`` (``REPRO_`` prefixed automatically)."""
+    if not name.startswith("REPRO_"):
+        name = "REPRO_" + name
+    value = os.environ.get(name)
+    return default if value is None or value == "" else value
+
+
+def env_int(name: str, default: int) -> int:
+    value = env_str(name)
+    return default if value is None else int(value)
+
+
+def env_float(name: str, default: float) -> float:
+    value = env_str(name)
+    return default if value is None else float(value)
+
+
+def _check_name() -> str:
+    return Path(sys.argv[0]).stem or "check"
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Time one named phase; failures inside are tagged with it."""
+    started = time.perf_counter()
+    try:
+        yield
+    except AssertionError as exc:
+        raise CheckFailure(f"[{name}] {exc}") from exc
+    except SystemExit as exc:  # legacy `raise SystemExit("reason")`
+        if isinstance(exc.code, str):
+            raise CheckFailure(f"[{name}] {exc.code}") from exc
+        raise
+    elapsed = time.perf_counter() - started
+    print(f"{_check_name()}: {name} OK ({elapsed:.2f}s)", flush=True)
+
+
+def run(main: Callable[..., Optional[int]]) -> None:
+    """``sys.exit(run(main))`` replacement for every check's tail.
+
+    Prints the ``REPRO_*`` banner, times the whole check, and converts
+    every way a check can end into the fixed exit-code contract.
+    """
+    name = _check_name()
+    knobs = repro_env()
+    if knobs:
+        for key, value in knobs.items():
+            print(f"{name}: env {key}={value}", flush=True)
+    started = time.perf_counter()
+    try:
+        code = main()
+    except (CheckFailure, AssertionError) as exc:
+        reason = str(exc) or exc.__class__.__name__
+        print(f"{name}: FAILED — {reason}", file=sys.stderr, flush=True)
+        sys.exit(EXIT_FAILED)
+    except SystemExit as exc:
+        if isinstance(exc.code, str):
+            print(f"{name}: FAILED — {exc.code}", file=sys.stderr, flush=True)
+            sys.exit(EXIT_FAILED)
+        raise  # argparse's exit(2), or an explicit numeric code
+    except KeyboardInterrupt:
+        print(f"{name}: interrupted", file=sys.stderr, flush=True)
+        sys.exit(130)
+    except Exception:
+        traceback.print_exc()
+        print(
+            f"{name}: ERROR — unexpected exception (see traceback)",
+            file=sys.stderr,
+            flush=True,
+        )
+        sys.exit(EXIT_ERROR)
+    elapsed = time.perf_counter() - started
+    if code not in (None, 0):
+        print(f"{name}: FAILED (exit {code})", file=sys.stderr, flush=True)
+        sys.exit(int(code))
+    print(f"{name}: PASSED ({elapsed:.2f}s)", flush=True)
+    sys.exit(EXIT_OK)

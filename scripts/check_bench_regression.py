@@ -27,12 +27,12 @@ from __future__ import annotations
 import argparse
 import json
 import statistics
-import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+import _checklib
+
+_checklib.bootstrap("benchmarks")
 
 from history import default_history_path, load_history  # noqa: E402
 
@@ -165,4 +165,4 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    _checklib.run(main)

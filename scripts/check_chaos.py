@@ -29,12 +29,13 @@ from __future__ import annotations
 
 import argparse
 import csv
-import sys
 import tempfile
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-sys.path.insert(0, str(Path(__file__).resolve().parent))
+import _checklib
+from _checklib import phase
+
+_checklib.bootstrap()
 
 from check_extract_resume import synthesize_store  # noqa: E402
 
@@ -162,10 +163,12 @@ def main() -> int:
     try:
         with tempfile.TemporaryDirectory(prefix="chaos-") as tmp_str:
             tmp = Path(tmp_str)
-            check_dirty_ingest(store, artifacts, tmp)
-            check_infrastructure_chaos(
-                store, baseline, artifacts, tmp, args.workers
-            )
+            with phase("dirty ingest"):
+                check_dirty_ingest(store, artifacts, tmp)
+            with phase("infrastructure chaos"):
+                check_infrastructure_chaos(
+                    store, baseline, artifacts, tmp, args.workers
+                )
     finally:
         sink.write_event(obs.metrics_event())
         obs.remove_sink(sink)
@@ -176,4 +179,4 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    _checklib.run(main)

@@ -34,7 +34,10 @@ import tempfile
 import time
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+import _checklib
+from _checklib import phase
+
+_checklib.bootstrap()
 
 from repro.detection.pipeline import PipelineConfig, find_plotters  # noqa: E402
 from repro.flows import parallel as par  # noqa: E402
@@ -172,52 +175,55 @@ def main() -> int:
 
     with tempfile.TemporaryDirectory(prefix="extract-resume-") as tmp:
         checkpoint_dir = Path(tmp)
-        completed = kill_midway(checkpoint_dir, args.workers)
+        with phase("kill midway"):
+            completed = kill_midway(checkpoint_dir, args.workers)
 
-        obs_metrics.enable()
-        try:
-            hits_before = par._CHECKPOINT.value(result="hit")
-            resumed = par.extract_features_parallel(
-                store,
-                n_workers=args.workers,
-                checkpoint_dir=checkpoint_dir,
-                resume=True,
-                n_shards=N_SHARDS,
+        with phase("checkpoint resume"):
+            obs_metrics.enable()
+            try:
+                hits_before = par._CHECKPOINT.value(result="hit")
+                resumed = par.extract_features_parallel(
+                    store,
+                    n_workers=args.workers,
+                    checkpoint_dir=checkpoint_dir,
+                    resume=True,
+                    n_shards=N_SHARDS,
+                )
+                hits = int(par._CHECKPOINT.value(result="hit") - hits_before)
+            finally:
+                obs_metrics.disable()
+
+            assert hits >= completed >= 1, (
+                f"resume used {hits} checkpoints but the killed run wrote "
+                f"{completed}"
             )
-            hits = int(par._CHECKPOINT.value(result="hit") - hits_before)
-        finally:
-            obs_metrics.disable()
-
-        assert hits >= completed >= 1, (
-            f"resume used {hits} checkpoints but the killed run wrote "
-            f"{completed}"
-        )
-        assert resumed == reference, (
-            "resumed features diverge from the fresh sequential run"
-        )
-        print(
-            f"resume OK: {hits} shard(s) from checkpoints, "
-            f"{N_SHARDS - hits} recomputed, features identical"
-        )
+            assert resumed == reference, (
+                "resumed features diverge from the fresh sequential run"
+            )
+            print(
+                f"resume OK: {hits} shard(s) from checkpoints, "
+                f"{N_SHARDS - hits} recomputed, features identical"
+            )
 
         # End to end: the detector must report the same suspects
         # whether extraction resumed from checkpoints or not.
-        fresh = find_plotters(store, config=PipelineConfig())
-        resumed_run = find_plotters(
-            store,
-            config=PipelineConfig(
-                n_workers=args.workers,
-                checkpoint_dir=str(checkpoint_dir),
-                resume=True,
-            ),
-        )
-        assert resumed_run.suspects == fresh.suspects, (
-            "suspect sets diverge after resume"
-        )
-        print(f"suspects identical after resume ({len(fresh.suspects)} hosts)")
+        with phase("end-to-end suspects"):
+            fresh = find_plotters(store, config=PipelineConfig())
+            resumed_run = find_plotters(
+                store,
+                config=PipelineConfig(
+                    n_workers=args.workers,
+                    checkpoint_dir=str(checkpoint_dir),
+                    resume=True,
+                ),
+            )
+            assert resumed_run.suspects == fresh.suspects, (
+                "suspect sets diverge after resume"
+            )
+            print(f"suspects identical after resume ({len(fresh.suspects)} hosts)")
     print("check_extract_resume: all assertions passed")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    _checklib.run(main)

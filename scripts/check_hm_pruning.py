@@ -32,11 +32,12 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
-import sys
 import time
-from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+import _checklib
+from _checklib import phase
+
+_checklib.bootstrap()
 
 import numpy as np  # noqa: E402
 
@@ -182,13 +183,17 @@ def main() -> int:
         f"population: {args.hosts} hosts, {args.modes} timer families; "
         f"exact reference engine: {exact_backend!r}"
     )
-    check_certification(hists, args.cut_fraction)
-    check_equivalence(hists, exact_backend)
-    check_lower_bounds(hists)
-    check_escape_hatch(hists, exact_backend)
+    with phase("certification"):
+        check_certification(hists, args.cut_fraction)
+    with phase("equivalence checksum"):
+        check_equivalence(hists, exact_backend)
+    with phase("lower-bound soundness"):
+        check_lower_bounds(hists)
+    with phase("escape hatch"):
+        check_escape_hatch(hists, exact_backend)
     print("hm-pruning check: all phases OK")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    _checklib.run(main)

@@ -27,9 +27,11 @@ import argparse
 import hashlib
 import json
 import re
-import sys
 import urllib.request
 from pathlib import Path
+
+import _checklib
+from _checklib import phase
 
 STAGES = ("reduction", "theta_vol", "theta_churn", "theta_hm")
 
@@ -199,15 +201,19 @@ def main(argv=None) -> int:
     if args.files:
         if len(args.files) != 2:
             parser.error("expected exactly two files: metrics.jsonl metrics.prom")
-        check_jsonl(Path(args.files[0]))
-        check_prom(Path(args.files[1]))
+        with phase("jsonl trace"):
+            check_jsonl(Path(args.files[0]))
+        with phase("prometheus text"):
+            check_prom(Path(args.files[1]))
     if args.ledger:
-        check_ledger(Path(args.ledger))
+        with phase("run ledger"):
+            check_ledger(Path(args.ledger))
     if args.scrape:
-        check_scrape(args.scrape)
+        with phase("live scrape"):
+            check_scrape(args.scrape)
     print("observability outputs OK")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    _checklib.run(main)

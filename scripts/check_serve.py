@@ -1,0 +1,311 @@
+#!/usr/bin/env python
+"""Soak smoke test for the resident detection service.
+
+Used by the CI ``serve-smoke`` job; also runnable by hand.  Drives a
+real ``repro serve`` subprocess through the lifecycle an operator
+fears, asserting the service contract rather than mere survival:
+
+**Launch + discovery** — the service starts, publishes
+``serve.json`` (bound URL, pid) under its spool dir, and answers
+``/healthz`` + ``/metrics``.
+
+**Ingest + live verdicts** — the synthetic trace (same generator the
+extract/chaos smokes use) is fired at ``POST /ingest`` in chunks;
+``/verdicts`` is polled until the finalized-window count stabilises,
+proving workers tumble on the shared grid while ingest is still hot.
+
+**Worker SIGKILL mid-window** — one worker pid (from ``/shards``) is
+SIGKILLed between chunks.  The supervisor must respawn it (restart
+counter increments, all shards report alive) and the replacement must
+replay its shard spool — no flow may be lost, no window double-counted.
+
+**SIGTERM drain ≡ batch** — the service is SIGTERM-drained; its final
+report (also ``drain.json``) must carry verdicts *bit-identical* to a
+batch :func:`find_plotters` run over the very same flows — identical
+suspect list and SHA-256 checksum — with ``duplicate_verdicts == 0``
+despite the kill, and the run recorded in the ledger.
+
+The drain report, discovery file, and run ledger land in
+``--artifacts`` for CI upload.
+
+Knobs: ``REPRO_SERVE_SMOKE_SHARDS`` (default 2),
+``REPRO_SERVE_SMOKE_WINDOW`` (default 300 s).
+
+Usage:  python scripts/check_serve.py --artifacts serve-artifacts/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+import _checklib
+from _checklib import phase
+
+_checklib.bootstrap()
+
+from check_extract_resume import synthesize_store  # noqa: E402
+
+from repro.detection.pipeline import find_plotters  # noqa: E402
+from repro.flows.argus import dumps  # noqa: E402
+from repro.obs.ledger import suspects_checksum  # noqa: E402
+
+N_CHUNKS = 10
+POLL_INTERVAL = 0.2
+STARTUP_TIMEOUT = 60.0
+RECOVERY_TIMEOUT = 60.0
+DRAIN_TIMEOUT = 180.0
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def _post(url: str, body: bytes):
+    request = urllib.request.Request(url, data=body, method="POST")
+    with urllib.request.urlopen(request, timeout=60) as resp:
+        return json.loads(resp.read())
+
+
+def _wait(predicate, timeout: float, what: str):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(POLL_INTERVAL)
+    raise AssertionError(f"timed out after {timeout:.0f}s waiting for {what}")
+
+
+def _chunks(csv_text: str, n_chunks: int):
+    header, body = csv_text.split("\r\n", 1)
+    rows = body.splitlines(keepends=True)
+    size = max(1, len(rows) // n_chunks)
+    return [
+        (header + "\r\n" + "".join(rows[i : i + size])).encode()
+        for i in range(0, len(rows), size)
+    ]
+
+
+def launch_service(spool_dir: Path, ledger_dir: Path, shards: int, window: float):
+    """Start ``repro serve`` via the umbrella CLI; return (proc, url)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p
+        for p in (str(_checklib.REPO_ROOT / "src"), env.get("PYTHONPATH"))
+        if p
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--spool-dir",
+            str(spool_dir),
+            "--shards",
+            str(shards),
+            "--window",
+            str(window),
+            "--port",
+            "0",
+            "--ledger-dir",
+            str(ledger_dir),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    discovery = spool_dir / "serve.json"
+
+    def discovered():
+        if proc.poll() is not None:
+            _, err = proc.communicate()
+            raise AssertionError(
+                f"service exited during startup (rc={proc.returncode}): {err}"
+            )
+        return discovery.is_file()
+
+    _wait(discovered, STARTUP_TIMEOUT, "serve.json discovery file")
+    doc = json.loads(discovery.read_text())
+    assert doc["pid"] == proc.pid, (doc["pid"], proc.pid)
+    url = doc["url"]
+    health = _get(url + "/healthz")
+    assert health["status"] == "ok", health
+    print(f"service up: {url} (pid {proc.pid}, {doc['n_shards']} shards)")
+    return proc, url
+
+
+def ingest_until_stable(url: str, chunks) -> None:
+    """Post ``chunks``, then poll /verdicts until finalisation settles."""
+    posted = 0
+    for chunk in chunks:
+        reply = _post(url + "/ingest", chunk)
+        assert reply["rows_bad"] == 0, reply
+        posted += reply["rows_ok"]
+    stable = {"count": 0, "last": -1}
+
+    def settled():
+        doc = _get(url + "/verdicts")
+        if doc["windows_finalized"] == stable["last"]:
+            stable["count"] += 1
+        else:
+            stable["count"], stable["last"] = 0, doc["windows_finalized"]
+        return stable["last"] > 0 and stable["count"] >= 3
+
+    _wait(settled, RECOVERY_TIMEOUT, "verdicts to stabilise")
+    doc = _get(url + "/verdicts")
+    assert doc["duplicate_verdicts"] == 0, doc
+    print(
+        f"ingested {posted} rows; {doc['windows_finalized']} windows "
+        f"finalized, {len(doc['suspects'])} live suspect(s)"
+    )
+
+
+def kill_one_worker(url: str) -> int:
+    """SIGKILL a worker mid-stream; the supervisor must respawn it."""
+    before = _get(url + "/shards")
+    victim = before["workers"][0]
+    os.kill(victim["pid"], signal.SIGKILL)
+    print(f"SIGKILLed worker shard={victim['shard']} pid={victim['pid']}")
+
+    def recovered():
+        doc = _get(url + "/shards")
+        return doc["restarts"] >= 1 and all(
+            w["alive"] for w in doc["workers"]
+        )
+
+    _wait(recovered, RECOVERY_TIMEOUT, "worker respawn after SIGKILL")
+    after = _get(url + "/shards")
+    replacement = next(
+        w for w in after["workers"] if w["shard"] == victim["shard"]
+    )
+    assert replacement["incarnation"] > victim["incarnation"], after
+    assert replacement["pid"] != victim["pid"], after
+    print(
+        f"recovered: shard {victim['shard']} respawned as pid "
+        f"{replacement['pid']} (incarnation {replacement['incarnation']})"
+    )
+    return after["restarts"]
+
+
+def drain_service(proc, spool_dir: Path) -> dict:
+    """SIGTERM the service and parse the drain report it prints."""
+    proc.send_signal(signal.SIGTERM)
+    try:
+        out, err = proc.communicate(timeout=DRAIN_TIMEOUT)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise AssertionError(f"drain did not finish in {DRAIN_TIMEOUT:.0f}s")
+    assert proc.returncode == 0, (
+        f"service exited rc={proc.returncode} on drain: {err}"
+    )
+    report = json.loads(out.strip().splitlines()[-1])
+    on_disk = json.loads((spool_dir / "drain.json").read_text())
+    assert on_disk["suspects_sha256"] == report["suspects_sha256"], (
+        "drain.json and the printed report disagree"
+    )
+    return report
+
+
+def check_ledger(ledger_dir: Path, report: dict) -> None:
+    run_dirs = [
+        entry
+        for entry in ledger_dir.iterdir()
+        if entry.is_dir() and (entry / "run.json").is_file()
+    ]
+    assert run_dirs, f"{ledger_dir}: service run not recorded"
+    manifest = json.loads((run_dirs[-1] / "run.json").read_text())
+    assert manifest["kind"] == "serve", manifest["kind"]
+    assert manifest["status"] == "ok", manifest["status"]
+    assert manifest["suspects_sha256"] == report["suspects_sha256"], (
+        "ledger checksum differs from the drain report"
+    )
+    print(f"ledger OK: run {manifest['run_id']} recorded (kind=serve)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts",
+        default="serve-artifacts",
+        help="directory for the drain report and run ledger",
+    )
+    args = parser.parse_args()
+    artifacts = Path(args.artifacts)
+    artifacts.mkdir(parents=True, exist_ok=True)
+    ledger_dir = artifacts / "ledger"
+
+    shards = _checklib.env_int("SERVE_SMOKE_SHARDS", 2)
+    window = _checklib.env_float("SERVE_SMOKE_WINDOW", 300.0)
+
+    store = synthesize_store()
+    chunks = _chunks(dumps(store), N_CHUNKS)
+    mid = len(chunks) * 3 // 5
+    print(
+        f"synthetic trace: {len(store)} flows in {len(chunks)} chunks; "
+        f"{shards} shards, {window:.0f}s windows"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        spool_dir = Path(tmp) / "spool"
+        spool_dir.mkdir()
+        proc = None
+        try:
+            with phase("launch + discovery"):
+                proc, url = launch_service(spool_dir, ledger_dir, shards, window)
+            with phase("ingest + live verdicts"):
+                ingest_until_stable(url, chunks[:mid])
+            with phase("worker SIGKILL recovery"):
+                restarts = kill_one_worker(url)
+            with phase("post-recovery ingest"):
+                ingest_until_stable(url, chunks[mid:])
+            with phase("SIGTERM drain"):
+                report = drain_service(proc, spool_dir)
+                proc = None
+            shutil.copy(spool_dir / "drain.json", artifacts / "drain.json")
+        finally:
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+    with phase("drain ≡ batch"):
+        batch = find_plotters(store)
+        assert report["suspects"] == sorted(batch.suspects), (
+            "drained suspects differ from batch: "
+            f"{sorted(set(report['suspects']) ^ batch.suspects)}"
+        )
+        assert report["suspects_sha256"] == suspects_checksum(batch.suspects)
+        assert report["rows_rescored"] == len(store), (
+            f"rescored {report['rows_rescored']} of {len(store)} rows"
+        )
+        assert report["restarts"] >= restarts >= 1, report["restarts"]
+        assert report["duplicate_verdicts"] == 0, (
+            f"{report['duplicate_verdicts']} duplicate verdicts after restart"
+        )
+        print(
+            f"drain ≡ batch: {len(report['suspects'])} suspect(s), "
+            f"checksum {report['suspects_sha256'][:16]}…, "
+            f"{report['windows_finalized']} windows, "
+            f"{report['restarts']} restart(s) survived"
+        )
+
+    with phase("run ledger"):
+        check_ledger(ledger_dir, report)
+
+    print("check_serve: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    _checklib.run(main)

@@ -34,12 +34,13 @@ from __future__ import annotations
 import argparse
 import json
 import shutil
-import sys
 import tempfile
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-sys.path.insert(0, str(Path(__file__).resolve().parent))
+import _checklib
+from _checklib import phase
+
+_checklib.bootstrap()
 
 from check_extract_resume import synthesize_store  # noqa: E402
 
@@ -155,10 +156,14 @@ def main() -> int:
             write_flows(trace, mem_store)
             store_dir = tmp / "store"
 
-            view = check_spill_ingest(trace, store_dir, len(mem_store))
-            check_bit_identity(mem_store, view)
-            check_low_memory_extraction(mem_store, store_dir)
-            check_pruning(store_dir)
+            with phase("spill ingest"):
+                view = check_spill_ingest(trace, store_dir, len(mem_store))
+            with phase("bit identity"):
+                check_bit_identity(mem_store, view)
+            with phase("low-memory extraction"):
+                check_low_memory_extraction(mem_store, store_dir)
+            with phase("zone-map pruning"):
+                check_pruning(store_dir)
 
             shutil.copy(store_dir / MANIFEST_NAME, artifacts / MANIFEST_NAME)
             manifest = json.loads((store_dir / MANIFEST_NAME).read_text())
@@ -176,4 +181,4 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    _checklib.run(main)

@@ -1,0 +1,46 @@
+"""``repro`` — the umbrella command.
+
+The repo grew one CLI per plane (``repro-experiments``,
+``repro-datasets``, ``repro-obs``); ``repro`` is the front door that
+newer subsystems hang their subcommands on.  Today it carries one:
+
+``repro serve``
+    The resident detection service (:mod:`repro.serve.cli`).
+
+Arguments after the subcommand pass through untouched, so
+``repro serve --help`` is the subcommand's own help.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+_USAGE = """\
+usage: repro <command> [options]
+
+commands:
+  serve    run the resident Trader/Plotter detection service
+
+Run 'repro <command> --help' for command options.
+"""
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "serve":
+        from .serve.cli import main as serve_main
+
+        return serve_main(rest)
+    print(f"repro: unknown command {command!r}\n\n{_USAGE}", file=sys.stderr, end="")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

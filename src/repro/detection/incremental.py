@@ -22,6 +22,7 @@ the reservoir grows.
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -158,6 +159,11 @@ class OnlineDetector:
         caps the rows buffered between cuts.  Spool write failures
         degrade to unspooled operation under the guard (the online
         verdicts never depended on the spool).
+    window_origin:
+        Anchor of the window grid: boundaries snap to
+        ``origin + k·window`` instead of the first ingested flow's
+        start, so a detector restarted mid-stream tumbles at the same
+        instants as its predecessor (see :meth:`finalize_window`).
 
     Graceful degradation (honouring ``config.degrade``): a verdict-log
     write failure disables the log for the rest of the run instead of
@@ -180,6 +186,7 @@ class OnlineDetector:
         spool_dir: Optional[Union[str, os.PathLike]] = None,
         segment_rows: Optional[int] = None,
         prom_port: Optional[int] = None,
+        window_origin: Optional[float] = None,
     ) -> None:
         if window <= 0:
             raise ValueError("window length must be positive")
@@ -189,6 +196,13 @@ class OnlineDetector:
             raise ValueError("segment_rows must be >= 1")
         self.internal_hosts = set(internal_hosts)
         self.window = window
+        #: When set, window boundaries snap to the grid
+        #: ``origin + k·window`` instead of starting at the first
+        #: ingested flow — so a detector restarted mid-stream (the
+        #: serve plane's worker recovery) tumbles at exactly the same
+        #: instants as the one it replaced, whatever flow it happens to
+        #: see first.
+        self.window_origin = window_origin
         self.config = config
         self.reservoir_size = reservoir_size
         self.cache_histograms = cache_histograms
@@ -335,10 +349,17 @@ class OnlineDetector:
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
+    def _aligned_start(self, t: float) -> float:
+        """The window-grid start for time ``t`` (see ``window_origin``)."""
+        if self.window_origin is None:
+            return t
+        k = math.floor((t - self.window_origin) / self.window)
+        return self.window_origin + k * self.window
+
     def ingest(self, flow: FlowRecord) -> None:
         """Feed one flow; rolls the window when the flow starts past it."""
         if self._window_start is None:
-            self._window_start = flow.start
+            self._window_start = self._aligned_start(flow.start)
         elif flow.start >= self._window_start + self.window:
             self._finalize(self._window_start + self.window)
             # Advance by whole windows so a long gap skips empty ones.
@@ -417,6 +438,26 @@ class OnlineDetector:
         # counters restart from zero — stale entries must not collide.
         self._hist_cache.clear()
         _TUMBLES.inc()
+
+    def finalize_window(self, at: Optional[float] = None) -> Optional[OnlineVerdict]:
+        """Finalise the current window early, without waiting for a flow.
+
+        The tumble normally happens when a flow arrives past the window
+        end; a draining service (or a rebalancing coordinator) cannot
+        wait for one.  This evaluates and retires the current window as
+        if a flow at its end had arrived — verdict appended to
+        ``history`` and the verdict log, spool segment cut — and resets
+        the window clock, so the next ingested flow opens a fresh
+        window (grid-aligned when ``window_origin`` is set).  Returns
+        the finalised verdict, or ``None`` when no flow has been
+        ingested since the last tumble (nothing to finalise).
+        """
+        if self._window_start is None:
+            return None
+        end = self._window_start + self.window if at is None else at
+        self._finalize(end)
+        self._window_start = None
+        return self.history[-1]
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -22,6 +22,16 @@ readable from :attr:`MetricsServer.port` and the full base URL from
 so scraping mid-run never blocks or perturbs detection beyond the
 instruments' own per-series locks.
 
+Embedding components can mount additional endpoints next to the three
+built-ins with :meth:`MetricsServer.add_route` (or the ``routes=``
+constructor argument): a route maps ``(method, path)`` to a callable
+``handler(body, query) -> (status, payload)`` where ``payload`` is a
+dict (rendered as JSON), ``str`` (text/plain) or ready
+``(content_type, bytes)``.  ``POST`` routes receive the request body;
+this is how :mod:`repro.serve` turns the metrics server into the
+service control plane (``/ingest``, ``/verdicts``, ``/shards``, …)
+without a second HTTP stack.
+
 Both CLIs expose this as ``--prom-port``; ``OnlineDetector`` accepts a
 ``prom_port=`` argument so a tumbling-window run can be scraped while
 it fills.  Use as a context manager or call :meth:`close`::
@@ -37,13 +47,18 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from . import metrics as _metrics
 from .export import funnel_snapshot, render_prom, summary
 from .logconf import get_logger
 
-__all__ = ["MetricsServer", "PROM_CONTENT_TYPE"]
+__all__ = ["MetricsServer", "PROM_CONTENT_TYPE", "RouteHandler"]
+
+#: Signature of a mounted route: ``handler(body, query)`` returning
+#: ``(status, payload)`` — ``payload`` a dict (JSON), ``str``
+#: (text/plain) or a ``(content_type, bytes)`` pair.
+RouteHandler = Callable[[Optional[bytes], str], Tuple[int, object]]
 
 #: Content type of the text exposition format, version 0.0.4.
 PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -70,16 +85,33 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
         self._send(status, "application/json; charset=utf-8", body)
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
+    def _send_payload(self, status: int, payload: object) -> None:
+        """Render a route handler's payload (dict/str/(ctype, bytes))."""
+        if isinstance(payload, dict):
+            self._send_json(payload, status=status)
+        elif isinstance(payload, str):
+            self._send(
+                status, "text/plain; charset=utf-8", payload.encode("utf-8")
+            )
+        else:
+            content_type, body = payload
+            self._send(status, content_type, bytes(body))
+
+    def _dispatch(self, method: str, body: Optional[bytes]) -> None:
         server = self.server_ref
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
         try:
-            if path == "/metrics":
-                body = render_prom(server.registry).encode("utf-8")
-                self._send(200, PROM_CONTENT_TYPE, body)
-            elif path == "/healthz":
+            route = server.route(method, path)
+            if route is not None:
+                status, payload = route(body, query)
+                self._send_payload(status, payload)
+            elif method == "GET" and path == "/metrics":
+                prom = render_prom(server.registry).encode("utf-8")
+                self._send(200, PROM_CONTENT_TYPE, prom)
+            elif method == "GET" and path == "/healthz":
                 self._send_json(server.health())
-            elif path in ("/summary", "/"):
+            elif method == "GET" and path in ("/summary", "/"):
                 self._send_json(server.summary())
             else:
                 self._send_json({"error": f"unknown path {path}"}, status=404)
@@ -89,6 +121,17 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json({"error": str(exc)}, status=500)
             except OSError:
                 pass  # client hung up mid-error; nothing left to say
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET", None)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length) if length > 0 else b""
+        self._dispatch("POST", body)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         logger.debug("%s %s", self.address_string(), format % args)
@@ -110,6 +153,11 @@ class MetricsServer:
         merged into the ``/summary`` document under ``"state"`` — how
         the online detector publishes its window index and history
         depth without the server knowing detector internals.
+    routes:
+        Optional ``{(method, path): handler}`` map of additional
+        endpoints (see :data:`RouteHandler`); routes win over the
+        built-in paths and can also be added later with
+        :meth:`add_route`.
     """
 
     def __init__(
@@ -118,9 +166,11 @@ class MetricsServer:
         host: str = "127.0.0.1",
         registry: Optional[_metrics.MetricsRegistry] = None,
         extra_summary: Optional[Callable[[], Dict]] = None,
+        routes: Optional[Dict[Tuple[str, str], RouteHandler]] = None,
     ) -> None:
         self.registry = registry or _metrics.get_registry()
         self.extra_summary = extra_summary
+        self._routes: Dict[Tuple[str, str], RouteHandler] = dict(routes or {})
         self.started_at = time.time()
         handler = type("_BoundHandler", (_Handler,), {"server_ref": self})
         self._httpd = ThreadingHTTPServer((host, port), handler)
@@ -132,6 +182,15 @@ class MetricsServer:
         )
         self._thread.start()
         logger.info("serving telemetry on %s", self.url)
+
+    # -- routing --------------------------------------------------------
+    def add_route(self, method: str, path: str, handler: RouteHandler) -> None:
+        """Mount ``handler`` at ``(method, path)`` (e.g. ``POST /ingest``)."""
+        self._routes[(method.upper(), path.rstrip("/") or "/")] = handler
+
+    def route(self, method: str, path: str) -> Optional[RouteHandler]:
+        """The mounted handler for ``(method, path)``, or ``None``."""
+        return self._routes.get((method.upper(), path))
 
     # -- documents ------------------------------------------------------
     def health(self) -> Dict:

@@ -45,6 +45,12 @@ Environment knobs (all unset by default — zero injected faults):
     θ_hm backend ladder.
 ``REPRO_FAULT_IO_DELAY``
     Seconds of added latency at every tagged I/O point.
+``REPRO_FAULT_SERVE_WORKER_EXIT_ONCE``
+    Path to a sentinel file.  The first :mod:`repro.serve` detection
+    worker to claim the sentinel (atomically, by deleting it)
+    hard-exits after its next processed batch — modelling an OOM-kill
+    of a resident worker so recovery tests exercise the coordinator's
+    restart-and-replay path.  Exactly one death per sentinel.
 
 The old ``REPRO_EXTRACT_*`` names from the first parallel-extraction
 release keep working as documented aliases; the ``REPRO_FAULT_*`` name
@@ -65,6 +71,7 @@ __all__ = [
     "extract_shard_delay",
     "extract_fail",
     "extract_kill_once",
+    "serve_worker_exit_once",
     "parse_corrupt_rate",
     "parse_corruptor",
     "stage_call",
@@ -85,6 +92,7 @@ _ALIASES: Mapping[str, Optional[str]] = {
     "REPRO_FAULT_IO_ERRORS": None,
     "REPRO_FAULT_IO_DELAY": None,
     "REPRO_FAULT_EMD_PRUNE_FAIL": None,
+    "REPRO_FAULT_SERVE_WORKER_EXIT_ONCE": None,
 }
 
 
@@ -137,6 +145,24 @@ def extract_kill_once() -> None:
     cleanup handlers run and the pool sees a broken worker.
     """
     sentinel = _get("REPRO_FAULT_EXTRACT_KILL_ONCE")
+    if not sentinel:
+        return
+    try:
+        os.remove(sentinel)
+    except OSError:
+        return  # already claimed (or never created): nobody else dies
+    os._exit(1)
+
+
+def serve_worker_exit_once() -> None:
+    """Hard-exit this serve worker if the exit-once sentinel is claimable.
+
+    Same claim protocol as :func:`extract_kill_once` (delete the
+    sentinel, then ``os._exit``), but on a separate knob so a chaos run
+    can kill a resident detection worker without also killing the
+    extraction pool the coordinator may be driving at the same moment.
+    """
+    sentinel = _get("REPRO_FAULT_SERVE_WORKER_EXIT_ONCE")
     if not sentinel:
         return
     try:
@@ -278,6 +304,7 @@ _KNOB_FOR_KWARG: Mapping[str, str] = {
     "io_errors": "REPRO_FAULT_IO_ERRORS",
     "io_delay": "REPRO_FAULT_IO_DELAY",
     "emd_prune_fail": "REPRO_FAULT_EMD_PRUNE_FAIL",
+    "serve_worker_exit_once": "REPRO_FAULT_SERVE_WORKER_EXIT_ONCE",
 }
 
 

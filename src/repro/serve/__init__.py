@@ -1,0 +1,46 @@
+"""`repro serve` — the resident tracker/worker detection service.
+
+The paper's classifier is meant to watch a live border, not a pcap
+archive: flows arrive continuously, windows tumble on the clock, and
+an operator asks "who looks like a Plotter *right now*?".  This
+package turns the repo's batch-and-library planes into that resident
+service:
+
+* a :class:`~repro.serve.coordinator.ServeCoordinator` process owns
+  ingest, shards internal hosts across persistent detection worker
+  processes (:mod:`repro.serve.worker`, one
+  :class:`~repro.detection.incremental.OnlineDetector` each), and
+  spools every accepted flow into per-shard ``.rseg`` segment stores
+  (:mod:`repro.storage`) *before* forwarding it — the spool, not any
+  worker, is the durability boundary;
+* the control plane is the PR 7 telemetry endpoint grown routes
+  (:func:`repro.serve.http.build_routes` on
+  :class:`repro.obs.http.MetricsServer`): ``POST /ingest``,
+  ``GET /verdicts``, ``GET /shards``, ``POST /evaluate``,
+  ``POST /rebalance``, ``POST /drain`` next to the built-in
+  ``/metrics`` / ``/healthz`` / ``/summary``;
+* workers ship finalised-window verdicts and metric deltas home
+  (:meth:`~repro.obs.metrics.MetricsRegistry.delta_since`); a killed
+  worker is restarted and replays its shard spool from the last
+  finalised window boundary, on the same window grid
+  (``window_origin``), so no ingested flow is ever lost to a crash;
+* SIGTERM (or ``POST /drain``) finalises every in-flight window and
+  then re-scores the union of all shard spools with the exact batch
+  pipeline (:func:`repro.detection.pipeline.find_plotters`) — the
+  drained verdict is bit-identical to a batch run over the same
+  flows, which is the service's acceptance invariant.
+
+See ``docs/service.md`` for the architecture and recovery semantics.
+"""
+
+from .config import ServeConfig
+from .coordinator import ServeCoordinator
+from .sharding import ShardMap, rebalance_moves, shard_of
+
+__all__ = [
+    "ServeConfig",
+    "ServeCoordinator",
+    "ShardMap",
+    "rebalance_moves",
+    "shard_of",
+]

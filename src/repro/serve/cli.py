@@ -1,0 +1,186 @@
+"""``repro serve`` — run the resident detection service.
+
+Starts a :class:`~repro.serve.coordinator.ServeCoordinator`, publishes
+a discovery file (``<spool-dir>/serve.json`` with the bound URL and
+pid, written atomically so a poller never reads a torn file), then
+blocks until SIGTERM/SIGINT or ``POST /drain``.  The drain finalises
+every in-flight window, batch-rescores the spools, writes
+``<spool-dir>/drain.json`` and — through the shared
+:class:`~repro.obs.session.ObsSession` lifecycle — records the whole
+run (funnel, suspects, checksum, degradations) into the run ledger.
+
+Telemetry flags are the same four every CLI here speaks
+(:func:`~repro.obs.session.add_observability_args`); ``--prom-port``
+is unnecessary since the service port *is* a metrics endpoint, but it
+keeps working for operators who want a second, read-only one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..detection.pipeline import PipelineConfig
+from ..obs.session import ObsSession, add_observability_args
+from ..resilience import atomic_write_text
+from ..stats.emd import PAIRWISE_BACKENDS
+from .config import ServeConfig
+from .coordinator import ServeCoordinator
+
+__all__ = ["build_parser", "main"]
+
+#: Name of the discovery file published under ``--spool-dir``.
+DISCOVERY_NAME = "serve.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the resident Trader/Plotter detection service: shard "
+            "hosts across persistent OnlineDetector workers, spool "
+            "ingested flows durably, serve live verdicts over HTTP, "
+            "and on drain produce the exact batch-pipeline verdict."
+        ),
+    )
+    parser.add_argument(
+        "--spool-dir",
+        required=True,
+        metavar="DIR",
+        help="root of the service's durable state (per-shard segment "
+        "spools, serve.json discovery file, drain.json report)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="detection worker processes (default: 2)",
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=6 * 3600.0,
+        metavar="SECONDS",
+        help="tumbling-window length D (default: 21600 = 6h)",
+    )
+    parser.add_argument(
+        "--window-origin",
+        type=float,
+        default=0.0,
+        metavar="T",
+        help="anchor of the absolute window grid (default: 0)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="control-plane port (default: 0 = ephemeral; the bound "
+        "port is published in serve.json)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="control-plane bind address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--segment-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="spool segment cut threshold in rows (default: storage "
+        "plane default)",
+    )
+    parser.add_argument(
+        "--hm-backend",
+        choices=sorted(PAIRWISE_BACKENDS),
+        default="auto",
+        help="pairwise-EMD engine for theta_hm (default: auto)",
+    )
+    parser.add_argument(
+        "--on-parse-error",
+        choices=("strict", "skip", "quarantine"),
+        default="skip",
+        help="ingest policy for malformed CSV rows (default: skip)",
+    )
+    add_observability_args(parser)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServeConfig(
+        spool_dir=args.spool_dir,
+        n_shards=args.shards,
+        window=args.window,
+        window_origin=args.window_origin,
+        port=args.port,
+        host=args.host,
+        segment_rows=args.segment_rows,
+        pipeline=PipelineConfig(hm_backend=args.hm_backend),
+        on_parse_error=args.on_parse_error,
+    )
+    session = ObsSession.from_args(
+        args,
+        kind="serve",
+        config=config.to_dict(),
+        command=["repro", "serve"] + list(argv or sys.argv[1:]),
+    )
+    coordinator = ServeCoordinator(config)
+
+    def _request_drain(signum, frame):
+        coordinator.drain_requested.set()
+
+    signal.signal(signal.SIGTERM, _request_drain)
+    signal.signal(signal.SIGINT, _request_drain)
+
+    with session:
+        coordinator.start()
+        discovery = Path(config.spool_dir) / DISCOVERY_NAME
+        atomic_write_text(
+            discovery,
+            json.dumps(
+                {
+                    "url": coordinator.url,
+                    "port": coordinator.server.port,
+                    "pid": os.getpid(),
+                    "n_shards": config.n_shards,
+                    "window": config.window,
+                },
+                sort_keys=True,
+            )
+            + "\n",
+        )
+        print(f"repro serve listening on {coordinator.url}", file=sys.stderr)
+        try:
+            coordinator.drain_requested.wait()
+            result, report = coordinator.drain()
+            session.record_result(result)
+            session.annotate(
+                serve={
+                    key: report[key]
+                    for key in (
+                        "rows_ingested",
+                        "rows_rescored",
+                        "windows_finalized",
+                        "duplicate_verdicts",
+                        "restarts",
+                        "epochs",
+                    )
+                }
+            )
+            print(json.dumps(report, sort_keys=True))
+        finally:
+            coordinator.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

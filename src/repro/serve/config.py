@@ -1,0 +1,89 @@
+"""Service configuration.
+
+One frozen, picklable dataclass travels from the CLI through the
+coordinator into every spawned worker — the same pattern as
+:class:`~repro.detection.pipeline.PipelineConfig`, which it embeds, so
+the service's detection thresholds can never drift from the batch
+pipeline it must stay bit-identical to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..detection.pipeline import PipelineConfig
+from ..flows.argus import PARSE_ERROR_MODES
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything `repro serve` needs to run, in one picklable value.
+
+    Parameters
+    ----------
+    spool_dir:
+        Root directory of the service's durable state: per-shard
+        segment spools live at ``<spool_dir>/epoch-XXX/shard-YY``, the
+        drain report at ``<spool_dir>/drain.json`` and the discovery
+        file at ``<spool_dir>/serve.json``.
+    n_shards:
+        Worker processes; hosts map to shards by stable blake2b hash
+        (:func:`repro.serve.sharding.shard_of`).
+    window:
+        Tumbling-window length in seconds (the paper's D).
+    window_origin:
+        Anchor of the absolute window grid.  All workers — and every
+        restarted incarnation of a worker — tumble at
+        ``origin + k·window``, so verdicts line up across shards,
+        restarts and rebalances.
+    port / host:
+        Control-plane bind address (``port=0`` = ephemeral; the bound
+        port is published in ``serve.json``).
+    segment_rows:
+        Spool segment cut threshold (rows); ``None`` = the storage
+        plane's default.
+    pipeline:
+        Detection thresholds, shared verbatim with
+        :func:`~repro.detection.pipeline.find_plotters` — the drain
+        rescore runs under exactly this config.
+    internal_hosts:
+        Explicit candidate population, or ``None`` (the default) to
+        score every source address the service sees — matching the
+        batch pipeline's ``hosts=None`` → ``store.initiators``.
+    on_parse_error:
+        Ingest-endpoint policy for malformed CSV rows
+        (``strict`` | ``skip`` | ``quarantine``); a resident service
+        defaults to ``skip`` — one bad row must not poison a POST.
+    """
+
+    spool_dir: str
+    n_shards: int = 2
+    window: float = 6 * 3600.0
+    window_origin: float = 0.0
+    port: int = 0
+    host: str = "127.0.0.1"
+    segment_rows: Optional[int] = None
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    internal_hosts: Optional[Tuple[str, ...]] = None
+    on_parse_error: str = "skip"
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.window <= 0:
+            raise ValueError("window length must be positive")
+        if self.segment_rows is not None and self.segment_rows < 1:
+            raise ValueError("segment_rows must be >= 1")
+        if self.on_parse_error not in PARSE_ERROR_MODES:
+            raise ValueError(
+                f"on_parse_error must be one of {PARSE_ERROR_MODES}, "
+                f"got {self.on_parse_error!r}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready form (what the run ledger records)."""
+        return dataclasses.asdict(self)

@@ -1,0 +1,600 @@
+"""The serve coordinator: ingest, supervision, drain, rebalance.
+
+One :class:`ServeCoordinator` owns everything durable and everything
+shared; workers are disposable.  The invariants it maintains:
+
+**Spool-before-queue.**  ``ingest`` appends every accepted flow to its
+shard's segment spool *before* putting it on the worker's inbox, under
+the topology lock.  A worker can die at any instant without losing a
+row: its replacement replays the spool from the last finalised window
+boundary.  The writer's buffered tail lives in the coordinator
+process, so not even an un-cut segment is exposed to worker death —
+the spool is cut before every respawn.
+
+**One verdict per window.**  Workers ship finalised-window verdicts;
+the coordinator keys them by ``(epoch, shard, grid-index)`` on the
+absolute window grid (``window_origin``) and accepts the first,
+counting the rest as duplicates — restart replay can therefore never
+double-report a window.
+
+**Drain = batch.**  Per-shard online verdicts cannot equal a global
+batch run (the pipeline's percentile thresholds are population-wide),
+so the drained verdict is computed by re-scoring the *union* of every
+epoch's shard spools with the exact batch pipeline
+(:func:`~repro.detection.pipeline.find_plotters`) under the service's
+own :class:`~repro.detection.pipeline.PipelineConfig`.  The storage
+projection is lossless for features (pinned since PR 5), so this is
+bit-identical to a batch run over the same flows.
+
+**Rebalance is an epoch barrier.**  Changing the shard count finalises
+every in-flight window (synchronised early tumble on the shared grid),
+retires the workers, and starts a fresh epoch with new spools and a
+new :class:`~repro.serve.sharding.ShardMap`; old epochs' spools stay
+on disk, where the drain rescore — which is shard-agnostic — still
+unions them in.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import queue as queue_mod
+import threading
+import time
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..detection.pipeline import PipelineResult, find_plotters
+from ..flows.argus import loads_report
+from ..flows.store import FlowStore
+from ..obs import metrics as obs_metrics
+from ..obs.http import MetricsServer
+from ..obs.ledger import suspects_checksum
+from ..obs.logconf import get_logger
+from ..resilience import atomic_write_text
+from ..storage import SegmentStore
+from ..storage.format import StorageError
+from .config import ServeConfig
+from .sharding import ShardMap
+from .worker import row_of, worker_main
+
+__all__ = ["ServeCoordinator"]
+
+logger = get_logger("serve.coordinator")
+
+_INGEST_ROWS = obs_metrics.counter(
+    "repro_serve_ingest_rows_total",
+    "Flow rows accepted by the ingest endpoint",
+)
+_INGEST_REQUESTS = obs_metrics.counter(
+    "repro_serve_ingest_requests_total",
+    "POST /ingest requests handled",
+)
+_VERDICTS = obs_metrics.counter(
+    "repro_serve_verdicts_total",
+    "Finalised-window verdicts received from workers, by outcome",
+    labels=("result",),
+)
+_RESTARTS = obs_metrics.counter(
+    "repro_serve_worker_restarts_total",
+    "Worker processes restarted after an unexpected death",
+)
+_WORKERS = obs_metrics.gauge(
+    "repro_serve_workers", "Live detection worker processes"
+)
+_EPOCH = obs_metrics.gauge(
+    "repro_serve_epoch", "Current shard-topology epoch"
+)
+_SPOOLED = obs_metrics.gauge(
+    "repro_serve_spooled_rows", "Rows ingested into the shard spools"
+)
+
+
+class _Worker:
+    """One shard's current worker incarnation (coordinator-side)."""
+
+    def __init__(
+        self,
+        shard: int,
+        incarnation: int,
+        epoch: int,
+        process,
+        inbox,
+        outbox,
+        spool_dir: Path,
+    ) -> None:
+        self.shard = shard
+        self.incarnation = incarnation
+        self.epoch = epoch
+        self.process = process
+        self.inbox = inbox
+        self.outbox = outbox
+        self.spool_dir = spool_dir
+        self.retired = False
+
+
+class ServeCoordinator:
+    """Shard hosts across resident detection workers; own the spools."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.root = Path(config.spool_dir)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.epoch = 0
+        self.shard_map = ShardMap(config.n_shards)
+        self.restarts = 0
+        self.rows_ingested = 0
+        self.server: Optional[MetricsServer] = None
+        #: Set by ``POST /drain`` or a signal handler; whoever runs the
+        #: service (the CLI main loop, a test) waits on it and then
+        #: calls :meth:`drain` — the HTTP handler itself cannot, since
+        #: draining tears the server down.
+        self.drain_requested = threading.Event()
+
+        # _lock orders topology + spool writes (ingest, restart,
+        # rebalance, drain).  _state_lock guards the verdict/reply
+        # state that the supervisor thread and HTTP threads both touch;
+        # it is always taken after _lock, never around a blocking call.
+        self._lock = threading.RLock()
+        self._state_lock = threading.Lock()
+        self._mp = mp.get_context("spawn")
+        self._workers: Dict[int, _Worker] = {}
+        self._writers: Dict[int, object] = {}
+        self._spool_dirs: List[Path] = []
+        self._hosts_per_shard: Dict[int, Set[str]] = defaultdict(set)
+        self._accepted: Dict[Tuple[int, int, int], Dict] = {}
+        self._last_final_end: Dict[Tuple[int, int], float] = {}
+        self._duplicates = 0
+        self._seq = 0
+        self._eval_replies: Dict[int, Dict[int, Dict]] = {}
+        self._reply_cond = threading.Condition(self._state_lock)
+        self._draining = threading.Event()
+        self._stop_supervisor = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the first epoch's workers and the control plane."""
+        from .http import build_routes
+
+        obs_metrics.enable()
+        _EPOCH.set(self.epoch)
+        with self._lock:
+            self._spawn_epoch()
+        self.server = MetricsServer(
+            port=self.config.port,
+            host=self.config.host,
+            routes=build_routes(self),
+            extra_summary=self._summary_state,
+        )
+        self._supervisor = threading.Thread(
+            target=self._supervise,
+            name="repro-serve-supervisor",
+            daemon=True,
+        )
+        self._supervisor.start()
+        logger.info(
+            "serve coordinator up: %d shard(s), window=%ss, url=%s",
+            self.shard_map.n_shards,
+            self.config.window,
+            self.server.url,
+        )
+
+    def close(self) -> None:
+        """Stop the control plane, supervisor and workers (idempotent).
+
+        A drained coordinator's workers are already gone; closing an
+        undrained one stops them without finalising — ``close`` is the
+        "just shut it down" path, :meth:`drain` the graceful one.
+        """
+        self._stop_supervisor.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5.0)
+            self._supervisor = None
+        with self._lock:
+            if any(not worker.retired for worker in self._workers.values()):
+                self._draining.set()
+                self._stop_workers(finalize=False)
+        if self.server is not None:
+            self.server.close()
+            self.server = None
+
+    def __enter__(self) -> "ServeCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def url(self) -> Optional[str]:
+        return self.server.url if self.server is not None else None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def _shard_dir(self, shard: int) -> Path:
+        return self.root / f"epoch-{self.epoch:03d}" / f"shard-{shard:02d}"
+
+    def _spawn_epoch(self) -> None:
+        """Create this epoch's spools and one worker per shard."""
+        for shard in range(self.shard_map.n_shards):
+            spool_dir = self._shard_dir(shard)
+            store = SegmentStore.create(spool_dir, exist_ok=True)
+            writer_kwargs = {}
+            if self.config.segment_rows is not None:
+                writer_kwargs["segment_rows"] = self.config.segment_rows
+            self._writers[shard] = store.writer(**writer_kwargs)
+            self._spool_dirs.append(spool_dir)
+            self._spawn_worker(shard, incarnation=0, replay_t0=None)
+
+    def _spawn_worker(
+        self, shard: int, incarnation: int, replay_t0: Optional[float]
+    ) -> None:
+        inbox = self._mp.Queue()
+        outbox = self._mp.Queue()
+        process = self._mp.Process(
+            target=worker_main,
+            args=(
+                shard,
+                incarnation,
+                self.config,
+                inbox,
+                outbox,
+                str(self._shard_dir(shard)),
+                replay_t0,
+            ),
+            name=f"repro-serve-worker-{shard}.{incarnation}",
+            daemon=True,
+        )
+        process.start()
+        self._workers[shard] = _Worker(
+            shard,
+            incarnation,
+            self.epoch,
+            process,
+            inbox,
+            outbox,
+            self._shard_dir(shard),
+        )
+        _WORKERS.set(len(self._workers))
+
+    def _restart_worker(self, worker: _Worker) -> None:
+        """Replace a dead worker (caller holds ``_lock``)."""
+        current = self._workers.get(worker.shard)
+        if current is not worker or worker.retired:
+            return  # already replaced (or deliberately retired)
+        self._drain_outbox(worker)  # salvage shipped-but-unread messages
+        worker.process.join(timeout=1.0)
+        worker.retired = True
+        # Flush the writer's buffered tail so the replacement's replay
+        # sees every row ever accepted for this shard.
+        self._writers[worker.shard].cut()
+        replay_t0 = self._last_final_end.get((self.epoch, worker.shard))
+        logger.warning(
+            "worker for shard %d died (incarnation %d); restarting "
+            "with replay from t0=%s",
+            worker.shard,
+            worker.incarnation,
+            replay_t0,
+        )
+        self._spawn_worker(worker.shard, worker.incarnation + 1, replay_t0)
+        self.restarts += 1
+        _RESTARTS.inc()
+
+    def _stop_workers(self, finalize: bool) -> None:
+        """Finalise + stop every worker and reap it (caller holds lock)."""
+        for worker in self._workers.values():
+            try:
+                if finalize:
+                    self._seq += 1
+                    worker.inbox.put(("finalize", self._seq, None))
+                self._seq += 1
+                worker.inbox.put(("stop", self._seq))
+            except (OSError, ValueError):  # queue already broken: reap below
+                pass
+        deadline = time.monotonic() + 30.0
+        for worker in self._workers.values():
+            worker.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if worker.process.is_alive():  # pragma: no cover - last resort
+                logger.warning(
+                    "worker %d.%d did not stop; terminating",
+                    worker.shard,
+                    worker.incarnation,
+                )
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            self._drain_outbox(worker)
+            worker.retired = True
+        for writer in self._writers.values():
+            writer.cut()
+
+    def rebalance(self, n_shards: int) -> Dict[str, object]:
+        """Change the shard count: epoch barrier + fresh workers.
+
+        Every in-flight window is finalised first (a synchronised early
+        tumble — all workers share the absolute window grid, so the
+        finalised windows line up), then the epoch increments and new
+        spools/workers start.  Old spools are left in place for the
+        drain rescore.
+        """
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        with self._lock:
+            if self._draining.is_set():
+                raise RuntimeError("cannot rebalance while draining")
+            previous = self.shard_map.n_shards
+            self._stop_workers(finalize=True)
+            self._workers = {}
+            self._writers = {}
+            self._hosts_per_shard = defaultdict(set)
+            self.epoch += 1
+            self.shard_map = ShardMap(n_shards)
+            _EPOCH.set(self.epoch)
+            self._spawn_epoch()
+        logger.info(
+            "rebalanced %d -> %d shard(s); now epoch %d",
+            previous,
+            n_shards,
+            self.epoch,
+        )
+        return {
+            "epoch": self.epoch,
+            "n_shards": n_shards,
+            "previous_n_shards": previous,
+        }
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        while not self._stop_supervisor.is_set():
+            for worker in list(self._workers.values()):
+                self._drain_outbox(worker)
+                if (
+                    not worker.retired
+                    and not worker.process.is_alive()
+                    and not self._draining.is_set()
+                ):
+                    with self._lock:
+                        self._restart_worker(worker)
+            self._stop_supervisor.wait(0.05)
+
+    def _drain_outbox(self, worker: _Worker) -> None:
+        while True:
+            try:
+                message = worker.outbox.get_nowait()
+            except queue_mod.Empty:
+                return
+            except (EOFError, OSError):  # queue broken by a killed writer
+                return
+            try:
+                self._handle_message(worker, message)
+            except Exception:  # pragma: no cover - never kill supervision
+                logger.exception("bad worker message from shard %d", worker.shard)
+
+    def _handle_message(self, worker: _Worker, message) -> None:
+        kind, shard, incarnation, seq, payload, finals, delta = message
+        if delta:
+            obs_metrics.get_registry().merge_delta(delta)
+        for verdict in finals:
+            self._accept_final(worker.epoch, shard, verdict)
+        if kind == "evaluated":
+            with self._reply_cond:
+                self._eval_replies.setdefault(seq, {})[shard] = payload
+                self._reply_cond.notify_all()
+
+    def _grid_index(self, evaluated_at: float) -> int:
+        """The absolute window-grid slot a finalised verdict ends."""
+        return round(
+            (evaluated_at - self.config.window_origin) / self.config.window
+        )
+
+    def _accept_final(self, epoch: int, shard: int, verdict: Dict) -> None:
+        end = float(verdict["evaluated_at"])
+        key = (epoch, shard, self._grid_index(end))
+        with self._state_lock:
+            if key in self._accepted:
+                self._duplicates += 1
+                _VERDICTS.inc(result="duplicate")
+                return
+            self._accepted[key] = verdict
+            previous = self._last_final_end.get((epoch, shard), float("-inf"))
+            self._last_final_end[(epoch, shard)] = max(previous, end)
+        _VERDICTS.inc(result="accepted")
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, text: str) -> Dict[str, object]:
+        """Parse an Argus-CSV payload, spool it, forward it to workers."""
+        if self._draining.is_set():
+            raise RuntimeError("service is draining; ingest is closed")
+        flows, report = loads_report(text, errors=self.config.on_parse_error)
+        batches: Dict[int, List] = defaultdict(list)
+        with self._lock:
+            for flow in flows:
+                shard = self.shard_map.shard_of(flow.src)
+                self._writers[shard].add(flow)
+                self._hosts_per_shard[shard].add(flow.src)
+                batches[shard].append(row_of(flow))
+            for shard, rows in batches.items():
+                self._seq += 1
+                self._workers[shard].inbox.put(("flows", self._seq, rows))
+            self.rows_ingested += len(flows)
+            _SPOOLED.set(self.rows_ingested)
+        _INGEST_REQUESTS.inc()
+        _INGEST_ROWS.inc(len(flows))
+        return {
+            "rows_ok": len(flows),
+            "rows_bad": report.rows_bad,
+            "shards": {
+                str(shard): len(rows) for shard, rows in sorted(batches.items())
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Live verdicts
+    # ------------------------------------------------------------------
+    def evaluate(self, timeout: float = 15.0) -> Dict[str, object]:
+        """Score every shard's current window, without tumbling it."""
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            shards = list(self._workers)
+            for worker in self._workers.values():
+                worker.inbox.put(("evaluate", seq, None))
+        deadline = time.monotonic() + timeout
+        with self._reply_cond:
+            while (
+                len(self._eval_replies.get(seq, {})) < len(shards)
+                and time.monotonic() < deadline
+            ):
+                self._reply_cond.wait(0.1)
+            replies = self._eval_replies.pop(seq, {})
+        live: Set[str] = set()
+        for verdict in replies.values():
+            live.update(verdict["suspects"])
+        return {
+            "shards": {str(s): replies.get(s) for s in sorted(shards)},
+            "replied": sorted(replies),
+            "suspects": sorted(live),
+        }
+
+    def verdicts_doc(self) -> Dict[str, object]:
+        """Finalised-window verdicts and the cumulative suspect set."""
+        with self._state_lock:
+            items = sorted(self._accepted.items())
+            duplicates = self._duplicates
+        suspects: Set[str] = set()
+        finalized = []
+        for (epoch, shard, grid), verdict in items:
+            suspects.update(verdict["suspects"])
+            finalized.append(
+                {"epoch": epoch, "shard": shard, "grid_window": grid, **verdict}
+            )
+        return {
+            "finalized": finalized,
+            "windows_finalized": len(finalized),
+            "suspects": sorted(suspects),
+            "suspects_count": len(suspects),
+            "duplicate_verdicts": duplicates,
+            "rows_ingested": self.rows_ingested,
+        }
+
+    def shards_doc(self) -> Dict[str, object]:
+        """Topology and per-worker liveness (the recovery test's probe)."""
+        with self._lock:
+            workers = [
+                {
+                    "shard": worker.shard,
+                    "incarnation": worker.incarnation,
+                    "epoch": worker.epoch,
+                    "pid": worker.process.pid,
+                    "alive": worker.process.is_alive(),
+                    "hosts": len(self._hosts_per_shard[worker.shard]),
+                    "last_final_end": self._last_final_end.get(
+                        (worker.epoch, worker.shard)
+                    ),
+                }
+                for worker in sorted(
+                    self._workers.values(), key=lambda w: w.shard
+                )
+            ]
+        return {
+            "epoch": self.epoch,
+            "n_shards": self.shard_map.n_shards,
+            "restarts": self.restarts,
+            "draining": self.draining,
+            "workers": workers,
+        }
+
+    def _summary_state(self) -> Dict[str, object]:
+        with self._state_lock:
+            windows = len(self._accepted)
+        return {
+            "epoch": self.epoch,
+            "n_shards": self.shard_map.n_shards,
+            "rows_ingested": self.rows_ingested,
+            "windows_finalized": windows,
+            "restarts": self.restarts,
+            "draining": self.draining,
+        }
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def _combined_store(self) -> FlowStore:
+        """Every epoch's shard spools, unioned into one in-memory store."""
+        combined = FlowStore()
+        for spool_dir in self._spool_dirs:
+            try:
+                store = SegmentStore.open(spool_dir)
+            except (StorageError, OSError):
+                continue
+            if store.total_rows == 0:
+                continue
+            combined.extend(store.view().records())
+        return combined
+
+    def drain(self) -> Tuple[PipelineResult, Dict[str, object]]:
+        """SIGTERM path: finalise everything, batch-rescore the spools.
+
+        Closes ingest, tumbles and stops every worker, cuts every
+        spool, then runs :func:`find_plotters` over the union of all
+        spooled rows under the service's pipeline config — producing
+        the exact batch verdict for the service's whole lifetime of
+        traffic.  Writes ``drain.json`` (suspects + order-independent
+        checksum + funnel + service counters) and returns the pipeline
+        result with the report.
+        """
+        self._draining.set()
+        with self._lock:
+            self._stop_workers(finalize=True)
+        self._stop_supervisor.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5.0)
+            self._supervisor = None
+        # One final sweep: the supervisor is gone, so collect anything
+        # the dying workers shipped after its last pass.
+        for worker in self._workers.values():
+            self._drain_outbox(worker)
+
+        combined = self._combined_store()
+        hosts = (
+            None
+            if self.config.internal_hosts is None
+            else set(self.config.internal_hosts)
+        )
+        result = find_plotters(combined, hosts, self.config.pipeline)
+        suspects = sorted(result.suspects)
+        doc = self.verdicts_doc()
+        report = {
+            "suspects": suspects,
+            "suspects_sha256": suspects_checksum(suspects),
+            "funnel": result.funnel(),
+            "rows_rescored": len(combined),
+            "rows_ingested": self.rows_ingested,
+            "windows_finalized": doc["windows_finalized"],
+            "duplicate_verdicts": doc["duplicate_verdicts"],
+            "restarts": self.restarts,
+            "epochs": self.epoch + 1,
+            "degradations": [str(d) for d in result.degradations],
+        }
+        atomic_write_text(
+            self.root / "drain.json",
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+        )
+        logger.info(
+            "drained: %d rows rescored, %d suspect(s), checksum %s",
+            len(combined),
+            len(suspects),
+            report["suspects_sha256"][:12],
+        )
+        return result, report

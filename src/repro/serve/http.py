@@ -1,0 +1,82 @@
+"""The service control plane: routes mounted on the metrics server.
+
+`repro serve` does not grow a second HTTP stack — it mounts handlers
+on the PR 7 :class:`~repro.obs.http.MetricsServer` (see its ``routes``
+parameter), so ``/metrics``, ``/healthz`` and ``/summary`` come for
+free on the same port as the service endpoints:
+
+==========  =============  ==================================================
+method      path           meaning
+==========  =============  ==================================================
+``POST``    ``/ingest``    Argus-CSV body → spool + forward to workers
+``GET``     ``/verdicts``  finalised-window verdicts, cumulative suspects
+``GET``     ``/shards``    topology, worker pids/incarnations, restarts
+``POST``    ``/evaluate``  score every shard's current window (no tumble)
+``POST``    ``/rebalance`` ``{"n_shards": N}`` → epoch barrier + respawn
+``POST``    ``/drain``     request SIGTERM-equivalent drain (async, 202)
+==========  =============  ==================================================
+
+``/drain`` only *requests* the drain: the handler runs inside the very
+server the drain tears down, so it flips
+:attr:`~repro.serve.coordinator.ServeCoordinator.drain_requested` and
+returns immediately; whoever runs the service (the CLI main loop)
+performs the actual drain.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Tuple
+
+from ..obs.http import RouteHandler
+from .coordinator import ServeCoordinator
+
+__all__ = ["build_routes"]
+
+
+def build_routes(
+    coordinator: ServeCoordinator,
+) -> Dict[Tuple[str, str], RouteHandler]:
+    """The ``(method, path) -> handler`` map for one coordinator."""
+
+    def ingest(body, query):
+        if coordinator.draining:
+            return 503, {"error": "service is draining; ingest is closed"}
+        if not body:
+            return 400, {"error": "empty ingest body (expected Argus CSV)"}
+        return 200, coordinator.ingest(body.decode("utf-8"))
+
+    def verdicts(body, query):
+        return 200, coordinator.verdicts_doc()
+
+    def shards(body, query):
+        return 200, coordinator.shards_doc()
+
+    def evaluate(body, query):
+        if coordinator.draining:
+            return 503, {"error": "service is draining"}
+        return 200, coordinator.evaluate()
+
+    def rebalance(body, query):
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            n_shards = int(payload["n_shards"])
+        except (ValueError, KeyError, UnicodeDecodeError):
+            return 400, {"error": 'expected JSON body {"n_shards": N}'}
+        try:
+            return 200, coordinator.rebalance(n_shards)
+        except (ValueError, RuntimeError) as exc:
+            return 409, {"error": str(exc)}
+
+    def drain(body, query):
+        coordinator.drain_requested.set()
+        return 202, {"draining": True}
+
+    return {
+        ("POST", "/ingest"): ingest,
+        ("GET", "/verdicts"): verdicts,
+        ("GET", "/shards"): shards,
+        ("POST", "/evaluate"): evaluate,
+        ("POST", "/rebalance"): rebalance,
+        ("POST", "/drain"): drain,
+    }

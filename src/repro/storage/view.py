@@ -199,6 +199,18 @@ class StoreView:
         gathered = self.gather([host])
         return self._records(gathered)
 
+    def records(self) -> List[FlowRecord]:
+        """Every row in the view as synthetic records (host-grouped).
+
+        Same projection caveats as :meth:`flows_from`; rows come back
+        grouped by host in the gather's host order, start-sorted within
+        each host.  This is the replay path: the serve coordinator
+        feeds these records to a fresh detector (restart) or an
+        in-memory store (drain rescore) and gets bit-identical features
+        because only the feature-bearing columns ever mattered.
+        """
+        return self._records(self.gather())
+
     @staticmethod
     def _records(gathered: Gathered) -> List[FlowRecord]:
         records: List[FlowRecord] = []

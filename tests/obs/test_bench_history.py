@@ -2,11 +2,17 @@
 
 import importlib.util
 import json
+import sys
 from pathlib import Path
 
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# check_* scripts resolve their shared runner (scripts/_checklib.py) via
+# sys.path[0] when run directly; loading them by file path skips that.
+if str(REPO_ROOT / "scripts") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
 
 
 def _load(name, path):

@@ -1,0 +1,94 @@
+"""Shared fixtures for the service tests: a small deterministic trace
+(campus chatter + a timer botnet, so suspects are non-vacuous) and a
+coordinator factory that always reaps its worker processes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.flows.argus import dumps
+from repro.flows.record import FlowRecord, FlowState, Protocol
+from repro.flows.store import FlowStore
+from repro.serve import ServeConfig, ServeCoordinator
+
+#: Window grid every service test shares (seconds).
+WINDOW = 300.0
+
+
+def synthesize_trace(seed: int = 97, n_campus: int = 14, n_bots: int = 4) -> FlowStore:
+    """~1k flows over ~25 minutes: noisy campus hosts + stealthy bots."""
+    rng = random.Random(seed)
+    states = [FlowState.ESTABLISHED] * 3 + [FlowState.REJECTED, FlowState.TIMEOUT]
+    flows = []
+    for h in range(n_campus):
+        src = f"10.0.0.{h}"
+        t = rng.random() * 60
+        for i in range(rng.randint(30, 70)):
+            t += rng.expovariate(1 / 20.0)
+            flows.append(
+                FlowRecord(
+                    src=src,
+                    dst=f"192.168.0.{rng.randrange(10)}",
+                    sport=1024 + i,
+                    dport=80,
+                    proto=Protocol.TCP,
+                    start=t,
+                    end=t + 1.0,
+                    src_bytes=rng.randrange(0, 9000),
+                    state=rng.choice(states),
+                )
+            )
+    for b in range(n_bots):
+        src = f"10.0.1.{b}"
+        t = float(b)
+        for i in range(90):
+            t += 15.0 + rng.uniform(-0.05, 0.05)
+            flows.append(
+                FlowRecord(
+                    src=src,
+                    dst=f"172.16.0.{i % 3}",
+                    sport=2048 + i,
+                    dport=6881,
+                    proto=Protocol.TCP,
+                    start=t,
+                    end=t + 0.5,
+                    src_bytes=rng.randrange(20, 120),
+                    state=FlowState.TIMEOUT if i % 2 == 0 else FlowState.ESTABLISHED,
+                )
+            )
+    return FlowStore(flows)
+
+
+@pytest.fixture(scope="module")
+def trace_store() -> FlowStore:
+    return synthesize_trace()
+
+
+@pytest.fixture(scope="module")
+def trace_csv(trace_store) -> str:
+    # FlowStore iteration is time-sorted — a live border's arrival order.
+    return dumps(trace_store)
+
+
+@pytest.fixture()
+def make_coordinator(tmp_path):
+    """Factory for started coordinators; tears every one down."""
+    created = []
+
+    def make(**overrides) -> ServeCoordinator:
+        overrides.setdefault("n_shards", 2)
+        overrides.setdefault("window", WINDOW)
+        overrides.setdefault("window_origin", 0.0)
+        config = ServeConfig(
+            spool_dir=str(tmp_path / f"svc{len(created)}"), **overrides
+        )
+        coordinator = ServeCoordinator(config)
+        coordinator.start()
+        created.append(coordinator)
+        return coordinator
+
+    yield make
+    for coordinator in created:
+        coordinator.close()

@@ -1,0 +1,139 @@
+"""Custom routes on the metrics server (the control-plane substrate)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.http import PROM_CONTENT_TYPE, MetricsServer
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.headers, response.read()
+
+
+def _post(url: str, body: bytes):
+    request = urllib.request.Request(url, data=body, method="POST")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, response.headers, response.read()
+
+
+@pytest.fixture()
+def server():
+    calls = []
+
+    def json_route(body, query):
+        calls.append(("json", body, query))
+        return 200, {"ok": True, "n": len(calls)}
+
+    def text_route(body, query):
+        return 200, "plain text payload"
+
+    def raw_route(body, query):
+        return 200, ("application/octet-stream", b"\x00\x01\x02")
+
+    def echo_route(body, query):
+        return 201, {"body": body.decode("utf-8"), "query": query}
+
+    def boom_route(body, query):
+        raise RuntimeError("handler exploded")
+
+    instance = MetricsServer(
+        port=0,
+        routes={
+            ("GET", "/custom"): json_route,
+            ("GET", "/text"): text_route,
+            ("GET", "/raw"): raw_route,
+            ("POST", "/echo"): echo_route,
+            ("GET", "/boom"): boom_route,
+        },
+    )
+    instance.calls = calls
+    try:
+        yield instance
+    finally:
+        instance.close()
+
+
+class TestCustomRoutes:
+    def test_json_dict_payload(self, server):
+        status, headers, body = _get(server.url + "/custom")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        assert json.loads(body) == {"ok": True, "n": 1}
+
+    def test_str_payload_is_text_plain(self, server):
+        status, headers, body = _get(server.url + "/text")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert body == b"plain text payload"
+
+    def test_content_type_bytes_payload(self, server):
+        status, headers, body = _get(server.url + "/raw")
+        assert status == 200
+        assert headers["Content-Type"] == "application/octet-stream"
+        assert body == b"\x00\x01\x02"
+
+    def test_post_route_receives_body_and_status(self, server):
+        status, _, body = _post(server.url + "/echo?a=1", b"hello there")
+        assert status == 201
+        assert json.loads(body) == {"body": "hello there", "query": "a=1"}
+
+    def test_trailing_slash_and_query_are_normalised(self, server):
+        status, _, body = _get(server.url + "/custom/?x=2")
+        assert status == 200
+        assert json.loads(body)["ok"] is True
+
+    def test_handler_exception_is_500_json(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/boom")
+        assert excinfo.value.code == 500
+        assert "handler exploded" in json.loads(excinfo.value.read())["error"]
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_unrouted_post_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server.url + "/custom", b"x")  # only GET is mounted
+        assert excinfo.value.code == 404
+
+    def test_add_route_after_start(self, server):
+        server.add_route("GET", "/late/", lambda body, query: (200, {"late": 1}))
+        status, _, body = _get(server.url + "/late")
+        assert status == 200
+        assert json.loads(body) == {"late": 1}
+
+
+class TestBuiltinsStillWork:
+    def test_healthz(self, server):
+        status, _, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_metrics(self, server):
+        status, headers, _ = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROM_CONTENT_TYPE
+
+    def test_summary(self, server):
+        status, _, body = _get(server.url + "/summary")
+        assert status == 200
+        assert "metrics" in json.loads(body)
+
+    def test_route_wins_over_builtin(self):
+        instance = MetricsServer(
+            port=0,
+            routes={("GET", "/healthz"): lambda b, q: (200, {"mine": True})},
+        )
+        try:
+            _, _, body = _get(instance.url + "/healthz")
+            assert json.loads(body) == {"mine": True}
+        finally:
+            instance.close()

@@ -1,0 +1,142 @@
+"""The ingest endpoint: ordering under concurrency, durability, policy."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.flows.argus import ARGUS_COLUMNS, dumps
+from repro.flows.record import FlowRecord, FlowState, Protocol
+from repro.storage import SegmentStore
+
+HEADER = ",".join(ARGUS_COLUMNS) + "\r\n"
+
+
+def _post(url: str, body: bytes):
+    request = urllib.request.Request(url, data=body, method="POST")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _host_flows(host: str, t0: float, n: int):
+    return [
+        FlowRecord(
+            src=host,
+            dst="192.168.0.1",
+            sport=1024 + i,
+            dport=80,
+            proto=Protocol.TCP,
+            start=t0 + i,
+            end=t0 + i,
+            src_bytes=100 + i,
+            state=FlowState.ESTABLISHED,
+        )
+        for i in range(n)
+    ]
+
+
+def _csv_rows(flows) -> str:
+    return dumps(flows).split("\r\n", 1)[1]
+
+
+class TestConcurrentPosts:
+    def test_all_rows_spooled_per_host_in_post_order(self, make_coordinator):
+        # One shard so every host lands in the same spool — the
+        # hardest case for interleaving.  Each thread owns one host
+        # and posts its chunks in time order; the spool must hold
+        # every row, and each host's gathered rows must come back in
+        # exactly the posted order.
+        coordinator = make_coordinator(n_shards=1, window=1e9)
+        n_threads, chunks, per_chunk = 6, 5, 8
+        errors = []
+
+        def poster(index: int) -> None:
+            host = f"10.9.0.{index}"
+            try:
+                for c in range(chunks):
+                    flows = _host_flows(host, t0=1000.0 * c, n=per_chunk)
+                    body = (HEADER + _csv_rows(flows)).encode()
+                    status, reply = _post(coordinator.url + "/ingest", body)
+                    assert status == 200
+                    assert reply["rows_ok"] == per_chunk
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=poster, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        total = n_threads * chunks * per_chunk
+        assert coordinator.rows_ingested == total
+
+        # Flush the writer's buffered tail, then read the spool back.
+        with coordinator._lock:
+            coordinator._writers[0].cut()
+        store = SegmentStore.open(coordinator._shard_dir(0))
+        assert store.total_rows == total
+        gathered = store.gather()
+        offset = 0
+        for host, count in zip(gathered.hosts, gathered.counts.tolist()):
+            starts = gathered.starts[offset : offset + count]
+            sizes = gathered.src_bytes[offset : offset + count]
+            offset += count
+            assert count == chunks * per_chunk
+            # Posted order: chunk-major, start-ascending within chunks —
+            # globally start-ascending by construction.
+            expected = np.array(
+                [1000.0 * c + i for c in range(chunks) for i in range(per_chunk)]
+            )
+            np.testing.assert_array_equal(starts, expected)
+            np.testing.assert_array_equal(
+                sizes, np.array([100 + i for c in range(chunks) for i in range(per_chunk)])
+            )
+
+    def test_shard_routing_matches_shard_map(self, make_coordinator):
+        coordinator = make_coordinator(n_shards=3, window=1e9)
+        hosts = [f"10.8.0.{i}" for i in range(12)]
+        flows = [flow for host in hosts for flow in _host_flows(host, 0.0, 3)]
+        body = (HEADER + _csv_rows(flows)).encode()
+        status, reply = _post(coordinator.url + "/ingest", body)
+        assert status == 200
+        expected = {}
+        for host in hosts:
+            shard = coordinator.shard_map.shard_of(host)
+            expected[shard] = expected.get(shard, 0) + 3
+        assert {int(k): v for k, v in reply["shards"].items()} == expected
+
+
+class TestIngestPolicy:
+    def test_malformed_rows_are_skipped_not_fatal(self, make_coordinator):
+        coordinator = make_coordinator(n_shards=1, window=1e9)
+        good = _csv_rows(_host_flows("10.7.0.1", 0.0, 4))
+        body = (HEADER + good + "this,is,not,a,flow\r\n" + good).encode()
+        status, reply = _post(coordinator.url + "/ingest", body)
+        assert status == 200
+        assert reply["rows_ok"] == 8
+        assert reply["rows_bad"] == 1
+        assert coordinator.rows_ingested == 8
+
+    def test_empty_body_is_400(self, make_coordinator):
+        coordinator = make_coordinator(n_shards=1)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(coordinator.url + "/ingest", b"")
+        assert excinfo.value.code == 400
+
+    def test_ingest_refused_while_draining(self, make_coordinator):
+        coordinator = make_coordinator(n_shards=1)
+        coordinator._draining.set()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                coordinator.url + "/ingest",
+                (HEADER + _csv_rows(_host_flows("10.6.0.1", 0.0, 2))).encode(),
+            )
+        assert excinfo.value.code == 503

@@ -1,0 +1,99 @@
+"""Shard assignment: stable, total, balanced, rebalance-planned."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from repro.serve.sharding import ShardMap, rebalance_moves, shard_of
+
+
+class TestShardOf:
+    def test_pinned_values(self):
+        # blake2b is standardised: these values must never change, or
+        # every deployed spool's host→shard mapping silently shifts.
+        assert [shard_of(h, 4) for h in ("10.0.0.1", "10.0.0.2", "192.168.1.9")] == [2, 3, 3]
+        assert [shard_of(h, 3) for h in ("10.0.0.1", "10.0.0.2", "192.168.1.9")] == [2, 1, 1]
+
+    def test_stable_across_processes(self):
+        # Unlike builtin hash(), the assignment must survive the
+        # per-process salt — a replaying worker and the coordinator
+        # have to agree.
+        code = (
+            "from repro.serve.sharding import shard_of;"
+            "print([shard_of(f'10.1.{i}.{i}', 7) for i in range(32)])"
+        )
+        child = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        expected = [shard_of(f"10.1.{i}.{i}", 7) for i in range(32)]
+        assert child.stdout.strip() == str(expected)
+
+    def test_range_and_determinism(self):
+        hosts = [f"172.16.{i // 256}.{i % 256}" for i in range(500)]
+        for n in (1, 2, 3, 8):
+            shards = [shard_of(h, n) for h in hosts]
+            assert shards == [shard_of(h, n) for h in hosts]
+            assert all(0 <= s < n for s in shards)
+
+    def test_balance(self):
+        hosts = [f"10.{i // 65536}.{(i // 256) % 256}.{i % 256}" for i in range(4000)]
+        counts = [0, 0, 0, 0]
+        for host in hosts:
+            counts[shard_of(host, 4)] += 1
+        # Uniform hashing: each shard within ±35% of the fair share.
+        assert all(650 <= c <= 1350 for c in counts), counts
+
+    def test_rejects_bad_shard_count(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            shard_of("10.0.0.1", 0)
+
+
+class TestShardMap:
+    def test_partition_is_total_and_disjoint(self):
+        hosts = {f"10.0.0.{i}" for i in range(100)}
+        groups = ShardMap(5).partition(hosts)
+        assert set(groups) == set(range(5))
+        seen = [h for members in groups.values() for h in members]
+        assert sorted(seen) == sorted(hosts)
+        for members in groups.values():
+            assert members == sorted(members)
+
+    def test_partition_matches_shard_of(self):
+        shard_map = ShardMap(3)
+        for shard, members in shard_map.partition(
+            [f"h{i}" for i in range(50)]
+        ).items():
+            assert all(shard_map.shard_of(h) == shard for h in members)
+
+
+class TestRebalanceMoves:
+    def test_same_count_moves_nothing(self):
+        hosts = [f"10.0.0.{i}" for i in range(64)]
+        assert rebalance_moves(hosts, 4, 4) == []
+
+    def test_moves_are_exactly_the_changed_hosts(self):
+        hosts = [f"10.0.0.{i}" for i in range(200)]
+        moves = rebalance_moves(hosts, 2, 5)
+        moved = {h for h, _, _ in moves}
+        for host in hosts:
+            old, new = shard_of(host, 2), shard_of(host, 5)
+            if old != new:
+                assert host in moved
+            else:
+                assert host not in moved
+        for host, old, new in moves:
+            assert old == shard_of(host, 2)
+            assert new == shard_of(host, 5)
+            assert old != new
+
+    def test_deterministic_and_sorted(self):
+        hosts = [f"h{i}" for i in range(100)]
+        first = rebalance_moves(hosts, 3, 4)
+        assert first == rebalance_moves(reversed(hosts), 3, 4)
+        assert first == sorted(first)
