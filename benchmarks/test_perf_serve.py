@@ -9,6 +9,22 @@ isolates steady-state ingest (no mid-run clustering evaluations), and
 after the timed section the coordinator's row accounting must
 reconcile exactly with what was posted.
 
+Three measurements ship in one report:
+
+* **volatile ingest** — the pre-HA ack path (``durable_acks=False``):
+  no per-chunk segment cut or journal append before the 200.  This is
+  the continuation of the historical ``http_ingest_rows_per_s@serve``
+  series, so the regression gate compares like with like.
+* **durable ingest** — the HA-default exactly-once path: spool cut +
+  coordinator-journal fsync inside every ack.  Its own history series
+  (``…_durable_…``) prices the durability tax explicitly.
+* **backpressure sweep** — durable ingest under admission control with
+  the backlog watermark at 50% / 90% of a chunk and a *saturated*
+  (10%) setting, driven through :class:`repro.serve.ServeClient` so
+  429 + ``Retry-After`` handling is the real client discipline.  Every
+  row must still land exactly once; the sweep records goodput and the
+  429 count per level.
+
 Results go to ``BENCH_serve.json`` at the repo root and one dated
 entry lands in ``BENCH_HISTORY.jsonl`` under the ``@serve`` scale key,
 where ``scripts/check_bench_regression.py`` gates the throughput
@@ -29,6 +45,9 @@ Environment knobs:
 * ``REPRO_BENCH_SERVE_SHARDS`` — worker processes (default ``2``).
 * ``REPRO_BENCH_SERVE_CHUNK`` — rows per POST (default ``2000``),
   the batch size a collector would ship.
+* ``REPRO_BENCH_SERVE_BP_ROWS`` — rows per backpressure level
+  (default: ``REPRO_BENCH_SERVE_ROWS`` capped at ``10000`` — each
+  saturated chunk deliberately stalls on Retry-After).
 * ``REPRO_BENCH_SERVE_OUT`` — output path
   (default ``<repo>/BENCH_serve.json``).
 """
@@ -58,6 +77,10 @@ DEFAULT_ROWS = 40_000
 DEFAULT_SHARDS = 2
 DEFAULT_CHUNK = 2_000
 N_HOSTS = 64
+
+#: Backpressure sweep levels: watermark as a fraction of one chunk.
+#: "saturated" forces a near-full drain between consecutive posts.
+BACKPRESSURE_LEVELS = (("w50", 0.5), ("w90", 0.9), ("saturated", 0.1))
 
 HEADER = ",".join(ARGUS_COLUMNS) + "\r\n"
 
@@ -94,14 +117,22 @@ def chunk_bodies(flows, chunk_rows: int) -> list:
     ]
 
 
-def time_http_ingest(n_rows: int, n_shards: int, chunk_rows: int, work_dir):
+def time_http_ingest(
+    n_rows: int,
+    n_shards: int,
+    chunk_rows: int,
+    work_dir,
+    durable_acks: bool = False,
+):
     from repro.serve import ServeConfig, ServeCoordinator
 
     bodies = chunk_bodies(synthesize_rows(n_rows), chunk_rows)
+    label = "durable" if durable_acks else "volatile"
     config = ServeConfig(
-        spool_dir=str(Path(work_dir) / "spool"),
+        spool_dir=str(Path(work_dir) / f"spool-{label}"),
         n_shards=n_shards,
         window=1e12,  # never tumble mid-measurement
+        durable_acks=durable_acks,
     )
     coordinator = ServeCoordinator(config)
     coordinator.start()
@@ -121,6 +152,7 @@ def time_http_ingest(n_rows: int, n_shards: int, chunk_rows: int, work_dir):
     finally:
         coordinator.close()
     return {
+        "durable_acks": durable_acks,
         "n_rows": n_rows,
         "n_shards": n_shards,
         "chunk_rows": chunk_rows,
@@ -130,30 +162,112 @@ def time_http_ingest(n_rows: int, n_shards: int, chunk_rows: int, work_dir):
     }
 
 
+def time_backpressure(n_rows: int, n_shards: int, chunk_rows: int, work_dir):
+    """Durable ingest under each admission-control watermark level.
+
+    Uses the real :class:`~repro.serve.client.ServeClient` (seq-keyed
+    chunks, Retry-After honoured) so the measured goodput is what a
+    well-behaved collector sees, not what a hammering loop would.
+    """
+    from repro.resilience import RetryPolicy
+    from repro.serve import ServeClient, ServeConfig, ServeCoordinator
+
+    bodies = chunk_bodies(synthesize_rows(n_rows), chunk_rows)
+    levels = {}
+    for name, fraction in BACKPRESSURE_LEVELS:
+        watermark = max(1, int(chunk_rows * fraction))
+        config = ServeConfig(
+            spool_dir=str(Path(work_dir) / f"spool-bp-{name}"),
+            n_shards=n_shards,
+            window=1e12,
+            max_backlog_rows=watermark,
+        )
+        coordinator = ServeCoordinator(config)
+        coordinator.start()
+        try:
+            client = ServeClient(
+                url=coordinator.url,
+                client_id=f"bench-{name}",
+                policy=RetryPolicy(
+                    max_attempts=200,
+                    base_delay=0.0,
+                    jitter=0.0,
+                    retryable=lambda exc: isinstance(exc, ConnectionError),
+                ),
+            )
+            posted = 0
+            t0 = time.perf_counter()
+            for body in bodies:
+                posted += client.post(body.decode())["rows_ok"]
+            seconds = time.perf_counter() - t0
+            assert posted == n_rows, f"posted {posted} of {n_rows} rows"
+            assert coordinator.rows_ingested == n_rows, (
+                f"coordinator accounted {coordinator.rows_ingested} rows "
+                f"at watermark {watermark}"
+            )
+        finally:
+            coordinator.close()
+        levels[name] = {
+            "max_backlog_rows": watermark,
+            "watermark_fraction": fraction,
+            "n_rows": n_rows,
+            "seconds": seconds,
+            "rows_per_second": n_rows / seconds,
+            "rejected_429": client.stats["rejected_429"],
+            "resent": client.stats["resent"],
+        }
+    return levels
+
+
 def run_benchmark(n_rows: int, n_shards: int, chunk_rows: int, out_path, work_dir):
     result = time_http_ingest(n_rows, n_shards, chunk_rows, work_dir)
+    durable = time_http_ingest(
+        n_rows, n_shards, chunk_rows, work_dir, durable_acks=True
+    )
+    bp_rows = _configured_bp_rows()
+    backpressure = time_backpressure(bp_rows, n_shards, chunk_rows, work_dir)
     report = {
         "benchmark": "resident service HTTP ingest",
         "generated_by": "benchmarks/test_perf_serve.py",
         "generated_at": datetime.now(timezone.utc).isoformat(),
         "cpu_count": os.cpu_count(),
         "result": result,
+        "durable": durable,
+        "backpressure": backpressure,
     }
     Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
     print(
         f"serve ingest: {result['n_rows']} rows in {result['n_posts']} posts "
         f"({result['n_shards']} shards) -> "
-        f"{result['rows_per_second']:9.0f} rows/s"
+        f"{result['rows_per_second']:9.0f} rows/s (volatile acks)"
     )
+    print(
+        f"durable acks: {durable['n_rows']} rows -> "
+        f"{durable['rows_per_second']:9.0f} rows/s "
+        f"({result['rows_per_second'] / durable['rows_per_second']:.2f}x tax)"
+    )
+    for name, level in backpressure.items():
+        print(
+            f"backpressure {name:>9} (watermark {level['max_backlog_rows']:>5}"
+            f" rows): {level['rows_per_second']:9.0f} rows/s, "
+            f"{level['rejected_429']} x 429"
+        )
     print(f"wrote {out_path}")
     append_history(
         "serve_plane",
         {
+            # The volatile path continues the pre-HA history series.
             "http_ingest_rows_per_s@serve": result["rows_per_second"],
             # normalised to 1000 rows so CI smokes and local sweeps with
             # different REPRO_BENCH_SERVE_ROWS stay one comparable series
             "http_ingest_kilorow_seconds@serve": result["seconds"]
             / (result["n_rows"] / 1000.0),
+            "http_ingest_durable_rows_per_s@serve": durable[
+                "rows_per_second"
+            ],
+            "backpressure_saturated_rows_per_s@serve": backpressure[
+                "saturated"
+            ]["rows_per_second"],
         },
     )
     return report
@@ -169,6 +283,14 @@ def _configured_shards() -> int:
 
 def _configured_chunk() -> int:
     return int(os.environ.get("REPRO_BENCH_SERVE_CHUNK", DEFAULT_CHUNK))
+
+
+def _configured_bp_rows() -> int:
+    return int(
+        os.environ.get(
+            "REPRO_BENCH_SERVE_BP_ROWS", min(_configured_rows(), 10_000)
+        )
+    )
 
 
 def _configured_out_path() -> Path:

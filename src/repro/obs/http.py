@@ -27,10 +27,17 @@ built-ins with :meth:`MetricsServer.add_route` (or the ``routes=``
 constructor argument): a route maps ``(method, path)`` to a callable
 ``handler(body, query) -> (status, payload)`` where ``payload`` is a
 dict (rendered as JSON), ``str`` (text/plain) or ready
-``(content_type, bytes)``.  ``POST`` routes receive the request body;
-this is how :mod:`repro.serve` turns the metrics server into the
-service control plane (``/ingest``, ``/verdicts``, ``/shards``, …)
-without a second HTTP stack.
+``(content_type, bytes)``.  A handler may instead return a three-tuple
+``(status, payload, headers)`` to attach extra response headers (the
+serve plane's ``Retry-After`` on 429).  ``POST`` routes receive the
+request body; this is how :mod:`repro.serve` turns the metrics server
+into the service control plane (``/ingest``, ``/verdicts``,
+``/shards``, …) without a second HTTP stack.
+
+Clients that hang up mid-response (a curl ^C, a drained soak harness)
+raise ``BrokenPipeError``/``ConnectionResetError`` inside the handler
+thread; those are a fact of network life, not a server fault, so they
+are logged at DEBUG and never as a traceback.
 
 Both CLIs expose this as ``--prom-port``; ``OnlineDetector`` accepts a
 ``prom_port=`` argument so a tumbling-window run can be scraped while
@@ -44,6 +51,7 @@ it fills.  Use as a context manager or call :meth:`close`::
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -57,7 +65,9 @@ __all__ = ["MetricsServer", "PROM_CONTENT_TYPE", "RouteHandler"]
 
 #: Signature of a mounted route: ``handler(body, query)`` returning
 #: ``(status, payload)`` — ``payload`` a dict (JSON), ``str``
-#: (text/plain) or a ``(content_type, bytes)`` pair.
+#: (text/plain) or a ``(content_type, bytes)`` pair — or
+#: ``(status, payload, headers)`` with a ``{name: value}`` dict of
+#: extra response headers.
 RouteHandler = Callable[[Optional[bytes], str], Tuple[int, object]]
 
 #: Content type of the text exposition format, version 0.0.4.
@@ -74,28 +84,51 @@ class _Handler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
 
-    def _send(self, status: int, content_type: str, body: bytes) -> None:
+    def _send(
+        self,
+        status: int,
+        content_type: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, payload: Dict, status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Dict,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
-        self._send(status, "application/json; charset=utf-8", body)
+        self._send(
+            status, "application/json; charset=utf-8", body, headers=headers
+        )
 
-    def _send_payload(self, status: int, payload: object) -> None:
+    def _send_payload(
+        self,
+        status: int,
+        payload: object,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         """Render a route handler's payload (dict/str/(ctype, bytes))."""
         if isinstance(payload, dict):
-            self._send_json(payload, status=status)
+            self._send_json(payload, status=status, headers=headers)
         elif isinstance(payload, str):
             self._send(
-                status, "text/plain; charset=utf-8", payload.encode("utf-8")
+                status,
+                "text/plain; charset=utf-8",
+                payload.encode("utf-8"),
+                headers=headers,
             )
         else:
             content_type, body = payload
-            self._send(status, content_type, bytes(body))
+            self._send(status, content_type, bytes(body), headers=headers)
 
     def _dispatch(self, method: str, body: Optional[bytes]) -> None:
         server = self.server_ref
@@ -104,8 +137,13 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             route = server.route(method, path)
             if route is not None:
-                status, payload = route(body, query)
-                self._send_payload(status, payload)
+                result = route(body, query)
+                if len(result) == 3:
+                    status, payload, headers = result
+                else:
+                    status, payload = result
+                    headers = None
+                self._send_payload(status, payload, headers=headers)
             elif method == "GET" and path == "/metrics":
                 prom = render_prom(server.registry).encode("utf-8")
                 self._send(200, PROM_CONTENT_TYPE, prom)
@@ -115,6 +153,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(server.summary())
             else:
                 self._send_json({"error": f"unknown path {path}"}, status=404)
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            # The client hung up; the run is fine.  No traceback, no
+            # WARNING — disconnects are routine under chaos soaks.
+            logger.debug("client disconnected on %s: %s", path, exc)
+            self.close_connection = True  # nothing left to say to them
         except Exception as exc:  # telemetry must never take down a run
             logger.warning("metrics endpoint %s failed: %s", path, exc)
             try:
@@ -135,6 +178,26 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         logger.debug("%s %s", self.address_string(), format % args)
+
+
+class _QuietServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer that does not traceback on disconnects.
+
+    The stock ``handle_error`` prints a full traceback to stderr for
+    *any* exception escaping a handler thread — including the
+    ``BrokenPipeError`` of a client vanishing between our dispatch
+    try/except and the socket teardown.  Keep real faults loud, make
+    disconnects a DEBUG line.
+    """
+
+    def handle_error(self, request, client_address) -> None:
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            logger.debug("client %s disconnected: %s", client_address, exc)
+            return
+        logger.warning(
+            "error handling request from %s: %s", client_address, exc
+        )
 
 
 class MetricsServer:
@@ -173,7 +236,7 @@ class MetricsServer:
         self._routes: Dict[Tuple[str, str], RouteHandler] = dict(routes or {})
         self.started_at = time.time()
         handler = type("_BoundHandler", (_Handler,), {"server_ref": self})
-        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd = _QuietServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,

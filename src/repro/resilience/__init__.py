@@ -29,6 +29,7 @@ degradation ladder.
 """
 
 from . import faults
+from .breaker import CircuitBreaker
 from .guard import Degradation, StageGuard, hm_backend_ladder
 from .io import (
     atomic_write,
@@ -36,10 +37,12 @@ from .io import (
     atomic_write_text,
     fsync_directory,
 )
+from .lease import FileLease, LeaseKeeper, LeaseState
 from .retry import Attempt, RetryError, RetryPolicy
 
 __all__ = [
     "faults",
+    "CircuitBreaker",
     "Degradation",
     "StageGuard",
     "hm_backend_ladder",
@@ -47,6 +50,9 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "fsync_directory",
+    "FileLease",
+    "LeaseKeeper",
+    "LeaseState",
     "Attempt",
     "RetryError",
     "RetryPolicy",

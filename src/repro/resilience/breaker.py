@@ -1,0 +1,136 @@
+"""Circuit breaker: stop retrying what keeps failing, loudly.
+
+A fallback ladder (:class:`~repro.resilience.guard.StageGuard`) and a
+respawn loop share a blind spot: both will happily retry *forever* when
+the failure is deterministic — a poisoned shard whose replay kills
+every worker incarnation crash-loops at the supervisor's poll rate,
+burning a core and flooding the log, while the service looks "up".
+
+:class:`CircuitBreaker` is the rung below the ladder's last resort:
+count failures inside a sliding window, and when the count crosses the
+threshold, **open** — the caller must stop retrying the protected
+operation and degrade to a declared quarantine mode instead.  Opening
+is reported exactly like any other degradation (through
+``StageGuard.note`` when attached via :meth:`StageGuard` wiring, plus
+its own counter), so a quarantined resource can never pass unnoticed.
+
+The breaker is deliberately minimal — no half-open probing, no
+auto-reset: for the serve plane's use (worker respawns over a durable
+spool) the correct recovery is operator-driven (`POST /rebalance`
+builds a fresh epoch), not a timer guessing the poison evaporated.
+``reset()`` exists for exactly that path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+from ..obs import metrics as obs_metrics
+from ..obs.logconf import get_logger
+
+__all__ = ["CircuitBreaker"]
+
+logger = get_logger("resilience.breaker")
+
+_TRANSITIONS = obs_metrics.counter(
+    "repro_breaker_transitions_total",
+    "Circuit-breaker state transitions, by breaker name and new state",
+    labels=("name", "state"),
+)
+
+
+class CircuitBreaker:
+    """Open after ``max_failures`` failures within ``window`` seconds.
+
+    Parameters
+    ----------
+    name:
+        Label for logs/metrics (e.g. ``worker-respawn:3``).
+    max_failures:
+        Failures inside the window that open the breaker (>= 1).
+    window:
+        Sliding-window length in seconds; ``None`` = count forever
+        (every failure is recent).
+    on_open:
+        Optional callback fired exactly once at the closed→open
+        transition — the hook :class:`StageGuard` integration uses to
+        report the quarantine as a degradation.
+    clock:
+        Injectable time source (tests pin the window).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        max_failures: int,
+        window: Optional[float] = None,
+        on_open: Optional[Callable[["CircuitBreaker"], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_failures < 1:
+            raise ValueError("max_failures must be >= 1")
+        if window is not None and window <= 0:
+            raise ValueError("window must be positive (or None)")
+        self.name = name
+        self.max_failures = max_failures
+        self.window = window
+        self.on_open = on_open
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._failures: List[float] = []
+        self._open = False
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def failures_in_window(self) -> int:
+        """Failures currently counted against the threshold."""
+        with self._lock:
+            self._prune(self.clock())
+            return len(self._failures)
+
+    def _prune(self, now: float) -> None:
+        if self.window is not None:
+            cutoff = now - self.window
+            self._failures = [at for at in self._failures if at >= cutoff]
+
+    def record_failure(self, error: str = "") -> bool:
+        """Count one failure; return ``True`` iff the breaker is open.
+
+        The closed→open transition happens here, fires ``on_open``
+        once, and latches: further failures keep returning ``True``
+        without re-firing the callback.
+        """
+        fire = False
+        with self._lock:
+            now = self.clock()
+            self._prune(now)
+            self._failures.append(now)
+            if not self._open and len(self._failures) >= self.max_failures:
+                self._open = True
+                fire = True
+        if fire:
+            logger.warning(
+                "circuit breaker %s opened after %d failure(s)%s",
+                self.name,
+                self.max_failures,
+                f": {error}" if error else "",
+            )
+            _TRANSITIONS.inc(name=self.name, state="open")
+            if self.on_open is not None:
+                self.on_open(self)
+        return self._open
+
+    def reset(self) -> None:
+        """Close the breaker and forget its failures (operator action)."""
+        with self._lock:
+            was_open = self._open
+            self._open = False
+            self._failures = []
+        if was_open:
+            logger.info("circuit breaker %s reset", self.name)
+            _TRANSITIONS.inc(name=self.name, state="closed")

@@ -51,6 +51,22 @@ Environment knobs (all unset by default — zero injected faults):
     hard-exits after its next processed batch — modelling an OOM-kill
     of a resident worker so recovery tests exercise the coordinator's
     restart-and-replay path.  Exactly one death per sentinel.
+``REPRO_FAULT_SERVE_COORD_EXIT_ONCE``
+    Path to a sentinel file.  The *coordinator* process claims it at
+    the nastiest instant of the ingest path — after a chunk's rows are
+    durably cut into the shard spools but before the chunk record
+    reaches the coordinator log — and hard-exits, so failover tests
+    exercise promotion's orphan-segment reconciliation and the client
+    library's idempotent resend.  Exactly one death per sentinel.
+    Never set this in an in-process test: the exit kills the host
+    process (it is meant for subprocess soaks).
+``REPRO_FAULT_SERVE_LEASE_STALL``
+    Path to a sentinel file.  The coordinator lease keeper that claims
+    it stops renewing its heartbeat for the number of seconds written
+    in the file (empty file = long enough to guarantee expiry), so the
+    warm standby takes the lease over while the old primary is still
+    alive — the split-brain drill.  The stalled primary must detect
+    the fencing epoch moved on and step down.  One stall per sentinel.
 
 The old ``REPRO_EXTRACT_*`` names from the first parallel-extraction
 release keep working as documented aliases; the ``REPRO_FAULT_*`` name
@@ -72,6 +88,8 @@ __all__ = [
     "extract_fail",
     "extract_kill_once",
     "serve_worker_exit_once",
+    "serve_coord_exit_once",
+    "serve_lease_stall",
     "parse_corrupt_rate",
     "parse_corruptor",
     "stage_call",
@@ -93,6 +111,8 @@ _ALIASES: Mapping[str, Optional[str]] = {
     "REPRO_FAULT_IO_DELAY": None,
     "REPRO_FAULT_EMD_PRUNE_FAIL": None,
     "REPRO_FAULT_SERVE_WORKER_EXIT_ONCE": None,
+    "REPRO_FAULT_SERVE_COORD_EXIT_ONCE": None,
+    "REPRO_FAULT_SERVE_LEASE_STALL": None,
 }
 
 
@@ -170,6 +190,52 @@ def serve_worker_exit_once() -> None:
     except OSError:
         return  # already claimed (or never created): nobody else dies
     os._exit(1)
+
+
+def serve_coord_exit_once() -> None:
+    """Hard-exit the serve *coordinator* if its sentinel is claimable.
+
+    The coordinator calls this in the ingest path after a chunk's rows
+    are durably cut into the shard spools but *before* the chunk record
+    is journaled — the exact crash window promotion's orphan-segment
+    reconciliation exists for.  ``os._exit`` models a SIGKILL: the
+    unacked client sees a dead connection and must resend.  Only ever
+    set this for a subprocess soak; in-process it kills the test
+    runner.
+    """
+    sentinel = _get("REPRO_FAULT_SERVE_COORD_EXIT_ONCE")
+    if not sentinel:
+        return
+    try:
+        os.remove(sentinel)
+    except OSError:
+        return  # already claimed (or never created): nobody dies
+    os._exit(1)
+
+
+def serve_lease_stall() -> Optional[float]:
+    """Claim the lease-stall sentinel; return the stall in seconds.
+
+    Returns ``None`` when the knob is unset or the sentinel was already
+    claimed.  The sentinel file's content, if parseable as a float, is
+    the stall duration; an empty file returns ``0.0`` and the caller
+    (the lease keeper) substitutes a stall long enough to guarantee
+    lease expiry.  One stall per sentinel, claimed by deleting it —
+    the same protocol as every ``*_ONCE`` knob.
+    """
+    sentinel = _get("REPRO_FAULT_SERVE_LEASE_STALL")
+    if not sentinel:
+        return None
+    try:
+        with open(sentinel, encoding="utf-8") as fh:
+            raw = fh.read().strip()
+        os.remove(sentinel)
+    except OSError:
+        return None  # already claimed (or never created): no stall
+    try:
+        return float(raw) if raw else 0.0
+    except ValueError:
+        return 0.0
 
 
 # ----------------------------------------------------------------------
@@ -305,6 +371,8 @@ _KNOB_FOR_KWARG: Mapping[str, str] = {
     "io_delay": "REPRO_FAULT_IO_DELAY",
     "emd_prune_fail": "REPRO_FAULT_EMD_PRUNE_FAIL",
     "serve_worker_exit_once": "REPRO_FAULT_SERVE_WORKER_EXIT_ONCE",
+    "serve_coord_exit_once": "REPRO_FAULT_SERVE_COORD_EXIT_ONCE",
+    "serve_lease_stall": "REPRO_FAULT_SERVE_LEASE_STALL",
 }
 
 

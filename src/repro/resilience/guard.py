@@ -26,7 +26,7 @@ with no pruning index, no pool and no numpy broadcasting to fail.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..obs import metrics as obs_metrics
 from ..obs.logconf import get_logger
@@ -150,6 +150,44 @@ class StageGuard:
                     stage, mode, next_mode, f"{type(exc).__name__}: {exc}"
                 )
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def breaker(
+        self,
+        stage: str,
+        *,
+        max_failures: int,
+        window: Optional[float] = None,
+        from_mode: str = "retry",
+        to_mode: str = "quarantined",
+        name: Optional[str] = None,
+    ):
+        """A :class:`~repro.resilience.breaker.CircuitBreaker` rung.
+
+        The breaker sits *below* the ladder's last resort: it counts
+        failures of an operation the caller keeps retrying outside the
+        guard (a supervisor's worker respawns), and when it opens, the
+        caller must degrade to ``to_mode`` instead of retrying again.
+        Opening is reported through :meth:`note`, so a quarantine shows
+        up in the run summary, the degradation counter, the log and the
+        span channel exactly like a ladder step-down.
+        """
+        from .breaker import CircuitBreaker
+
+        def on_open(breaker: CircuitBreaker) -> None:
+            self.note(
+                stage,
+                from_mode,
+                to_mode,
+                f"circuit breaker {breaker.name} opened after "
+                f"{breaker.max_failures} failure(s)",
+            )
+
+        return CircuitBreaker(
+            name or stage,
+            max_failures=max_failures,
+            window=window,
+            on_open=on_open,
+        )
 
     def summary(self) -> Dict[str, object]:
         """Plain-dict run summary, embeddable in reports and JSONL."""

@@ -1,0 +1,373 @@
+"""File-lease leadership election with fencing, for HA pairs.
+
+A :class:`FileLease` is the smallest coordination primitive that can
+make a warm-standby pair safe on one shared directory: an atomically
+written ``lease.json`` naming the current holder, a wall-clock TTL
+after which any contender may take the lease over, and a **fencing
+counter** (``fence``) that increments on every change of ownership.
+The fence is the holder's *incarnation*: a process that acquired fence
+``f`` and later observes the lease held at any other fence has been
+fenced out and must stop acting as leader — even if it never saw its
+own renewal fail (the classic stalled-heartbeat split brain).
+
+Mutations (acquire, renew, release) are serialised by an ``os.mkdir``
+lock directory — atomic on every platform Python runs on, with no
+``fcntl`` dependency — so two contenders racing an expired lease
+cannot both install themselves.  A lock directory older than the lease
+TTL is presumed abandoned by a crashed mutator and broken.
+
+Every change of ownership is appended to ``lease-history.jsonl`` next
+to the lease file: the audit trail the HA soak uploads as a CI
+artifact, and the quickest way to reconstruct "who led when" after an
+incident.
+
+:class:`LeaseKeeper` is the holder-side heartbeat: a daemon thread
+renewing at ``ttl / 3`` that calls ``on_lost`` exactly once if the
+lease is ever observed under another fence.  The
+``REPRO_FAULT_SERVE_LEASE_STALL`` knob (:func:`repro.resilience.faults
+.serve_lease_stall`) strikes here: the keeper that claims the sentinel
+stops renewing long enough for the standby to take over, then must
+notice the moved fence and step down — the failure drill for the one
+partition a single-box pair can actually suffer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from ..obs import metrics as obs_metrics
+from ..obs.logconf import get_logger
+from . import faults
+from .io import atomic_write_text
+
+__all__ = ["LeaseState", "FileLease", "LeaseKeeper", "LEASE_NAME", "HISTORY_NAME"]
+
+LEASE_NAME = "lease.json"
+HISTORY_NAME = "lease-history.jsonl"
+_LOCK_NAME = "lease.lock"
+
+logger = get_logger("resilience.lease")
+
+_ACQUISITIONS = obs_metrics.counter(
+    "repro_lease_acquisitions_total",
+    "Lease acquisition attempts, by outcome",
+    labels=("outcome",),
+)
+_RENEWALS = obs_metrics.counter(
+    "repro_lease_renewals_total",
+    "Lease heartbeat renewals, by outcome",
+    labels=("outcome",),
+)
+
+
+@dataclass(frozen=True)
+class LeaseState:
+    """One decoded ``lease.json``: who leads, under which fence."""
+
+    holder: str
+    pid: int
+    fence: int
+    ttl: float
+    renewed_at: float
+
+    @property
+    def expires_at(self) -> float:
+        return self.renewed_at + self.ttl
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        return (time.time() if now is None else now) >= self.expires_at
+
+    def to_json(self) -> dict:
+        return {
+            "holder": self.holder,
+            "pid": self.pid,
+            "fence": self.fence,
+            "ttl": self.ttl,
+            "renewed_at": self.renewed_at,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "LeaseState":
+        return cls(
+            holder=str(doc["holder"]),
+            pid=int(doc["pid"]),
+            fence=int(doc["fence"]),
+            ttl=float(doc["ttl"]),
+            renewed_at=float(doc["renewed_at"]),
+        )
+
+
+def default_holder_id() -> str:
+    """``host:pid`` — unique enough for processes sharing a spool dir."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class FileLease:
+    """A TTL lease on one directory, with a fencing counter.
+
+    Parameters
+    ----------
+    directory:
+        Where ``lease.json`` / ``lease-history.jsonl`` / the mutation
+        lock live (created if missing).  The HA runner uses
+        ``<spool-dir>/ha``.
+    holder_id:
+        This contender's identity (default ``host:pid``).
+    ttl:
+        Seconds a renewal stays valid.  Failover time after a primary
+        SIGKILL is at most ``ttl`` plus the standby's poll interval.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        holder_id: Optional[str] = None,
+        ttl: float = 5.0,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.holder_id = holder_id or default_holder_id()
+        self.ttl = float(ttl)
+        self.path = self.directory / LEASE_NAME
+        self.history_path = self.directory / HISTORY_NAME
+        self._lock_dir = self.directory / _LOCK_NAME
+
+    # ------------------------------------------------------------------
+    # Mutation serialisation (mkdir lock, stale-broken)
+    # ------------------------------------------------------------------
+    def _mutate(self, fn: Callable[[Optional[LeaseState]], Optional[LeaseState]]):
+        """Run ``fn(current)`` under the mkdir lock; persist its result.
+
+        ``fn`` returns the new state to install, or ``None`` to leave
+        the lease untouched.  Returns whatever ``fn`` returned.
+        """
+        deadline = time.time() + max(2.0, 2 * self.ttl)
+        while True:
+            try:
+                os.mkdir(self._lock_dir)
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - self._lock_dir.stat().st_mtime
+                except OSError:
+                    continue  # lock released between mkdir and stat
+                if age > max(self.ttl, 2.0):
+                    # A mutator died inside the critical section; the
+                    # section only writes atomically, so breaking the
+                    # lock cannot expose a torn lease file.
+                    logger.warning(
+                        "breaking stale lease lock %s (age %.1fs)",
+                        self._lock_dir,
+                        age,
+                    )
+                    try:
+                        os.rmdir(self._lock_dir)
+                    except OSError:
+                        pass
+                    continue
+                if time.time() >= deadline:
+                    raise TimeoutError(
+                        f"could not take lease mutation lock {self._lock_dir}"
+                    )
+                time.sleep(0.01)
+        try:
+            new_state = fn(self.read())
+            if new_state is not None:
+                atomic_write_text(
+                    self.path,
+                    json.dumps(new_state.to_json(), sort_keys=True) + "\n",
+                )
+            return new_state
+        finally:
+            try:
+                os.rmdir(self._lock_dir)
+            except OSError:  # pragma: no cover - lock dir vanished
+                pass
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def read(self) -> Optional[LeaseState]:
+        """The current lease state, or ``None`` when never written."""
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                return LeaseState.from_json(json.load(fh))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError):
+            # lease.json is written atomically, so this is a foreign or
+            # corrupted file — treat as no lease (it will be rewritten).
+            return None
+
+    def try_acquire(self) -> Optional[int]:
+        """Take the lease if free, expired, or already ours.
+
+        Returns the fencing counter to lead under, or ``None`` while
+        another holder's lease is still live.  Taking over from a
+        *different* holder (including re-taking after our own lease
+        expired and someone may have observed it) bumps the fence.
+        """
+
+        def decide(current: Optional[LeaseState]) -> Optional[LeaseState]:
+            now = time.time()
+            if current is not None and not current.expired(now):
+                if current.holder == self.holder_id:
+                    return LeaseState(
+                        self.holder_id, os.getpid(), current.fence, self.ttl, now
+                    )
+                return None
+            fence = 1 if current is None else current.fence + 1
+            state = LeaseState(self.holder_id, os.getpid(), fence, self.ttl, now)
+            self._record(
+                "acquired",
+                state,
+                previous=None if current is None else current.holder,
+            )
+            return state
+
+        state = self._mutate(decide)
+        if state is None:
+            _ACQUISITIONS.inc(outcome="held")
+            return None
+        _ACQUISITIONS.inc(outcome="acquired")
+        return state.fence
+
+    def renew(self, fence: int) -> bool:
+        """Refresh our lease under ``fence``; ``False`` means fenced out.
+
+        A renewal is only valid while the lease file still names us at
+        the same fence — an expired-but-untouched lease is renewable
+        (nobody observed the expiry), a taken-over one never is.
+        """
+
+        def decide(current: Optional[LeaseState]) -> Optional[LeaseState]:
+            if (
+                current is None
+                or current.holder != self.holder_id
+                or current.fence != fence
+            ):
+                return None
+            return LeaseState(
+                self.holder_id, os.getpid(), fence, self.ttl, time.time()
+            )
+
+        state = self._mutate(decide)
+        _RENEWALS.inc(outcome="ok" if state is not None else "fenced")
+        return state is not None
+
+    def release(self, fence: int) -> bool:
+        """Give the lease up voluntarily (it becomes instantly takeable)."""
+
+        def decide(current: Optional[LeaseState]) -> Optional[LeaseState]:
+            if (
+                current is None
+                or current.holder != self.holder_id
+                or current.fence != fence
+            ):
+                return None
+            state = LeaseState(
+                self.holder_id, os.getpid(), fence, 0.0, time.time() - 1.0
+            )
+            self._record("released", state, previous=self.holder_id)
+            return state
+
+        return self._mutate(decide) is not None
+
+    def held_by_us(self, fence: int) -> bool:
+        """Fence check: are we *still* the holder at this fence?
+
+        Read-only (no lock): the lease file is written atomically, so a
+        plain read sees either the old state or the new — both answer
+        the question correctly.  The primary calls this on the ingest
+        path before durable side effects, so a stalled-heartbeat
+        primary stops accepting writes as soon as the standby takes
+        over, not a renewal interval later.
+        """
+        current = self.read()
+        return (
+            current is not None
+            and current.holder == self.holder_id
+            and current.fence == fence
+            and not current.expired()
+        )
+
+    def _record(self, event: str, state: LeaseState, previous: Optional[str]):
+        line = json.dumps(
+            {
+                "event": event,
+                "at": time.time(),
+                "holder": state.holder,
+                "pid": state.pid,
+                "fence": state.fence,
+                "previous_holder": previous,
+            },
+            sort_keys=True,
+        )
+        try:
+            with open(self.history_path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+        except OSError:  # pragma: no cover - history is best-effort
+            logger.warning("could not append lease history at %s", self.history_path)
+
+
+class LeaseKeeper(threading.Thread):
+    """Heartbeat thread: renew at ``ttl / 3``; report fencing once.
+
+    ``on_lost`` fires (at most once) when a renewal comes back fenced —
+    the holder must stop leading.  The keeper also honours the
+    ``REPRO_FAULT_SERVE_LEASE_STALL`` sentinel: when claimed it skips
+    renewals for the stall duration (default ``3 * ttl``, enough to
+    guarantee expiry), after which the next renewal attempt discovers
+    the takeover and triggers ``on_lost``.
+    """
+
+    def __init__(
+        self,
+        lease: FileLease,
+        fence: int,
+        *,
+        on_lost: Optional[Callable[[], None]] = None,
+        interval: Optional[float] = None,
+    ) -> None:
+        super().__init__(name=f"repro-lease-keeper:{fence}", daemon=True)
+        self.lease = lease
+        self.fence = fence
+        self.on_lost = on_lost
+        self.interval = interval if interval is not None else lease.ttl / 3.0
+        self.lost = threading.Event()
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            stall = faults.serve_lease_stall()
+            if stall is not None:
+                duration = stall if stall > 0 else 3.0 * self.lease.ttl
+                logger.warning(
+                    "injected lease stall: heartbeat silent for %.2fs", duration
+                )
+                if self._halt.wait(duration):
+                    return
+            if not self.lease.renew(self.fence):
+                logger.warning(
+                    "lease fenced: holder %s lost fence %d",
+                    self.lease.holder_id,
+                    self.fence,
+                )
+                self.lost.set()
+                if self.on_lost is not None:
+                    self.on_lost()
+                return
+
+    def stop(self) -> None:
+        """Stop heartbeating (does not release the lease)."""
+        self._halt.set()

@@ -28,19 +28,38 @@ service:
   then re-scores the union of all shard spools with the exact batch
   pipeline (:func:`repro.detection.pipeline.find_plotters`) — the
   drained verdict is bit-identical to a batch run over the same
-  flows, which is the service's acceptance invariant.
+  flows, which is the service's acceptance invariant;
+* the coordinator itself is disposable (PR 9): every acked ingest
+  chunk is journaled in ``coord.log`` (:mod:`repro.serve.journal`), a
+  warm standby (:mod:`repro.serve.ha`) tails it and promotes under a
+  fenced leadership lease when the primary dies, ingest applies
+  backpressure (429 + ``Retry-After``) past a backlog watermark, and
+  :class:`~repro.serve.client.ServeClient` packages the
+  retry/rediscovery/resend discipline that makes the whole path
+  exactly-once.
 
 See ``docs/service.md`` for the architecture and recovery semantics.
 """
 
+from .client import ServeClient, ServeError
 from .config import ServeConfig
-from .coordinator import ServeCoordinator
+from .coordinator import BacklogFull, NotLeader, ServeCoordinator
+from .ha import run_ha
+from .journal import CoordinatorLog, LogState, LogTail
 from .sharding import ShardMap, rebalance_moves, shard_of
 
 __all__ = [
+    "BacklogFull",
+    "CoordinatorLog",
+    "LogState",
+    "LogTail",
+    "NotLeader",
+    "ServeClient",
     "ServeConfig",
     "ServeCoordinator",
+    "ServeError",
     "ShardMap",
     "rebalance_moves",
+    "run_ha",
     "shard_of",
 ]

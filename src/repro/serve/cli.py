@@ -9,6 +9,13 @@ every in-flight window, batch-rescores the spools, writes
 :class:`~repro.obs.session.ObsSession` lifecycle — records the whole
 run (funnel, suspects, checksum, degradations) into the run ledger.
 
+With ``--ha`` the process joins a warm-standby pair instead of
+unconditionally serving: it contends for the leadership lease under
+``<spool-dir>/ha/``, tails the coordinator journal while standing by,
+and promotes with the lease fence as its incarnation when the lease
+falls to it (see :mod:`repro.serve.ha`).  SIGTERM drains a primary and
+cleanly exits a standby.
+
 Telemetry flags are the same four every CLI here speaks
 (:func:`~repro.obs.session.add_observability_args`); ``--prom-port``
 is unnecessary since the service port *is* a metrics endpoint, but it
@@ -22,6 +29,7 @@ import json
 import os
 import signal
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional
 
@@ -31,6 +39,7 @@ from ..resilience import atomic_write_text
 from ..stats.emd import PAIRWISE_BACKENDS
 from .config import ServeConfig
 from .coordinator import ServeCoordinator
+from .ha import run_ha
 
 __all__ = ["build_parser", "main"]
 
@@ -110,12 +119,68 @@ def build_parser() -> argparse.ArgumentParser:
         default="skip",
         help="ingest policy for malformed CSV rows (default: skip)",
     )
+    parser.add_argument(
+        "--ha",
+        action="store_true",
+        help="join the warm-standby pair on this spool dir: contend "
+        "for the leadership lease, tail the coordinator journal while "
+        "standing by, promote on takeover",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="HA leadership lease TTL; failover takes at most this "
+        "plus the standby poll interval (default: 5)",
+    )
+    parser.add_argument(
+        "--standby-poll",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="standby lease-retry / journal-tail interval (default: 0.25)",
+    )
+    parser.add_argument(
+        "--max-backlog-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission-control watermark: reject ingest with 429 + "
+        "Retry-After while more than N forwarded rows await worker "
+        "acks (default: unbounded)",
+    )
+    parser.add_argument(
+        "--volatile-acks",
+        action="store_true",
+        help="restore the pre-HA volatile ack path (no per-chunk "
+        "segment cut or journal append before the 200): faster, "
+        "at-least-once across coordinator death, incompatible "
+        "with --ha",
+    )
     add_observability_args(parser)
     return parser
 
 
+#: Drain-report keys copied into the run ledger's ``serve`` annotation.
+_ANNOTATED_KEYS = (
+    "rows_ingested",
+    "rows_rescored",
+    "windows_finalized",
+    "duplicate_verdicts",
+    "duplicate_chunks",
+    "restarts",
+    "epochs",
+    "incarnation",
+    "quarantined_shards",
+)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.ha and args.volatile_acks:
+        parser.error("--ha requires durable acks (drop --volatile-acks)")
     config = ServeConfig(
         spool_dir=args.spool_dir,
         n_shards=args.shards,
@@ -126,6 +191,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         segment_rows=args.segment_rows,
         pipeline=PipelineConfig(hm_backend=args.hm_backend),
         on_parse_error=args.on_parse_error,
+        durable_acks=not args.volatile_acks,
+        max_backlog_rows=args.max_backlog_rows,
+        lease_ttl=args.lease_ttl,
+        standby_poll=args.standby_poll,
     )
     session = ObsSession.from_args(
         args,
@@ -133,6 +202,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         config=config.to_dict(),
         command=["repro", "serve"] + list(argv or sys.argv[1:]),
     )
+    if args.ha:
+        return _main_ha(config, session)
+    return _main_solo(config, session)
+
+
+def _main_ha(config: ServeConfig, session: ObsSession) -> int:
+    shutdown = threading.Event()
+
+    def _request_shutdown(signum, frame):
+        shutdown.set()
+
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    signal.signal(signal.SIGINT, _request_shutdown)
+
+    with session:
+        outcome = run_ha(
+            config,
+            shutdown=shutdown,
+            announce=lambda message: print(
+                f"repro serve [ha]: {message}", file=sys.stderr
+            ),
+        )
+        if outcome is None:
+            # Stood down without draining (standby shutdown, or the
+            # journal was already drained by another node).
+            session.annotate(serve={"role": "standby"})
+            return 0
+        result, report = outcome
+        session.record_result(result)
+        session.annotate(
+            serve={key: report[key] for key in _ANNOTATED_KEYS}
+        )
+        print(json.dumps(report, sort_keys=True))
+    return 0
+
+
+def _main_solo(config: ServeConfig, session: ObsSession) -> int:
     coordinator = ServeCoordinator(config)
 
     def _request_drain(signum, frame):
@@ -153,6 +259,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "pid": os.getpid(),
                     "n_shards": config.n_shards,
                     "window": config.window,
+                    "incarnation": coordinator.incarnation,
+                    "role": "solo",
                 },
                 sort_keys=True,
             )
@@ -164,17 +272,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             result, report = coordinator.drain()
             session.record_result(result)
             session.annotate(
-                serve={
-                    key: report[key]
-                    for key in (
-                        "rows_ingested",
-                        "rows_rescored",
-                        "windows_finalized",
-                        "duplicate_verdicts",
-                        "restarts",
-                        "epochs",
-                    )
-                }
+                serve={key: report[key] for key in _ANNOTATED_KEYS}
             )
             print(json.dumps(report, sort_keys=True))
         finally:

@@ -1,0 +1,292 @@
+"""Ingest client with retries, failover rediscovery and exact resend.
+
+The server side of exactly-once ingest (the coordinator journal) only
+closes the loop if clients follow one discipline: **number your
+chunks, and resend the same chunk with the same number until it is
+acknowledged**.  :class:`ServeClient` packages that discipline:
+
+* every chunk gets a monotonically increasing per-client sequence
+  number, sent as ``POST /ingest?client=ID&seq=N``;
+* failures retry under a jittered-backoff
+  :class:`~repro.resilience.retry.RetryPolicy` — the *same* sequence
+  number every time, so a chunk whose ack was lost (coordinator
+  SIGKILL after the journal append, a dropped connection) is
+  deduplicated server-side and answered with the original ack
+  (``duplicate: true``);
+* a 409 (fenced ex-primary) or a connection error triggers primary
+  rediscovery: the client re-reads ``<spool_dir>/serve.json`` — the
+  discovery file the *current* primary rewrites on promotion — and
+  retries against whatever URL it now names;
+* a 429 sleeps the server's ``Retry-After`` hint before the policy's
+  own backoff, so a saturated coordinator is never hammered.
+
+The transport is injectable (``transport=``) so tests drive the full
+retry/rediscovery/resend state machine against an in-process stub
+without sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+from urllib.parse import quote
+
+from ..obs.logconf import get_logger
+from ..resilience import RetryPolicy
+
+__all__ = ["ServeClient", "ServeError"]
+
+logger = get_logger("serve.client")
+
+#: ``transport(method, url, body, timeout)`` →
+#: ``(status, headers, payload_dict)``.  Connection-level failures
+#: raise ``OSError`` (or ``urllib.error.URLError``).
+Transport = Callable[
+    [str, str, Optional[bytes], float], Tuple[int, Dict[str, str], Dict]
+]
+
+#: Never sleep a Retry-After hint longer than this (a misbehaving or
+#: saturated server must not park the client for minutes).
+_MAX_RETRY_AFTER = 5.0
+
+
+class ServeError(RuntimeError):
+    """A non-retryable server answer (4xx other than 409/429)."""
+
+    def __init__(self, status: int, payload: Dict) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(
+            f"serve returned {status}: {payload.get('error', payload)}"
+        )
+
+
+def _default_transport(
+    method: str, url: str, body: Optional[bytes], timeout: float
+) -> Tuple[int, Dict[str, str], Dict]:
+    request = urllib.request.Request(
+        url,
+        data=body,
+        method=method,
+        headers={"Content-Type": "text/csv; charset=utf-8"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            raw = response.read()
+            status = response.status
+            headers = {k: v for k, v in response.headers.items()}
+    except urllib.error.HTTPError as err:
+        raw = err.read()
+        status = err.code
+        headers = {k: v for k, v in (err.headers or {}).items()}
+    try:
+        payload = json.loads(raw.decode("utf-8")) if raw else {}
+    except (ValueError, UnicodeDecodeError):
+        payload = {"error": raw.decode("utf-8", errors="replace")}
+    if not isinstance(payload, dict):
+        payload = {"value": payload}
+    return status, headers, payload
+
+
+class ServeClient:
+    """Talk to a (possibly failing-over) serve plane, exactly once.
+
+    Parameters
+    ----------
+    spool_dir:
+        The service's spool root; the client rediscovers the current
+        primary from ``<spool_dir>/serve.json`` after a 409 or a
+        connection failure.  Optional if ``url`` is given and the
+        service never fails over.
+    url:
+        Initial base URL (skips the first discovery read).
+    client_id:
+        Stable identity for the dedupe key; defaults to
+        ``host-pid-random`` — unique per client instance, stable
+        across every retry it makes.
+    policy:
+        Retry policy for ingest attempts (default: 8 attempts,
+        0.1 s→2 s jittered backoff — comfortably covers a warm-standby
+        failover at the default lease TTL).
+    timeout:
+        Per-request socket timeout in seconds.
+    transport / sleep:
+        Injection points for tests.
+    """
+
+    def __init__(
+        self,
+        spool_dir: Optional[Union[str, Path]] = None,
+        *,
+        url: Optional[str] = None,
+        client_id: Optional[str] = None,
+        policy: Optional[RetryPolicy] = None,
+        timeout: float = 10.0,
+        transport: Optional[Transport] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if spool_dir is None and url is None:
+            raise ValueError("need spool_dir (for discovery) or url")
+        self.spool_dir = Path(spool_dir) if spool_dir is not None else None
+        self.client_id = client_id or (
+            f"{socket.gethostname()}-{os.getpid()}-{os.urandom(4).hex()}"
+        )
+        self.policy = policy or RetryPolicy(
+            max_attempts=8,
+            base_delay=0.1,
+            multiplier=2.0,
+            max_delay=2.0,
+            jitter=0.5,
+            # Only transport-level trouble is worth another attempt; a
+            # 400-class ServeError will fail identically every time.
+            retryable=lambda exc: isinstance(exc, ConnectionError),
+        )
+        self.timeout = timeout
+        self._transport = transport or _default_transport
+        self._sleep = sleep
+        self._url = url
+        self._seq = 0
+        self.stats: Dict[str, int] = {
+            "sent": 0,
+            "resent": 0,
+            "duplicates": 0,
+            "rejected_429": 0,
+            "rediscoveries": 0,
+        }
+
+    # -- discovery ------------------------------------------------------
+    def discover(self) -> str:
+        """The current primary's base URL (cached until invalidated)."""
+        if self._url is not None:
+            return self._url
+        if self.spool_dir is None:
+            raise ConnectionError("no URL and no spool_dir to discover from")
+        discovery = self.spool_dir / "serve.json"
+        try:
+            doc = json.loads(discovery.read_text(encoding="utf-8"))
+            self._url = str(doc["url"]).rstrip("/")
+        except (OSError, ValueError, KeyError) as exc:
+            raise ConnectionError(
+                f"cannot discover primary from {discovery}: {exc}"
+            ) from exc
+        return self._url
+
+    def _invalidate(self) -> None:
+        if self.spool_dir is not None:
+            # Only count it as a rediscovery when one is possible.
+            self._url = None
+            self.stats["rediscoveries"] += 1
+
+    # -- ingest ---------------------------------------------------------
+    @property
+    def seq(self) -> int:
+        """The last sequence number assigned (0 before the first post)."""
+        return self._seq
+
+    def post(self, text: str) -> Dict:
+        """Ingest one Argus-CSV chunk; returns the (deduplicated) ack.
+
+        Retries with the same sequence number until acknowledged; a
+        resend the server already applied comes back as the original
+        ack with ``duplicate: true``.  Raises
+        :class:`~repro.resilience.retry.RetryError` when the policy is
+        exhausted, :class:`ServeError` on a non-retryable rejection.
+        """
+        self._seq += 1
+        seq = self._seq
+        body = text.encode("utf-8")
+        first_wire_attempt = True
+
+        def attempt() -> Dict:
+            nonlocal first_wire_attempt
+            self.stats["sent"] += 1
+            if not first_wire_attempt:
+                self.stats["resent"] += 1
+            first_wire_attempt = False
+            return self._post_once(body, seq)
+
+        reply = self.policy.call(attempt, name="serve-ingest")
+        if reply.get("duplicate"):
+            self.stats["duplicates"] += 1
+        return reply
+
+    def _post_once(self, body: bytes, seq: int) -> Dict:
+        base = self.discover()
+        url = f"{base}/ingest?client={quote(self.client_id)}&seq={seq}"
+        try:
+            status, headers, payload = self._transport(
+                "POST", url, body, self.timeout
+            )
+        except (urllib.error.URLError, OSError) as exc:
+            # Primary gone (refused/reset mid-failover): rediscover.
+            self._invalidate()
+            raise ConnectionError(f"primary unreachable: {exc}") from exc
+        if status == 200:
+            return payload
+        if status == 429:
+            self.stats["rejected_429"] += 1
+            hint = headers.get("Retry-After") or payload.get("retry_after")
+            try:
+                delay = min(float(hint), _MAX_RETRY_AFTER)
+            except (TypeError, ValueError):
+                delay = 0.5
+            logger.debug(
+                "serve backlogged; honouring Retry-After %.1fs (seq=%d)",
+                delay,
+                seq,
+            )
+            self._sleep(delay)
+            raise ConnectionError(
+                f"backlog full (retry after {delay:.1f}s)"
+            )
+        if status == 409:
+            # Fenced ex-primary answered: the lease moved.
+            self._invalidate()
+            raise ConnectionError(f"not the leader: {payload.get('error')}")
+        if status == 503:
+            self._invalidate()
+            raise ConnectionError(f"unavailable: {payload.get('error')}")
+        if status >= 500:
+            raise ConnectionError(f"server error {status}: {payload}")
+        raise ServeError(status, payload)
+
+    # -- reads / control ------------------------------------------------
+    def request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Dict:
+        """One non-ingest request (``GET /verdicts``, ``POST /drain``…).
+
+        Retries connection failures and 409s with rediscovery under
+        the same policy, but carries no sequence number — only use it
+        for idempotent or at-most-once control operations.
+        """
+
+        def attempt() -> Dict:
+            base = self.discover()
+            try:
+                status, _, payload = self._transport(
+                    method, f"{base}{path}", body, self.timeout
+                )
+            except (urllib.error.URLError, OSError) as exc:
+                self._invalidate()
+                raise ConnectionError(f"primary unreachable: {exc}") from exc
+            if status in (409, 503) or status >= 500:
+                self._invalidate()
+                raise ConnectionError(f"{path} returned {status}: {payload}")
+            if status >= 400:
+                raise ServeError(status, payload)
+            return payload
+
+        return self.policy.call(attempt, name=f"serve-{method}-{path}")
+
+    def verdicts(self) -> Dict:
+        return self.request("GET", "/verdicts")
+
+    def shards(self) -> Dict:
+        return self.request("GET", "/shards")

@@ -58,6 +58,33 @@ class ServeConfig:
         Ingest-endpoint policy for malformed CSV rows
         (``strict`` | ``skip`` | ``quarantine``); a resident service
         defaults to ``skip`` — one bad row must not poison a POST.
+    durable_acks:
+        When true (the default), every acknowledged ingest chunk is
+        segment-cut into its shard spools and journaled in the
+        coordinator log *before* the HTTP 200 — an acked chunk
+        survives coordinator SIGKILL, and resent chunks (by client
+        sequence number) deduplicate exactly once.  ``False`` restores
+        the PR 8 volatile path (rows buffered in the writer until a
+        threshold/respawn cut; at-least-once across coordinator death)
+        — measurably faster, and what the legacy bench series pins.
+        HA mode requires durable acks.
+    max_backlog_rows:
+        Admission-control watermark: when the rows forwarded to
+        workers but not yet acknowledged by them exceed this, ingest
+        answers 429 with a ``Retry-After`` hint until the workers
+        catch up.  ``None`` (default) = unbounded.
+    lease_ttl:
+        HA leadership lease TTL in seconds; failover after a primary
+        death takes at most this plus the standby's poll interval.
+    standby_poll:
+        How often a warm standby re-tries the lease and tails the
+        coordinator log.
+    respawn_max_failures / respawn_window:
+        Per-shard worker-respawn circuit breaker: this many worker
+        deaths inside the window quarantine the shard (it keeps
+        spooling durably but is no longer respawned or scored live)
+        instead of crash-looping.  ``respawn_window=0`` disables the
+        window (every death counts forever).
     """
 
     spool_dir: str
@@ -70,6 +97,12 @@ class ServeConfig:
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     internal_hosts: Optional[Tuple[str, ...]] = None
     on_parse_error: str = "skip"
+    durable_acks: bool = True
+    max_backlog_rows: Optional[int] = None
+    lease_ttl: float = 5.0
+    standby_poll: float = 0.25
+    respawn_max_failures: int = 5
+    respawn_window: float = 60.0
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -83,6 +116,16 @@ class ServeConfig:
                 f"on_parse_error must be one of {PARSE_ERROR_MODES}, "
                 f"got {self.on_parse_error!r}"
             )
+        if self.max_backlog_rows is not None and self.max_backlog_rows < 1:
+            raise ValueError("max_backlog_rows must be >= 1 (or None)")
+        if self.lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        if self.standby_poll <= 0:
+            raise ValueError("standby_poll must be positive")
+        if self.respawn_max_failures < 1:
+            raise ValueError("respawn_max_failures must be >= 1")
+        if self.respawn_window < 0:
+            raise ValueError("respawn_window must be >= 0")
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-ready form (what the run ledger records)."""

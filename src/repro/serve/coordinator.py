@@ -32,6 +32,27 @@ retires the workers, and starts a fresh epoch with new spools and a
 new :class:`~repro.serve.sharding.ShardMap`; old epochs' spools stay
 on disk, where the drain rescore — which is shard-agnostic — still
 unions them in.
+
+**The coordinator itself is now disposable.**  With durable acks (the
+default) every acknowledged ingest chunk is segment-cut into its
+spools and recorded in the coordinator log
+(:mod:`repro.serve.journal`) *before* the HTTP 200, and every accepted
+verdict and epoch barrier is journaled too.  ``start`` resumes from
+that log: it rebuilds the dedupe set, the applied-chunk map and the
+topology, enumerates every epoch's spools from disk, truncates any
+spool suffix a crash left unjournaled (the owning chunk was never
+acked; its client resends), and spawns workers replaying from the last
+finalised window boundary — which is exactly what HA promotion
+(:mod:`repro.serve.ha`) does under a new fencing incarnation.
+
+**Backpressure and quarantine.**  ``max_backlog_rows`` bounds the rows
+forwarded to workers but not yet acknowledged by them; over the
+watermark, ingest raises :class:`BacklogFull` (HTTP 429 +
+``Retry-After``) instead of queueing unboundedly.  A shard whose
+workers die ``respawn_max_failures`` times inside ``respawn_window``
+trips a per-shard circuit breaker and is **quarantined**: it keeps
+spooling durably (the drain rescore still covers every row) but is no
+longer respawned or scored live — reported, not crash-looped.
 """
 
 from __future__ import annotations
@@ -43,7 +64,7 @@ import threading
 import time
 from collections import defaultdict
 from pathlib import Path
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..detection.pipeline import PipelineResult, find_plotters
 from ..flows.argus import loads_report
@@ -52,14 +73,15 @@ from ..obs import metrics as obs_metrics
 from ..obs.http import MetricsServer
 from ..obs.ledger import suspects_checksum
 from ..obs.logconf import get_logger
-from ..resilience import atomic_write_text
+from ..resilience import StageGuard, atomic_write_text, faults
 from ..storage import SegmentStore
 from ..storage.format import StorageError
 from .config import ServeConfig
+from .journal import COORD_LOG_NAME, CoordinatorLog, LogState
 from .sharding import ShardMap
 from .worker import row_of, worker_main
 
-__all__ = ["ServeCoordinator"]
+__all__ = ["ServeCoordinator", "BacklogFull", "NotLeader"]
 
 logger = get_logger("serve.coordinator")
 
@@ -89,6 +111,50 @@ _EPOCH = obs_metrics.gauge(
 _SPOOLED = obs_metrics.gauge(
     "repro_serve_spooled_rows", "Rows ingested into the shard spools"
 )
+_INCARNATION = obs_metrics.gauge(
+    "repro_serve_incarnation",
+    "Fencing incarnation this coordinator leads under (0 = non-HA)",
+)
+_BACKLOG = obs_metrics.gauge(
+    "repro_serve_backlog_rows",
+    "Rows forwarded to workers but not yet acknowledged by them",
+)
+_REJECTED = obs_metrics.counter(
+    "repro_serve_ingest_rejected_total",
+    "Ingest chunks rejected by admission control, by reason",
+    labels=("reason",),
+)
+_DUP_CHUNKS = obs_metrics.counter(
+    "repro_serve_duplicate_chunks_total",
+    "Resent ingest chunks deduplicated by client sequence number",
+)
+_QUARANTINED = obs_metrics.gauge(
+    "repro_serve_quarantined_shards",
+    "Shards quarantined by the worker-respawn circuit breaker",
+)
+
+
+class BacklogFull(RuntimeError):
+    """Ingest admission control rejected a chunk (HTTP 429).
+
+    ``retry_after`` is the advisory backoff in seconds the HTTP layer
+    publishes as the ``Retry-After`` header.
+    """
+
+    def __init__(self, backlog_rows: int, watermark: int) -> None:
+        self.backlog_rows = backlog_rows
+        self.watermark = watermark
+        # Rough worker drain rate; the client treats this as a hint,
+        # its RetryPolicy still owns the actual schedule.
+        self.retry_after = max(0.2, min(30.0, backlog_rows / 20_000.0))
+        super().__init__(
+            f"ingest backlog {backlog_rows} rows over the "
+            f"{watermark}-row watermark"
+        )
+
+
+class NotLeader(RuntimeError):
+    """This coordinator has been fenced out of leadership (HTTP 409)."""
 
 
 class _Worker:
@@ -117,7 +183,7 @@ class _Worker:
 class ServeCoordinator:
     """Shard hosts across resident detection workers; own the spools."""
 
-    def __init__(self, config: ServeConfig) -> None:
+    def __init__(self, config: ServeConfig, *, incarnation: int = 0) -> None:
         self.config = config
         self.root = Path(config.spool_dir)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -125,6 +191,16 @@ class ServeCoordinator:
         self.shard_map = ShardMap(config.n_shards)
         self.restarts = 0
         self.rows_ingested = 0
+        #: Fencing counter this coordinator leads under (the lease
+        #: fence in HA mode, 0 for a plain single coordinator).
+        self.incarnation = incarnation
+        #: HA hook: when set (by :mod:`repro.serve.ha`), ingest calls
+        #: it before durable side effects and answers 409 once it
+        #: returns ``False`` — a fenced-out ex-primary stops accepting
+        #: writes the moment the standby takes over.
+        self.fence_guard: Optional[Callable[[], bool]] = None
+        #: Degradation reporting for the respawn circuit breakers.
+        self.guard = StageGuard(name="serve")
         self.server: Optional[MetricsServer] = None
         #: Set by ``POST /drain`` or a signal handler; whoever runs the
         #: service (the CLI main loop, a test) waits on it and then
@@ -146,6 +222,14 @@ class ServeCoordinator:
         self._accepted: Dict[Tuple[int, int, int], Dict] = {}
         self._last_final_end: Dict[Tuple[int, int], float] = {}
         self._duplicates = 0
+        #: client id -> (last applied chunk seq, its ack payload)
+        self._applied: Dict[str, Tuple[int, Dict]] = {}
+        self._duplicate_chunks = 0
+        #: shard -> rows forwarded to the worker but not yet acked
+        self._pending: Dict[int, int] = defaultdict(int)
+        self._quarantined: Set[int] = set()
+        self._breakers: Dict[int, object] = {}
+        self._log: Optional[CoordinatorLog] = None
         self._seq = 0
         self._eval_replies: Dict[int, Dict[int, Dict]] = {}
         self._reply_cond = threading.Condition(self._state_lock)
@@ -156,13 +240,31 @@ class ServeCoordinator:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Spawn the first epoch's workers and the control plane."""
+    def start(self, log_state: Optional[LogState] = None) -> None:
+        """Resume from the coordinator log, then spawn workers + routes.
+
+        ``log_state`` lets a warm standby hand over the journal state
+        it has been tailing (promotion without re-reading the file);
+        otherwise the log is read from disk.  On a fresh spool both
+        paths are empty and this is a plain cold start.
+        """
         from .http import build_routes
 
         obs_metrics.enable()
-        _EPOCH.set(self.epoch)
         with self._lock:
+            self._resume(log_state)
+            self._log = CoordinatorLog(self.root / COORD_LOG_NAME)
+            if self._log_epoch_needed:
+                self._log.append(
+                    {
+                        "kind": "epoch",
+                        "epoch": self.epoch,
+                        "n_shards": self.shard_map.n_shards,
+                    }
+                )
+            _EPOCH.set(self.epoch)
+            _INCARNATION.set(self.incarnation)
+            _SPOOLED.set(self.rows_ingested)
             self._spawn_epoch()
         self.server = MetricsServer(
             port=self.config.port,
@@ -183,6 +285,59 @@ class ServeCoordinator:
             self.server.url,
         )
 
+    def _resume(self, log_state: Optional[LogState]) -> None:
+        """Rebuild coordinator state from the journal (caller holds lock).
+
+        Restores topology, the verdict dedupe set, the applied-chunk
+        map and the ingest row count; enumerates every epoch's spool
+        directories from disk; and — under durable acks — truncates
+        any spool suffix whose chunk record never landed (the crash
+        window between segment cut and journal append; the owning
+        client never got its ack and resends).
+        """
+        state = log_state
+        if state is None:
+            state = CoordinatorLog.load_state(self.root / COORD_LOG_NAME)
+        if state.drained:
+            raise RuntimeError(
+                f"{self.root}: spool was already drained; refusing to serve "
+                "over a finalised report"
+            )
+        self._log_epoch_needed = state.epoch is None
+        if state.epoch is not None:
+            # The journaled topology wins over the config: promotion
+            # must honour a rebalance the previous leader performed.
+            self.epoch = state.epoch
+            self.shard_map = ShardMap(state.n_shards or self.config.n_shards)
+        self._accepted = dict(state.accepted)
+        self._last_final_end = dict(state.last_final_end)
+        self._applied = dict(state.applied)
+        self.rows_ingested = state.rows_ingested
+        self._spool_dirs = sorted(
+            d
+            for d in self.root.glob("epoch-*/shard-*")
+            if d.is_dir()
+        )
+        if self.config.durable_acks:
+            for shard in range(self.shard_map.n_shards):
+                spool_dir = self._shard_dir(shard)
+                expected = state.cum.get((self.epoch, shard), 0)
+                try:
+                    store = SegmentStore.open(spool_dir, repair=True)
+                except (StorageError, OSError):
+                    continue  # no spool yet: nothing to reconcile
+                store.truncate_rows(expected)
+        if state.records:
+            logger.info(
+                "resumed from coordinator log: epoch %d, %d row(s), "
+                "%d finalised window(s), %d client(s), incarnation %d",
+                self.epoch,
+                self.rows_ingested,
+                len(self._accepted),
+                len(self._applied),
+                self.incarnation,
+            )
+
     def close(self) -> None:
         """Stop the control plane, supervisor and workers (idempotent).
 
@@ -201,6 +356,9 @@ class ServeCoordinator:
         if self.server is not None:
             self.server.close()
             self.server = None
+        if self._log is not None:
+            self._log.close()
+            self._log = None
 
     def __enter__(self) -> "ServeCoordinator":
         return self
@@ -223,7 +381,14 @@ class ServeCoordinator:
         return self.root / f"epoch-{self.epoch:03d}" / f"shard-{shard:02d}"
 
     def _spawn_epoch(self) -> None:
-        """Create this epoch's spools and one worker per shard."""
+        """Create this epoch's spools and one worker per shard.
+
+        Idempotent against resume: spools that already exist on disk
+        are reopened and the worker replays them from the last
+        journaled finalised-window boundary — a promoted coordinator's
+        workers rebuild exactly the unfinalised window state the dead
+        primary's workers held.
+        """
         for shard in range(self.shard_map.n_shards):
             spool_dir = self._shard_dir(shard)
             store = SegmentStore.create(spool_dir, exist_ok=True)
@@ -231,8 +396,18 @@ class ServeCoordinator:
             if self.config.segment_rows is not None:
                 writer_kwargs["segment_rows"] = self.config.segment_rows
             self._writers[shard] = store.writer(**writer_kwargs)
-            self._spool_dirs.append(spool_dir)
-            self._spawn_worker(shard, incarnation=0, replay_t0=None)
+            if spool_dir not in self._spool_dirs:
+                self._spool_dirs.append(spool_dir)
+            self._breakers[shard] = self.guard.breaker(
+                "serve-worker-respawn",
+                max_failures=self.config.respawn_max_failures,
+                window=self.config.respawn_window or None,
+                from_mode="respawn",
+                to_mode="quarantined",
+                name=f"worker-respawn:{self.epoch}.{shard}",
+            )
+            replay_t0 = self._last_final_end.get((self.epoch, shard))
+            self._spawn_worker(shard, incarnation=0, replay_t0=replay_t0)
 
     def _spawn_worker(
         self, shard: int, incarnation: int, replay_t0: Optional[float]
@@ -266,7 +441,16 @@ class ServeCoordinator:
         _WORKERS.set(len(self._workers))
 
     def _restart_worker(self, worker: _Worker) -> None:
-        """Replace a dead worker (caller holds ``_lock``)."""
+        """Replace a dead worker (caller holds ``_lock``).
+
+        Re-checks the draining/stop flags *under the lock*: ``close``
+        sets them and then takes the same lock to stop workers, so
+        without this check a supervisor pass that saw the worker dead
+        just before ``close`` could spawn a replacement behind the
+        shutdown — a leaked live process after ``close`` returned.
+        """
+        if self._draining.is_set() or self._stop_supervisor.is_set():
+            return  # shutdown has begun; never spawn behind it
         current = self._workers.get(worker.shard)
         if current is not worker or worker.retired:
             return  # already replaced (or deliberately retired)
@@ -276,6 +460,28 @@ class ServeCoordinator:
         # Flush the writer's buffered tail so the replacement's replay
         # sees every row ever accepted for this shard.
         self._writers[worker.shard].cut()
+        # The dead worker's unacked batches are replayed from the
+        # spool, not re-forwarded, so they leave the backlog.
+        with self._state_lock:
+            self._pending[worker.shard] = 0
+            _BACKLOG.set(sum(self._pending.values()))
+        breaker = self._breakers[worker.shard]
+        if breaker.record_failure(
+            f"worker {worker.shard}.{worker.incarnation} died"
+        ):
+            # Poisoned shard: stop crash-looping.  Rows keep spooling
+            # durably (the drain rescore still covers them); live
+            # scoring for this shard stops until an operator
+            # rebalances into a fresh epoch.
+            self._quarantined.add(worker.shard)
+            _QUARANTINED.set(len(self._quarantined))
+            logger.error(
+                "shard %d quarantined after %d worker death(s); "
+                "spooling continues, live scoring suspended",
+                worker.shard,
+                self.config.respawn_max_failures,
+            )
+            return
         replay_t0 = self._last_final_end.get((self.epoch, worker.shard))
         logger.warning(
             "worker for shard %d died (incarnation %d); restarting "
@@ -333,9 +539,27 @@ class ServeCoordinator:
             self._stop_workers(finalize=True)
             self._workers = {}
             self._writers = {}
+            self._breakers = {}
             self._hosts_per_shard = defaultdict(set)
+            with self._state_lock:
+                self._pending = defaultdict(int)
+                _BACKLOG.set(0)
+            self._quarantined = set()
+            _QUARANTINED.set(0)
             self.epoch += 1
             self.shard_map = ShardMap(n_shards)
+            if self._log is not None:
+                # Journal the barrier before any new-epoch spool exists:
+                # a crash after this record resumes in the new epoch
+                # with empty spools, one before it resumes in the old —
+                # either way consistent.
+                self._log.append(
+                    {
+                        "kind": "epoch",
+                        "epoch": self.epoch,
+                        "n_shards": n_shards,
+                    }
+                )
             _EPOCH.set(self.epoch)
             self._spawn_epoch()
         logger.info(
@@ -385,7 +609,12 @@ class ServeCoordinator:
             obs_metrics.get_registry().merge_delta(delta)
         for verdict in finals:
             self._accept_final(worker.epoch, shard, verdict)
-        if kind == "evaluated":
+        if kind == "ack":
+            rows = int((payload or {}).get("rows", 0))
+            with self._state_lock:
+                self._pending[shard] = max(0, self._pending[shard] - rows)
+                _BACKLOG.set(sum(self._pending.values()))
+        elif kind == "evaluated":
             with self._reply_cond:
                 self._eval_replies.setdefault(seq, {})[shard] = payload
                 self._reply_cond.notify_all()
@@ -407,15 +636,70 @@ class ServeCoordinator:
             self._accepted[key] = verdict
             previous = self._last_final_end.get((epoch, shard), float("-inf"))
             self._last_final_end[(epoch, shard)] = max(previous, end)
+        if self._log is not None:
+            # The journaled verdict is what lets a promoted standby
+            # resume the same dedupe set and replay boundary.
+            self._log.append(
+                {
+                    "kind": "verdict",
+                    "epoch": epoch,
+                    "shard": shard,
+                    "grid": key[2],
+                    "verdict": verdict,
+                }
+            )
         _VERDICTS.inc(result="accepted")
 
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
-    def ingest(self, text: str) -> Dict[str, object]:
-        """Parse an Argus-CSV payload, spool it, forward it to workers."""
+    def backlog_rows(self) -> int:
+        """Rows forwarded to workers but not yet acknowledged by them."""
+        with self._state_lock:
+            return sum(self._pending.values())
+
+    def ingest(
+        self,
+        text: str,
+        *,
+        client: Optional[str] = None,
+        seq: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Parse an Argus-CSV payload, spool it, forward it to workers.
+
+        ``client``/``seq`` opt the chunk into exactly-once delivery:
+        an already-applied ``(client, seq)`` returns its original ack
+        with ``duplicate: true`` and does nothing else, so a client
+        that resends after a lost ack (coordinator death, dropped
+        connection) can never double-ingest.  The durable-ack ordering
+        is spool-append → segment cut → journal append → ack; every
+        crash interleaving either truncates an unacked suffix at
+        promotion or deduplicates the resend.
+        """
         if self._draining.is_set():
             raise RuntimeError("service is draining; ingest is closed")
+        if self.fence_guard is not None and not self.fence_guard():
+            _REJECTED.inc(reason="fenced")
+            raise NotLeader(
+                "coordinator has been fenced out of leadership; rediscover "
+                "the primary"
+            )
+        if client is not None and seq is None:
+            raise ValueError("a client id requires a chunk sequence number")
+        if client is not None:
+            with self._state_lock:
+                entry = self._applied.get(client)
+                if entry is not None and seq <= entry[0]:
+                    self._duplicate_chunks += 1
+                    _DUP_CHUNKS.inc()
+                    reply = dict(entry[1])
+                    reply["duplicate"] = True
+                    return reply
+        if self.config.max_backlog_rows is not None:
+            backlog = self.backlog_rows()
+            if backlog > self.config.max_backlog_rows:
+                _REJECTED.inc(reason="backlog")
+                raise BacklogFull(backlog, self.config.max_backlog_rows)
         flows, report = loads_report(text, errors=self.config.on_parse_error)
         batches: Dict[int, List] = defaultdict(list)
         with self._lock:
@@ -424,20 +708,54 @@ class ServeCoordinator:
                 self._writers[shard].add(flow)
                 self._hosts_per_shard[shard].add(flow.src)
                 batches[shard].append(row_of(flow))
+            reply: Dict[str, object] = {
+                "rows_ok": len(flows),
+                "rows_bad": report.rows_bad,
+                "shards": {
+                    str(shard): len(rows)
+                    for shard, rows in sorted(batches.items())
+                },
+            }
+            if self.config.durable_acks:
+                for shard in sorted(batches):
+                    self._writers[shard].cut()
+                # The injected coordinator SIGKILL strikes here — rows
+                # durable, chunk not yet journaled — the exact window
+                # promotion's orphan-segment truncation closes.
+                faults.serve_coord_exit_once()
+                if flows or client is not None:
+                    self._log.append(
+                        {
+                            "kind": "chunk",
+                            "client": client,
+                            "seq": seq,
+                            "epoch": self.epoch,
+                            "rows": len(flows),
+                            "cum": {
+                                str(shard): self._writers[shard].store.total_rows
+                                for shard in sorted(batches)
+                            },
+                            "reply": reply,
+                        }
+                    )
             for shard, rows in batches.items():
+                if shard in self._quarantined:
+                    continue  # durable in the spool; drain covers it
                 self._seq += 1
                 self._workers[shard].inbox.put(("flows", self._seq, rows))
+                with self._state_lock:
+                    self._pending[shard] += len(rows)
+            with self._state_lock:
+                _BACKLOG.set(sum(self._pending.values()))
+                if client is not None:
+                    previous = self._applied.get(client)
+                    if previous is None or seq > previous[0]:
+                        self._applied[client] = (seq, dict(reply))
             self.rows_ingested += len(flows)
             _SPOOLED.set(self.rows_ingested)
         _INGEST_REQUESTS.inc()
         _INGEST_ROWS.inc(len(flows))
-        return {
-            "rows_ok": len(flows),
-            "rows_bad": report.rows_bad,
-            "shards": {
-                str(shard): len(rows) for shard, rows in sorted(batches.items())
-            },
-        }
+        return reply
 
     # ------------------------------------------------------------------
     # Live verdicts
@@ -447,9 +765,13 @@ class ServeCoordinator:
         with self._lock:
             self._seq += 1
             seq = self._seq
-            shards = list(self._workers)
-            for worker in self._workers.values():
-                worker.inbox.put(("evaluate", seq, None))
+            shards = [
+                shard
+                for shard in self._workers
+                if shard not in self._quarantined
+            ]
+            for shard in shards:
+                self._workers[shard].inbox.put(("evaluate", seq, None))
         deadline = time.monotonic() + timeout
         with self._reply_cond:
             while (
@@ -485,7 +807,9 @@ class ServeCoordinator:
             "suspects": sorted(suspects),
             "suspects_count": len(suspects),
             "duplicate_verdicts": duplicates,
+            "duplicate_chunks": self._duplicate_chunks,
             "rows_ingested": self.rows_ingested,
+            "incarnation": self.incarnation,
         }
 
     def shards_doc(self) -> Dict[str, object]:
@@ -502,16 +826,21 @@ class ServeCoordinator:
                     "last_final_end": self._last_final_end.get(
                         (worker.epoch, worker.shard)
                     ),
+                    "quarantined": worker.shard in self._quarantined,
                 }
                 for worker in sorted(
                     self._workers.values(), key=lambda w: w.shard
                 )
             ]
+            quarantined = sorted(self._quarantined)
         return {
             "epoch": self.epoch,
             "n_shards": self.shard_map.n_shards,
             "restarts": self.restarts,
             "draining": self.draining,
+            "incarnation": self.incarnation,
+            "backlog_rows": self.backlog_rows(),
+            "quarantined": quarantined,
             "workers": workers,
         }
 
@@ -525,6 +854,9 @@ class ServeCoordinator:
             "windows_finalized": windows,
             "restarts": self.restarts,
             "draining": self.draining,
+            "incarnation": self.incarnation,
+            "backlog_rows": self.backlog_rows(),
+            "quarantined_shards": len(self._quarantined),
         }
 
     # ------------------------------------------------------------------
@@ -583,14 +915,22 @@ class ServeCoordinator:
             "rows_ingested": self.rows_ingested,
             "windows_finalized": doc["windows_finalized"],
             "duplicate_verdicts": doc["duplicate_verdicts"],
+            "duplicate_chunks": self._duplicate_chunks,
             "restarts": self.restarts,
             "epochs": self.epoch + 1,
-            "degradations": [str(d) for d in result.degradations],
+            "incarnation": self.incarnation,
+            "quarantined_shards": sorted(self._quarantined),
+            "degradations": [str(d) for d in result.degradations]
+            + [d.describe() for d in self.guard.degradations],
         }
         atomic_write_text(
             self.root / "drain.json",
             json.dumps(report, indent=2, sort_keys=True) + "\n",
         )
+        if self._log is not None:
+            # Terminal record: no standby may promote over a drained
+            # spool — its report is already published.
+            self._log.append({"kind": "drained"})
         logger.info(
             "drained: %d rows rescored, %d suspect(s), checksum %s",
             len(combined),

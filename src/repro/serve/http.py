@@ -16,6 +16,18 @@ method      path           meaning
 ``POST``    ``/drain``     request SIGTERM-equivalent drain (async, 202)
 ==========  =============  ==================================================
 
+``POST /ingest`` accepts two optional query parameters,
+``?client=ID&seq=N``: a stable client id plus a monotonically
+increasing per-client sequence number.  With them, a resent chunk
+(after a timeout, a 5xx, or a coordinator failover) is deduplicated
+exactly once and answered with the original ack —
+:class:`~repro.serve.client.ServeClient` sets them automatically.
+Ingest signals pushback with real status codes: **429** (+
+``Retry-After`` seconds) when the worker backlog is over the
+admission watermark, **409** when this coordinator has lost its HA
+leadership lease (re-read ``serve.json`` and retry against the new
+primary), **503** while draining.
+
 ``/drain`` only *requests* the drain: the handler runs inside the very
 server the drain tears down, so it flips
 :attr:`~repro.serve.coordinator.ServeCoordinator.drain_requested` and
@@ -27,9 +39,10 @@ from __future__ import annotations
 
 import json
 from typing import Dict, Tuple
+from urllib.parse import parse_qs
 
 from ..obs.http import RouteHandler
-from .coordinator import ServeCoordinator
+from .coordinator import BacklogFull, NotLeader, ServeCoordinator
 
 __all__ = ["build_routes"]
 
@@ -44,7 +57,36 @@ def build_routes(
             return 503, {"error": "service is draining; ingest is closed"}
         if not body:
             return 400, {"error": "empty ingest body (expected Argus CSV)"}
-        return 200, coordinator.ingest(body.decode("utf-8"))
+        params = parse_qs(query)
+        client = (params.get("client") or [None])[0]
+        raw_seq = (params.get("seq") or [None])[0]
+        seq = None
+        if raw_seq is not None:
+            try:
+                seq = int(raw_seq)
+            except ValueError:
+                return 400, {"error": f"seq must be an integer, got {raw_seq!r}"}
+        try:
+            return 200, coordinator.ingest(
+                body.decode("utf-8"), client=client, seq=seq
+            )
+        except BacklogFull as exc:
+            return (
+                429,
+                {
+                    "error": str(exc),
+                    "backlog_rows": exc.backlog_rows,
+                    "max_backlog_rows": exc.watermark,
+                    "retry_after": exc.retry_after,
+                },
+                {"Retry-After": f"{exc.retry_after:.1f}"},
+            )
+        except NotLeader as exc:
+            return 409, {"error": str(exc), "not_leader": True}
+        except ValueError as exc:
+            # Bad client/seq combination, or a strict-mode parse error
+            # — the request is malformed, not the service.
+            return 400, {"error": str(exc)}
 
     def verdicts(body, query):
         return 200, coordinator.verdicts_doc()

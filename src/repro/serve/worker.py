@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+from queue import Empty
 from typing import List, Optional, Tuple
 
 from ..detection.incremental import OnlineDetector
@@ -156,8 +157,20 @@ def worker_main(
 
     ship("hello", 0, {"pid": os.getpid(), "replayed": len(replayed)})
 
+    # Orphan watchdog: if the coordinator is SIGKILLed it can never
+    # send "stop", and a worker blocked forever on the inbox would
+    # linger as an orphan holding the coordinator's inherited pipes
+    # (hanging anything that waits for their EOF).  A reparented
+    # worker's state is unreachable anyway — the promoted standby
+    # spawns fresh workers over the same spool — so exit quietly.
+    parent = os.getppid()
     while True:
-        message = inbox.get()
+        try:
+            message = inbox.get(timeout=1.0)
+        except Empty:
+            if os.getppid() != parent:
+                return
+            continue
         command, seq = message[0], message[1]
         if command == "flows":
             rows = message[2]

@@ -364,6 +364,65 @@ class SegmentStore:
         self._set_gauges()
         return meta
 
+    def truncate_rows(self, expected_rows: int) -> int:
+        """Drop trailing segments until ``total_rows == expected_rows``.
+
+        The reconciliation primitive for journaled writers: a client of
+        the store that records "N rows durable" *after* each atomic
+        segment commit can, after a crash, find the catalog ahead of
+        its journal — whole trailing segments whose commit record never
+        landed.  Because every commit is segment-aligned, the excess is
+        exactly a suffix of the catalog; this pops that suffix (one
+        atomic manifest swap, then the files are unlinked) and returns
+        the number of rows dropped.
+
+        Raises :class:`StorageError` if no suffix sums to the excess —
+        that means the store was written by something that does not
+        journal per segment, and blind truncation would destroy
+        acknowledged data.
+        """
+        if expected_rows < 0:
+            raise ValueError("expected_rows must be >= 0")
+        excess = self.total_rows - expected_rows
+        if excess < 0:
+            raise StorageError(
+                f"{self.directory}: store has {self.total_rows} rows but "
+                f"{expected_rows} were journaled — rows are missing, refusing "
+                "to reconcile"
+            )
+        if excess == 0:
+            return 0
+        entries = list(self._manifest["segments"])
+        dropped: List[Dict[str, object]] = []
+        remaining = excess
+        while remaining > 0 and entries:
+            entry = entries.pop()
+            dropped.append(entry)
+            remaining -= int(entry["rows"])
+        if remaining != 0:
+            raise StorageError(
+                f"{self.directory}: no segment suffix sums to the "
+                f"{excess}-row excess over the journal — refusing to truncate"
+            )
+        self._manifest["segments"] = entries
+        self._bump_generation()
+        self._save_manifest()
+        for entry in dropped:
+            name = str(entry["name"])
+            self._segments.pop(name, None)
+            try:
+                os.unlink(self.directory / name)
+            except OSError:
+                pass  # manifest no longer references it; file is orphaned
+        self._set_gauges()
+        logger.warning(
+            "truncated %d orphan row(s) in %d segment(s) from %s",
+            excess,
+            len(dropped),
+            self.directory,
+        )
+        return excess
+
     # ------------------------------------------------------------------
     # Catalog-level queries (zone maps only — no column reads)
     # ------------------------------------------------------------------

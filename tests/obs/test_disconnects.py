@@ -1,0 +1,117 @@
+"""Route headers and client-disconnect handling on the metrics server."""
+
+from __future__ import annotations
+
+import json
+import logging
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.http import MetricsServer
+
+
+@pytest.fixture
+def propagating_logs():
+    """caplog needs propagation; configure_logging may have cut it."""
+    logger = logging.getLogger("repro")
+    saved = logger.propagate
+    logger.propagate = True
+    yield
+    logger.propagate = saved
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, dict(response.headers), json.loads(response.read())
+
+
+class TestRouteHeaders:
+    def test_three_tuple_route_sets_extra_headers(self):
+        def throttled(body, query):
+            return 429, {"error": "slow down"}, {"Retry-After": "1.5"}
+
+        with MetricsServer(routes={("GET", "/throttled"): throttled}) as server:
+            try:
+                urllib.request.urlopen(server.url + "/throttled", timeout=30)
+            except urllib.error.HTTPError as err:
+                assert err.code == 429
+                assert err.headers["Retry-After"] == "1.5"
+                assert json.loads(err.read())["error"] == "slow down"
+            else:  # pragma: no cover
+                raise AssertionError("expected HTTP 429")
+
+    def test_two_tuple_routes_unchanged(self):
+        def plain(body, query):
+            return 200, {"ok": True}
+
+        with MetricsServer(routes={("GET", "/plain"): plain}) as server:
+            status, headers, payload = _get(server.url + "/plain")
+            assert status == 200
+            assert payload == {"ok": True}
+
+
+class TestClientDisconnects:
+    def test_broken_pipe_in_handler_is_not_a_warning(self, caplog, propagating_logs):
+        """A client hanging up mid-response must not produce a traceback
+        or a WARNING — it is network weather, not a server fault."""
+
+        def hangs_up(body, query):
+            raise BrokenPipeError("client went away")
+
+        with caplog.at_level(logging.DEBUG, logger="repro.obs.http"):
+            with MetricsServer(routes={("GET", "/gone"): hangs_up}) as server:
+                try:
+                    urllib.request.urlopen(server.url + "/gone", timeout=30)
+                except (urllib.error.URLError, ConnectionError, OSError):
+                    pass  # no response was sent; any client error is fine
+                # The server survives and keeps answering.
+                status, _, health = _get(server.url + "/healthz")
+                assert status == 200
+                assert health["status"] == "ok"
+        records = [
+            record
+            for record in caplog.records
+            if record.name == "repro.obs.http"
+            and record.levelno >= logging.WARNING
+        ]
+        assert records == []
+        assert any(
+            "disconnected" in record.getMessage()
+            for record in caplog.records
+            if record.name == "repro.obs.http"
+        )
+
+    def test_connection_reset_in_handler_is_not_a_warning(self, caplog, propagating_logs):
+        def resets(body, query):
+            raise ConnectionResetError("peer reset")
+
+        with caplog.at_level(logging.DEBUG, logger="repro.obs.http"):
+            with MetricsServer(routes={("GET", "/reset"): resets}) as server:
+                try:
+                    urllib.request.urlopen(server.url + "/reset", timeout=30)
+                except (urllib.error.URLError, ConnectionError, OSError):
+                    pass
+        assert not [
+            record
+            for record in caplog.records
+            if record.name == "repro.obs.http"
+            and record.levelno >= logging.WARNING
+        ]
+
+    def test_real_errors_still_warn(self, caplog, propagating_logs):
+        def broken(body, query):
+            raise RuntimeError("actual bug")
+
+        with caplog.at_level(logging.DEBUG, logger="repro.obs.http"):
+            with MetricsServer(routes={("GET", "/bug"): broken}) as server:
+                try:
+                    urllib.request.urlopen(server.url + "/bug", timeout=30)
+                except urllib.error.HTTPError as err:
+                    assert err.code == 500
+        assert any(
+            record.levelno == logging.WARNING
+            for record in caplog.records
+            if record.name == "repro.obs.http"
+        )

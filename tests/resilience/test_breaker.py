@@ -1,0 +1,91 @@
+"""CircuitBreaker: threshold, window pruning, latch, StageGuard wiring."""
+
+from __future__ import annotations
+
+from repro.resilience import CircuitBreaker, StageGuard
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestThreshold:
+    def test_opens_at_max_failures(self):
+        breaker = CircuitBreaker("b", max_failures=3)
+        assert not breaker.record_failure("one")
+        assert not breaker.record_failure("two")
+        assert breaker.record_failure("three")
+        assert breaker.is_open
+
+    def test_latches_open(self):
+        breaker = CircuitBreaker("b", max_failures=1)
+        assert breaker.record_failure("boom")
+        # Further failures keep it open but do not re-fire the edge.
+        assert breaker.record_failure("again")
+        assert breaker.is_open
+
+    def test_on_open_fires_exactly_once(self):
+        opened = []
+        breaker = CircuitBreaker("b", max_failures=2, on_open=opened.append)
+        breaker.record_failure("one")
+        breaker.record_failure("two")
+        breaker.record_failure("three")
+        assert opened == [breaker]
+
+
+class TestWindow:
+    def test_old_failures_age_out(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("b", max_failures=3, window=10.0, clock=clock)
+        breaker.record_failure("one")
+        clock.now += 11.0
+        breaker.record_failure("two")
+        clock.now += 2.0
+        # The first failure is outside the window: 2 in window, not 3.
+        assert not breaker.record_failure("three")
+        assert breaker.failures_in_window() == 2
+        assert breaker.record_failure("four")
+
+    def test_no_window_counts_forever(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("b", max_failures=2, window=None, clock=clock)
+        breaker.record_failure("one")
+        clock.now += 1e6
+        assert breaker.record_failure("two")
+
+
+class TestReset:
+    def test_reset_closes_and_clears(self):
+        breaker = CircuitBreaker("b", max_failures=1)
+        breaker.record_failure("boom")
+        assert breaker.is_open
+        breaker.reset()
+        assert not breaker.is_open
+        assert breaker.failures_in_window() == 0
+        # The breaker can open (and report) again after a reset.
+        assert breaker.record_failure("boom")
+
+
+class TestStageGuardWiring:
+    def test_open_records_degradation(self):
+        guard = StageGuard(name="test")
+        breaker = guard.breaker(
+            "serve-worker-respawn",
+            max_failures=2,
+            from_mode="respawn",
+            to_mode="quarantined",
+            name="worker-respawn:0.1",
+        )
+        breaker.record_failure("exit 1")
+        assert not guard.degraded
+        breaker.record_failure("exit 1")
+        assert guard.degraded
+        (degradation,) = guard.degradations
+        assert degradation.stage == "serve-worker-respawn"
+        assert degradation.from_mode == "respawn"
+        assert degradation.to_mode == "quarantined"
+        assert "worker-respawn:0.1" in degradation.error

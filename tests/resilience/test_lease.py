@@ -1,0 +1,169 @@
+"""FileLease/LeaseKeeper semantics: fencing, expiry, takeover, stall."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.resilience import FileLease, LeaseKeeper, faults
+from repro.resilience.lease import HISTORY_NAME
+
+
+class TestAcquire:
+    def test_fresh_acquire_gets_fence_one(self, tmp_path):
+        lease = FileLease(tmp_path, holder_id="a", ttl=5.0)
+        assert lease.try_acquire() == 1
+        assert lease.held_by_us(1)
+
+    def test_live_lease_blocks_other_contender(self, tmp_path):
+        a = FileLease(tmp_path, holder_id="a", ttl=5.0)
+        b = FileLease(tmp_path, holder_id="b", ttl=5.0)
+        assert a.try_acquire() == 1
+        assert b.try_acquire() is None
+        assert not b.held_by_us(1)
+
+    def test_reacquire_by_holder_keeps_fence(self, tmp_path):
+        lease = FileLease(tmp_path, holder_id="a", ttl=5.0)
+        assert lease.try_acquire() == 1
+        assert lease.try_acquire() == 1  # idempotent, no fence bump
+
+    def test_expired_lease_taken_over_with_fence_bump(self, tmp_path):
+        a = FileLease(tmp_path, holder_id="a", ttl=0.1)
+        b = FileLease(tmp_path, holder_id="b", ttl=0.1)
+        assert a.try_acquire() == 1
+        time.sleep(0.15)
+        assert b.try_acquire() == 2
+        # The fenced ex-holder must observe it has lost.
+        assert not a.held_by_us(1)
+        assert not a.renew(1)
+
+    def test_release_makes_lease_instantly_takeable(self, tmp_path):
+        a = FileLease(tmp_path, holder_id="a", ttl=30.0)
+        b = FileLease(tmp_path, holder_id="b", ttl=30.0)
+        fence = a.try_acquire()
+        assert a.release(fence)
+        assert b.try_acquire() == fence + 1
+
+
+class TestRenew:
+    def test_renew_extends_expiry(self, tmp_path):
+        lease = FileLease(tmp_path, holder_id="a", ttl=0.4)
+        fence = lease.try_acquire()
+        for _ in range(4):
+            time.sleep(0.2)
+            assert lease.renew(fence)
+        assert lease.held_by_us(fence)
+
+    def test_renew_under_wrong_fence_fails(self, tmp_path):
+        lease = FileLease(tmp_path, holder_id="a", ttl=5.0)
+        fence = lease.try_acquire()
+        assert not lease.renew(fence + 1)
+        assert lease.renew(fence)
+
+
+class TestHistory:
+    def test_every_ownership_change_is_audited(self, tmp_path):
+        a = FileLease(tmp_path, holder_id="a", ttl=0.1)
+        b = FileLease(tmp_path, holder_id="b", ttl=0.1)
+        a.try_acquire()
+        time.sleep(0.15)
+        b.try_acquire()
+        b.release(2)
+        events = [
+            json.loads(line)
+            for line in (tmp_path / HISTORY_NAME).read_text().splitlines()
+        ]
+        assert [(e["event"], e["holder"], e["fence"]) for e in events] == [
+            ("acquired", "a", 1),
+            ("acquired", "b", 2),
+            ("released", "b", 2),
+        ]
+        assert events[1]["previous_holder"] == "a"
+
+
+class TestContention:
+    def test_racing_contenders_elect_exactly_one(self, tmp_path):
+        leases = [
+            FileLease(tmp_path, holder_id=f"node-{i}", ttl=5.0)
+            for i in range(8)
+        ]
+        results = [None] * len(leases)
+        barrier = threading.Barrier(len(leases))
+
+        def contend(i):
+            barrier.wait()
+            results[i] = leases[i].try_acquire()
+
+        threads = [
+            threading.Thread(target=contend, args=(i,))
+            for i in range(len(leases))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        winners = [f for f in results if f is not None]
+        assert winners == [1]
+
+
+class TestKeeper:
+    def test_keeper_renews_until_stopped(self, tmp_path):
+        lease = FileLease(tmp_path, holder_id="a", ttl=0.6)
+        fence = lease.try_acquire()
+        keeper = LeaseKeeper(lease, fence)
+        keeper.start()
+        time.sleep(1.2)  # two TTLs: without renewal this would expire
+        assert lease.held_by_us(fence)
+        assert not keeper.lost.is_set()
+        keeper.stop()
+        keeper.join(timeout=2.0)
+
+    def test_keeper_reports_fencing_once(self, tmp_path):
+        lease = FileLease(tmp_path, holder_id="a", ttl=0.5)
+        fence = lease.try_acquire()
+        calls = []
+        # An interval longer than the TTL models a stalled heartbeat:
+        # the lease expires while the keeper is still asleep.
+        keeper = LeaseKeeper(
+            lease, fence, on_lost=lambda: calls.append(1), interval=0.8
+        )
+        keeper.start()
+        other = FileLease(tmp_path, holder_id="b", ttl=0.5)
+        time.sleep(0.6)
+        assert other.try_acquire() == fence + 1
+        deadline = time.monotonic() + 5.0
+        while not keeper.lost.is_set() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert keeper.lost.is_set()
+        keeper.join(timeout=2.0)
+        assert calls == [1]
+
+    def test_stall_knob_silences_heartbeat_then_steps_down(self, tmp_path):
+        sentinel = tmp_path / "stall"
+        sentinel.write_text("0.8")  # stall > ttl: guaranteed expiry
+        lease = FileLease(tmp_path / "ha", holder_id="a", ttl=0.3)
+        fence = lease.try_acquire()
+        standby = FileLease(tmp_path / "ha", holder_id="b", ttl=0.3)
+        with faults.injected(serve_lease_stall=str(sentinel)):
+            keeper = LeaseKeeper(lease, fence)
+            keeper.start()
+            # The keeper claims the sentinel on its first beat and goes
+            # silent; the standby takes over during the stall.
+            deadline = time.monotonic() + 5.0
+            taken = None
+            while taken is None and time.monotonic() < deadline:
+                taken = standby.try_acquire()
+                time.sleep(0.05)
+            assert taken == fence + 1
+            keeper.join(timeout=5.0)
+            assert keeper.lost.is_set()
+        assert not sentinel.exists()
+
+
+class TestValidation:
+    def test_rejects_non_positive_ttl(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileLease(tmp_path, ttl=0.0)

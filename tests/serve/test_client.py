@@ -1,0 +1,174 @@
+"""ServeClient retry/rediscovery/resend state machine (stub transport)."""
+
+from __future__ import annotations
+
+import json
+from urllib.parse import parse_qs, urlparse
+
+import pytest
+
+from repro.resilience import RetryPolicy
+from repro.serve import ServeClient, ServeError
+from repro.serve.client import _MAX_RETRY_AFTER
+
+
+class StubTransport:
+    """Scripted transport: pop one answer per wire call.
+
+    Answers are ``(status, headers, payload)`` tuples or exceptions
+    (raised).  Records every request for assertions.
+    """
+
+    def __init__(self, answers):
+        self.answers = list(answers)
+        self.calls = []
+
+    def __call__(self, method, url, body, timeout):
+        self.calls.append((method, url, body))
+        answer = self.answers.pop(0)
+        if isinstance(answer, Exception):
+            raise answer
+        return answer
+
+    def seqs(self):
+        return [
+            int(parse_qs(urlparse(url).query)["seq"][0])
+            for method, url, body in self.calls
+        ]
+
+
+def make_client(tmp_path, transport, url="http://127.0.0.1:1/", **kwargs):
+    (tmp_path / "serve.json").write_text(
+        json.dumps({"url": url.rstrip("/")}) + "\n"
+    )
+    sleeps = []
+    kwargs.setdefault(
+        "policy",
+        RetryPolicy(
+            max_attempts=5,
+            base_delay=0.0,
+            jitter=0.0,
+            retryable=lambda exc: isinstance(exc, ConnectionError),
+        ),
+    )
+    client = ServeClient(
+        tmp_path,
+        client_id="test-client",
+        transport=transport,
+        sleep=sleeps.append,
+        **kwargs,
+    )
+    return client, sleeps
+
+
+OK = (200, {}, {"rows_ok": 7})
+
+
+class TestHappyPath:
+    def test_post_sends_client_and_monotonic_seq(self, tmp_path):
+        transport = StubTransport([OK, OK, OK])
+        client, _ = make_client(tmp_path, transport)
+        for _ in range(3):
+            reply = client.post("csv")
+            assert reply["rows_ok"] == 7
+        assert transport.seqs() == [1, 2, 3]
+        assert all("client=test-client" in url for _, url, _ in transport.calls)
+        assert client.stats["sent"] == 3
+        assert client.stats["resent"] == 0
+
+
+class TestResend:
+    def test_connection_error_resends_same_seq(self, tmp_path):
+        transport = StubTransport([ConnectionResetError("boom"), OK])
+        client, _ = make_client(tmp_path, transport)
+        client.post("csv")
+        assert transport.seqs() == [1, 1]  # identical seq on the resend
+        assert client.stats["resent"] == 1
+        assert client.stats["rediscoveries"] == 1
+
+    def test_duplicate_ack_counted(self, tmp_path):
+        transport = StubTransport(
+            [
+                ConnectionResetError("ack lost"),
+                (200, {}, {"rows_ok": 7, "duplicate": True}),
+            ]
+        )
+        client, _ = make_client(tmp_path, transport)
+        reply = client.post("csv")
+        assert reply["duplicate"] is True
+        assert client.stats["duplicates"] == 1
+
+    def test_exhausted_policy_raises(self, tmp_path):
+        from repro.resilience import RetryError
+
+        transport = StubTransport([ConnectionRefusedError("down")] * 5)
+        client, _ = make_client(tmp_path, transport)
+        with pytest.raises(RetryError):
+            client.post("csv")
+
+
+class TestRediscovery:
+    def test_409_rereads_discovery_file(self, tmp_path):
+        transport = StubTransport(
+            [(409, {}, {"error": "fenced", "not_leader": True}), OK]
+        )
+        client, _ = make_client(tmp_path, transport, url="http://old:1")
+        client.discover()
+        # Failover: the new primary rewrote serve.json.
+        (tmp_path / "serve.json").write_text(
+            json.dumps({"url": "http://new:2"}) + "\n"
+        )
+        client.post("csv")
+        assert transport.calls[0][1].startswith("http://old:1/ingest")
+        assert transport.calls[1][1].startswith("http://new:2/ingest")
+        assert client.stats["rediscoveries"] == 1
+
+    def test_url_only_client_has_no_rediscovery(self):
+        transport = StubTransport([OK])
+        client = ServeClient(url="http://fixed:1", transport=transport)
+        client.post("csv")
+        assert client.stats["rediscoveries"] == 0
+
+
+class TestBackpressure:
+    def test_429_honours_retry_after_header(self, tmp_path):
+        transport = StubTransport(
+            [(429, {"Retry-After": "0.3"}, {"error": "backlog"}), OK]
+        )
+        client, sleeps = make_client(tmp_path, transport)
+        client.post("csv")
+        assert 0.3 in sleeps
+        assert client.stats["rejected_429"] == 1
+
+    def test_retry_after_is_capped(self, tmp_path):
+        transport = StubTransport(
+            [(429, {"Retry-After": "999"}, {"error": "backlog"}), OK]
+        )
+        client, sleeps = make_client(tmp_path, transport)
+        client.post("csv")
+        assert max(sleeps) == _MAX_RETRY_AFTER
+
+
+class TestNonRetryable:
+    def test_400_raises_serve_error_without_retry(self, tmp_path):
+        transport = StubTransport([(400, {}, {"error": "bad csv"})])
+        client, _ = make_client(tmp_path, transport)
+        with pytest.raises(ServeError) as excinfo:
+            client.post("csv")
+        assert excinfo.value.status == 400
+        assert len(transport.calls) == 1  # no pointless resends
+
+
+class TestControlRequests:
+    def test_get_retries_with_rediscovery(self, tmp_path):
+        transport = StubTransport(
+            [ConnectionRefusedError("down"), (200, {}, {"suspects": []})]
+        )
+        client, _ = make_client(tmp_path, transport)
+        assert client.verdicts() == {"suspects": []}
+        assert client.stats["rediscoveries"] == 1
+
+    def test_missing_discovery_file_is_connection_error(self, tmp_path):
+        client = ServeClient(tmp_path / "empty")
+        with pytest.raises(ConnectionError):
+            client.discover()
