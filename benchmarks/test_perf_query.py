@@ -1,0 +1,347 @@
+"""Perf harness for the analyst query plane.
+
+Measures the three queries the subsystem exists to make instant, each
+against the brute-force path it replaces, and asserts both equivalence
+and speedup:
+
+* ``timeline(host)`` — :class:`~repro.query.index.QueryIndex` versus
+  :func:`~repro.query.api.rescan_timeline`'s full column scan of every
+  segment;
+* ``why(host)`` — the verdict DB versus scanning a flat JSONL verdict
+  log (the no-index alternative: one line per recorded window, parsed
+  per query);
+* ``funnel_drop(survived, died, since=…)`` — the indexed SQL join
+  versus recomputing the drop set from the same scanned log.
+
+Every indexed answer is asserted **equivalent** to its brute-force
+twin before any timing is trusted, and at the 800-host scale each
+query must be at least ``MIN_SPEEDUP`` (10×) faster — that gate is the
+subsystem's acceptance bar, so it fails the suite rather than merely
+reporting.  Results land in ``BENCH_query.json`` and one dated line in
+``BENCH_HISTORY.jsonl``.
+
+Run directly (full sweep)::
+
+    PYTHONPATH=src python benchmarks/test_perf_query.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_query.py -q
+
+Environment knobs:
+
+* ``REPRO_BENCH_QUERY_HOSTS`` — comma-separated host counts
+  (default ``800``); CI smoke runs set a small value (the speedup
+  gate only applies at >= 800 hosts).
+* ``REPRO_BENCH_QUERY_OUT`` — output path
+  (default ``<repo>/BENCH_query.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from history import append_history
+
+from repro.detection.pipeline import PipelineResult
+from repro.detection.testbase import TestResult
+from repro.query.api import rescan_timeline
+from repro.query.index import QueryIndex
+from repro.query.verdicts import VerdictDB, stage_rows
+from repro.storage import SegmentStore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_HOST_COUNTS = (800,)
+FLOWS_PER_HOST = 100
+DSTS_PER_HOST = 12
+N_WINDOWS = 20
+TIMELINE_SAMPLE = 32
+WHY_SAMPLE = 16
+#: The acceptance bar: indexed queries must beat brute force by this
+#: factor at the gate scale.
+MIN_SPEEDUP = 10.0
+GATE_HOSTS = 800
+
+
+def host_name(h: int) -> str:
+    return f"10.{h // 65536}.{(h // 256) % 256}.{h % 256}"
+
+
+def synthesize_segment_store(
+    directory: Path, n_hosts: int, seed: int = 7
+) -> SegmentStore:
+    """A spool-shaped segment store: per-host bursts over one day."""
+    rng = random.Random(seed)
+    store = SegmentStore.create(directory)
+    writer = store.writer(segment_rows=4096)
+    for h in range(n_hosts):
+        src = host_name(h)
+        # A small stable peer set per host keeps the destination
+        # sketches exact, so the equivalence check covers them too.
+        peers = [
+            f"192.168.{rng.randrange(40)}.{rng.randrange(250)}"
+            for _ in range(DSTS_PER_HOST)
+        ]
+        t = rng.random() * 3600
+        for _ in range(FLOWS_PER_HOST):
+            t += rng.expovariate(1 / 45.0)
+            writer.append(
+                src, rng.choice(peers), t, rng.randrange(0, 20000), True
+            )
+    writer.cut()
+    return store
+
+
+def synthesize_result(n_hosts: int, seed: int) -> PipelineResult:
+    """A pipeline-shaped verdict over the same host universe: real
+    :class:`TestResult` objects with per-host metrics and thresholds,
+    so the recorded stage evidence has production shape."""
+    rng = random.Random(seed)
+    hosts = [host_name(h) for h in range(n_hosts)]
+    vol = {h: rng.uniform(0.0, 2000.0) for h in hosts}
+    vol_thr = 600.0
+    vol_sel = frozenset(h for h in hosts if vol[h] < vol_thr)
+    churn = {h: rng.uniform(0.0, 1.0) for h in hosts}
+    churn_thr = 0.35
+    churn_sel = frozenset(h for h in hosts if churn[h] < churn_thr)
+    union = vol_sel | churn_sel
+    hm = {h: rng.uniform(0.0, 1.0) for h in union}
+    hm_thr = 0.2
+    hm_sel = frozenset(h for h in union if hm[h] < hm_thr)
+    return PipelineResult(
+        input_hosts=frozenset(hosts),
+        reduction=None,
+        volume=TestResult("volume", vol_sel, vol_thr, vol),
+        churn=TestResult("churn", churn_sel, churn_thr, churn),
+        hm=TestResult("human-machine", hm_sel, hm_thr, hm),
+    )
+
+
+# ----------------------------------------------------------------------
+# Brute-force baselines
+# ----------------------------------------------------------------------
+def scan_log_why(log_path: Path, host: str):
+    """Scan the flat verdict log for the host's latest stage evidence."""
+    latest = None
+    with open(log_path, encoding="utf-8") as fh:
+        for line in fh:
+            doc = json.loads(line)
+            rows = [r for r in doc["stage_rows"] if r[0] == host]
+            if rows:
+                latest = {r[1]: (r[2], r[3], bool(r[4]), bool(r[5])) for r in rows}
+    return latest
+
+
+def scan_log_funnel(
+    log_path: Path, survived: str, died: str, since: float
+) -> List[Tuple[float, str, float, float]]:
+    """Recompute the funnel-drop set from the flat verdict log."""
+    out: List[Tuple[float, str, float, float]] = []
+    with open(log_path, encoding="utf-8") as fh:
+        for line in fh:
+            doc = json.loads(line)
+            if doc["evaluated_at"] < since:
+                continue
+            per: Dict[str, Dict[str, Tuple[float, float, bool]]] = {}
+            for host, stage, value, threshold, _kb, passed in doc["stage_rows"]:
+                per.setdefault(host, {})[stage] = (value, threshold, passed)
+            for host in sorted(per):
+                a = per[host].get(survived)
+                b = per[host].get(died)
+                if a and b and a[2] and not b[2]:
+                    out.append((doc["evaluated_at"], host, a[0], b[0]))
+    return out
+
+
+def _time_per_call(fn, calls: Sequence, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for call in calls:
+            fn(call)
+        best = min(best, (time.perf_counter() - t0) / len(calls))
+    return best
+
+
+def run_benchmark(
+    host_counts: Sequence[int], out_path: Path, repeats: int = 3
+) -> dict:
+    report = {
+        "benchmark": "analyst query plane (index + verdict DB)",
+        "generated_by": "benchmarks/test_perf_query.py",
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "cpu_count": os.cpu_count(),
+        "flows_per_host": FLOWS_PER_HOST,
+        "n_windows": N_WINDOWS,
+        "min_speedup_at_gate": MIN_SPEEDUP,
+        "gate_hosts": GATE_HOSTS,
+        "results": [],
+    }
+    for n_hosts in host_counts:
+        root = Path(tempfile.mkdtemp(prefix=f"repro-bench-query-{n_hosts}-"))
+        gated = n_hosts >= GATE_HOSTS
+        rng = random.Random(1)
+        hosts = [host_name(h) for h in range(n_hosts)]
+
+        # -- traffic: indexed timeline vs segment rescan --------------
+        store = synthesize_segment_store(root / "store", n_hosts)
+        index = QueryIndex.build(store)
+        sample = rng.sample(hosts, min(TIMELINE_SAMPLE, n_hosts))
+        for host in sample:  # equivalence before timing
+            oracle = rescan_timeline(store, host)
+            timeline = index.timeline(host)
+            assert timeline.rows == oracle["rows"]
+            assert timeline.first_seen == oracle["first_seen"]
+            assert timeline.last_seen == oracle["last_seen"]
+            assert timeline.destinations_exact
+            assert index.destinations(host) == oracle["destinations"]
+        rescan_s = _time_per_call(
+            lambda h: rescan_timeline(store, h), sample, repeats
+        )
+        indexed_s = _time_per_call(
+            lambda h: (index.timeline(h), index.destinations(h)),
+            sample,
+            repeats,
+        )
+
+        # -- verdicts: DB vs flat-log scan -----------------------------
+        db = VerdictDB(root / "verdicts.sqlite")
+        log_path = root / "verdicts.jsonl"
+        last_eval = 0.0
+        with open(log_path, "w", encoding="utf-8") as fh:
+            for w in range(N_WINDOWS):
+                result = synthesize_result(n_hosts, seed=w)
+                last_eval = 1000.0 * (w + 1)
+                db.record_batch(result, evaluated_at=last_eval)
+                fh.write(
+                    json.dumps(
+                        {
+                            "evaluated_at": last_eval,
+                            "suspects": sorted(result.suspects),
+                            "stage_rows": stage_rows(result),
+                        }
+                    )
+                    + "\n"
+                )
+
+        why_sample = rng.sample(hosts, min(WHY_SAMPLE, n_hosts))
+        for host in why_sample:  # equivalence before timing
+            scanned = scan_log_why(log_path, host)
+            doc = db.why(host)
+            assert set(doc["stages"]) == set(scanned)
+            for stage, (value, threshold, keep_below, passed) in scanned.items():
+                evidence = doc["stages"][stage]
+                assert evidence["value"] == value
+                assert evidence["threshold"] == threshold
+                assert evidence["keep_below"] == keep_below
+                assert evidence["passed"] == passed
+        scan_why_s = _time_per_call(
+            lambda h: scan_log_why(log_path, h), why_sample, 1
+        )
+        db_why_s = _time_per_call(lambda h: db.why(h), why_sample, repeats)
+
+        since = last_eval  # "this week": the most recent window
+        scanned_drops = scan_log_funnel(
+            log_path, "volume", "human-machine", since
+        )
+        indexed_drops = db.funnel_drop("theta_vol", "theta_hm", since=since)
+        assert [
+            (d["evaluated_at"], d["host"], d["survived_value"], d["died_value"])
+            for d in indexed_drops
+        ] == scanned_drops
+        scan_funnel_s = _time_per_call(
+            lambda s: scan_log_funnel(log_path, "volume", "human-machine", s),
+            [since],
+            1,
+        )
+        db_funnel_s = _time_per_call(
+            lambda s: db.funnel_drop("theta_vol", "theta_hm", since=s),
+            [since],
+            repeats,
+        )
+        db.close()
+
+        entry = {
+            "n_hosts": n_hosts,
+            "n_flows": store.total_rows,
+            "gated": gated,
+            "queries": {
+                "timeline": {
+                    "rescan_seconds": rescan_s,
+                    "indexed_seconds": indexed_s,
+                    "speedup": rescan_s / indexed_s,
+                },
+                "why": {
+                    "scan_seconds": scan_why_s,
+                    "indexed_seconds": db_why_s,
+                    "speedup": scan_why_s / db_why_s,
+                },
+                "funnel_drop": {
+                    "scan_seconds": scan_funnel_s,
+                    "indexed_seconds": db_funnel_s,
+                    "speedup": scan_funnel_s / db_funnel_s,
+                    "rows": len(indexed_drops),
+                },
+            },
+        }
+        report["results"].append(entry)
+        for name, timing in entry["queries"].items():
+            print(
+                f"n_hosts={n_hosts:5d} {name:<12} "
+                f"brute={timing.get('rescan_seconds', timing.get('scan_seconds')) * 1e3:8.3f}ms  "
+                f"indexed={timing['indexed_seconds'] * 1e3:8.3f}ms  "
+                f"({timing['speedup']:7.1f}x)"
+            )
+            if gated and timing["speedup"] < MIN_SPEEDUP:
+                raise AssertionError(
+                    f"{name} at {n_hosts} hosts: {timing['speedup']:.1f}x "
+                    f"is below the {MIN_SPEEDUP}x acceptance bar"
+                )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    append_history(
+        "query_plane",
+        {
+            f"{name}_{kind}@n{entry['n_hosts']}": timing[kind]
+            for entry in report["results"]
+            for name, timing in entry["queries"].items()
+            for kind in timing
+            if kind.endswith("_seconds")
+        },
+    )
+    return report
+
+
+def _configured_host_counts() -> List[int]:
+    raw = os.environ.get("REPRO_BENCH_QUERY_HOSTS")
+    if not raw:
+        return list(DEFAULT_HOST_COUNTS)
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def _configured_out_path() -> Path:
+    return Path(
+        os.environ.get("REPRO_BENCH_QUERY_OUT", REPO_ROOT / "BENCH_query.json")
+    )
+
+
+def test_perf_query_plane():
+    """Benchmark entry point under pytest.
+
+    Equivalence is asserted for every query at every scale; the 10x
+    speedup bar is enforced at >= 800 hosts (the acceptance scale) and
+    recorded, not asserted, below it — a tiny CI smoke cannot flake.
+    """
+    report = run_benchmark(_configured_host_counts(), _configured_out_path())
+    assert report["results"], "benchmark produced no measurements"
+
+
+if __name__ == "__main__":
+    run_benchmark(_configured_host_counts(), _configured_out_path())

@@ -3,16 +3,26 @@
 
 After FindPlotters raises an alarm, the operator's first questions are
 "what evidence?" and "who else?".  This example runs detection on a
-synthetic day and then uses the explanation API to print, for a flagged
-host and for a cleared one:
+synthetic day, records the verdict into the query plane's
+:class:`~repro.query.verdicts.VerdictDB`, and then answers everything
+from the database — no flow is re-read and no clustering re-runs:
 
 * every metric against the threshold it was compared to,
 * the stage that cleared the host (if cleared),
 * the timing-cluster co-members (if flagged) — the likely rest of the
-  botnet — plus the cluster dendrogram neighbourhood.
+  botnet,
+* the host's decaying cross-window reputation score.
+
+(The in-memory :func:`~repro.detection.explain_host` path still works
+and now also reuses the pipeline's own clustering; this example shows
+the durable route an analyst console would take.)
 
 Run:  python examples/investigate_host.py
 """
+
+import tempfile
+import time
+from pathlib import Path
 
 from repro.datasets import (
     CampusConfig,
@@ -21,10 +31,41 @@ from repro.datasets import (
     capture_storm_trace,
     overlay_traces,
 )
-from repro.detection import explain_host, find_plotters, format_explanation
+from repro.detection import find_plotters
 from repro.netsim.rng import substream
+from repro.query import QueryEngine, VerdictDB
 
 SEED = 2007
+
+
+def show_why(engine: QueryEngine, host: str) -> dict:
+    doc = engine.why(host)
+    verdict = "FLAGGED as likely Plotter" if doc["flagged"] else "not flagged"
+    print(f"host {host}: {verdict}")
+    for stage, evidence in doc["stages"].items():
+        mark = "PASS" if evidence["passed"] else "stop"
+        print(f"  [{mark}] {stage:<14} {evidence['comparison']}")
+    cluster = doc.get("cluster")
+    if cluster and cluster["co_members"]:
+        shown = ", ".join(cluster["co_members"][:6])
+        extra = len(cluster["co_members"]) - 6
+        if extra > 0:
+            shown += f", … (+{extra})"
+        print(f"  timing cluster (diameter {cluster['diameter']:.3f}): "
+              f"shares timers with {shown}")
+    reputation = doc.get("reputation")
+    if reputation:
+        print(f"  reputation: {reputation['score']:.2f} "
+              f"({reputation['flagged_windows']}/"
+              f"{reputation['seen_windows']} windows flagged)")
+    return doc
+
+
+def first_failed_stage(doc: dict):
+    for stage, evidence in doc["stages"].items():
+        if not evidence["passed"]:
+            return stage
+    return None
 
 
 def main() -> None:
@@ -40,12 +81,19 @@ def main() -> None:
     print(f"{len(result.suspects)} suspects "
           f"({len(result.suspects & plotters)} actual bots)\n")
 
+    # Record the run once; every question below is a millisecond DB
+    # lookup through the query plane.
+    db_path = Path(tempfile.mkdtemp(prefix="repro-query-")) / "verdicts.sqlite"
+    with VerdictDB(db_path) as db:
+        db.record_batch(result, evaluated_at=time.time())
+    engine = QueryEngine(db_path=db_path)
+
     true_positives = sorted(result.suspects & plotters)
     if true_positives:
         print("=== a correctly flagged bot host ===")
-        explanation = explain_host(result, overlaid.store, true_positives[0])
-        print(format_explanation(explanation))
-        caught_peers = set(explanation.cluster_members) & plotters
+        doc = show_why(engine, true_positives[0])
+        members = set((doc.get("cluster") or {}).get("co_members") or ())
+        caught_peers = members & plotters
         if caught_peers:
             print(f"  -> {len(caught_peers)} of its cluster co-members are "
                   "also implanted bots: the cluster IS the botnet\n")
@@ -56,17 +104,23 @@ def main() -> None:
     false_positives = sorted(result.suspects - plotters)
     if false_positives:
         print("=== a false positive (what the analyst would review) ===")
-        print(format_explanation(
-            explain_host(result, overlaid.store, false_positives[0])
-        ))
+        show_why(engine, false_positives[0])
         print()
 
     cleared = sorted(plotters - result.suspects)
     if cleared:
         print("=== a bot the pipeline missed (why?) ===")
-        explanation = explain_host(result, overlaid.store, cleared[0])
-        print(format_explanation(explanation))
-        print(f"  -> first stage that cleared it: {explanation.failed_stage}")
+        doc = show_why(engine, cleared[0])
+        print(f"  -> first stage that cleared it: {first_failed_stage(doc)}")
+
+    print("\n=== near-misses this window "
+          "(survived theta_vol, died at theta_hm) ===")
+    drops = engine.funnel_drop("theta_vol", "theta_hm")
+    for row in drops[:5]:
+        print(f"  {row['host']}")
+    if len(drops) > 5:
+        print(f"  … (+{len(drops) - 5})")
+    engine.close()
 
 
 if __name__ == "__main__":

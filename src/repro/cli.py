@@ -2,10 +2,12 @@
 
 The repo grew one CLI per plane (``repro-experiments``,
 ``repro-datasets``, ``repro-obs``); ``repro`` is the front door that
-newer subsystems hang their subcommands on.  Today it carries one:
+newer subsystems hang their subcommands on:
 
 ``repro serve``
     The resident detection service (:mod:`repro.serve.cli`).
+``repro query``
+    The indexed analyst query plane (:mod:`repro.query.cli`).
 
 Arguments after the subcommand pass through untouched, so
 ``repro serve --help`` is the subcommand's own help.
@@ -23,6 +25,7 @@ usage: repro <command> [options]
 
 commands:
   serve    run the resident Trader/Plotter detection service
+  query    ask the indexed query plane about hosts and verdicts
 
 Run 'repro <command> --help' for command options.
 """
@@ -38,6 +41,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .serve.cli import main as serve_main
 
         return serve_main(rest)
+    if command == "query":
+        from .query.cli import main as query_main
+
+        return query_main(rest)
     print(f"repro: unknown command {command!r}\n\n{_USAGE}", file=sys.stderr, end="")
     return 2
 

@@ -154,6 +154,18 @@ def _cmd_detect(args) -> int:
     if session is not None:
         session.record_result(result)
         session.annotate(trace=args.trace)
+    if getattr(args, "verdict_db", None):
+        import time as _time
+
+        from ..query.verdicts import VerdictDB
+
+        with VerdictDB(args.verdict_db) as db:
+            window_id = db.record_batch(result, evaluated_at=_time.time())
+        logger.info(
+            "recorded window %s into verdict DB %s",
+            window_id,
+            args.verdict_db,
+        )
     funnel = [
         ("input", len(result.input_hosts)),
         ("reduced", len(result.reduced_hosts)),
@@ -296,6 +308,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="make stage failures fatal instead of stepping down the "
         "fallback ladder",
+    )
+    detect.add_argument(
+        "--verdict-db",
+        default=None,
+        metavar="PATH",
+        help="record this run's full verdict + stage evidence into "
+        "the query plane's SQLite verdict database (default: off)",
     )
     detect.set_defaults(func=_cmd_detect)
 

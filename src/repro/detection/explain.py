@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..flows.store import FlowStore
-from .humanmachine import cluster_hosts, host_histograms
+from .humanmachine import HmClustering, cluster_hosts, host_histograms
 from .pipeline import PipelineConfig, PipelineResult
 
 __all__ = ["StageEvidence", "HostExplanation", "explain_host", "format_explanation"]
@@ -98,8 +98,11 @@ def explain_host(
 ) -> HostExplanation:
     """Assemble the evidence trail for ``host`` from a pipeline run.
 
-    ``store`` must be the same traffic the pipeline analysed (it is
-    re-read only to reconstruct the host's timing-cluster membership).
+    Cluster membership is read off the clustering the pipeline already
+    computed (``result.hm.detail``) whenever the result carries it;
+    only results from older runs that lack it fall back to re-reading
+    ``store`` — which must then be the same traffic the pipeline
+    analysed — and re-clustering.
     """
     stages: List[StageEvidence] = []
     if result.reduction is not None:
@@ -137,10 +140,12 @@ def explain_host(
     cluster_members: Tuple[str, ...] = ()
     cluster_diameter: Optional[float] = None
     if host in result.union_vol_churn:
-        histograms = host_histograms(store, sorted(result.union_vol_churn))
-        clustering = cluster_hosts(
-            histograms, config.hm_percentile, config.hm_cut_fraction
-        )
+        clustering = result.hm.detail
+        if not isinstance(clustering, HmClustering):
+            histograms = host_histograms(store, sorted(result.union_vol_churn))
+            clustering = cluster_hosts(
+                histograms, config.hm_percentile, config.hm_cut_fraction
+            )
         for cluster, diameter in zip(clustering.clusters, clustering.diameters):
             if host in cluster:
                 cluster_members = tuple(h for h in cluster if h != host)

@@ -242,4 +242,5 @@ def theta_hm(
         selected=frozenset(selected),
         threshold=clustering.threshold,
         metric=metric,
+        detail=clustering,
     )

@@ -11,7 +11,7 @@ experiments) can inspect *why* hosts were kept.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 __all__ = ["TestResult"]
 
@@ -31,12 +31,20 @@ class TestResult:
     metric:
         The per-host metric the threshold was applied to.  Hosts present
         in the input set S always appear here, selected or not.
+    detail:
+        Optional test-specific evidence beyond the scalar metric — θ_hm
+        attaches its :class:`~repro.detection.humanmachine.HmClustering`
+        here so explain/query consumers can reuse cluster assignments
+        instead of re-clustering.  Excluded from equality/repr: two
+        results with the same verdict compare equal regardless of how
+        much evidence they carry.
     """
 
     name: str
     selected: frozenset
     threshold: float
     metric: Dict[str, float] = field(default_factory=dict)
+    detail: Optional[object] = field(default=None, compare=False, repr=False)
 
     @property
     def selected_set(self) -> Set[str]:

@@ -1,0 +1,40 @@
+"""repro.query — the indexed analyst query plane (ROADMAP item 5).
+
+Three cooperating pieces turn "why was host H flagged?" from a full
+trace rescan into a millisecond lookup:
+
+* :mod:`repro.query.index` — secondary indexes over the segment store
+  (per-host timelines, destination sketches), maintained incrementally
+  through :meth:`~repro.storage.store.SegmentStore.add_commit_hook`
+  and persisted with the ``storage.format`` torn-tail discipline;
+* :mod:`repro.query.verdicts` — the SQLite (WAL) verdict/evidence
+  history with per-host decaying reputation scores, fed by batch runs,
+  the run ledger, and the serve plane's live verdict stream;
+* :mod:`repro.query.api` / :mod:`repro.query.cli` — the
+  :class:`QueryEngine` facade and the ``repro query`` command.
+"""
+
+from .api import QueryEngine, rescan_timeline
+from .index import (
+    HostTimeline,
+    QueryIndex,
+    SegmentSpan,
+    StaleIndexError,
+    TornIndexError,
+)
+from .sketch import DestinationSketch
+from .verdicts import DEFAULT_DECAY, VerdictDB, stage_rows
+
+__all__ = [
+    "QueryEngine",
+    "rescan_timeline",
+    "QueryIndex",
+    "HostTimeline",
+    "SegmentSpan",
+    "TornIndexError",
+    "StaleIndexError",
+    "DestinationSketch",
+    "VerdictDB",
+    "DEFAULT_DECAY",
+    "stage_rows",
+]

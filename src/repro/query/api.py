@@ -1,0 +1,272 @@
+"""The analyst query engine: one facade over indexes and the verdict DB.
+
+:class:`QueryEngine` binds the two halves of the query plane together:
+
+* a :class:`~repro.storage.store.SegmentStore` plus its
+  :class:`~repro.query.index.QueryIndex` (opened or rebuilt on first
+  touch) answer *traffic* questions — timelines, destination counts,
+  activity;
+* a :class:`~repro.query.verdicts.VerdictDB` answers *verdict*
+  questions — why, history, funnel drops, reputation.
+
+Either half is optional: an engine over just a DB answers verdict
+queries, an engine over just a store answers traffic queries, and the
+``repro query`` CLI wires up whichever the analyst pointed it at.
+
+:func:`rescan_timeline` is the deliberate slow path: the brute-force
+column scan the indexes replace.  It exists so equivalence can be
+*asserted*, not assumed — the property suite pins every indexed answer
+bit-equal to it, and the benchmark measures the speedup against it.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..obs import metrics as obs_metrics
+from ..storage.store import SegmentStore
+from .index import HostTimeline, QueryIndex
+from .verdicts import VerdictDB
+
+__all__ = ["QueryEngine", "rescan_timeline"]
+
+_REQUESTS = obs_metrics.counter(
+    "repro_query_requests_total",
+    "Query-engine requests served, by kind",
+    labels=("kind",),
+)
+_LATENCY = obs_metrics.histogram(
+    "repro_query_latency_seconds",
+    "Query-engine request latency",
+    labels=("kind",),
+)
+
+
+def rescan_timeline(store: SegmentStore, host: str) -> Optional[Dict]:
+    """Brute-force ``timeline(host)``: full column scans, no index.
+
+    Returns the same facts as :meth:`QueryIndex.timeline` (rows,
+    first/last seen, distinct destinations — always exact) as a plain
+    dict, or ``None`` when the host never appears.  This is the
+    equivalence oracle and the benchmark baseline.
+    """
+    rows = 0
+    first_seen = float("inf")
+    last_seen = float("-inf")
+    destinations = set()
+    for segment in store.segments():
+        local = segment.host_index.get(host)
+        if local is None:
+            continue
+        mask = np.asarray(segment.src_codes) == local
+        n = int(mask.sum())
+        if n == 0:
+            continue
+        rows += n
+        starts = np.asarray(segment.starts)[mask]
+        first_seen = min(first_seen, float(starts.min()))
+        last_seen = max(last_seen, float(starts.max()))
+        dsts = segment.dsts
+        for code in np.unique(np.asarray(segment.dst_codes)[mask]):
+            destinations.add(dsts[code])
+    if rows == 0:
+        return None
+    return {
+        "host": host,
+        "rows": rows,
+        "first_seen": first_seen,
+        "last_seen": last_seen,
+        "distinct_destinations": len(destinations),
+        "destinations": sorted(destinations),
+    }
+
+
+class QueryEngine:
+    """Millisecond answers over the segment store and verdict history."""
+
+    def __init__(
+        self,
+        store_dir: Optional[Union[str, Path]] = None,
+        db_path: Optional[Union[str, Path]] = None,
+        *,
+        store: Optional[SegmentStore] = None,
+        db: Optional[VerdictDB] = None,
+    ) -> None:
+        if store is not None and store_dir is not None:
+            raise ValueError("pass store_dir or store, not both")
+        if db is not None and db_path is not None:
+            raise ValueError("pass db_path or db, not both")
+        self._store_dir = Path(store_dir) if store_dir is not None else None
+        self._db_path = Path(db_path) if db_path is not None else None
+        self._store = store
+        self._db = db
+        self._owns_db = db is None
+        self._index: Optional[QueryIndex] = None
+        #: Why the index was rebuilt on open (None = clean load / not
+        #: yet opened) — surfaced by the CLI and the smoke soak.
+        self.index_rebuilt: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Lazy plumbing
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> SegmentStore:
+        if self._store is None:
+            if self._store_dir is None:
+                raise ValueError(
+                    "this engine has no segment store (pass store_dir)"
+                )
+            self._store = SegmentStore.open(self._store_dir, repair=True)
+        return self._store
+
+    @property
+    def index(self) -> QueryIndex:
+        if self._index is None:
+            self._index, self.index_rebuilt = QueryIndex.open_or_rebuild(
+                self.store
+            )
+        return self._index
+
+    @property
+    def db(self) -> VerdictDB:
+        if self._db is None:
+            if self._db_path is None:
+                raise ValueError(
+                    "this engine has no verdict database (pass db_path)"
+                )
+            self._db = VerdictDB(self._db_path)
+        return self._db
+
+    @property
+    def has_store(self) -> bool:
+        return self._store is not None or self._store_dir is not None
+
+    @property
+    def has_db(self) -> bool:
+        return self._db is not None or self._db_path is not None
+
+    def close(self) -> None:
+        if self._db is not None and self._owns_db:
+            self._db.close()
+        self._db = None
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _observe(self, kind: str, t0: float) -> None:
+        _REQUESTS.inc(kind=kind)
+        _LATENCY.observe(time.perf_counter() - t0, kind=kind)
+
+    # ------------------------------------------------------------------
+    # Traffic queries (index-backed)
+    # ------------------------------------------------------------------
+    def timeline(self, host: str) -> Optional[HostTimeline]:
+        t0 = time.perf_counter()
+        out = self.index.timeline(host)
+        self._observe("timeline", t0)
+        return out
+
+    def destinations(self, host: str) -> Optional[List[str]]:
+        t0 = time.perf_counter()
+        out = self.index.destinations(host)
+        self._observe("destinations", t0)
+        return out
+
+    def active_hosts(
+        self, t0: Optional[float] = None, t1: Optional[float] = None
+    ) -> List[str]:
+        started = time.perf_counter()
+        out = self.index.active_hosts(t0, t1)
+        self._observe("active_hosts", started)
+        return out
+
+    def top_talkers(self, limit: int = 20) -> List:
+        t0 = time.perf_counter()
+        out = self.index.top_talkers(limit)
+        self._observe("top_talkers", t0)
+        return out
+
+    # ------------------------------------------------------------------
+    # Verdict queries (DB-backed)
+    # ------------------------------------------------------------------
+    def why(self, host: str, window_id: Optional[int] = None) -> Optional[Dict]:
+        t0 = time.perf_counter()
+        out = self.db.why(host, window_id)
+        self._observe("why", t0)
+        return out
+
+    def history(
+        self, host: str, *, since: Optional[float] = None
+    ) -> List[Dict]:
+        t0 = time.perf_counter()
+        out = self.db.history(host, since=since)
+        self._observe("history", t0)
+        return out
+
+    def funnel_drop(
+        self, survived: str, died: str, *, since: Optional[float] = None
+    ) -> List[Dict]:
+        t0 = time.perf_counter()
+        out = self.db.funnel_drop(survived, died, since=since)
+        self._observe("funnel_drop", t0)
+        return out
+
+    def reputation_top(
+        self, limit: int = 20, *, min_score: float = 0.0
+    ) -> List[Dict]:
+        t0 = time.perf_counter()
+        out = self.db.reputation_top(limit, min_score=min_score)
+        self._observe("reputation", t0)
+        return out
+
+    # ------------------------------------------------------------------
+    # Combined
+    # ------------------------------------------------------------------
+    def investigate(self, host: str) -> Dict:
+        """Everything the plane knows about one host, in one document:
+        the indexed traffic timeline plus the verdict trail."""
+        t0 = time.perf_counter()
+        doc: Dict[str, object] = {"host": host}
+        if self.has_store:
+            timeline = self.index.timeline(host)
+            if timeline is not None:
+                doc["traffic"] = {
+                    "rows": timeline.rows,
+                    "first_seen": timeline.first_seen,
+                    "last_seen": timeline.last_seen,
+                    "segments": [span.segment for span in timeline.spans],
+                    "distinct_destinations": timeline.distinct_destinations,
+                    "destinations_exact": timeline.destinations_exact,
+                }
+            else:
+                doc["traffic"] = None
+        if self.has_db:
+            doc["why"] = self.db.why(host)
+            doc["history"] = self.db.history(host)
+        self._observe("investigate", t0)
+        return doc
+
+    def overview(self) -> Dict:
+        """Plane-level summary: index freshness plus DB row counts."""
+        t0 = time.perf_counter()
+        doc: Dict[str, object] = {}
+        if self.has_store:
+            index = self.index
+            doc["index"] = {
+                "hosts": index.n_hosts,
+                "rows": index.total_rows,
+                "generation": index.generation,
+                "segments": len(index.segments),
+                "rebuilt": self.index_rebuilt,
+            }
+        if self.has_db:
+            doc["db"] = self.db.stats()
+        self._observe("overview", t0)
+        return doc

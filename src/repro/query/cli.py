@@ -1,0 +1,345 @@
+"""``repro query`` — the analyst's front door to the query plane.
+
+Every subcommand answers from indexes and the verdict DB; none of them
+re-read a single flow (except ``rebuild-index``, whose job is exactly
+that).  Common flags:
+
+``--store-dir DIR``
+    The segment store to index/query (traffic questions).
+``--db PATH``
+    The verdict database (verdict questions).  Falls back to
+    ``$REPRO_VERDICT_DB``.
+``--json``
+    Machine-readable output (one JSON document on stdout).
+
+Cookbook (see ``docs/query.md`` for more):
+
+* ``repro query why 10.0.0.7 --db verdicts.sqlite`` — why was this
+  host flagged (or cleared) in its most recent window?
+* ``repro query funnel --survived theta_vol --died theta_hm --since
+  1699000000 --db verdicts.sqlite`` — the week's near-misses.
+* ``repro query history 10.0.0.7 --db verdicts.sqlite`` — the
+  day-over-day verdict record.
+* ``repro query timeline 10.0.0.7 --store-dir spool/`` — indexed
+  first/last-seen, row counts, destination cardinality.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .api import QueryEngine
+from .index import QueryIndex
+from .verdicts import VerdictDB
+
+__all__ = ["main"]
+
+DB_ENV = "REPRO_VERDICT_DB"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro query",
+        description="Indexed analyst queries over traffic and verdicts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, store=False, db=False):
+        if store:
+            p.add_argument(
+                "--store-dir", help="segment-store directory to query"
+            )
+        if db:
+            p.add_argument(
+                "--db",
+                default=os.environ.get(DB_ENV),
+                help=f"verdict database path (default: ${DB_ENV})",
+            )
+        p.add_argument(
+            "--json", action="store_true", help="emit JSON instead of text"
+        )
+
+    p = sub.add_parser("why", help="evidence trail for one host")
+    p.add_argument("host")
+    p.add_argument(
+        "--window", type=int, default=None,
+        help="window id (default: the host's most recent window)",
+    )
+    common(p, db=True)
+
+    p = sub.add_parser("history", help="a host's verdict history")
+    p.add_argument("host")
+    p.add_argument(
+        "--since", type=float, default=None,
+        help="only windows evaluated at/after this epoch timestamp",
+    )
+    common(p, db=True)
+
+    p = sub.add_parser(
+        "funnel", help="hosts that survived one stage but died at another"
+    )
+    p.add_argument("--survived", required=True, help="e.g. theta_vol")
+    p.add_argument("--died", required=True, help="e.g. theta_hm")
+    p.add_argument("--since", type=float, default=None)
+    common(p, db=True)
+
+    p = sub.add_parser("reputation", help="hosts by decayed suspicion score")
+    p.add_argument("--top", type=int, default=20)
+    p.add_argument("--min-score", type=float, default=0.0)
+    common(p, db=True)
+
+    p = sub.add_parser("windows", help="recorded verdict windows")
+    p.add_argument("--since", type=float, default=None)
+    p.add_argument("--source", default=None)
+    common(p, db=True)
+
+    p = sub.add_parser("timeline", help="a host's indexed traffic timeline")
+    p.add_argument("host")
+    common(p, store=True)
+
+    p = sub.add_parser("investigate", help="traffic + verdicts for one host")
+    p.add_argument("host")
+    common(p, store=True, db=True)
+
+    p = sub.add_parser("overview", help="index freshness + DB row counts")
+    common(p, store=True, db=True)
+
+    p = sub.add_parser(
+        "rebuild-index", help="force a full index rebuild from segments"
+    )
+    common(p, store=True)
+
+    p = sub.add_parser(
+        "import-ledger", help="record run-ledger manifests into the DB"
+    )
+    p.add_argument("--ledger-dir", required=True)
+    common(p, db=True)
+
+    return parser
+
+
+def _emit(doc, as_json: bool, text_lines) -> None:
+    if as_json:
+        print(json.dumps(doc, indent=2, sort_keys=True, default=str))
+    else:
+        for line in text_lines:
+            print(line)
+
+
+def _require(value, flag: str) -> None:
+    if not value:
+        raise SystemExit(f"repro query: {flag} is required for this command")
+
+
+def _why_lines(doc) -> List[str]:
+    window = doc.get("window") or {}
+    verdict = "FLAGGED" if doc["flagged"] else "not flagged"
+    lines = [
+        f"host {doc['host']}: {verdict} "
+        f"(window {window.get('id')}, source {window.get('source')}, "
+        f"evaluated_at {window.get('evaluated_at')})"
+    ]
+    for stage, ev in (doc.get("stages") or {}).items():
+        mark = "PASS" if ev["passed"] else "stop"
+        lines.append(f"  [{mark}] {stage:<14} {ev['comparison']}")
+    cluster = doc.get("cluster")
+    if cluster:
+        members = ", ".join(cluster["co_members"][:6]) or "(none)"
+        lines.append(
+            f"  cluster {cluster['cluster_id']} "
+            f"(diameter {cluster['diameter']}): co-members {members}"
+        )
+    rep = doc.get("reputation")
+    if rep:
+        lines.append(
+            f"  reputation: score {rep['score']:.3f} over "
+            f"{rep['seen_windows']} windows "
+            f"({rep['flagged_windows']} flagged)"
+        )
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early: not an
+        # error.  Point the dangling buffer at devnull so the
+        # interpreter's shutdown flush stays quiet; closing the stream
+        # would destroy a test harness's capture file.
+        try:
+            sys.stdout = open(os.devnull, "w")
+        except OSError:
+            pass
+        return 0
+
+
+def _run(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    command = args.command
+
+    if command == "rebuild-index":
+        _require(args.store_dir, "--store-dir")
+        from ..storage.store import SegmentStore
+
+        store = SegmentStore.open(args.store_dir, repair=True)
+        index = QueryIndex.build(store)
+        path = index.save()
+        doc = {
+            "rebuilt": str(path),
+            "hosts": index.n_hosts,
+            "rows": index.total_rows,
+            "generation": index.generation,
+        }
+        _emit(
+            doc, args.json,
+            [f"rebuilt {path}: {index.n_hosts} hosts, "
+             f"{index.total_rows} rows, generation {index.generation}"],
+        )
+        return 0
+
+    if command == "import-ledger":
+        _require(args.db, "--db")
+        from ..obs.ledger import RunLedger
+
+        with VerdictDB(args.db) as db:
+            imported = db.import_ledger(RunLedger(args.ledger_dir))
+        _emit(
+            {"imported": imported}, args.json,
+            [f"imported {imported} ledger run(s) into {args.db}"],
+        )
+        return 0
+
+    engine = QueryEngine(
+        store_dir=getattr(args, "store_dir", None),
+        db_path=getattr(args, "db", None),
+    )
+    with engine:
+        if command == "why":
+            _require(engine.has_db, "--db")
+            doc = engine.why(args.host, args.window)
+            if doc is None:
+                print(
+                    f"host {args.host}: no recorded verdicts", file=sys.stderr
+                )
+                return 1
+            _emit(doc, args.json, _why_lines(doc))
+            return 0
+
+        if command == "history":
+            _require(engine.has_db, "--db")
+            rows = engine.history(args.host, since=args.since)
+            lines = [
+                f"window {r['window_id']} ({r['source']}) "
+                f"evaluated_at {r['evaluated_at']}: "
+                + ("FLAGGED" if r["flagged"] else "clear")
+                for r in rows
+            ] or [f"host {args.host}: no recorded windows"]
+            _emit(rows, args.json, lines)
+            return 0
+
+        if command == "funnel":
+            _require(engine.has_db, "--db")
+            rows = engine.funnel_drop(
+                args.survived, args.died, since=args.since
+            )
+            lines = [
+                f"window {r['window_id']} host {r['host']}: "
+                f"survived at {r['survived_value']:.4g} "
+                f"(thr {r['survived_threshold']:.4g}), died at "
+                f"{r['died_value'] if r['died_value'] is not None else 'n/a'}"
+                f" (thr {r['died_threshold']:.4g})"
+                for r in rows
+            ] or ["(no hosts matched)"]
+            _emit(rows, args.json, lines)
+            return 0
+
+        if command == "reputation":
+            _require(engine.has_db, "--db")
+            rows = engine.reputation_top(args.top, min_score=args.min_score)
+            lines = [
+                f"{r['host']:<20} score {r['score']:.3f} "
+                f"({r['flagged_windows']}/{r['seen_windows']} windows flagged)"
+                for r in rows
+            ] or ["(no hosts at/above the score floor)"]
+            _emit(rows, args.json, lines)
+            return 0
+
+        if command == "windows":
+            _require(engine.has_db, "--db")
+            rows = engine.db.windows(since=args.since, source=args.source)
+            lines = [
+                f"window {r['id']} [{r['source']}] "
+                f"evaluated_at {r['evaluated_at']}: "
+                f"{r['hosts_seen']} hosts, {r['n_suspects']} suspects"
+                for r in rows
+            ] or ["(no recorded windows)"]
+            _emit(rows, args.json, lines)
+            return 0
+
+        if command == "timeline":
+            _require(engine.has_store, "--store-dir")
+            timeline = engine.timeline(args.host)
+            if timeline is None:
+                print(f"host {args.host}: no indexed traffic", file=sys.stderr)
+                return 1
+            doc = {
+                "host": timeline.host,
+                "rows": timeline.rows,
+                "first_seen": timeline.first_seen,
+                "last_seen": timeline.last_seen,
+                "segments": [s.segment for s in timeline.spans],
+                "distinct_destinations": timeline.distinct_destinations,
+                "destinations_exact": timeline.destinations_exact,
+            }
+            approx = "" if timeline.destinations_exact else "~"
+            _emit(
+                doc, args.json,
+                [
+                    f"host {timeline.host}: {timeline.rows} flows over "
+                    f"[{timeline.first_seen}, {timeline.last_seen}] in "
+                    f"{len(timeline.spans)} segment span(s); "
+                    f"{approx}{timeline.distinct_destinations} distinct "
+                    f"destinations",
+                ],
+            )
+            return 0
+
+        if command == "investigate":
+            # The combined document is inherently structured; always JSON.
+            _emit(engine.investigate(args.host), True, [])
+            return 0
+
+        if command == "overview":
+            doc = engine.overview()
+            lines = []
+            index = doc.get("index")
+            if index:
+                rebuilt = (
+                    f" (rebuilt: {index['rebuilt']})"
+                    if index["rebuilt"] else ""
+                )
+                lines.append(
+                    f"index: {index['hosts']} hosts, {index['rows']} rows, "
+                    f"generation {index['generation']}{rebuilt}"
+                )
+            db_stats = doc.get("db")
+            if db_stats:
+                lines.append(
+                    f"db {db_stats['path']}: {db_stats['windows']} windows, "
+                    f"{db_stats['verdict_hosts']} host verdicts, "
+                    f"{db_stats['stage_outcomes']} stage outcomes, "
+                    f"{db_stats['reputation']} reputations"
+                )
+            _emit(doc, args.json, lines or ["(nothing to report)"])
+            return 0
+
+    raise SystemExit(f"repro query: unhandled command {command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,557 @@
+"""Secondary indexes over ``.rseg`` segments: the analyst's read path.
+
+``SegmentStore`` answers "give me these hosts' rows"; an analyst asks
+"*which* hosts, *when*, talking to *how many* destinations?".  Scanning
+segments to answer that is exactly the rescan this subsystem exists to
+kill, so :class:`QueryIndex` maintains three derived structures:
+
+* **per-host flow timelines** — first/last seen, total rows, and the
+  per-segment spans ``(segment, rows, t_min, t_max)`` that locate the
+  host's rows inside the store (the row offsets a follow-up gather
+  needs, at segment granularity);
+* **destination-set sketches** — a :class:`~repro.query.sketch.DestinationSketch`
+  per host: exact below a threshold, HyperLogLog above it;
+* the **catalog fingerprint** — the store generation and segment list
+  the index was built against, so staleness is detected, never guessed.
+
+Maintenance is **incremental**: the index registers a
+:meth:`~repro.storage.store.SegmentStore.add_commit_hook` and absorbs
+each newly cut segment as it commits (one column scan over *new* data
+only).  Compaction preserves rows, so sketches survive it and only the
+segment spans are re-derived from footers; truncation and repair drop
+rows, so they trigger a full rebuild — sketches are unions and cannot
+be subtracted from.
+
+Persistence follows the ``storage.format`` discipline exactly: one
+``queryindex.rqix`` file next to the manifest, written through
+:func:`~repro.resilience.io.atomic_write`, framed header + JSON body +
+CRC/length trailer so truncation at *any* byte offset raises
+:class:`TornIndexError` instead of returning a half-index.  A torn,
+stale, missing or version-drifted index is never an error for the
+caller: :func:`QueryIndex.open_or_rebuild` rebuilds it from segments —
+the catalog is the truth, the index is a cache with a checksum.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..obs import metrics as obs_metrics
+from ..obs.logconf import get_logger
+from ..resilience import faults
+from ..resilience.io import atomic_write
+from ..storage.format import Segment, SegmentMeta, StorageError
+from ..storage.store import SegmentStore
+from .sketch import DEFAULT_EXACT_THRESHOLD, DEFAULT_PRECISION, DestinationSketch
+
+__all__ = [
+    "INDEX_NAME",
+    "INDEX_VERSION",
+    "TornIndexError",
+    "StaleIndexError",
+    "SegmentSpan",
+    "HostTimeline",
+    "QueryIndex",
+]
+
+logger = get_logger("query.index")
+
+#: Bump on any incompatible change to the index payload schema.
+INDEX_VERSION = 1
+
+INDEX_NAME = "queryindex.rqix"
+
+_HEADER_PREFIX = b"RQIX"
+_HEADER = _HEADER_PREFIX + bytes([INDEX_VERSION]) + b"\n"
+_TRAILER_MAGIC = b"XIQR\n"
+_TRAILER_STRUCT = struct.Struct("<IQ")
+_TRAILER_LEN = _TRAILER_STRUCT.size + len(_TRAILER_MAGIC)
+_PAYLOAD_FORMAT = "repro-query-index"
+
+_UPDATES = obs_metrics.counter(
+    "repro_index_updates_total",
+    "Incremental index maintenance events, by catalog commit kind",
+    labels=("event",),
+)
+_REBUILDS = obs_metrics.counter(
+    "repro_index_rebuilds_total",
+    "Full index rebuilds from segments, by trigger",
+    labels=("reason",),
+)
+_SAVES = obs_metrics.counter(
+    "repro_index_saves_total", "Index files persisted"
+)
+_TORN = obs_metrics.counter(
+    "repro_index_torn_total", "Torn/corrupt index files detected"
+)
+_HOSTS_GAUGE = obs_metrics.gauge(
+    "repro_index_hosts", "Hosts in the last touched query index"
+)
+
+
+class TornIndexError(StorageError):
+    """The index file is truncated or fails its CRC/framing checks."""
+
+
+class StaleIndexError(StorageError):
+    """The index was built against a different store generation."""
+
+
+@dataclass(frozen=True)
+class SegmentSpan:
+    """One segment's contribution to a host's timeline."""
+
+    segment: str
+    rows: int
+    t_min: float
+    t_max: float
+
+    def to_json(self) -> List[object]:
+        return [self.segment, self.rows, self.t_min, self.t_max]
+
+    @classmethod
+    def from_json(cls, payload: List[object]) -> "SegmentSpan":
+        return cls(
+            segment=str(payload[0]),
+            rows=int(payload[1]),
+            t_min=float(payload[2]),
+            t_max=float(payload[3]),
+        )
+
+
+@dataclass(frozen=True)
+class HostTimeline:
+    """Everything the index knows about one host's activity."""
+
+    host: str
+    rows: int
+    first_seen: float
+    last_seen: float
+    spans: Tuple[SegmentSpan, ...]
+    distinct_destinations: int
+    destinations_exact: bool
+
+    @property
+    def active_span(self) -> float:
+        return self.last_seen - self.first_seen
+
+
+class _HostEntry:
+    """Mutable per-host accumulator behind :class:`HostTimeline`."""
+
+    __slots__ = ("rows", "first_seen", "last_seen", "spans", "sketch")
+
+    def __init__(self, sketch: DestinationSketch) -> None:
+        self.rows = 0
+        self.first_seen = float("inf")
+        self.last_seen = float("-inf")
+        self.spans: List[SegmentSpan] = []
+        self.sketch = sketch
+
+    def absorb_span(self, span: SegmentSpan) -> None:
+        self.rows += span.rows
+        self.first_seen = min(self.first_seen, span.t_min)
+        self.last_seen = max(self.last_seen, span.t_max)
+        self.spans.append(span)
+
+
+class QueryIndex:
+    """Per-host timelines + destination sketches over one segment store."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        exact_threshold: int = DEFAULT_EXACT_THRESHOLD,
+        precision: int = DEFAULT_PRECISION,
+    ) -> None:
+        self.directory = Path(directory)
+        self.generation = -1
+        self.segments: List[str] = []
+        self.total_rows = 0
+        self.exact_threshold = exact_threshold
+        self.precision = precision
+        self._hosts: Dict[str, _HostEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        store: SegmentStore,
+        *,
+        exact_threshold: int = DEFAULT_EXACT_THRESHOLD,
+        precision: int = DEFAULT_PRECISION,
+    ) -> "QueryIndex":
+        """Index every catalogued segment of ``store`` from scratch."""
+        index = cls(
+            store.directory,
+            exact_threshold=exact_threshold,
+            precision=precision,
+        )
+        for segment in store.segments():
+            index._absorb_segment(segment)
+        index.generation = store.generation
+        index.segments = [m.name for m in store.metas]
+        index._set_gauge()
+        return index
+
+    def _entry(self, host: str) -> _HostEntry:
+        entry = self._hosts.get(host)
+        if entry is None:
+            entry = _HostEntry(
+                DestinationSketch(
+                    precision=self.precision,
+                    exact_threshold=self.exact_threshold,
+                )
+            )
+            self._hosts[host] = entry
+        return entry
+
+    def _absorb_segment(self, segment: Segment) -> None:
+        """Fold one segment's rows in: timelines from the footer zone
+        maps (no column reads), sketches from one dst-column scan."""
+        name = segment.path.name
+        for local, host in enumerate(segment.hosts):
+            self._entry(host).absorb_span(
+                SegmentSpan(
+                    segment=name,
+                    rows=int(segment.host_rows[local]),
+                    t_min=float(segment.host_t_min[local]),
+                    t_max=float(segment.host_t_max[local]),
+                )
+            )
+        self.total_rows += segment.rows
+        # One pass over (src_codes, dst_codes): group rows by host,
+        # dedupe destination codes per host, feed the sketches strings
+        # (store-global identity — codes are per-segment).
+        src = np.asarray(segment.src_codes)
+        dst = np.asarray(segment.dst_codes)
+        order = np.argsort(src, kind="stable")
+        sorted_src = src[order]
+        sorted_dst = dst[order]
+        boundaries = np.searchsorted(
+            sorted_src, np.arange(len(segment.hosts) + 1)
+        )
+        dsts = segment.dsts
+        for local, host in enumerate(segment.hosts):
+            lo, hi = boundaries[local], boundaries[local + 1]
+            codes = np.unique(sorted_dst[lo:hi])
+            self._hosts[host].sketch.update(dsts[c] for c in codes)
+
+    def _rebuild_timelines(self, store: SegmentStore) -> None:
+        """Re-derive spans/counts from footers, keeping the sketches.
+
+        Correct after compaction only: the row *set* is unchanged, so
+        destination sketches stay valid, while segment names (and hence
+        spans) do not.
+        """
+        sketches = {h: e.sketch for h, e in self._hosts.items()}
+        self._hosts = {}
+        self.total_rows = 0
+        for segment in store.segments():
+            name = segment.path.name
+            for local, host in enumerate(segment.hosts):
+                entry = self._hosts.get(host)
+                if entry is None:
+                    entry = _HostEntry(
+                        sketches.get(host)
+                        or DestinationSketch(
+                            precision=self.precision,
+                            exact_threshold=self.exact_threshold,
+                        )
+                    )
+                    self._hosts[host] = entry
+                entry.absorb_span(
+                    SegmentSpan(
+                        segment=name,
+                        rows=int(segment.host_rows[local]),
+                        t_min=float(segment.host_t_min[local]),
+                        t_max=float(segment.host_t_max[local]),
+                    )
+                )
+            self.total_rows += segment.rows
+
+    # ------------------------------------------------------------------
+    # Store attachment (incremental maintenance)
+    # ------------------------------------------------------------------
+    def attach(self, store: SegmentStore):
+        """Register a commit hook keeping this index current + persisted.
+
+        Returns the hook callable so callers can
+        :meth:`~repro.storage.store.SegmentStore.remove_commit_hook` it.
+        Every event ends in an atomic :meth:`save`, so a crash between
+        commits leaves either the previous index (stale → rebuilt on
+        next open) or the new one — never a torn file.
+        """
+
+        def hook(
+            hooked_store: SegmentStore,
+            event: str,
+            new_metas: List[SegmentMeta],
+        ) -> None:
+            _UPDATES.inc(event=event)
+            if event == "append":
+                for meta in new_metas:
+                    self._absorb_segment(hooked_store._segment(meta.name))
+            elif event == "compact":
+                self._rebuild_timelines(hooked_store)
+            else:  # truncate / repair: rows were dropped — start over
+                fresh = QueryIndex.build(
+                    hooked_store,
+                    exact_threshold=self.exact_threshold,
+                    precision=self.precision,
+                )
+                self._hosts = fresh._hosts
+                self.total_rows = fresh.total_rows
+                _REBUILDS.inc(reason=event)
+            self.generation = hooked_store.generation
+            self.segments = [m.name for m in hooked_store.metas]
+            self.save()
+
+        store.add_commit_hook(hook)
+        return hook
+
+    @classmethod
+    def open_or_rebuild(
+        cls,
+        store: SegmentStore,
+        *,
+        exact_threshold: int = DEFAULT_EXACT_THRESHOLD,
+        precision: int = DEFAULT_PRECISION,
+    ) -> Tuple["QueryIndex", Optional[str]]:
+        """Load the persisted index, or rebuild it from segments.
+
+        Returns ``(index, rebuilt_reason)`` where the reason is ``None``
+        on a clean load and one of ``"missing"`` / ``"torn"`` /
+        ``"version"`` / ``"stale"`` when the persisted file could not be
+        trusted and the index was rebuilt (and re-persisted).
+        """
+        reason: Optional[str] = None
+        try:
+            index = cls.load(store.directory)
+        except FileNotFoundError:
+            reason = "missing"
+        except TornIndexError:
+            _TORN.inc()
+            reason = "torn"
+        except StorageError as exc:
+            reason = "version" if "version" in str(exc) else "torn"
+        else:
+            if (
+                index.generation != store.generation
+                or index.segments != [m.name for m in store.metas]
+            ):
+                reason = "stale"
+        if reason is None:
+            index._set_gauge()
+            return index, None
+        _REBUILDS.inc(reason=reason)
+        logger.info(
+            "rebuilding query index for %s (%s)", store.directory, reason
+        )
+        index = cls.build(
+            store, exact_threshold=exact_threshold, precision=precision
+        )
+        index.save()
+        return index, reason
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_hosts(self) -> int:
+        return len(self._hosts)
+
+    def hosts(self) -> List[str]:
+        """Every indexed host, sorted."""
+        return sorted(self._hosts)
+
+    def timeline(self, host: str) -> Optional[HostTimeline]:
+        """The host's full activity summary, or ``None`` if never seen."""
+        entry = self._hosts.get(host)
+        if entry is None:
+            return None
+        return HostTimeline(
+            host=host,
+            rows=entry.rows,
+            first_seen=entry.first_seen,
+            last_seen=entry.last_seen,
+            spans=tuple(entry.spans),
+            distinct_destinations=entry.sketch.cardinality(),
+            destinations_exact=entry.sketch.exact,
+        )
+
+    def destinations(self, host: str) -> Optional[List[str]]:
+        """The exact destination list, if the sketch still has it."""
+        entry = self._hosts.get(host)
+        if entry is None:
+            return None
+        return entry.sketch.destinations()
+
+    def active_hosts(
+        self, t0: Optional[float] = None, t1: Optional[float] = None
+    ) -> List[str]:
+        """Hosts whose per-segment time zones overlap ``[t0, t1)``.
+
+        Zone-map granularity: a host is listed when at least one of its
+        segment spans overlaps the range, which is exact whenever spans
+        are dense (window-aligned spools) and otherwise a tight
+        superset — the engine uses it to prune before any exact count.
+        """
+        selected = []
+        for host, entry in self._hosts.items():
+            for span in entry.spans:
+                if (t0 is None or span.t_max >= t0) and (
+                    t1 is None or span.t_min < t1
+                ):
+                    selected.append(host)
+                    break
+        return sorted(selected)
+
+    def top_talkers(self, limit: int = 20) -> List[Tuple[str, int]]:
+        """Hosts by total flow rows, descending (host asc breaks ties)."""
+        ranked = sorted(
+            ((host, entry.rows) for host, entry in self._hosts.items()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return ranked[: max(0, limit)]
+
+    def segments_for(
+        self,
+        host: str,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+    ) -> List[str]:
+        """Segment names that can hold the host's rows in the range —
+        the gather pre-filter an indexed investigation hands the store."""
+        entry = self._hosts.get(host)
+        if entry is None:
+            return []
+        return [
+            span.segment
+            for span in entry.spans
+            if (t0 is None or span.t_max >= t0)
+            and (t1 is None or span.t_min < t1)
+        ]
+
+    def _set_gauge(self) -> None:
+        if obs_metrics.is_enabled():
+            _HOSTS_GAUGE.set(self.n_hosts)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        return self.directory / INDEX_NAME
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "format": _PAYLOAD_FORMAT,
+            "version": INDEX_VERSION,
+            "generation": self.generation,
+            "segments": list(self.segments),
+            "total_rows": self.total_rows,
+            "exact_threshold": self.exact_threshold,
+            "precision": self.precision,
+            "hosts": {
+                host: {
+                    "rows": entry.rows,
+                    "first_seen": entry.first_seen,
+                    "last_seen": entry.last_seen,
+                    "spans": [span.to_json() for span in entry.spans],
+                    "dsts": entry.sketch.to_json(),
+                }
+                for host, entry in sorted(self._hosts.items())
+            },
+        }
+
+    def save(self) -> Path:
+        """Atomically persist next to the manifest (CRC-framed)."""
+        payload = json.dumps(self.to_payload(), sort_keys=True).encode("utf-8")
+        trailer = (
+            _TRAILER_STRUCT.pack(zlib.crc32(payload), len(payload))
+            + _TRAILER_MAGIC
+        )
+        faults.io_point("query-index")
+        with atomic_write(self.path, "wb") as handle:
+            handle.write(_HEADER)
+            handle.write(payload)
+            handle.write(trailer)
+        _SAVES.inc()
+        self._set_gauge()
+        return self.path
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "QueryIndex":
+        """Read + validate a persisted index (no store access).
+
+        Raises :class:`FileNotFoundError` when absent, and
+        :class:`TornIndexError` for truncation, CRC failure or framing
+        damage at any byte offset.
+        """
+        directory = Path(directory)
+        path = directory / INDEX_NAME
+        data = path.read_bytes()
+        if len(data) < len(_HEADER) + _TRAILER_LEN:
+            raise TornIndexError(
+                f"{path}: {len(data)} bytes is too short to be an index"
+            )
+        header = data[: len(_HEADER)]
+        if header != _HEADER:
+            if header[: len(_HEADER_PREFIX)] == _HEADER_PREFIX:
+                raise StorageError(
+                    f"{path}: index format version {header[len(_HEADER_PREFIX)]}"
+                    f" is not supported (this build reads version "
+                    f"{INDEX_VERSION})"
+                )
+            raise TornIndexError(f"{path}: not an index file (bad header)")
+        if data[-len(_TRAILER_MAGIC):] != _TRAILER_MAGIC:
+            raise TornIndexError(
+                f"{path}: trailer magic missing — file is truncated"
+            )
+        crc, payload_len = _TRAILER_STRUCT.unpack(
+            data[-_TRAILER_LEN: -len(_TRAILER_MAGIC)]
+        )
+        body = data[len(_HEADER): len(data) - _TRAILER_LEN]
+        if len(body) != payload_len or zlib.crc32(body) != crc:
+            raise TornIndexError(f"{path}: payload fails its CRC check")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TornIndexError(f"{path}: payload is not valid JSON") from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _PAYLOAD_FORMAT
+        ):
+            raise TornIndexError(f"{path}: payload is not a query index")
+        if payload.get("version") != INDEX_VERSION:
+            raise StorageError(
+                f"{path}: index payload version {payload.get('version')!r} "
+                f"is not supported (this build reads version {INDEX_VERSION})"
+            )
+        index = cls(
+            directory,
+            exact_threshold=int(payload["exact_threshold"]),
+            precision=int(payload["precision"]),
+        )
+        index.generation = int(payload["generation"])
+        index.segments = [str(s) for s in payload["segments"]]
+        index.total_rows = int(payload["total_rows"])
+        for host, doc in payload["hosts"].items():
+            entry = _HostEntry(DestinationSketch.from_json(doc["dsts"]))
+            entry.rows = int(doc["rows"])
+            entry.first_seen = float(doc["first_seen"])
+            entry.last_seen = float(doc["last_seen"])
+            entry.spans = [SegmentSpan.from_json(s) for s in doc["spans"]]
+            index._hosts[host] = entry
+        return index

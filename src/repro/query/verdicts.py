@@ -1,0 +1,776 @@
+"""Persistent verdict/evidence history: SQLite in WAL mode.
+
+A single window's verdict separates loud bots from quiet hosts; it
+cannot separate a bot from a *transient trader* — that takes evidence
+accumulated **across** windows (PeerHunter and the stealthy-botnet
+anomaly literature both land on this).  :class:`VerdictDB` is that
+accumulator: every FindPlotters run — batch, ledger-imported, or the
+serve plane's live verdict stream — is recorded as one *window* row
+plus its per-host evidence:
+
+* **stage outcomes** — per host and stage, the metric value, the
+  dynamic threshold it was compared to, the comparison direction, and
+  whether the host survived.  This is the row set behind "which hosts
+  survived θ_vol but died at θ_hm this week".
+* **cluster co-membership** — which timing cluster each host landed
+  in, the cluster diameter, and the full member list (the paper's
+  operational unit: a tight flagged cluster is one incident).
+* **reputation** — a per-host suspicion score with exponential decay:
+  ``score ← score·λ + 1[flagged]`` per evaluated window (λ = 0.8 by
+  default), the same accumulate-and-forget shape as the related P2P
+  repo's reputation manager.  A host flagged once in a noisy window
+  fades; a host flagged week after week converges toward
+  ``1/(1-λ)``.
+
+Storage is stdlib ``sqlite3`` with ``journal_mode=WAL`` so the serve
+coordinator can append verdicts while analysts read — readers never
+block the writer and vice versa.  Writes are deduplicated on the
+serve plane's identity ``(source, epoch, shard, grid_index)``: the HA
+coordinator may observe the same shard verdict twice (failover replay)
+and must record it once.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from datetime import datetime
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..obs import metrics as obs_metrics
+from ..obs.logconf import get_logger
+from ..resilience import faults
+
+__all__ = ["DEFAULT_DECAY", "SCHEMA_VERSION", "VerdictDB", "stage_rows"]
+
+logger = get_logger("query.verdicts")
+
+#: Per-window exponential decay λ of the reputation score.
+DEFAULT_DECAY = 0.8
+
+SCHEMA_VERSION = 1
+
+_WRITES = obs_metrics.counter(
+    "repro_query_db_writes_total",
+    "Verdict-DB window records written, by source",
+    labels=("source",),
+)
+_DEDUPED = obs_metrics.counter(
+    "repro_query_db_deduped_total",
+    "Verdict-DB window records dropped as duplicates",
+)
+_QUERIES = obs_metrics.counter(
+    "repro_query_db_queries_total",
+    "Verdict-DB analyst queries served, by kind",
+    labels=("kind",),
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS windows (
+    id           INTEGER PRIMARY KEY,
+    source       TEXT NOT NULL,
+    epoch        INTEGER,
+    shard        TEXT,
+    grid_index   INTEGER,
+    t_start      REAL,
+    t_end        REAL,
+    evaluated_at REAL NOT NULL,
+    recorded_at  REAL NOT NULL,
+    run_id       TEXT,
+    hosts_seen   INTEGER NOT NULL,
+    n_suspects   INTEGER NOT NULL
+);
+CREATE UNIQUE INDEX IF NOT EXISTS windows_identity
+    ON windows (source, epoch, shard, grid_index);
+CREATE INDEX IF NOT EXISTS windows_time ON windows (evaluated_at);
+CREATE TABLE IF NOT EXISTS stage_outcomes (
+    window_id  INTEGER NOT NULL REFERENCES windows(id),
+    host       TEXT NOT NULL,
+    stage      TEXT NOT NULL,
+    value      REAL,
+    threshold  REAL,
+    keep_below INTEGER NOT NULL,
+    passed     INTEGER NOT NULL,
+    PRIMARY KEY (window_id, host, stage)
+);
+CREATE INDEX IF NOT EXISTS stage_by_host ON stage_outcomes (host, stage);
+CREATE INDEX IF NOT EXISTS stage_by_stage
+    ON stage_outcomes (stage, passed, window_id, host);
+CREATE TABLE IF NOT EXISTS verdict_hosts (
+    window_id        INTEGER NOT NULL REFERENCES windows(id),
+    host             TEXT NOT NULL,
+    flagged          INTEGER NOT NULL,
+    cluster_id       INTEGER,
+    cluster_diameter REAL,
+    PRIMARY KEY (window_id, host)
+);
+CREATE INDEX IF NOT EXISTS verdicts_by_host ON verdict_hosts (host);
+CREATE TABLE IF NOT EXISTS clusters (
+    window_id  INTEGER NOT NULL REFERENCES windows(id),
+    cluster_id INTEGER NOT NULL,
+    diameter   REAL NOT NULL,
+    kept       INTEGER NOT NULL,
+    n_members  INTEGER NOT NULL,
+    PRIMARY KEY (window_id, cluster_id)
+);
+CREATE TABLE IF NOT EXISTS cluster_members (
+    window_id  INTEGER NOT NULL REFERENCES windows(id),
+    cluster_id INTEGER NOT NULL,
+    host       TEXT NOT NULL,
+    PRIMARY KEY (window_id, cluster_id, host)
+);
+CREATE TABLE IF NOT EXISTS reputation (
+    host            TEXT PRIMARY KEY,
+    score           REAL NOT NULL,
+    flagged_windows INTEGER NOT NULL,
+    seen_windows    INTEGER NOT NULL,
+    last_evaluated  REAL,
+    last_flagged    REAL,
+    updated_at      REAL NOT NULL
+);
+"""
+
+#: CLI-friendly aliases for the canonical stage names.
+_STAGE_ALIASES = {
+    "theta_vol": "volume",
+    "vol": "volume",
+    "theta_churn": "churn",
+    "theta_hm": "human-machine",
+    "hm": "human-machine",
+    "humanmachine": "human-machine",
+}
+
+
+def canonical_stage(stage: str) -> str:
+    """Map a CLI/funnel stage spelling to the stored stage name."""
+    return _STAGE_ALIASES.get(stage.strip().lower(), stage.strip().lower())
+
+
+def stage_rows(result) -> List[Tuple[str, str, float, float, bool, bool]]:
+    """Flatten a :class:`~repro.detection.pipeline.PipelineResult` into
+    ``(host, stage, value, threshold, keep_below, passed)`` evidence
+    rows — one per host per stage the host actually entered.
+
+    This is the single source of truth for how a pipeline run becomes
+    stage evidence: the recorder writes these rows and the equivalence
+    suite recomputes them to check the DB answers bit-for-bit.
+    """
+    rows: List[Tuple[str, str, float, float, bool, bool]] = []
+
+    def emit(hosts, stage, test, keep_below):
+        threshold = test.threshold
+        selected = test.selected
+        for host in hosts:
+            value = test.metric.get(host)
+            rows.append(
+                (
+                    host,
+                    stage,
+                    value,
+                    threshold,
+                    keep_below,
+                    host in selected,
+                )
+            )
+
+    if result.reduction is not None:
+        emit(sorted(result.input_hosts), "reduction", result.reduction, False)
+    reduced = sorted(result.reduced_hosts)
+    emit(reduced, "volume", result.volume, True)
+    emit(reduced, "churn", result.churn, True)
+    emit(sorted(result.union_vol_churn), "human-machine", result.hm, True)
+    return rows
+
+
+def _evidence(value, threshold, keep_below, passed) -> Dict[str, object]:
+    if value is None or threshold is None:
+        comparison = "not evaluated"
+    else:
+        op = "<" if keep_below else ">"
+        comparison = f"{value:.4g} {op} {threshold:.4g}"
+    return {
+        "value": value,
+        "threshold": threshold,
+        "keep_below": bool(keep_below),
+        "passed": bool(passed),
+        "comparison": comparison,
+    }
+
+
+def _parse_when(value) -> Optional[float]:
+    """ISO timestamp or epoch-seconds → epoch-seconds (best effort)."""
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        return datetime.fromisoformat(str(value)).timestamp()
+    except ValueError:
+        return None
+
+
+class VerdictDB:
+    """The persistent cross-window verdict and evidence store."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        decay: float = DEFAULT_DECAY,
+    ) -> None:
+        if not 0.0 <= decay < 1.0:
+            raise ValueError("decay must be in [0, 1)")
+        self.path = Path(path)
+        self.decay = decay
+        self._lock = threading.Lock()
+        faults.io_point("verdict-db")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(
+            str(self.path), check_same_thread=False, timeout=30.0
+        )
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+            self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "VerdictDB":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def record_batch(
+        self,
+        result,
+        *,
+        evaluated_at: float,
+        t_start: Optional[float] = None,
+        t_end: Optional[float] = None,
+        source: str = "batch",
+        epoch: Optional[int] = None,
+        shard: Optional[str] = None,
+        grid_index: Optional[int] = None,
+        run_id: Optional[str] = None,
+    ) -> Optional[int]:
+        """Record one full :class:`PipelineResult` window.
+
+        Returns the new window id, or ``None`` when the window's serve
+        identity ``(source, epoch, shard, grid_index)`` was already
+        recorded (rows with a NULL identity component never collide, so
+        repeated ad-hoc batch runs each get their own window).
+        """
+        from ..detection.humanmachine import HmClustering
+
+        rows = stage_rows(result)
+        suspects = result.suspects
+        seen = set(result.input_hosts)
+        clustering = (
+            result.hm.detail
+            if isinstance(result.hm.detail, HmClustering)
+            else None
+        )
+        cluster_of: Dict[str, Tuple[int, float]] = {}
+        cluster_rows: List[Tuple[int, float, bool, Tuple[str, ...]]] = []
+        if clustering is not None:
+            kept = set(clustering.kept)
+            for cid, (members, diameter) in enumerate(
+                zip(clustering.clusters, clustering.diameters)
+            ):
+                cluster_rows.append(
+                    (cid, float(diameter), members in kept, members)
+                )
+                for host in members:
+                    cluster_of[host] = (cid, float(diameter))
+
+        faults.io_point("verdict-db")
+        with self._lock:
+            cur = self._conn.cursor()
+            try:
+                cur.execute(
+                    "INSERT INTO windows (source, epoch, shard, grid_index,"
+                    " t_start, t_end, evaluated_at, recorded_at, run_id,"
+                    " hosts_seen, n_suspects)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        source,
+                        epoch,
+                        shard,
+                        grid_index,
+                        t_start,
+                        t_end,
+                        float(evaluated_at),
+                        time.time(),
+                        run_id,
+                        len(seen),
+                        len(suspects),
+                    ),
+                )
+            except sqlite3.IntegrityError:
+                self._conn.rollback()
+                _DEDUPED.inc()
+                return None
+            window_id = cur.lastrowid
+            cur.executemany(
+                "INSERT INTO stage_outcomes (window_id, host, stage, value,"
+                " threshold, keep_below, passed) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (window_id, host, stage, value, threshold,
+                     int(keep_below), int(passed))
+                    for host, stage, value, threshold, keep_below, passed
+                    in rows
+                ],
+            )
+            cur.executemany(
+                "INSERT INTO verdict_hosts (window_id, host, flagged,"
+                " cluster_id, cluster_diameter) VALUES (?, ?, ?, ?, ?)",
+                [
+                    (
+                        window_id,
+                        host,
+                        int(host in suspects),
+                        cluster_of.get(host, (None, None))[0],
+                        cluster_of.get(host, (None, None))[1],
+                    )
+                    for host in sorted(seen)
+                ],
+            )
+            cur.executemany(
+                "INSERT INTO clusters (window_id, cluster_id, diameter,"
+                " kept, n_members) VALUES (?, ?, ?, ?, ?)",
+                [
+                    (window_id, cid, diameter, int(kept_flag), len(members))
+                    for cid, diameter, kept_flag, members in cluster_rows
+                ],
+            )
+            cur.executemany(
+                "INSERT INTO cluster_members (window_id, cluster_id, host)"
+                " VALUES (?, ?, ?)",
+                [
+                    (window_id, cid, host)
+                    for cid, _, _, members in cluster_rows
+                    for host in members
+                ],
+            )
+            self._update_reputation(
+                cur, float(evaluated_at), seen, set(suspects)
+            )
+            self._conn.commit()
+        _WRITES.inc(source=source)
+        return window_id
+
+    def record_serve_verdict(
+        self,
+        epoch: int,
+        shard: str,
+        verdict,
+        *,
+        source: str = "serve",
+    ) -> Optional[int]:
+        """Record one live verdict from the serve coordinator's stream.
+
+        ``verdict`` is an :class:`~repro.detection.incremental.OnlineVerdict`
+        or its JSON-dict form.  Live verdicts carry host *sets* but not
+        per-stage metrics, so only window/flag/reputation rows are
+        written.  Dedupe key: ``(source, epoch, shard, window_index)``.
+        """
+        if not isinstance(verdict, dict):
+            doc = json.loads(verdict.to_json())
+        else:
+            doc = verdict
+        suspects = set(doc.get("suspects") or ())
+        reduced = set(doc.get("reduced") or ())
+        seen = reduced | suspects
+        evaluated_at = float(doc.get("evaluated_at") or 0.0)
+
+        faults.io_point("verdict-db")
+        with self._lock:
+            cur = self._conn.cursor()
+            try:
+                cur.execute(
+                    "INSERT INTO windows (source, epoch, shard, grid_index,"
+                    " t_start, t_end, evaluated_at, recorded_at, run_id,"
+                    " hosts_seen, n_suspects)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        source,
+                        int(epoch),
+                        str(shard),
+                        int(doc.get("window_index") or 0),
+                        None,
+                        None,
+                        evaluated_at,
+                        time.time(),
+                        None,
+                        int(doc.get("hosts_seen") or len(seen)),
+                        len(suspects),
+                    ),
+                )
+            except sqlite3.IntegrityError:
+                self._conn.rollback()
+                _DEDUPED.inc()
+                return None
+            window_id = cur.lastrowid
+            cur.executemany(
+                "INSERT INTO verdict_hosts (window_id, host, flagged,"
+                " cluster_id, cluster_diameter) VALUES (?, ?, ?, NULL, NULL)",
+                [
+                    (window_id, host, int(host in suspects))
+                    for host in sorted(seen)
+                ],
+            )
+            self._update_reputation(cur, evaluated_at, seen, suspects)
+            self._conn.commit()
+        _WRITES.inc(source=source)
+        return window_id
+
+    def record_ledger_run(self, manifest: Dict) -> Optional[int]:
+        """Record one run-ledger manifest (``run.json`` form).
+
+        Manifests carry the final suspect list but no per-host stage
+        metrics, so this writes window + flag + reputation rows only.
+        Dedupe key: the ledger ``run_id`` (re-imports are no-ops).
+        """
+        run_id = manifest.get("run_id")
+        suspects = set(manifest.get("suspects") or ())
+        evaluated_at = _parse_when(manifest.get("started")) or 0.0
+
+        faults.io_point("verdict-db")
+        with self._lock:
+            cur = self._conn.cursor()
+            if run_id is not None:
+                cur.execute(
+                    "SELECT 1 FROM windows WHERE run_id = ?", (run_id,)
+                )
+                if cur.fetchone() is not None:
+                    _DEDUPED.inc()
+                    return None
+            hosts_seen = 0
+            for stage in manifest.get("funnel") or ():
+                hosts_seen = max(hosts_seen, int(stage.get("input_hosts") or 0))
+            cur.execute(
+                "INSERT INTO windows (source, epoch, shard, grid_index,"
+                " t_start, t_end, evaluated_at, recorded_at, run_id,"
+                " hosts_seen, n_suspects)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    "ledger",
+                    None,
+                    None,
+                    None,
+                    None,
+                    None,
+                    evaluated_at,
+                    time.time(),
+                    run_id,
+                    max(hosts_seen, len(suspects)),
+                    len(suspects),
+                ),
+            )
+            window_id = cur.lastrowid
+            cur.executemany(
+                "INSERT INTO verdict_hosts (window_id, host, flagged,"
+                " cluster_id, cluster_diameter) VALUES (?, ?, 1, NULL, NULL)",
+                [(window_id, host) for host in sorted(suspects)],
+            )
+            self._update_reputation(cur, evaluated_at, suspects, suspects)
+            self._conn.commit()
+        _WRITES.inc(source="ledger")
+        return window_id
+
+    def import_ledger(self, ledger) -> int:
+        """Record every run of a :class:`~repro.obs.ledger.RunLedger`
+        not yet in the DB.  Returns how many were newly recorded."""
+        imported = 0
+        for manifest in ledger.runs():
+            if self.record_ledger_run(manifest) is not None:
+                imported += 1
+        return imported
+
+    def _update_reputation(self, cur, evaluated_at, seen, flagged) -> None:
+        """``score ← score·λ + 1[flagged]`` for every host seen in the
+        window (hosts not seen keep their score — absence of traffic is
+        not evidence of innocence, and decay-on-silence would let a bot
+        launder its score by going quiet)."""
+        now = time.time()
+        for host in sorted(seen):
+            is_flagged = host in flagged
+            cur.execute(
+                "SELECT score, flagged_windows, seen_windows FROM reputation"
+                " WHERE host = ?",
+                (host,),
+            )
+            row = cur.fetchone()
+            if row is None:
+                score, n_flagged, n_seen = 0.0, 0, 0
+            else:
+                score, n_flagged, n_seen = (
+                    row["score"], row["flagged_windows"], row["seen_windows"]
+                )
+            score = score * self.decay + (1.0 if is_flagged else 0.0)
+            cur.execute(
+                "INSERT INTO reputation (host, score, flagged_windows,"
+                " seen_windows, last_evaluated, last_flagged, updated_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)"
+                " ON CONFLICT(host) DO UPDATE SET score = excluded.score,"
+                " flagged_windows = excluded.flagged_windows,"
+                " seen_windows = excluded.seen_windows,"
+                " last_evaluated = excluded.last_evaluated,"
+                " last_flagged = COALESCE(excluded.last_flagged,"
+                "                         reputation.last_flagged),"
+                " updated_at = excluded.updated_at",
+                (
+                    host,
+                    score,
+                    n_flagged + (1 if is_flagged else 0),
+                    n_seen + 1,
+                    evaluated_at,
+                    evaluated_at if is_flagged else None,
+                    now,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def windows(
+        self, *, since: Optional[float] = None, source: Optional[str] = None
+    ) -> List[Dict]:
+        """Recorded windows, oldest first."""
+        _QUERIES.inc(kind="windows")
+        sql = "SELECT * FROM windows"
+        clauses, params = [], []
+        if since is not None:
+            clauses.append("evaluated_at >= ?")
+            params.append(since)
+        if source is not None:
+            clauses.append("source = ?")
+            params.append(source)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY evaluated_at, id"
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        return [dict(row) for row in rows]
+
+    def _window_row(self, window_id: int) -> Optional[Dict]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM windows WHERE id = ?", (window_id,)
+            ).fetchone()
+        return dict(row) if row is not None else None
+
+    def why(
+        self, host: str, window_id: Optional[int] = None
+    ) -> Optional[Dict]:
+        """The full evidence trail for ``host`` in one window.
+
+        Defaults to the most recent window in which the host was seen.
+        Returns ``None`` when the host has never been recorded.
+        """
+        _QUERIES.inc(kind="why")
+        with self._lock:
+            if window_id is None:
+                row = self._conn.execute(
+                    "SELECT v.window_id FROM verdict_hosts v"
+                    " JOIN windows w ON w.id = v.window_id"
+                    " WHERE v.host = ? ORDER BY w.evaluated_at DESC,"
+                    " v.window_id DESC LIMIT 1",
+                    (host,),
+                ).fetchone()
+                if row is None:
+                    return None
+                window_id = row["window_id"]
+            verdict = self._conn.execute(
+                "SELECT * FROM verdict_hosts WHERE window_id = ? AND host = ?",
+                (window_id, host),
+            ).fetchone()
+            if verdict is None:
+                return None
+            stages = self._conn.execute(
+                "SELECT stage, value, threshold, keep_below, passed"
+                " FROM stage_outcomes WHERE window_id = ? AND host = ?"
+                " ORDER BY CASE stage"
+                "   WHEN 'reduction' THEN 0 WHEN 'volume' THEN 1"
+                "   WHEN 'churn' THEN 2 ELSE 3 END",
+                (window_id, host),
+            ).fetchall()
+            members: List[str] = []
+            if verdict["cluster_id"] is not None:
+                members = [
+                    r["host"]
+                    for r in self._conn.execute(
+                        "SELECT host FROM cluster_members"
+                        " WHERE window_id = ? AND cluster_id = ?"
+                        " ORDER BY host",
+                        (window_id, verdict["cluster_id"]),
+                    ).fetchall()
+                ]
+            window = self._conn.execute(
+                "SELECT * FROM windows WHERE id = ?", (window_id,)
+            ).fetchone()
+            reputation = self._conn.execute(
+                "SELECT * FROM reputation WHERE host = ?", (host,)
+            ).fetchone()
+        return {
+            "host": host,
+            "window": dict(window) if window is not None else None,
+            "flagged": bool(verdict["flagged"]),
+            "stages": {
+                r["stage"]: _evidence(
+                    r["value"], r["threshold"], r["keep_below"], r["passed"]
+                )
+                for r in stages
+            },
+            "cluster": (
+                None
+                if verdict["cluster_id"] is None
+                else {
+                    "cluster_id": verdict["cluster_id"],
+                    "diameter": verdict["cluster_diameter"],
+                    "co_members": [m for m in members if m != host],
+                }
+            ),
+            "reputation": dict(reputation) if reputation is not None else None,
+        }
+
+    def history(
+        self, host: str, *, since: Optional[float] = None
+    ) -> List[Dict]:
+        """The host's day-over-day verdict history, oldest first."""
+        _QUERIES.inc(kind="history")
+        sql = (
+            "SELECT w.id AS window_id, w.source, w.epoch, w.shard,"
+            " w.grid_index, w.evaluated_at, w.run_id, v.flagged,"
+            " v.cluster_id, v.cluster_diameter"
+            " FROM verdict_hosts v JOIN windows w ON w.id = v.window_id"
+            " WHERE v.host = ?"
+        )
+        params: List[object] = [host]
+        if since is not None:
+            sql += " AND w.evaluated_at >= ?"
+            params.append(since)
+        sql += " ORDER BY w.evaluated_at, w.id"
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        return [
+            {**dict(row), "flagged": bool(row["flagged"])} for row in rows
+        ]
+
+    def funnel_drop(
+        self,
+        survived: str,
+        died: str,
+        *,
+        since: Optional[float] = None,
+    ) -> List[Dict]:
+        """Hosts that passed stage ``survived`` but failed stage
+        ``died`` in the same window — e.g. "survived θ_vol, died at
+        θ_hm this week".  Stage names accept the ``theta_*`` aliases.
+        """
+        _QUERIES.inc(kind="funnel_drop")
+        survived = canonical_stage(survived)
+        died = canonical_stage(died)
+        sql = (
+            "SELECT a.window_id, a.host, w.evaluated_at,"
+            " a.value AS survived_value, a.threshold AS survived_threshold,"
+            " b.value AS died_value, b.threshold AS died_threshold"
+            " FROM stage_outcomes a"
+            " JOIN stage_outcomes b ON b.window_id = a.window_id"
+            "   AND b.host = a.host AND b.stage = ?"
+            " JOIN windows w ON w.id = a.window_id"
+            " WHERE a.stage = ? AND a.passed = 1 AND b.passed = 0"
+        )
+        params: List[object] = [died, survived]
+        with self._lock:
+            if since is not None:
+                # Resolve the time filter to window ids first so the
+                # (stage, passed, window_id, …) index prunes to the
+                # selected windows instead of probing every window's
+                # survivors — "this week" stays O(this week's rows).
+                ids = [
+                    row["id"]
+                    for row in self._conn.execute(
+                        "SELECT id FROM windows WHERE evaluated_at >= ?",
+                        (since,),
+                    ).fetchall()
+                ]
+                if not ids:
+                    return []
+                sql += (
+                    " AND a.window_id IN ("
+                    + ",".join("?" * len(ids))
+                    + ")"
+                )
+                params.extend(ids)
+            sql += " ORDER BY w.evaluated_at, a.window_id, a.host"
+            rows = self._conn.execute(sql, params).fetchall()
+        return [dict(row) for row in rows]
+
+    def reputation_top(
+        self, limit: int = 20, *, min_score: float = 0.0
+    ) -> List[Dict]:
+        """Hosts by decayed suspicion score, highest first."""
+        _QUERIES.inc(kind="reputation")
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM reputation WHERE score >= ?"
+                " ORDER BY score DESC, host LIMIT ?",
+                (min_score, max(0, limit)),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def suspects(self, *, since: Optional[float] = None) -> List[str]:
+        """Distinct hosts flagged in any window (optionally since T)."""
+        _QUERIES.inc(kind="suspects")
+        sql = (
+            "SELECT DISTINCT v.host FROM verdict_hosts v"
+            " JOIN windows w ON w.id = v.window_id WHERE v.flagged = 1"
+        )
+        params: List[object] = []
+        if since is not None:
+            sql += " AND w.evaluated_at >= ?"
+            params.append(since)
+        sql += " ORDER BY v.host"
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        return [row["host"] for row in rows]
+
+    def stats(self) -> Dict[str, object]:
+        """Row counts per table — the ``repro query windows`` footer."""
+        out: Dict[str, object] = {"path": str(self.path)}
+        with self._lock:
+            for table in (
+                "windows",
+                "stage_outcomes",
+                "verdict_hosts",
+                "clusters",
+                "reputation",
+            ):
+                row = self._conn.execute(
+                    f"SELECT COUNT(*) AS n FROM {table}"
+                ).fetchone()
+                out[table] = row["n"]
+        return out

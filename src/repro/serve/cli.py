@@ -151,6 +151,15 @@ def build_parser() -> argparse.ArgumentParser:
         "acks (default: unbounded)",
     )
     parser.add_argument(
+        "--verdict-db",
+        default=None,
+        metavar="PATH",
+        help="record every finalised window verdict (and the drain "
+        "rescore) into this SQLite verdict database — the query "
+        "plane's cross-window history; also enables the /query/* "
+        "routes (default: off)",
+    )
+    parser.add_argument(
         "--volatile-acks",
         action="store_true",
         help="restore the pre-HA volatile ack path (no per-chunk "
@@ -195,6 +204,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_backlog_rows=args.max_backlog_rows,
         lease_ttl=args.lease_ttl,
         standby_poll=args.standby_poll,
+        verdict_db=args.verdict_db,
     )
     session = ObsSession.from_args(
         args,

@@ -79,6 +79,12 @@ class ServeConfig:
     standby_poll:
         How often a warm standby re-tries the lease and tails the
         coordinator log.
+    verdict_db:
+        Path of a :class:`~repro.query.verdicts.VerdictDB` (SQLite) to
+        record every finalised window verdict into, live — the query
+        plane's cross-window history.  ``None`` (default) disables the
+        sink.  DB failures never fail ingest or verdict acceptance:
+        the sink degrades to logging and counting.
     respawn_max_failures / respawn_window:
         Per-shard worker-respawn circuit breaker: this many worker
         deaths inside the window quarantine the shard (it keeps
@@ -103,6 +109,7 @@ class ServeConfig:
     standby_poll: float = 0.25
     respawn_max_failures: int = 5
     respawn_window: float = 60.0
+    verdict_db: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:

@@ -132,6 +132,10 @@ _QUARANTINED = obs_metrics.gauge(
     "repro_serve_quarantined_shards",
     "Shards quarantined by the worker-respawn circuit breaker",
 )
+_SINK_ERRORS = obs_metrics.counter(
+    "repro_serve_verdict_sink_errors_total",
+    "Verdict-DB sink writes that failed (verdict still accepted)",
+)
 
 
 class BacklogFull(RuntimeError):
@@ -233,6 +237,11 @@ class ServeCoordinator:
         self._seq = 0
         self._eval_replies: Dict[int, Dict[int, Dict]] = {}
         self._reply_cond = threading.Condition(self._state_lock)
+        #: Optional query-plane sink: every accepted verdict (and the
+        #: drain rescore) is recorded into this VerdictDB.  Sink
+        #: failures degrade to logging — the verdict path never fails
+        #: on a DB error.
+        self._verdict_db = None
         self._draining = threading.Event()
         self._stop_supervisor = threading.Event()
         self._supervisor: Optional[threading.Thread] = None
@@ -251,6 +260,17 @@ class ServeCoordinator:
         from .http import build_routes
 
         obs_metrics.enable()
+        if self.config.verdict_db is not None and self._verdict_db is None:
+            try:
+                from ..query.verdicts import VerdictDB
+
+                self._verdict_db = VerdictDB(self.config.verdict_db)
+            except Exception:
+                _SINK_ERRORS.inc()
+                logger.exception(
+                    "cannot open verdict DB %s; serving without the sink",
+                    self.config.verdict_db,
+                )
         with self._lock:
             self._resume(log_state)
             self._log = CoordinatorLog(self.root / COORD_LOG_NAME)
@@ -359,6 +379,12 @@ class ServeCoordinator:
         if self._log is not None:
             self._log.close()
             self._log = None
+        if self._verdict_db is not None:
+            try:
+                self._verdict_db.close()
+            except Exception:  # pragma: no cover - close is best-effort
+                pass
+            self._verdict_db = None
 
     def __enter__(self) -> "ServeCoordinator":
         return self
@@ -373,6 +399,12 @@ class ServeCoordinator:
     @property
     def draining(self) -> bool:
         return self._draining.is_set()
+
+    @property
+    def verdict_db(self):
+        """The attached :class:`~repro.query.verdicts.VerdictDB`, if
+        any — the ``/query/*`` routes answer 404 without one."""
+        return self._verdict_db
 
     # ------------------------------------------------------------------
     # Topology
@@ -648,6 +680,21 @@ class ServeCoordinator:
                     "verdict": verdict,
                 }
             )
+        if self._verdict_db is not None:
+            # The DB's own (source, epoch, shard, window) identity
+            # deduplicates a second time, so failover replays that
+            # bypass this coordinator's in-memory set still record once.
+            try:
+                self._verdict_db.record_serve_verdict(
+                    epoch, f"shard-{shard:02d}", verdict
+                )
+            except Exception:
+                _SINK_ERRORS.inc()
+                logger.exception(
+                    "verdict-DB sink write failed (epoch %d shard %d)",
+                    epoch,
+                    shard,
+                )
         _VERDICTS.inc(result="accepted")
 
     # ------------------------------------------------------------------
@@ -789,19 +836,39 @@ class ServeCoordinator:
             "suspects": sorted(live),
         }
 
-    def verdicts_doc(self) -> Dict[str, object]:
-        """Finalised-window verdicts and the cumulative suspect set."""
+    def verdicts_doc(
+        self,
+        host: Optional[str] = None,
+        since: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Finalised-window verdicts and the cumulative suspect set.
+
+        ``host`` keeps only windows in which that host was evaluated
+        (present in the window's ``reduced`` or ``suspects`` set);
+        ``since`` keeps only windows finalised at/after that timestamp.
+        Filters see the *deduplicated* verdict set — a window the
+        dedupe path dropped as a duplicate can never reappear through a
+        filter — and the ``duplicate_verdicts`` counter stays global so
+        a filtered read still exposes replay pressure.
+        """
         with self._state_lock:
             items = sorted(self._accepted.items())
             duplicates = self._duplicates
         suspects: Set[str] = set()
         finalized = []
         for (epoch, shard, grid), verdict in items:
+            if since is not None and float(verdict["evaluated_at"]) < since:
+                continue
+            if host is not None and not (
+                host in verdict.get("suspects", ())
+                or host in verdict.get("reduced", ())
+            ):
+                continue
             suspects.update(verdict["suspects"])
             finalized.append(
                 {"epoch": epoch, "shard": shard, "grid_window": grid, **verdict}
             )
-        return {
+        doc: Dict[str, object] = {
             "finalized": finalized,
             "windows_finalized": len(finalized),
             "suspects": sorted(suspects),
@@ -811,6 +878,9 @@ class ServeCoordinator:
             "rows_ingested": self.rows_ingested,
             "incarnation": self.incarnation,
         }
+        if host is not None or since is not None:
+            doc["filter"] = {"host": host, "since": since}
+        return doc
 
     def shards_doc(self) -> Dict[str, object]:
         """Topology and per-worker liveness (the recovery test's probe)."""
@@ -906,6 +976,20 @@ class ServeCoordinator:
         )
         result = find_plotters(combined, hosts, self.config.pipeline)
         suspects = sorted(result.suspects)
+        if self._verdict_db is not None:
+            # The drain rescore is the service's authoritative batch
+            # verdict — record it with full stage evidence.
+            try:
+                self._verdict_db.record_batch(
+                    result,
+                    evaluated_at=time.time(),
+                    source="drain",
+                    epoch=self.epoch,
+                    run_id=f"drain-{self.root.name}-{self.incarnation}",
+                )
+            except Exception:
+                _SINK_ERRORS.inc()
+                logger.exception("verdict-DB drain record failed")
         doc = self.verdicts_doc()
         report = {
             "suspects": suspects,

@@ -5,16 +5,27 @@ on the PR 7 :class:`~repro.obs.http.MetricsServer` (see its ``routes``
 parameter), so ``/metrics``, ``/healthz`` and ``/summary`` come for
 free on the same port as the service endpoints:
 
-==========  =============  ==================================================
-method      path           meaning
-==========  =============  ==================================================
-``POST``    ``/ingest``    Argus-CSV body → spool + forward to workers
-``GET``     ``/verdicts``  finalised-window verdicts, cumulative suspects
-``GET``     ``/shards``    topology, worker pids/incarnations, restarts
-``POST``    ``/evaluate``  score every shard's current window (no tumble)
-``POST``    ``/rebalance`` ``{"n_shards": N}`` → epoch barrier + respawn
-``POST``    ``/drain``     request SIGTERM-equivalent drain (async, 202)
-==========  =============  ==================================================
+==================  ==================  ==================================
+method              path                meaning
+==================  ==================  ==================================
+``POST``            ``/ingest``         Argus-CSV body → spool + forward
+``GET``             ``/verdicts``       finalised-window verdicts
+``GET``             ``/shards``         topology, worker pids, restarts
+``POST``            ``/evaluate``       score current windows (no tumble)
+``POST``            ``/rebalance``      ``{"n_shards": N}`` → new epoch
+``POST``            ``/drain``          request drain (async, 202)
+``GET``             ``/query/why``      evidence trail (``?host=H``)
+``GET``             ``/query/history``  verdict history (``?host=H``)
+==================  ==================  ==================================
+
+``GET /verdicts`` accepts ``?host=H&since=T``: ``host`` keeps only
+windows in which H was evaluated (in ``reduced`` or ``suspects``),
+``since`` keeps only windows finalised at/after epoch-seconds T.
+Filters apply to the *deduplicated* verdict set.
+
+The ``/query/*`` routes are the serve plane's door into the query
+subsystem's verdict DB; they answer 404 unless the service was started
+with ``verdict_db`` configured (``repro serve --verdict-db PATH``).
 
 ``POST /ingest`` accepts two optional query parameters,
 ``?client=ID&seq=N``: a stable client id plus a monotonically
@@ -89,7 +100,60 @@ def build_routes(
             return 400, {"error": str(exc)}
 
     def verdicts(body, query):
-        return 200, coordinator.verdicts_doc()
+        params = parse_qs(query)
+        host = (params.get("host") or [None])[0]
+        raw_since = (params.get("since") or [None])[0]
+        since = None
+        if raw_since is not None:
+            try:
+                since = float(raw_since)
+            except ValueError:
+                return 400, {
+                    "error": f"since must be a timestamp, got {raw_since!r}"
+                }
+        return 200, coordinator.verdicts_doc(host=host, since=since)
+
+    def _query_params(query):
+        params = parse_qs(query)
+        host = (params.get("host") or [None])[0]
+        if not host:
+            return None, (400, {"error": "host query parameter is required"})
+        return params, None
+
+    def query_why(body, query):
+        db = coordinator.verdict_db
+        if db is None:
+            return 404, {"error": "no verdict DB attached (--verdict-db)"}
+        params, err = _query_params(query)
+        if err is not None:
+            return err
+        host = params["host"][0]
+        raw_window = (params.get("window") or [None])[0]
+        try:
+            window = int(raw_window) if raw_window is not None else None
+        except ValueError:
+            return 400, {"error": f"window must be an id, got {raw_window!r}"}
+        doc = db.why(host, window)
+        if doc is None:
+            return 404, {"error": f"no recorded verdicts for {host!r}"}
+        return 200, doc
+
+    def query_history(body, query):
+        db = coordinator.verdict_db
+        if db is None:
+            return 404, {"error": "no verdict DB attached (--verdict-db)"}
+        params, err = _query_params(query)
+        if err is not None:
+            return err
+        host = params["host"][0]
+        raw_since = (params.get("since") or [None])[0]
+        try:
+            since = float(raw_since) if raw_since is not None else None
+        except ValueError:
+            return 400, {
+                "error": f"since must be a timestamp, got {raw_since!r}"
+            }
+        return 200, {"host": host, "windows": db.history(host, since=since)}
 
     def shards(body, query):
         return 200, coordinator.shards_doc()
@@ -121,4 +185,6 @@ def build_routes(
         ("POST", "/evaluate"): evaluate,
         ("POST", "/rebalance"): rebalance,
         ("POST", "/drain"): drain,
+        ("GET", "/query/why"): query_why,
+        ("GET", "/query/history"): query_history,
     }

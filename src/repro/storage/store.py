@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
+    Callable,
     Dict,
     Iterable,
     List,
@@ -100,6 +101,11 @@ _TORN = obs_metrics.counter(
     "repro_storage_torn_segments_total",
     "Torn/corrupt segments detected (and dropped when repairing)",
 )
+_HOOK_FAILURES = obs_metrics.counter(
+    "repro_storage_commit_hook_failures_total",
+    "Catalog commit hooks that raised, by event",
+    labels=("event",),
+)
 _SEGMENTS_GAUGE = obs_metrics.gauge(
     "repro_storage_segments", "Segments in the last touched store"
 )
@@ -169,6 +175,9 @@ class SegmentStore:
         self.directory = Path(directory)
         self._manifest = manifest
         self._segments: Dict[str, Segment] = {}
+        self._commit_hooks: List[
+            Callable[["SegmentStore", str, List[SegmentMeta]], None]
+        ] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -262,6 +271,7 @@ class SegmentStore:
             store._manifest["segments"] = healthy
             store._bump_generation()
             store._save_manifest()
+            store._fire_commit_hooks("repair", [])
         store._set_gauges()
         return store
 
@@ -301,6 +311,47 @@ class SegmentStore:
 
     def _bump_generation(self) -> None:
         self._manifest["generation"] = self.generation + 1
+
+    # ------------------------------------------------------------------
+    # Commit hooks (the query plane's index-maintenance seam)
+    # ------------------------------------------------------------------
+    def add_commit_hook(
+        self,
+        hook: Callable[["SegmentStore", str, List[SegmentMeta]], None],
+    ) -> None:
+        """Register ``hook(store, event, new_metas)`` on catalog commits.
+
+        Fired *after* the manifest is atomically saved, with ``event``
+        one of ``"append"`` (``new_metas`` holds the one new segment),
+        ``"compact"``, ``"truncate"`` or ``"repair"`` (``new_metas``
+        empty — the catalog changed shape and incremental maintenance
+        is not possible).  Hooks maintain *derived* state (secondary
+        indexes); a hook failure is logged and counted but never fails
+        the commit itself — the derived state is rebuildable, the
+        catalog is the truth.
+        """
+        self._commit_hooks.append(hook)
+
+    def remove_commit_hook(self, hook) -> None:
+        """Unregister a previously added commit hook (missing = no-op)."""
+        try:
+            self._commit_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _fire_commit_hooks(self, event: str, new_metas: List[SegmentMeta]) -> None:
+        for hook in list(self._commit_hooks):
+            try:
+                hook(self, event, new_metas)
+            except Exception:
+                _HOOK_FAILURES.inc(event=event)
+                logger.exception(
+                    "commit hook %r failed on %s of %s (derived state may "
+                    "be stale; it will be rebuilt on next open)",
+                    hook,
+                    event,
+                    self.directory,
+                )
 
     def _save_manifest(self) -> None:
         faults.io_point("store-manifest")
@@ -362,6 +413,7 @@ class SegmentStore:
         _ROWS_SPOOLED.inc(meta.rows)
         _BYTES_WRITTEN.inc(meta.file_bytes)
         self._set_gauges()
+        self._fire_commit_hooks("append", [meta])
         return meta
 
     def truncate_rows(self, expected_rows: int) -> int:
@@ -415,6 +467,7 @@ class SegmentStore:
             except OSError:
                 pass  # manifest no longer references it; file is orphaned
         self._set_gauges()
+        self._fire_commit_hooks("truncate", [])
         logger.warning(
             "truncated %d orphan row(s) in %d segment(s) from %s",
             excess,
@@ -755,6 +808,7 @@ class SegmentStore:
                 pass
             removed += 1
         self._set_gauges()
+        self._fire_commit_hooks("compact", [])
         logger.info(
             "compacted %d segment(s) into %d (store now has %d)",
             removed,

@@ -56,6 +56,53 @@ class TestExplainHost:
             assert explanation.cluster_members
 
 
+class TestClusterReuse:
+    def test_result_carries_the_pipeline_clustering(self, explained):
+        from repro.detection.humanmachine import HmClustering
+
+        result, _store, _campus = explained
+        assert isinstance(result.hm.detail, HmClustering)
+
+    def test_explain_reuses_it_without_reclustering(
+        self, explained, monkeypatch
+    ):
+        import repro.detection.explain as explain_mod
+
+        result, store, _campus = explained
+        if not result.suspects:
+            pytest.skip("no suspects at this tiny scale")
+
+        def boom(*args, **kwargs):
+            raise AssertionError("explain_host re-ran cluster_hosts")
+
+        monkeypatch.setattr(explain_mod, "cluster_hosts", boom)
+        monkeypatch.setattr(explain_mod, "host_histograms", boom)
+        host = sorted(result.suspects)[0]
+        explanation = explain_host(result, store, host)
+        assert explanation.flagged
+        assert explanation.cluster_members
+
+    def test_fallback_recomputes_when_detail_absent(self, explained):
+        import dataclasses
+
+        result, store, _campus = explained
+        if not result.suspects:
+            pytest.skip("no suspects at this tiny scale")
+        stripped = dataclasses.replace(
+            result, hm=dataclasses.replace(result.hm, detail=None)
+        )
+        host = sorted(result.suspects)[0]
+        # Old-style results (no carried clustering) still explain, by
+        # re-clustering from the store — and land on the same evidence.
+        fresh = explain_host(stripped, store, host)
+        carried = explain_host(result, store, host)
+        assert fresh.cluster_members == carried.cluster_members
+        assert fresh.cluster_diameter == pytest.approx(
+            carried.cluster_diameter
+        )
+        assert fresh.flagged == carried.flagged
+
+
 class TestFormatting:
     def test_render_contains_verdict_and_comparisons(self, explained):
         result, store, campus = explained

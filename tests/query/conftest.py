@@ -1,0 +1,102 @@
+"""Shared fixtures for the query-plane tests: segment stores with known
+contents, and a deterministic detection trace with real suspects."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.flows.record import FlowRecord, FlowState, Protocol
+from repro.flows.store import FlowStore
+from repro.storage import SegmentStore
+
+
+def build_store(directory, rows, segment_rows=8):
+    """A segment store from explicit ``(host, dst, start)`` rows.
+
+    Rows are written in the given order through the store's own writer
+    (cut every ``segment_rows``), so the on-disk layout — segment
+    boundaries, footer zone maps, per-segment dictionaries — is exactly
+    what production ingest produces.
+    """
+    store = SegmentStore.create(directory)
+    writer = store.writer(segment_rows=segment_rows)
+    for host, dst, start in rows:
+        writer.append(host, dst, float(start), 100, True)
+    writer.cut()
+    return store
+
+
+def random_rows(seed, n_rows=None, n_hosts=None, n_dsts=None):
+    """Deterministic pseudo-random row set over small alphabets."""
+    rng = random.Random(seed)
+    n_rows = n_rows if n_rows is not None else rng.randint(1, 120)
+    n_hosts = n_hosts if n_hosts is not None else rng.randint(1, 9)
+    n_dsts = n_dsts if n_dsts is not None else rng.randint(1, 25)
+    return [
+        (
+            f"10.0.0.{rng.randrange(n_hosts)}",
+            f"198.51.100.{rng.randrange(n_dsts)}",
+            round(rng.uniform(0, 5000), 3),
+        )
+        for _ in range(n_rows)
+    ]
+
+
+def detection_trace(seed: int = 97) -> FlowStore:
+    """Campus chatter + a timer botnet (same shape as the serve suite)."""
+    rng = random.Random(seed)
+    states = [FlowState.ESTABLISHED] * 3 + [FlowState.REJECTED, FlowState.TIMEOUT]
+    flows = []
+    for h in range(14):
+        src = f"10.0.0.{h}"
+        t = rng.random() * 60
+        for i in range(rng.randint(30, 70)):
+            t += rng.expovariate(1 / 20.0)
+            flows.append(
+                FlowRecord(
+                    src=src,
+                    dst=f"192.168.0.{rng.randrange(10)}",
+                    sport=1024 + i,
+                    dport=80,
+                    proto=Protocol.TCP,
+                    start=t,
+                    end=t + 1.0,
+                    src_bytes=rng.randrange(0, 9000),
+                    state=rng.choice(states),
+                )
+            )
+    for b in range(4):
+        src = f"10.0.1.{b}"
+        t = float(b)
+        for i in range(90):
+            t += 15.0 + rng.uniform(-0.05, 0.05)
+            flows.append(
+                FlowRecord(
+                    src=src,
+                    dst=f"172.16.0.{i % 3}",
+                    sport=2048 + i,
+                    dport=6881,
+                    proto=Protocol.TCP,
+                    start=t,
+                    end=t + 0.5,
+                    src_bytes=rng.randrange(20, 120),
+                    state=FlowState.TIMEOUT if i % 2 == 0 else FlowState.ESTABLISHED,
+                )
+            )
+    return FlowStore(flows)
+
+
+@pytest.fixture(scope="module")
+def pipeline_result():
+    """One FindPlotters run over the detection trace, with suspects."""
+    from repro.detection.pipeline import PipelineConfig, find_plotters
+
+    store = detection_trace()
+    internal = {h for h in store.initiators if h.startswith("10.")}
+    result = find_plotters(
+        store, internal, PipelineConfig(apply_reduction=False)
+    )
+    assert result.suspects, "fixture trace must produce suspects"
+    return result

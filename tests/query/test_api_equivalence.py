@@ -1,0 +1,160 @@
+"""The query plane's core contract, stated as properties: every indexed
+answer is bit-equal to the brute-force segment rescan, on randomized
+traces and across every maintenance path; and a torn index file is
+always detected and always recovered from."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.query.api import QueryEngine, rescan_timeline
+from repro.query.index import QueryIndex, TornIndexError
+
+from .conftest import build_store, random_rows
+
+# Each example builds a store on disk — keep the trace small and the
+# example count moderate so the suite stays in CI budget.
+_PROPERTY_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def assert_bit_equal(index, store):
+    hosts = sorted(
+        {host for segment in store.segments() for host in segment.hosts}
+    )
+    assert index.hosts() == hosts
+    for host in hosts:
+        oracle = rescan_timeline(store, host)
+        timeline = index.timeline(host)
+        assert timeline.rows == oracle["rows"]
+        assert timeline.first_seen == oracle["first_seen"]
+        assert timeline.last_seen == oracle["last_seen"]
+        # The conftest alphabets stay below the exact threshold, so the
+        # sketch must still hold the exact destination list.
+        assert timeline.destinations_exact
+        assert timeline.distinct_destinations == oracle["distinct_destinations"]
+        assert index.destinations(host) == oracle["destinations"]
+
+
+class TestIndexedEqualsRescan:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_PROPERTY_SETTINGS
+    def test_fresh_build(self, tmp_path_factory, seed):
+        directory = tmp_path_factory.mktemp("prop")
+        rows = random_rows(seed)
+        store = build_store(directory, rows)
+        index = QueryIndex.build(store)
+        assert_bit_equal(index, store)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        segment_rows=st.integers(min_value=1, max_value=32),
+    )
+    @_PROPERTY_SETTINGS
+    def test_segment_boundaries_are_invisible(
+        self, tmp_path_factory, seed, segment_rows
+    ):
+        # The same rows through any segmentation → the same answers.
+        directory = tmp_path_factory.mktemp("prop")
+        rows = random_rows(seed, n_rows=64)
+        store = build_store(directory, rows, segment_rows=segment_rows)
+        assert_bit_equal(QueryIndex.build(store), store)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        split=st.integers(min_value=0, max_value=64),
+    )
+    @_PROPERTY_SETTINGS
+    def test_incremental_equals_fresh(self, tmp_path_factory, seed, split):
+        # Absorbing segments as they commit must land on the same index
+        # a from-scratch build produces.
+        directory = tmp_path_factory.mktemp("prop")
+        rows = random_rows(seed, n_rows=64)
+        split = min(split, len(rows))
+        store = build_store(directory, rows[:split])
+        index = QueryIndex.build(store)
+        index.attach(store)
+        writer = store.writer(segment_rows=8)
+        for host, dst, start in rows[split:]:
+            writer.append(host, dst, float(start), 100, True)
+        writer.cut()
+        assert_bit_equal(index, store)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_PROPERTY_SETTINGS
+    def test_compaction_is_invisible(self, tmp_path_factory, seed):
+        directory = tmp_path_factory.mktemp("prop")
+        rows = random_rows(seed, n_rows=80)
+        store = build_store(directory, rows, segment_rows=4)
+        index = QueryIndex.build(store)
+        index.attach(store)
+        store.compact(min_rows=64)
+        assert_bit_equal(index, store)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_PROPERTY_SETTINGS
+    def test_save_load_is_invisible(self, tmp_path_factory, seed):
+        directory = tmp_path_factory.mktemp("prop")
+        rows = random_rows(seed)
+        store = build_store(directory, rows)
+        QueryIndex.build(store).save()
+        assert_bit_equal(QueryIndex.load(directory), store)
+
+
+class TestTornRecoveryProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=1_000),
+        cut_fraction=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    )
+    @_PROPERTY_SETTINGS
+    def test_any_truncation_detected_and_recovered(
+        self, tmp_path_factory, seed, cut_fraction
+    ):
+        directory = tmp_path_factory.mktemp("torn")
+        rows = random_rows(seed, n_rows=24)
+        store = build_store(directory, rows)
+        path = QueryIndex.build(store).save()
+        data = path.read_bytes()
+        cut = int(len(data) * cut_fraction)
+        path.write_bytes(data[:cut])
+        with pytest.raises(TornIndexError):
+            QueryIndex.load(directory)
+        recovered, reason = QueryIndex.open_or_rebuild(store)
+        assert reason == "torn"
+        assert_bit_equal(recovered, store)
+
+
+class TestEngineFacade:
+    def test_engine_answers_equal_rescan(self, tmp_path):
+        rows = random_rows(42, n_rows=90, n_hosts=6, n_dsts=15)
+        store_dir = tmp_path / "store"
+        store = build_store(store_dir, rows)
+        with QueryEngine(store_dir=store_dir) as engine:
+            assert engine.has_store and not engine.has_db
+            for host in sorted({h for h, _, _ in rows}):
+                oracle = rescan_timeline(store, host)
+                timeline = engine.timeline(host)
+                assert timeline.rows == oracle["rows"]
+                assert engine.destinations(host) == oracle["destinations"]
+            assert engine.index_rebuilt == "missing"
+            doc = engine.investigate(sorted({h for h, _, _ in rows})[0])
+            assert doc["traffic"]["rows"] > 0
+            assert "why" not in doc  # no DB attached
+            overview = engine.overview()
+            assert overview["index"]["hosts"] == len({h for h, _, _ in rows})
+            assert "db" not in overview
+
+    def test_engine_requires_some_backend(self, tmp_path):
+        engine = QueryEngine()
+        with pytest.raises(ValueError, match="store"):
+            engine.timeline("10.0.0.1")
+        with pytest.raises(ValueError, match="database"):
+            engine.why("10.0.0.1")
+
+    def test_engine_rejects_conflicting_args(self, tmp_path):
+        store = build_store(tmp_path, random_rows(1, n_rows=8))
+        with pytest.raises(ValueError, match="not both"):
+            QueryEngine(store_dir=tmp_path, store=store)

@@ -1,0 +1,322 @@
+"""QueryIndex: build/absorb equivalence against the brute-force scan,
+incremental maintenance through store commit hooks, and the persisted
+file's torn-tail discipline."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.query.api import rescan_timeline
+from repro.query.index import (
+    INDEX_NAME,
+    QueryIndex,
+    StaleIndexError,
+    TornIndexError,
+)
+from repro.storage import SegmentStore
+from repro.storage.format import StorageError
+
+from .conftest import build_store, random_rows
+
+
+def all_hosts(rows):
+    return sorted({host for host, _, _ in rows})
+
+
+def assert_matches_rescan(index, store, rows):
+    """Every indexed answer must be bit-equal to the full-scan oracle."""
+    hosts = all_hosts(rows)
+    assert index.hosts() == hosts
+    assert index.n_hosts == len(hosts)
+    for host in hosts:
+        oracle = rescan_timeline(store, host)
+        assert oracle is not None
+        timeline = index.timeline(host)
+        assert timeline is not None
+        assert timeline.rows == oracle["rows"]
+        assert timeline.first_seen == oracle["first_seen"]
+        assert timeline.last_seen == oracle["last_seen"]
+        if timeline.destinations_exact:
+            assert (
+                timeline.distinct_destinations
+                == oracle["distinct_destinations"]
+            )
+            assert index.destinations(host) == oracle["destinations"]
+    assert index.timeline("203.0.113.99") is None
+    assert index.destinations("203.0.113.99") is None
+
+
+class TestBuild:
+    def test_build_matches_rescan(self, tmp_path):
+        rows = random_rows(1, n_rows=100, n_hosts=7, n_dsts=19)
+        store = build_store(tmp_path, rows)
+        index = QueryIndex.build(store)
+        assert_matches_rescan(index, store, rows)
+        assert index.generation == store.generation
+        assert index.total_rows == store.total_rows
+
+    def test_span_row_counts_sum(self, tmp_path):
+        rows = random_rows(2, n_rows=60, n_hosts=4, n_dsts=6)
+        store = build_store(tmp_path, rows, segment_rows=7)
+        index = QueryIndex.build(store)
+        for host in all_hosts(rows):
+            timeline = index.timeline(host)
+            assert sum(s.rows for s in timeline.spans) == timeline.rows
+            names = {m.name for m in store.metas}
+            assert all(s.segment in names for s in timeline.spans)
+
+    def test_top_talkers_ranking(self, tmp_path):
+        rows = (
+            [("10.0.0.0", "198.51.100.1", t) for t in range(9)]
+            + [("10.0.0.1", "198.51.100.1", t) for t in range(5)]
+            + [("10.0.0.2", "198.51.100.1", t) for t in range(2)]
+        )
+        store = build_store(tmp_path, rows)
+        index = QueryIndex.build(store)
+        assert index.top_talkers() == [
+            ("10.0.0.0", 9),
+            ("10.0.0.1", 5),
+            ("10.0.0.2", 2),
+        ]
+        assert index.top_talkers(limit=1) == [("10.0.0.0", 9)]
+
+    def test_active_hosts_window(self, tmp_path):
+        rows = [
+            ("10.0.0.0", "198.51.100.1", 10.0),
+            ("10.0.0.1", "198.51.100.1", 500.0),
+        ]
+        store = build_store(tmp_path, rows)
+        index = QueryIndex.build(store)
+        assert index.active_hosts() == ["10.0.0.0", "10.0.0.1"]
+        assert index.active_hosts(0.0, 100.0) == ["10.0.0.0"]
+        assert index.active_hosts(400.0, None) == ["10.0.0.1"]
+        assert index.active_hosts(2000.0, 3000.0) == []
+
+    def test_segments_for_prunes_by_time(self, tmp_path):
+        # One host, two time-disjoint segments: the gather pre-filter
+        # must hand back only the overlapping one.
+        rows = [("10.0.0.0", "198.51.100.1", float(t)) for t in range(8)]
+        rows += [
+            ("10.0.0.0", "198.51.100.2", 1000.0 + t) for t in range(8)
+        ]
+        store = build_store(tmp_path, rows, segment_rows=8)
+        index = QueryIndex.build(store)
+        assert len(index.segments_for("10.0.0.0")) == 2
+        assert len(index.segments_for("10.0.0.0", 0.0, 100.0)) == 1
+        assert index.segments_for("10.0.0.0", 5000.0, None) == []
+        assert index.segments_for("203.0.113.99") == []
+
+
+class TestIncrementalMaintenance:
+    def test_append_absorbed_without_rebuild(self, tmp_path):
+        rows = random_rows(3, n_rows=40, n_hosts=5, n_dsts=9)
+        store = build_store(tmp_path, rows, segment_rows=8)
+        index = QueryIndex.build(store)
+        index.save()
+        index.attach(store)
+
+        more = random_rows(4, n_rows=40, n_hosts=5, n_dsts=9)
+        writer = store.writer(segment_rows=8)
+        for host, dst, start in more:
+            writer.append(host, dst, float(start), 100, True)
+        writer.cut()
+
+        assert_matches_rescan(index, store, rows + more)
+        assert index.generation == store.generation
+        # The hook persisted after each commit: a fresh open is clean.
+        reopened, reason = QueryIndex.open_or_rebuild(store)
+        assert reason is None
+        assert_matches_rescan(reopened, store, rows + more)
+
+    def test_compact_keeps_sketches(self, tmp_path):
+        rows = random_rows(5, n_rows=80, n_hosts=6, n_dsts=12)
+        store = build_store(tmp_path, rows, segment_rows=8)
+        index = QueryIndex.build(store)
+        index.attach(store)
+        before = {
+            host: index.timeline(host).distinct_destinations
+            for host in index.hosts()
+        }
+        removed = store.compact(min_rows=1000)
+        assert removed > 0
+        assert_matches_rescan(index, store, rows)
+        after = {
+            host: index.timeline(host).distinct_destinations
+            for host in index.hosts()
+        }
+        # Row set unchanged → sketches untouched, counts identical.
+        assert after == before
+
+    def test_truncate_triggers_full_rebuild(self, tmp_path):
+        rows = random_rows(6, n_rows=32, n_hosts=4, n_dsts=7)
+        store = build_store(tmp_path, rows, segment_rows=8)
+        index = QueryIndex.build(store)
+        index.attach(store)
+        kept = 16
+        store.truncate_rows(kept)
+        # Sketches are unions: the only correct move was starting over.
+        assert_matches_rescan(index, store, rows[:kept])
+        assert index.total_rows == kept
+
+    def test_failing_sibling_hook_never_fails_commit(self, tmp_path):
+        rows = random_rows(7, n_rows=16, n_hosts=3, n_dsts=5)
+        store = build_store(tmp_path, rows, segment_rows=8)
+        index = QueryIndex.build(store)
+
+        def bad_hook(hooked_store, event, new_metas):
+            raise RuntimeError("observer crashed")
+
+        store.add_commit_hook(bad_hook)
+        index.attach(store)
+        before = store.total_rows
+        writer = store.writer(segment_rows=4)
+        for host, dst, start in random_rows(8, n_rows=4, n_hosts=3, n_dsts=5):
+            writer.append(host, dst, float(start), 100, True)
+        writer.cut()
+        assert store.total_rows == before + 4
+        assert index.generation == store.generation
+
+    def test_detach_stops_maintenance(self, tmp_path):
+        rows = random_rows(9, n_rows=16, n_hosts=3, n_dsts=5)
+        store = build_store(tmp_path, rows, segment_rows=8)
+        index = QueryIndex.build(store)
+        hook = index.attach(store)
+        store.remove_commit_hook(hook)
+        writer = store.writer(segment_rows=4)
+        for host, dst, start in random_rows(10, n_rows=4, n_hosts=3, n_dsts=5):
+            writer.append(host, dst, float(start), 100, True)
+        writer.cut()
+        assert index.generation != store.generation
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        rows = random_rows(11, n_rows=50, n_hosts=5, n_dsts=40)
+        store = build_store(tmp_path, rows, segment_rows=8)
+        index = QueryIndex.build(store)
+        index.save()
+        loaded = QueryIndex.load(tmp_path)
+        assert loaded.generation == index.generation
+        assert loaded.segments == index.segments
+        assert loaded.total_rows == index.total_rows
+        assert_matches_rescan(loaded, store, rows)
+
+    def test_open_or_rebuild_reasons(self, tmp_path):
+        rows = random_rows(12, n_rows=24, n_hosts=3, n_dsts=6)
+        store = build_store(tmp_path, rows, segment_rows=8)
+        path = tmp_path / INDEX_NAME
+
+        index, reason = QueryIndex.open_or_rebuild(store)
+        assert reason == "missing"
+        assert path.exists()
+
+        _, reason = QueryIndex.open_or_rebuild(store)
+        assert reason is None
+
+        # Stale: the store moves on while nobody maintains the index.
+        writer = store.writer(segment_rows=4)
+        for host, dst, start in random_rows(13, n_rows=4, n_hosts=3, n_dsts=6):
+            writer.append(host, dst, float(start), 100, True)
+        writer.cut()
+        index, reason = QueryIndex.open_or_rebuild(store)
+        assert reason == "stale"
+        assert index.generation == store.generation
+
+        # Torn: chop the tail off.
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        _, reason = QueryIndex.open_or_rebuild(store)
+        assert reason == "torn"
+        _, reason = QueryIndex.open_or_rebuild(store)
+        assert reason is None
+
+        # Version drift: future header byte.
+        data = path.read_bytes()
+        path.write_bytes(b"RQIX" + bytes([99]) + b"\n" + data[6:])
+        _, reason = QueryIndex.open_or_rebuild(store)
+        assert reason == "version"
+
+    def test_torn_at_every_truncation_offset(self, tmp_path):
+        # Small store on purpose: every single prefix of the index file
+        # must be rejected, so the loop is quadratic in file size.
+        rows = random_rows(14, n_rows=12, n_hosts=2, n_dsts=3)
+        store = build_store(tmp_path, rows, segment_rows=8)
+        index = QueryIndex.build(store)
+        path = index.save()
+        data = path.read_bytes()
+        assert len(data) > 100
+        for cut in range(len(data)):
+            path.write_bytes(data[:cut])
+            with pytest.raises(TornIndexError):
+                QueryIndex.load(tmp_path)
+        # And every one of them recovers by rebuild.
+        path.write_bytes(data[: len(data) - 1])
+        recovered, reason = QueryIndex.open_or_rebuild(store)
+        assert reason == "torn"
+        assert_matches_rescan(recovered, store, rows)
+
+    def test_flipped_byte_fails_crc(self, tmp_path):
+        rows = random_rows(15, n_rows=12, n_hosts=2, n_dsts=3)
+        store = build_store(tmp_path, rows, segment_rows=8)
+        path = QueryIndex.build(store).save()
+        data = bytearray(path.read_bytes())
+        mid = len(data) // 2
+        data[mid] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises((TornIndexError, StorageError)):
+            QueryIndex.load(tmp_path)
+
+    def test_not_an_index_file(self, tmp_path):
+        (tmp_path / INDEX_NAME).write_bytes(b"definitely not an index" * 4)
+        with pytest.raises(TornIndexError, match="header"):
+            QueryIndex.load(tmp_path)
+
+    def test_missing_raises_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            QueryIndex.load(tmp_path)
+
+    def test_version_payload_drift(self, tmp_path):
+        # Valid framing, wrong payload version → StorageError (not torn),
+        # and open_or_rebuild treats it as a version rebuild.
+        rows = random_rows(16, n_rows=12, n_hosts=2, n_dsts=3)
+        store = build_store(tmp_path, rows, segment_rows=8)
+        index = QueryIndex.build(store)
+        index.save()
+
+        import json
+        import struct
+        import zlib
+
+        payload = index.to_payload()
+        payload["version"] = 999
+        body = json.dumps(payload, sort_keys=True).encode()
+        framed = (
+            b"RQIX\x01\n"
+            + body
+            + struct.Struct("<IQ").pack(zlib.crc32(body), len(body))
+            + b"XIQR\n"
+        )
+        (tmp_path / INDEX_NAME).write_bytes(framed)
+        with pytest.raises(StorageError, match="version"):
+            QueryIndex.load(tmp_path)
+        _, reason = QueryIndex.open_or_rebuild(store)
+        assert reason == "version"
+
+
+class TestStaleDetection:
+    def test_same_generation_different_segments_is_stale(self, tmp_path):
+        # Defensive: the fingerprint is (generation, segment list), not
+        # generation alone.
+        rows = random_rows(17, n_rows=16, n_hosts=3, n_dsts=4)
+        store = build_store(tmp_path, rows, segment_rows=8)
+        index = QueryIndex.build(store)
+        index.segments = list(reversed(index.segments)) or ["phantom.rseg"]
+        if index.segments == [m.name for m in store.metas]:
+            index.segments.append("phantom.rseg")
+        index.save()
+        _, reason = QueryIndex.open_or_rebuild(store)
+        assert reason == "stale"
+
+    def test_stale_error_importable(self):
+        assert issubclass(StaleIndexError, StorageError)
+        assert issubclass(TornIndexError, StorageError)

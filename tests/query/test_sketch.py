@@ -1,0 +1,138 @@
+"""DestinationSketch: exactness below the threshold, sane estimates
+above it, merge algebra, JSON persistence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.sketch import DestinationSketch
+
+
+def dsts(n, prefix="d"):
+    return [f"{prefix}{i}" for i in range(n)]
+
+
+class TestExactMode:
+    def test_small_sets_are_exact(self):
+        sketch = DestinationSketch(exact_threshold=16)
+        sketch.update(dsts(10))
+        assert sketch.exact
+        assert sketch.cardinality() == 10
+        assert sketch.destinations() == sorted(dsts(10))
+        assert sketch.contains("d3") is True
+        assert sketch.contains("nope") is False
+
+    def test_duplicates_do_not_count(self):
+        sketch = DestinationSketch(exact_threshold=16)
+        for _ in range(5):
+            sketch.update(dsts(4))
+        assert sketch.cardinality() == 4
+
+    def test_collapse_at_threshold(self):
+        sketch = DestinationSketch(exact_threshold=8)
+        sketch.update(dsts(8))
+        assert sketch.exact
+        sketch.add("one-more")
+        assert not sketch.exact
+        assert sketch.destinations() is None
+        assert sketch.contains("d0") is None
+
+
+class TestSketchMode:
+    def test_estimate_within_tolerance(self):
+        sketch = DestinationSketch(exact_threshold=0, precision=12)
+        n = 5000
+        sketch.update(dsts(n))
+        estimate = sketch.cardinality()
+        # p=12 → ~1.6 % standard error; 10 % is a generous CI bound.
+        assert abs(estimate - n) / n < 0.10
+
+    def test_idempotent_adds(self):
+        sketch = DestinationSketch(exact_threshold=0)
+        sketch.update(dsts(1000))
+        once = sketch.cardinality()
+        sketch.update(dsts(1000))
+        assert sketch.cardinality() == once
+
+
+class TestMerge:
+    def test_exact_exact_stays_exact_under_threshold(self):
+        a = DestinationSketch(exact_threshold=64)
+        b = DestinationSketch(exact_threshold=64)
+        a.update(dsts(10, "a"))
+        b.update(dsts(10, "b"))
+        a.merge(b)
+        assert a.exact and a.cardinality() == 20
+
+    def test_exact_exact_collapses_over_threshold(self):
+        a = DestinationSketch(exact_threshold=12)
+        b = DestinationSketch(exact_threshold=12)
+        a.update(dsts(10, "a"))
+        b.update(dsts(10, "b"))
+        a.merge(b)
+        assert not a.exact
+
+    def test_merge_order_independent_when_sketched(self):
+        left = DestinationSketch(exact_threshold=0)
+        right = DestinationSketch(exact_threshold=0)
+        left.update(dsts(800, "x"))
+        right.update(dsts(800, "y"))
+        other = DestinationSketch(exact_threshold=0)
+        other.update(dsts(800, "y"))
+        mine = DestinationSketch(exact_threshold=0)
+        mine.update(dsts(800, "x"))
+        left.merge(right)
+        other.merge(mine)
+        assert left.cardinality() == other.cardinality()
+
+    def test_merge_matches_single_stream(self):
+        # Segment-wise accumulation must equal one-pass accumulation:
+        # this is exactly how the index folds per-segment contributions.
+        whole = DestinationSketch(exact_threshold=0)
+        whole.update(dsts(1200))
+        parts = DestinationSketch(exact_threshold=0)
+        chunk = DestinationSketch(exact_threshold=0)
+        chunk.update(dsts(1200)[:700])
+        parts.merge(chunk)
+        chunk2 = DestinationSketch(exact_threshold=0)
+        chunk2.update(dsts(1200)[700:])
+        parts.merge(chunk2)
+        assert parts.cardinality() == whole.cardinality()
+
+    def test_precision_mismatch_rejected(self):
+        a = DestinationSketch(precision=10)
+        b = DestinationSketch(precision=12)
+        with pytest.raises(ValueError, match="precision"):
+            a.merge(b)
+
+
+class TestPersistence:
+    @given(
+        values=st.sets(st.text(min_size=1, max_size=8), max_size=40),
+        threshold=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_json_roundtrip_preserves_answers(self, values, threshold):
+        sketch = DestinationSketch(exact_threshold=threshold)
+        sketch.update(values)
+        clone = DestinationSketch.from_json(sketch.to_json())
+        assert clone.exact == sketch.exact
+        assert clone.cardinality() == sketch.cardinality()
+        assert clone.destinations() == sketch.destinations()
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            DestinationSketch.from_json(
+                {"kind": "nope", "precision": 12, "exact_threshold": 4}
+            )
+
+    def test_register_count_validated(self):
+        with pytest.raises(ValueError, match="register count"):
+            DestinationSketch.from_json(
+                {
+                    "kind": "hll",
+                    "precision": 12,
+                    "exact_threshold": 0,
+                    "registers": [0] * 7,
+                }
+            )

@@ -1,0 +1,304 @@
+"""VerdictDB: stage evidence fidelity, dedupe identities, reputation
+decay, and the analyst queries (why / history / funnel drops)."""
+
+import sqlite3
+
+import pytest
+
+from repro.query.verdicts import (
+    DEFAULT_DECAY,
+    VerdictDB,
+    canonical_stage,
+    stage_rows,
+)
+
+
+@pytest.fixture
+def db(tmp_path):
+    with VerdictDB(tmp_path / "verdicts.sqlite") as handle:
+        yield handle
+
+
+class TestStageRows:
+    def test_rows_cover_the_funnel(self, pipeline_result):
+        rows = stage_rows(pipeline_result)
+        by_stage = {}
+        for host, stage, value, threshold, keep_below, passed in rows:
+            by_stage.setdefault(stage, set()).add(host)
+        # apply_reduction=False → no reduction stage rows.
+        assert "reduction" not in by_stage
+        assert by_stage["volume"] == set(pipeline_result.reduced_hosts)
+        assert by_stage["churn"] == set(pipeline_result.reduced_hosts)
+        assert by_stage["human-machine"] == set(
+            pipeline_result.union_vol_churn
+        )
+
+    def test_passed_matches_selected_sets(self, pipeline_result):
+        for host, stage, value, threshold, keep_below, passed in stage_rows(
+            pipeline_result
+        ):
+            test = {
+                "volume": pipeline_result.volume,
+                "churn": pipeline_result.churn,
+                "human-machine": pipeline_result.hm,
+            }[stage]
+            assert passed == (host in test.selected)
+            assert threshold == test.threshold
+            assert value == test.metric.get(host)
+
+    def test_hm_survivors_are_the_suspects(self, pipeline_result):
+        survivors = {
+            row[0]
+            for row in stage_rows(pipeline_result)
+            if row[1] == "human-machine" and row[5]
+        }
+        assert survivors == set(pipeline_result.suspects)
+
+
+class TestRecordBatch:
+    def test_why_reproduces_stage_evidence(self, db, pipeline_result):
+        window_id = db.record_batch(pipeline_result, evaluated_at=1000.0)
+        assert window_id is not None
+        expected = {}
+        for host, stage, value, threshold, keep_below, passed in stage_rows(
+            pipeline_result
+        ):
+            expected.setdefault(host, {})[stage] = (
+                value, threshold, keep_below, passed
+            )
+        for host, stages in expected.items():
+            doc = db.why(host)
+            assert doc is not None
+            assert doc["flagged"] == (host in pipeline_result.suspects)
+            assert set(doc["stages"]) == set(stages)
+            for stage, (value, threshold, keep_below, passed) in stages.items():
+                evidence = doc["stages"][stage]
+                assert evidence["value"] == value
+                assert evidence["threshold"] == threshold
+                assert evidence["keep_below"] == keep_below
+                assert evidence["passed"] == passed
+                op = "<" if keep_below else ">"
+                assert op in evidence["comparison"]
+
+    def test_stage_order_is_funnel_order(self, db, pipeline_result):
+        db.record_batch(pipeline_result, evaluated_at=1000.0)
+        suspect = sorted(pipeline_result.suspects)[0]
+        stages = list(db.why(suspect)["stages"])
+        assert stages == ["volume", "churn", "human-machine"]
+
+    def test_cluster_co_members(self, db, pipeline_result):
+        db.record_batch(pipeline_result, evaluated_at=1000.0)
+        suspects = sorted(pipeline_result.suspects)
+        doc = db.why(suspects[0])
+        cluster = doc["cluster"]
+        assert cluster is not None
+        assert suspects[0] not in cluster["co_members"]
+        # The fixture's bots share one timing cluster.
+        assert set(suspects[1:]) <= set(cluster["co_members"])
+        assert cluster["diameter"] is not None
+
+    def test_unknown_host_is_none(self, db, pipeline_result):
+        db.record_batch(pipeline_result, evaluated_at=1000.0)
+        assert db.why("203.0.113.99") is None
+
+    def test_null_identity_never_dedupes(self, db, pipeline_result):
+        first = db.record_batch(pipeline_result, evaluated_at=1000.0)
+        second = db.record_batch(pipeline_result, evaluated_at=2000.0)
+        assert first is not None and second is not None
+        assert first != second
+
+    def test_serve_identity_dedupes(self, db, pipeline_result):
+        kwargs = dict(epoch=3, shard="shard-00", grid_index=7)
+        first = db.record_batch(
+            pipeline_result, evaluated_at=1000.0, source="drain", **kwargs
+        )
+        replay = db.record_batch(
+            pipeline_result, evaluated_at=1000.0, source="drain", **kwargs
+        )
+        assert first is not None
+        assert replay is None
+        assert len(db.windows()) == 1
+
+
+class TestReputation:
+    def test_decay_accumulation(self, db, pipeline_result):
+        suspect = sorted(pipeline_result.suspects)[0]
+        clean = sorted(
+            set(pipeline_result.input_hosts) - set(pipeline_result.suspects)
+        )[0]
+        db.record_batch(pipeline_result, evaluated_at=1000.0)
+        top = {r["host"]: r for r in db.reputation_top(limit=1000)}
+        assert top[suspect]["score"] == pytest.approx(1.0)
+        assert top[clean]["score"] == pytest.approx(0.0)
+
+        db.record_batch(pipeline_result, evaluated_at=2000.0)
+        top = {r["host"]: r for r in db.reputation_top(limit=1000)}
+        # score ← score·0.8 + 1 per flagged window.
+        assert top[suspect]["score"] == pytest.approx(1.0 * DEFAULT_DECAY + 1.0)
+        assert top[suspect]["flagged_windows"] == 2
+        assert top[suspect]["seen_windows"] == 2
+        assert top[clean]["score"] == pytest.approx(0.0)
+        assert top[clean]["seen_windows"] == 2
+
+    def test_unseen_hosts_keep_their_score(self, db, pipeline_result):
+        db.record_batch(pipeline_result, evaluated_at=1000.0)
+        suspect = sorted(pipeline_result.suspects)[0]
+        before = {
+            r["host"]: r["score"] for r in db.reputation_top(limit=1000)
+        }[suspect]
+        # A serve window that never saw this host: no decay for it.
+        db.record_serve_verdict(
+            1,
+            "shard-00",
+            {
+                "suspects": ["198.18.0.1"],
+                "reduced": ["198.18.0.1", "198.18.0.2"],
+                "evaluated_at": 2000.0,
+                "window_index": 0,
+            },
+        )
+        after = {
+            r["host"]: r["score"] for r in db.reputation_top(limit=1000)
+        }[suspect]
+        assert after == before
+
+    def test_min_score_filters(self, db, pipeline_result):
+        db.record_batch(pipeline_result, evaluated_at=1000.0)
+        flagged_only = db.reputation_top(limit=1000, min_score=0.5)
+        assert {r["host"] for r in flagged_only} == set(
+            pipeline_result.suspects
+        )
+
+    def test_decay_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="decay"):
+            VerdictDB(tmp_path / "x.sqlite", decay=1.0)
+
+
+class TestHistoryAndFunnel:
+    def test_history_oldest_first(self, db, pipeline_result):
+        suspect = sorted(pipeline_result.suspects)[0]
+        db.record_batch(pipeline_result, evaluated_at=2000.0)
+        db.record_batch(pipeline_result, evaluated_at=1000.0)
+        history = db.history(suspect)
+        assert [h["evaluated_at"] for h in history] == [1000.0, 2000.0]
+        assert all(h["flagged"] for h in history)
+        assert db.history(suspect, since=1500.0) == history[1:]
+
+    def test_funnel_drop_matches_recomputation(self, db, pipeline_result):
+        db.record_batch(pipeline_result, evaluated_at=1000.0)
+        # Survived θ_vol (volume passed), died at θ_hm.
+        vol = pipeline_result.volume.selected
+        hm_survived = pipeline_result.hm.selected
+        hm_entered = set(pipeline_result.union_vol_churn)
+        expected = sorted((set(vol) & hm_entered) - set(hm_survived))
+        drops = db.funnel_drop("theta_vol", "theta_hm")
+        assert [d["host"] for d in drops] == expected
+        for drop in drops:
+            assert drop["survived_value"] is not None
+            assert drop["died_value"] is not None
+
+    def test_stage_aliases(self, db, pipeline_result):
+        db.record_batch(pipeline_result, evaluated_at=1000.0)
+        canonical = db.funnel_drop("volume", "human-machine")
+        aliased = db.funnel_drop("theta_vol", "hm")
+        assert canonical == aliased
+
+    def test_canonical_stage_mapping(self):
+        assert canonical_stage("theta_vol") == "volume"
+        assert canonical_stage(" Theta_HM ") == "human-machine"
+        assert canonical_stage("churn") == "churn"
+        assert canonical_stage("reduction") == "reduction"
+
+    def test_suspects_distinct(self, db, pipeline_result):
+        db.record_batch(pipeline_result, evaluated_at=1000.0)
+        db.record_batch(pipeline_result, evaluated_at=2000.0)
+        assert db.suspects() == sorted(pipeline_result.suspects)
+
+
+class TestServeAndLedgerSources:
+    def _verdict(self, window_index=0, evaluated_at=100.0):
+        return {
+            "suspects": ["10.0.1.0", "10.0.1.1"],
+            "reduced": ["10.0.0.1", "10.0.1.0", "10.0.1.1"],
+            "evaluated_at": evaluated_at,
+            "window_index": window_index,
+            "hosts_seen": 3,
+        }
+
+    def test_serve_verdict_roundtrip(self, db):
+        window_id = db.record_serve_verdict(2, "shard-01", self._verdict())
+        assert window_id is not None
+        doc = db.why("10.0.1.0")
+        assert doc["flagged"] is True
+        assert doc["stages"] == {}  # live verdicts carry no metrics
+        assert doc["window"]["source"] == "serve"
+        assert doc["window"]["epoch"] == 2
+        assert doc["window"]["shard"] == "shard-01"
+        assert db.why("10.0.0.1")["flagged"] is False
+
+    def test_serve_replay_dedupes(self, db):
+        assert db.record_serve_verdict(2, "shard-01", self._verdict()) is not None
+        assert db.record_serve_verdict(2, "shard-01", self._verdict()) is None
+        # Same grid cell, different epoch: a *new* identity (failover).
+        assert db.record_serve_verdict(3, "shard-01", self._verdict()) is not None
+        assert len(db.windows(source="serve")) == 2
+
+    def test_ledger_run_dedupes_on_run_id(self, db):
+        manifest = {
+            "run_id": "run-abc",
+            "suspects": ["10.0.1.0"],
+            "started": "2026-08-01T12:00:00",
+            "funnel": [{"input_hosts": 18}],
+        }
+        assert db.record_ledger_run(manifest) is not None
+        assert db.record_ledger_run(manifest) is None
+        window = db.windows(source="ledger")[0]
+        assert window["run_id"] == "run-abc"
+        assert window["hosts_seen"] == 18
+        assert window["n_suspects"] == 1
+
+    def test_sources_share_reputation(self, db):
+        db.record_serve_verdict(1, "shard-00", self._verdict(evaluated_at=50.0))
+        db.record_ledger_run(
+            {"run_id": "r1", "suspects": ["10.0.1.0"], "started": 60.0}
+        )
+        top = {r["host"]: r for r in db.reputation_top(limit=10)}
+        assert top["10.0.1.0"]["seen_windows"] == 2
+        assert top["10.0.1.0"]["score"] == pytest.approx(
+            1.0 * DEFAULT_DECAY + 1.0
+        )
+
+
+class TestDurability:
+    def test_wal_mode_and_reopen(self, tmp_path, pipeline_result):
+        path = tmp_path / "verdicts.sqlite"
+        with VerdictDB(path) as db:
+            db.record_batch(pipeline_result, evaluated_at=1000.0)
+            mode = db._conn.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode == "wal"
+        with VerdictDB(path) as reopened:
+            assert len(reopened.windows()) == 1
+            suspect = sorted(pipeline_result.suspects)[0]
+            assert reopened.why(suspect)["flagged"] is True
+
+    def test_concurrent_reader_during_writes(self, tmp_path, pipeline_result):
+        path = tmp_path / "verdicts.sqlite"
+        with VerdictDB(path) as writer:
+            writer.record_batch(pipeline_result, evaluated_at=1000.0)
+            reader = sqlite3.connect(str(path))
+            try:
+                writer.record_batch(pipeline_result, evaluated_at=2000.0)
+                n = reader.execute(
+                    "SELECT COUNT(*) FROM windows"
+                ).fetchone()[0]
+                assert n >= 1  # reader never blocks, sees a consistent view
+            finally:
+                reader.close()
+
+    def test_stats_counts(self, db, pipeline_result):
+        db.record_batch(pipeline_result, evaluated_at=1000.0)
+        stats = db.stats()
+        assert stats["windows"] == 1
+        assert stats["verdict_hosts"] == len(pipeline_result.input_hosts)
+        assert stats["stage_outcomes"] == len(stage_rows(pipeline_result))
+        assert stats["reputation"] == len(pipeline_result.input_hosts)

@@ -1,0 +1,231 @@
+"""``GET /verdicts?host=H&since=T`` filtering, and its interaction with
+the coordinator's verdict dedupe and the query-plane DB sink.
+
+These tests drive :meth:`ServeCoordinator._accept_final` /
+:meth:`verdicts_doc` directly on an unstarted coordinator — no worker
+processes — so the dedupe/filter semantics are pinned in isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.verdicts import VerdictDB
+from repro.serve import ServeConfig, ServeCoordinator
+from repro.serve.http import build_routes
+
+from .conftest import WINDOW
+
+
+def make_verdict(evaluated_at, suspects=(), reduced=()):
+    return {
+        "evaluated_at": float(evaluated_at),
+        "window_index": int(evaluated_at // WINDOW),
+        "suspects": sorted(suspects),
+        "reduced": sorted(set(reduced) | set(suspects)),
+        "hosts_seen": len(set(reduced) | set(suspects)),
+    }
+
+
+@pytest.fixture()
+def coordinator(tmp_path):
+    config = ServeConfig(
+        spool_dir=str(tmp_path / "svc"),
+        n_shards=2,
+        window=WINDOW,
+        window_origin=0.0,
+    )
+    return ServeCoordinator(config)
+
+
+class TestFilters:
+    def test_host_filter_keeps_windows_that_saw_the_host(self, coordinator):
+        coordinator._accept_final(
+            0, 0, make_verdict(WINDOW, suspects=["10.0.1.0"], reduced=["10.0.0.5"])
+        )
+        coordinator._accept_final(
+            0, 1, make_verdict(WINDOW, suspects=["10.0.1.9"])
+        )
+        full = coordinator.verdicts_doc()
+        assert full["windows_finalized"] == 2
+        assert "filter" not in full
+
+        doc = coordinator.verdicts_doc(host="10.0.1.0")
+        assert doc["windows_finalized"] == 1
+        assert doc["finalized"][0]["shard"] == 0
+        assert doc["filter"] == {"host": "10.0.1.0", "since": None}
+        # The cumulative suspect set is recomputed over kept windows
+        # only: the other shard's suspect must not leak in.
+        assert doc["suspects"] == ["10.0.1.0"]
+
+        # A host seen only in `reduced` still matches (it was evaluated).
+        doc = coordinator.verdicts_doc(host="10.0.0.5")
+        assert doc["windows_finalized"] == 1
+
+        doc = coordinator.verdicts_doc(host="203.0.113.1")
+        assert doc["windows_finalized"] == 0
+        assert doc["suspects"] == []
+
+    def test_since_filter(self, coordinator):
+        coordinator._accept_final(0, 0, make_verdict(WINDOW, suspects=["a"]))
+        coordinator._accept_final(
+            0, 0, make_verdict(3 * WINDOW, suspects=["b"])
+        )
+        doc = coordinator.verdicts_doc(since=2 * WINDOW)
+        assert doc["windows_finalized"] == 1
+        assert doc["suspects"] == ["b"]
+        assert doc["filter"] == {"host": None, "since": 2 * WINDOW}
+        # Boundary: >= keeps a window finalised exactly at T.
+        assert (
+            coordinator.verdicts_doc(since=3 * WINDOW)["windows_finalized"]
+            == 1
+        )
+        assert (
+            coordinator.verdicts_doc(since=3 * WINDOW + 1)[
+                "windows_finalized"
+            ]
+            == 0
+        )
+
+    def test_host_and_since_compose(self, coordinator):
+        coordinator._accept_final(0, 0, make_verdict(WINDOW, suspects=["a"]))
+        coordinator._accept_final(
+            0, 0, make_verdict(3 * WINDOW, suspects=["a", "b"])
+        )
+        doc = coordinator.verdicts_doc(host="a", since=2 * WINDOW)
+        assert doc["windows_finalized"] == 1
+        assert doc["finalized"][0]["evaluated_at"] == 3 * WINDOW
+
+
+class TestFilterDedupeInteraction:
+    def test_duplicate_never_reappears_through_a_filter(self, coordinator):
+        verdict = make_verdict(WINDOW, suspects=["10.0.1.0"])
+        coordinator._accept_final(0, 0, verdict)
+        # Same (epoch, shard, grid): the replayed verdict is dropped.
+        coordinator._accept_final(0, 0, dict(verdict))
+        doc = coordinator.verdicts_doc(host="10.0.1.0")
+        assert doc["windows_finalized"] == 1
+        # ... and the duplicate counter stays *global* on filtered
+        # reads: replay pressure is visible no matter the filter.
+        assert doc["duplicate_verdicts"] == 1
+        empty = coordinator.verdicts_doc(host="203.0.113.1")
+        assert empty["windows_finalized"] == 0
+        assert empty["duplicate_verdicts"] == 1
+
+    def test_filtered_doc_keeps_global_counters(self, coordinator):
+        coordinator._accept_final(0, 0, make_verdict(WINDOW, suspects=["a"]))
+        coordinator.rows_ingested = 123
+        doc = coordinator.verdicts_doc(host="no-such-host")
+        assert doc["rows_ingested"] == 123
+        assert doc["incarnation"] == coordinator.incarnation
+
+
+class TestHttpRoute:
+    def test_verdicts_route_parses_filters(self, coordinator):
+        coordinator._accept_final(0, 0, make_verdict(WINDOW, suspects=["a"]))
+        routes = build_routes(coordinator)
+        handler = routes[("GET", "/verdicts")]
+
+        status, doc = handler(b"", "")
+        assert status == 200 and doc["windows_finalized"] == 1
+
+        status, doc = handler(b"", f"host=a&since={WINDOW}")
+        assert status == 200
+        assert doc["filter"] == {"host": "a", "since": WINDOW}
+        assert doc["windows_finalized"] == 1
+
+        status, doc = handler(b"", "host=nobody")
+        assert status == 200 and doc["windows_finalized"] == 0
+
+        status, doc = handler(b"", "since=not-a-number")
+        assert status == 400
+        assert "since" in doc["error"]
+
+    def test_query_routes_404_without_db(self, coordinator):
+        routes = build_routes(coordinator)
+        status, doc = routes[("GET", "/query/why")](b"", "host=a")
+        assert status == 404
+        assert "verdict DB" in doc["error"]
+        status, _ = routes[("GET", "/query/history")](b"", "host=a")
+        assert status == 404
+
+    def test_query_routes_require_host(self, coordinator, tmp_path):
+        coordinator._verdict_db = VerdictDB(tmp_path / "v.sqlite")
+        try:
+            routes = build_routes(coordinator)
+            status, doc = routes[("GET", "/query/why")](b"", "")
+            assert status == 400 and "host" in doc["error"]
+            status, doc = routes[("GET", "/query/history")](b"", "")
+            assert status == 400
+            status, doc = routes[("GET", "/query/why")](b"", "host=a&window=x")
+            assert status == 400 and "window" in doc["error"]
+        finally:
+            coordinator._verdict_db.close()
+
+    def test_query_history_serves_sink_writes(self, coordinator, tmp_path):
+        coordinator._verdict_db = VerdictDB(tmp_path / "v.sqlite")
+        try:
+            coordinator._accept_final(
+                0, 0, make_verdict(WINDOW, suspects=["10.0.1.0"])
+            )
+            routes = build_routes(coordinator)
+            status, doc = routes[("GET", "/query/history")](
+                b"", "host=10.0.1.0"
+            )
+            assert status == 200
+            assert len(doc["windows"]) == 1
+            assert doc["windows"][0]["flagged"] is True
+            status, doc = routes[("GET", "/query/why")](b"", "host=10.0.1.0")
+            assert status == 200 and doc["flagged"] is True
+            status, _ = routes[("GET", "/query/why")](b"", "host=unknown")
+            assert status == 404
+        finally:
+            coordinator._verdict_db.close()
+
+
+class TestVerdictDbSink:
+    def test_sink_records_once_per_identity(self, coordinator, tmp_path):
+        db = VerdictDB(tmp_path / "v.sqlite")
+        coordinator._verdict_db = db
+        try:
+            verdict = make_verdict(WINDOW, suspects=["10.0.1.0"])
+            coordinator._accept_final(0, 0, verdict)
+            # In-memory dedupe stops the replay before the sink.
+            coordinator._accept_final(0, 0, dict(verdict))
+            assert len(db.windows(source="serve")) == 1
+        finally:
+            db.close()
+
+    def test_db_identity_dedupes_across_coordinators(self, tmp_path):
+        # Failover replay: a promoted coordinator re-observes a verdict
+        # the old primary already recorded.  Its in-memory set is
+        # empty, so only the DB identity stands between the replay and
+        # a double record.
+        db_path = tmp_path / "v.sqlite"
+        verdict = make_verdict(WINDOW, suspects=["10.0.1.0"])
+        for incarnation in (0, 1):
+            config = ServeConfig(
+                spool_dir=str(tmp_path / f"svc{incarnation}"),
+                n_shards=1,
+                window=WINDOW,
+                window_origin=0.0,
+            )
+            coordinator = ServeCoordinator(
+                config, incarnation=incarnation
+            )
+            coordinator._verdict_db = VerdictDB(db_path)
+            try:
+                coordinator._accept_final(0, 0, dict(verdict))
+            finally:
+                coordinator._verdict_db.close()
+        with VerdictDB(db_path) as db:
+            assert len(db.windows(source="serve")) == 1
+
+    def test_sink_failure_never_fails_the_verdict(self, coordinator):
+        class ExplodingDB:
+            def record_serve_verdict(self, *args, **kwargs):
+                raise RuntimeError("disk full")
+
+        coordinator._verdict_db = ExplodingDB()
+        coordinator._accept_final(0, 0, make_verdict(WINDOW, suspects=["a"]))
+        doc = coordinator.verdicts_doc()
+        assert doc["windows_finalized"] == 1
